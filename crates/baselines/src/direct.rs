@@ -1,0 +1,222 @@
+//! The trivial "slot = thread id" registry the paper's introduction dismisses
+//! (§1, footnote 1).
+//!
+//! If every thread simply uses its own identifier as the index of a dedicated
+//! slot, `Get` and `Free` are a single uncontended store — but the slot array
+//! must be as large as the *identifier space* `N`, and `Collect` must scan all
+//! of it, even when only a handful of threads are active.  The LevelArray (and
+//! the other baselines) instead keep the namespace proportional to the
+//! contention bound `n ≤ N`, which is the whole point of renaming.
+//!
+//! [`DirectMapArray`] is used in two ways by this workspace:
+//!
+//! * as a **correctness oracle** in differential tests (its behaviour is
+//!   trivially correct), and
+//! * in the `sweeps` benchmark, to quantify how much slower its `Collect`
+//!   becomes as the id space grows past the true contention.
+
+use levelarray::occupancy::{OccupancySnapshot, Region, RegionOccupancy};
+use levelarray::slot::{Slot, TasKind};
+use levelarray::Name;
+
+/// A registry with one dedicated slot per thread identifier.
+///
+/// This type does **not** implement [`levelarray::ActivityArray`]: its `Get`
+/// needs the caller's identity rather than a random-number generator, which is
+/// exactly why it solves a different (easier, but less useful) problem than
+/// renaming.
+///
+/// # Examples
+///
+/// ```
+/// use la_baselines::DirectMapArray;
+///
+/// let registry = DirectMapArray::new(128);   // id space of 128 threads
+/// registry.register(17).unwrap();
+/// assert!(registry.is_registered(17));
+/// assert_eq!(registry.collect(), vec![levelarray::Name::new(17)]);
+/// registry.deregister(17).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct DirectMapArray {
+    slots: Box<[Slot]>,
+}
+
+/// Errors returned by [`DirectMapArray`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectMapError {
+    /// The identifier is outside the id space the registry was built for.
+    IdOutOfRange {
+        /// The offending identifier.
+        id: usize,
+        /// The registry's id-space size.
+        id_space: usize,
+    },
+    /// `register` was called for an id that is already registered.
+    AlreadyRegistered(usize),
+    /// `deregister` was called for an id that is not registered.
+    NotRegistered(usize),
+}
+
+impl std::fmt::Display for DirectMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirectMapError::IdOutOfRange { id, id_space } => {
+                write!(f, "thread id {id} outside the id space of {id_space}")
+            }
+            DirectMapError::AlreadyRegistered(id) => {
+                write!(f, "thread id {id} is already registered")
+            }
+            DirectMapError::NotRegistered(id) => write!(f, "thread id {id} is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for DirectMapError {}
+
+impl DirectMapArray {
+    /// Creates a registry for identifiers `0..id_space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id_space == 0`.
+    pub fn new(id_space: usize) -> Self {
+        assert!(id_space > 0, "id space must contain at least one identifier");
+        DirectMapArray {
+            slots: (0..id_space).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// The size of the identifier space (and therefore of the array and of
+    /// every `collect` scan).
+    pub fn id_space(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Registers thread `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is out of range or already registered.
+    pub fn register(&self, id: usize) -> Result<Name, DirectMapError> {
+        let slot = self.slot(id)?;
+        if slot.try_acquire(TasKind::CompareExchange) {
+            Ok(Name::new(id))
+        } else {
+            Err(DirectMapError::AlreadyRegistered(id))
+        }
+    }
+
+    /// Deregisters thread `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is out of range or not registered.
+    pub fn deregister(&self, id: usize) -> Result<(), DirectMapError> {
+        let slot = self.slot(id)?;
+        if slot.release() {
+            Ok(())
+        } else {
+            Err(DirectMapError::NotRegistered(id))
+        }
+    }
+
+    /// Whether thread `id` is currently registered (out-of-range ids are
+    /// reported as not registered).
+    pub fn is_registered(&self, id: usize) -> bool {
+        self.slots.get(id).map(Slot::is_held).unwrap_or(false)
+    }
+
+    /// Scans the whole id space and returns the registered ids — Θ(N) work
+    /// regardless of how few threads are active.
+    pub fn collect(&self) -> Vec<Name> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_held())
+            .map(|(id, _)| Name::new(id))
+            .collect()
+    }
+
+    /// Single-region occupancy census over the id space.
+    pub fn occupancy(&self) -> OccupancySnapshot {
+        let occupied = self.slots.iter().filter(|s| s.is_held()).count();
+        OccupancySnapshot::new(vec![RegionOccupancy::new(
+            Region::Whole,
+            self.slots.len(),
+            occupied,
+        )])
+    }
+
+    fn slot(&self, id: usize) -> Result<&Slot, DirectMapError> {
+        self.slots.get(id).ok_or(DirectMapError::IdOutOfRange {
+            id,
+            id_space: self.slots.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_deregister_cycle() {
+        let registry = DirectMapArray::new(8);
+        assert_eq!(registry.register(3), Ok(Name::new(3)));
+        assert!(registry.is_registered(3));
+        assert_eq!(registry.collect(), vec![Name::new(3)]);
+        assert_eq!(registry.deregister(3), Ok(()));
+        assert!(!registry.is_registered(3));
+        assert!(registry.collect().is_empty());
+    }
+
+    #[test]
+    fn double_register_and_double_deregister_are_errors() {
+        let registry = DirectMapArray::new(4);
+        registry.register(1).unwrap();
+        assert_eq!(registry.register(1), Err(DirectMapError::AlreadyRegistered(1)));
+        registry.deregister(1).unwrap();
+        assert_eq!(registry.deregister(1), Err(DirectMapError::NotRegistered(1)));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_errors() {
+        let registry = DirectMapArray::new(4);
+        assert_eq!(
+            registry.register(9),
+            Err(DirectMapError::IdOutOfRange { id: 9, id_space: 4 })
+        );
+        assert_eq!(
+            registry.deregister(9),
+            Err(DirectMapError::IdOutOfRange { id: 9, id_space: 4 })
+        );
+        assert!(!registry.is_registered(9));
+    }
+
+    #[test]
+    fn collect_scans_the_whole_id_space() {
+        let registry = DirectMapArray::new(1000);
+        registry.register(0).unwrap();
+        registry.register(999).unwrap();
+        assert_eq!(registry.collect(), vec![Name::new(0), Name::new(999)]);
+        assert_eq!(registry.occupancy().total_capacity(), 1000);
+        assert_eq!(registry.occupancy().total_occupied(), 2);
+        assert_eq!(registry.id_space(), 1000);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DirectMapError::AlreadyRegistered(3).to_string().contains('3'));
+        assert!(DirectMapError::NotRegistered(4).to_string().contains('4'));
+        assert!(DirectMapError::IdOutOfRange { id: 9, id_space: 4 }
+            .to_string()
+            .contains("id space"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one identifier")]
+    fn empty_id_space_rejected() {
+        let _ = DirectMapArray::new(0);
+    }
+}

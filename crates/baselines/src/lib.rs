@@ -1,0 +1,56 @@
+//! Baseline activity-array implementations the paper compares against (§6).
+//!
+//! All baselines implement the same [`levelarray::ActivityArray`] trait as the
+//! LevelArray itself, so the benchmark harness and the simulator can treat the
+//! algorithms uniformly.
+//!
+//! * [`RandomArray`] — "Random" in Figure 2: probe uniformly random slots of a
+//!   flat array until one is won.
+//! * [`LinearProbingArray`] — "LinearProbing" in Figure 2: pick a random start
+//!   and probe linearly (with wrap-around) until a slot is won.
+//! * [`LinearScanArray`] — the deterministic Moir–Anderson-style array: always
+//!   probe from index 0 rightward.  The paper reports it is at least two
+//!   orders of magnitude slower on every measure and leaves it off the graphs;
+//!   the harness includes it in the `sweeps` binary.
+//! * [`DirectMapArray`] — the trivial "slot = thread id" solution the paper's
+//!   introduction dismisses because `Collect` then costs Θ(|id space|) rather
+//!   than Θ(n).  It does not implement the trait (it needs an explicit id);
+//!   it exists as a correctness oracle and to quantify that footnote.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod direct;
+pub mod flat;
+pub mod linear_probing;
+pub mod linear_scan;
+pub mod random;
+
+pub use direct::DirectMapArray;
+pub use linear_probing::LinearProbingArray;
+pub use linear_scan::LinearScanArray;
+pub use random::RandomArray;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levelarray::ActivityArray;
+
+    #[test]
+    fn baselines_are_send_sync_and_object_safe() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RandomArray>();
+        assert_send_sync::<LinearProbingArray>();
+        assert_send_sync::<LinearScanArray>();
+        assert_send_sync::<DirectMapArray>();
+
+        let boxed: Vec<Box<dyn ActivityArray>> = vec![
+            Box::new(RandomArray::new(4)),
+            Box::new(LinearProbingArray::new(4)),
+            Box::new(LinearScanArray::new(4)),
+        ];
+        for array in &boxed {
+            assert!(array.capacity() >= 4);
+        }
+    }
+}

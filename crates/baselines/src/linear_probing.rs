@@ -1,0 +1,176 @@
+//! The "LinearProbing" baseline (paper §6): pick a uniformly random starting
+//! slot, then probe linearly to the right (wrapping around) until a slot is
+//! won.
+//!
+//! Linear probing enjoys excellent cache behaviour — successive probes touch
+//! adjacent slots — which is why its throughput in the paper's Figure 2 edges
+//! out the other algorithms.  Its weakness is *primary clustering*: occupied
+//! slots form runs, so a probe that lands in a run pays for the whole run,
+//! which inflates the standard deviation and the worst case over long
+//! executions (exactly what Figure 2's lower panels show).
+
+use larng::RandomSource;
+use levelarray::{Acquired, ActivityArray, Name, OccupancySnapshot};
+
+use crate::flat::FlatSlots;
+
+/// Flat array probed linearly from a random starting position.
+///
+/// # Examples
+///
+/// ```
+/// use la_baselines::LinearProbingArray;
+/// use levelarray::ActivityArray;
+/// use larng::default_rng;
+///
+/// let array = LinearProbingArray::new(8);
+/// let mut rng = default_rng(1);
+/// let got = array.get(&mut rng);
+/// array.free(got.name());
+/// ```
+#[derive(Debug)]
+pub struct LinearProbingArray {
+    slots: FlatSlots,
+}
+
+impl LinearProbingArray {
+    /// Creates an array with the paper's default size of `2n` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_concurrency == 0`.
+    pub fn new(max_concurrency: usize) -> Self {
+        Self::with_slots(max_concurrency, 2 * max_concurrency.max(1))
+    }
+
+    /// Creates an array with an explicit number of slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_concurrency == 0` or `slots < max_concurrency`.
+    pub fn with_slots(max_concurrency: usize, slots: usize) -> Self {
+        assert!(
+            slots >= max_concurrency,
+            "need at least as many slots ({slots}) as concurrent holders ({max_concurrency})"
+        );
+        LinearProbingArray {
+            slots: FlatSlots::new(slots, max_concurrency),
+        }
+    }
+}
+
+impl ActivityArray for LinearProbingArray {
+    fn algorithm_name(&self) -> &'static str {
+        "LinearProbing"
+    }
+
+    fn try_get(&self, rng: &mut dyn RandomSource) -> Option<Acquired> {
+        let len = self.slots.len();
+        let start = rng.gen_index(len);
+        for offset in 0..len {
+            let idx = (start + offset) % len;
+            if self.slots.try_acquire(idx) {
+                return Some(Acquired::new(
+                    Name::new(idx),
+                    offset as u32 + 1,
+                    Some(0),
+                    false,
+                ));
+            }
+        }
+        // Wrapped all the way around without winning: the array was full (or
+        // every slot was transiently held) — report exhaustion.
+        None
+    }
+
+    fn free(&self, name: Name) {
+        self.slots.free(name);
+    }
+
+    fn collect(&self) -> Vec<Name> {
+        self.slots.collect()
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn max_participants(&self) -> usize {
+        self.slots.max_participants()
+    }
+
+    fn occupancy(&self) -> OccupancySnapshot {
+        self.slots.occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use larng::{default_rng, SequenceRng};
+    use std::collections::HashSet;
+
+    #[test]
+    fn basic_cycle_and_uniqueness() {
+        let array = LinearProbingArray::new(16);
+        let mut rng = default_rng(1);
+        let mut names = HashSet::new();
+        for _ in 0..16 {
+            assert!(names.insert(array.get(&mut rng).name()));
+        }
+        assert_eq!(array.collect().len(), 16);
+        for name in names {
+            array.free(name);
+        }
+        assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn probes_walk_rightward_through_a_cluster() {
+        let array = LinearProbingArray::with_slots(4, 8);
+        // Build a cluster at slots 2, 3, 4.
+        for idx in 2..5 {
+            assert!(array.slots.try_acquire(idx));
+        }
+        // Start the probe at slot 2: it must walk the cluster and win slot 5.
+        let mut rng = SequenceRng::for_indices(&[2], 8);
+        let got = array.get(&mut rng);
+        assert_eq!(got.name().index(), 5);
+        assert_eq!(got.probes(), 4);
+    }
+
+    #[test]
+    fn wrap_around_reaches_slots_before_the_start() {
+        let array = LinearProbingArray::with_slots(2, 4);
+        // Occupy everything except slot 0; start at slot 3 -> wraps to 0.
+        for idx in 1..4 {
+            assert!(array.slots.try_acquire(idx));
+        }
+        let mut rng = SequenceRng::for_indices(&[3], 4);
+        let got = array.get(&mut rng);
+        assert_eq!(got.name().index(), 0);
+        assert_eq!(got.probes(), 2);
+    }
+
+    #[test]
+    fn full_array_returns_none_after_one_sweep() {
+        let array = LinearProbingArray::with_slots(2, 2);
+        let mut rng = default_rng(2);
+        let _a = array.get(&mut rng);
+        let _b = array.get(&mut rng);
+        assert!(array.try_get(&mut rng).is_none());
+    }
+
+    #[test]
+    fn default_size_is_twice_n() {
+        let array = LinearProbingArray::new(10);
+        assert_eq!(array.capacity(), 20);
+        assert_eq!(array.algorithm_name(), "LinearProbing");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many slots")]
+    fn undersized_array_rejected() {
+        let _ = LinearProbingArray::with_slots(4, 2);
+    }
+}

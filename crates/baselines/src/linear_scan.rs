@@ -1,0 +1,166 @@
+//! The deterministic left-to-right scan baseline (Moir–Anderson style
+//! long-lived renaming, paper §3 and §6).
+//!
+//! Every `Get` probes slot 0, then slot 1, and so on until it wins.  The
+//! acquired names are as small as possible (good for namespace adaptivity) but
+//! the cost of a `Get` is linear in the number of currently held slots — and
+//! because *every* process hammers the same low-indexed slots, contention on
+//! those cache lines is severe.  The paper reports this baseline to be at
+//! least two orders of magnitude slower than the randomized algorithms on all
+//! measures, and leaves it off Figure 2; the `sweeps` benchmark binary
+//! reproduces that comparison.
+
+use larng::RandomSource;
+use levelarray::{Acquired, ActivityArray, Name, OccupancySnapshot};
+
+use crate::flat::FlatSlots;
+
+/// Flat array probed deterministically from index 0.
+///
+/// # Examples
+///
+/// ```
+/// use la_baselines::LinearScanArray;
+/// use levelarray::ActivityArray;
+/// use larng::default_rng;
+///
+/// let array = LinearScanArray::new(8);
+/// let mut rng = default_rng(1);           // the rng is accepted but unused
+/// let got = array.get(&mut rng);
+/// assert_eq!(got.name().index(), 0);      // deterministic: lowest free slot
+/// array.free(got.name());
+/// ```
+#[derive(Debug)]
+pub struct LinearScanArray {
+    slots: FlatSlots,
+}
+
+impl LinearScanArray {
+    /// Creates an array with the paper's default size of `2n` slots.  (The
+    /// deterministic scan only ever needs `n` slots; the extra space keeps the
+    /// comparison with the randomized algorithms apples-to-apples.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_concurrency == 0`.
+    pub fn new(max_concurrency: usize) -> Self {
+        Self::with_slots(max_concurrency, 2 * max_concurrency.max(1))
+    }
+
+    /// Creates an array with an explicit number of slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_concurrency == 0` or `slots < max_concurrency`.
+    pub fn with_slots(max_concurrency: usize, slots: usize) -> Self {
+        assert!(
+            slots >= max_concurrency,
+            "need at least as many slots ({slots}) as concurrent holders ({max_concurrency})"
+        );
+        LinearScanArray {
+            slots: FlatSlots::new(slots, max_concurrency),
+        }
+    }
+}
+
+impl ActivityArray for LinearScanArray {
+    fn algorithm_name(&self) -> &'static str {
+        "LinearScan"
+    }
+
+    fn try_get(&self, _rng: &mut dyn RandomSource) -> Option<Acquired> {
+        for idx in 0..self.slots.len() {
+            if self.slots.try_acquire(idx) {
+                return Some(Acquired::new(
+                    Name::new(idx),
+                    idx as u32 + 1,
+                    Some(0),
+                    false,
+                ));
+            }
+        }
+        None
+    }
+
+    fn free(&self, name: Name) {
+        self.slots.free(name);
+    }
+
+    fn collect(&self) -> Vec<Name> {
+        self.slots.collect()
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn max_participants(&self) -> usize {
+        self.slots.max_participants()
+    }
+
+    fn occupancy(&self) -> OccupancySnapshot {
+        self.slots.occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use larng::default_rng;
+
+    #[test]
+    fn always_acquires_the_lowest_free_slot() {
+        let array = LinearScanArray::new(4);
+        let mut rng = default_rng(1);
+        let a = array.get(&mut rng);
+        let b = array.get(&mut rng);
+        let c = array.get(&mut rng);
+        assert_eq!(a.name().index(), 0);
+        assert_eq!(b.name().index(), 1);
+        assert_eq!(c.name().index(), 2);
+        // Free the middle one; the next Get reuses it.
+        array.free(b.name());
+        let d = array.get(&mut rng);
+        assert_eq!(d.name().index(), 1);
+    }
+
+    #[test]
+    fn probe_count_is_linear_in_the_prefix_occupancy() {
+        let array = LinearScanArray::new(8);
+        let mut rng = default_rng(2);
+        for _ in 0..5 {
+            let _ = array.get(&mut rng);
+        }
+        let got = array.get(&mut rng);
+        assert_eq!(got.name().index(), 5);
+        assert_eq!(got.probes(), 6);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let array = LinearScanArray::with_slots(2, 2);
+        let mut rng = default_rng(3);
+        let _ = array.get(&mut rng);
+        let _ = array.get(&mut rng);
+        assert!(array.try_get(&mut rng).is_none());
+    }
+
+    #[test]
+    fn names_are_adaptive_to_contention() {
+        // With k holders the largest handed-out name is k - 1 — the namespace
+        // adaptivity the deterministic algorithm buys with its linear cost.
+        let array = LinearScanArray::new(32);
+        let mut rng = default_rng(4);
+        let names: Vec<_> = (0..10).map(|_| array.get(&mut rng).name()).collect();
+        assert_eq!(names.iter().map(|n| n.index()).max(), Some(9));
+    }
+
+    #[test]
+    fn metadata() {
+        let array = LinearScanArray::new(10);
+        assert_eq!(array.algorithm_name(), "LinearScan");
+        assert_eq!(array.capacity(), 20);
+        assert_eq!(array.max_participants(), 10);
+        assert_eq!(array.occupancy().total_capacity(), 20);
+    }
+}

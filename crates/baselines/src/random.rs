@@ -1,0 +1,177 @@
+//! The "Random" baseline (paper §6): probe uniformly random slots of a flat
+//! array until one is won.
+//!
+//! This strategy has constant expected cost while the array is sparsely
+//! occupied, but its *worst case* is unbounded: with `f` the fill fraction,
+//! each probe fails independently with probability `f`, so over long
+//! executions some operations take a long time — exactly the instability the
+//! paper's Figure 2 (standard deviation and worst-case panels) demonstrates.
+
+use larng::RandomSource;
+use levelarray::{Acquired, ActivityArray, Name, OccupancySnapshot};
+
+use crate::flat::FlatSlots;
+
+/// Flat array with uniformly random probing.
+///
+/// # Examples
+///
+/// ```
+/// use la_baselines::RandomArray;
+/// use levelarray::ActivityArray;
+/// use larng::default_rng;
+///
+/// let array = RandomArray::new(8);      // 2n slots for n = 8, like the paper
+/// let mut rng = default_rng(1);
+/// let got = array.get(&mut rng);
+/// array.free(got.name());
+/// ```
+#[derive(Debug)]
+pub struct RandomArray {
+    slots: FlatSlots,
+}
+
+impl RandomArray {
+    /// Creates an array with the paper's default size of `2n` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_concurrency == 0`.
+    pub fn new(max_concurrency: usize) -> Self {
+        Self::with_slots(max_concurrency, 2 * max_concurrency.max(1))
+    }
+
+    /// Creates an array with an explicit number of slots (the paper's `L`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_concurrency == 0` or `slots < max_concurrency` (the
+    /// structure could otherwise deadlock a well-behaved caller).
+    pub fn with_slots(max_concurrency: usize, slots: usize) -> Self {
+        assert!(
+            slots >= max_concurrency,
+            "need at least as many slots ({slots}) as concurrent holders ({max_concurrency})"
+        );
+        RandomArray {
+            slots: FlatSlots::new(slots, max_concurrency),
+        }
+    }
+}
+
+impl ActivityArray for RandomArray {
+    fn algorithm_name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn try_get(&self, rng: &mut dyn RandomSource) -> Option<Acquired> {
+        let len = self.slots.len();
+        let mut probes = 0u32;
+        loop {
+            // One "round" of random probing: up to `len` attempts.
+            for _ in 0..len {
+                probes += 1;
+                let idx = rng.gen_index(len);
+                if self.slots.try_acquire(idx) {
+                    return Some(Acquired::new(Name::new(idx), probes, Some(0), false));
+                }
+            }
+            // A full round failed.  If the array is genuinely full, give up —
+            // this keeps `try_get` from spinning forever when the caller has
+            // exceeded the contention bound.  (The paper's version simply
+            // loops; a saturated array is outside its model.)
+            if (0..len).all(|idx| self.slots.is_held(idx)) {
+                return None;
+            }
+        }
+    }
+
+    fn free(&self, name: Name) {
+        self.slots.free(name);
+    }
+
+    fn collect(&self) -> Vec<Name> {
+        self.slots.collect()
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn max_participants(&self) -> usize {
+        self.slots.max_participants()
+    }
+
+    fn occupancy(&self) -> OccupancySnapshot {
+        self.slots.occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use larng::{default_rng, SequenceRng};
+    use std::collections::HashSet;
+
+    #[test]
+    fn basic_cycle_and_uniqueness() {
+        let array = RandomArray::new(16);
+        let mut rng = default_rng(1);
+        let mut names = HashSet::new();
+        for _ in 0..16 {
+            assert!(names.insert(array.get(&mut rng).name()));
+        }
+        assert_eq!(array.collect().len(), 16);
+        for name in names {
+            array.free(name);
+        }
+        assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn probes_count_failed_attempts() {
+        // Slot 0 occupied; script the probes to hit 0 then 1.
+        let array = RandomArray::with_slots(2, 4);
+        assert!(array.slots.try_acquire(0));
+        let mut rng = SequenceRng::for_indices(&[0, 1], 4);
+        let got = array.get(&mut rng);
+        assert_eq!(got.name().index(), 1);
+        assert_eq!(got.probes(), 2);
+    }
+
+    #[test]
+    fn exhausted_array_returns_none() {
+        let array = RandomArray::with_slots(2, 2);
+        let mut rng = default_rng(3);
+        let a = array.get(&mut rng);
+        let b = array.get(&mut rng);
+        assert_ne!(a.name(), b.name());
+        assert!(array.try_get(&mut rng).is_none());
+        array.free(a.name());
+        assert!(array.try_get(&mut rng).is_some());
+        let _ = b;
+    }
+
+    #[test]
+    fn default_size_is_twice_n() {
+        let array = RandomArray::new(10);
+        assert_eq!(array.capacity(), 20);
+        assert_eq!(array.max_participants(), 10);
+        assert_eq!(array.algorithm_name(), "Random");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many slots")]
+    fn undersized_array_rejected() {
+        let _ = RandomArray::with_slots(4, 2);
+    }
+
+    #[test]
+    fn occupancy_matches_collect() {
+        let array = RandomArray::new(8);
+        let mut rng = default_rng(4);
+        for _ in 0..5 {
+            let _ = array.get(&mut rng);
+        }
+        assert_eq!(array.occupancy().total_occupied(), array.collect().len());
+    }
+}

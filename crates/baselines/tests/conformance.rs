@@ -1,0 +1,186 @@
+//! Trait-conformance suite: every `ActivityArray` implementation (the
+//! LevelArray and all baselines) must satisfy the renaming contract of paper
+//! §2 — uniqueness of held names, validity of `Collect`, exhaustion behaviour,
+//! and double-free detection — under identical test drivers.
+
+use la_baselines::{LinearProbingArray, LinearScanArray, RandomArray};
+use larng::{default_rng, SeedSequence};
+use levelarray::{ActivityArray, LevelArray, Name};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Builds one instance of every implementation for contention bound `n`.
+fn all_algorithms(n: usize) -> Vec<Box<dyn ActivityArray>> {
+    vec![
+        Box::new(LevelArray::new(n)),
+        Box::new(RandomArray::new(n)),
+        Box::new(LinearProbingArray::new(n)),
+        Box::new(LinearScanArray::new(n)),
+    ]
+}
+
+#[test]
+fn names_are_unique_while_held() {
+    for array in all_algorithms(32) {
+        let mut rng = default_rng(1);
+        let mut held = HashSet::new();
+        for _ in 0..32 {
+            let got = array.get(&mut rng);
+            assert!(
+                held.insert(got.name()),
+                "{}: duplicate name {}",
+                array.algorithm_name(),
+                got.name()
+            );
+        }
+        assert_eq!(array.collect().len(), 32, "{}", array.algorithm_name());
+        for name in held {
+            array.free(name);
+        }
+        assert!(array.collect().is_empty(), "{}", array.algorithm_name());
+    }
+}
+
+#[test]
+fn collect_returns_exactly_the_held_set_sequentially() {
+    for array in all_algorithms(16) {
+        let mut rng = default_rng(2);
+        let mut held: Vec<Name> = Vec::new();
+        for step in 0..200u32 {
+            if step % 3 != 2 && held.len() < 16 {
+                held.push(array.get(&mut rng).name());
+            } else if let Some(name) = held.pop() {
+                array.free(name);
+            }
+            let mut collected = array.collect();
+            collected.sort();
+            let mut expected = held.clone();
+            expected.sort();
+            assert_eq!(collected, expected, "{}", array.algorithm_name());
+            assert_eq!(
+                array.occupancy().total_occupied(),
+                held.len(),
+                "{}",
+                array.algorithm_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn capacity_is_reported_consistently() {
+    for n in [1usize, 2, 7, 64] {
+        for array in all_algorithms(n) {
+            assert!(
+                array.capacity() >= array.max_participants(),
+                "{}: capacity {} below contention bound {}",
+                array.algorithm_name(),
+                array.capacity(),
+                array.max_participants()
+            );
+            assert_eq!(array.max_participants(), n, "{}", array.algorithm_name());
+            assert_eq!(
+                array.occupancy().total_capacity(),
+                array.capacity(),
+                "{}",
+                array.algorithm_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn names_stay_inside_the_dense_namespace() {
+    for array in all_algorithms(16) {
+        let mut rng = default_rng(3);
+        for _ in 0..16 {
+            let got = array.get(&mut rng);
+            assert!(
+                got.name().index() < array.capacity(),
+                "{}: name {} >= capacity {}",
+                array.algorithm_name(),
+                got.name(),
+                array.capacity()
+            );
+            assert!(got.probes() >= 1);
+        }
+    }
+}
+
+#[test]
+fn double_free_panics_for_every_algorithm() {
+    for array in all_algorithms(4) {
+        let mut rng = default_rng(4);
+        let got = array.get(&mut rng);
+        array.free(got.name());
+        let label = array.algorithm_name();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            array.free(got.name());
+        }));
+        assert!(result.is_err(), "{label}: double free did not panic");
+    }
+}
+
+#[test]
+fn exhaustion_is_reported_not_hung() {
+    // Keep acquiring without freeing until the structure reports exhaustion;
+    // it must do so without hanging and without handing out duplicates.
+    for array in all_algorithms(4) {
+        let mut rng = default_rng(5);
+        let mut held = HashSet::new();
+        for _ in 0..10_000 {
+            match array.try_get(&mut rng) {
+                Some(got) => {
+                    assert!(held.insert(got.name()), "{}", array.algorithm_name());
+                }
+                None => break,
+            }
+        }
+        assert!(
+            held.len() >= array.max_participants(),
+            "{}: gave up after only {} acquisitions",
+            array.algorithm_name(),
+            held.len()
+        );
+        assert!(held.len() <= array.capacity(), "{}", array.algorithm_name());
+        assert!(array.try_get(&mut rng).is_none(), "{}", array.algorithm_name());
+    }
+}
+
+#[test]
+fn concurrent_unique_ownership_for_every_algorithm() {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .clamp(2, 4);
+    for array in all_algorithms(threads) {
+        let array: Arc<dyn ActivityArray> = Arc::from(array);
+        let ownership: Arc<Vec<AtomicBool>> = Arc::new(
+            (0..array.capacity()).map(|_| AtomicBool::new(false)).collect(),
+        );
+        let mut seeds = SeedSequence::new(6);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let array = Arc::clone(&array);
+                let ownership = Arc::clone(&ownership);
+                let seed = seeds.next_seed();
+                scope.spawn(move || {
+                    let mut rng = default_rng(seed);
+                    for _ in 0..5_000 {
+                        let got = array.get(&mut rng);
+                        let idx = got.name().index();
+                        assert!(
+                            !ownership[idx].swap(true, Ordering::SeqCst),
+                            "{}: slot {idx} owned twice",
+                            array.algorithm_name()
+                        );
+                        ownership[idx].store(false, Ordering::SeqCst);
+                        array.free(got.name());
+                    }
+                });
+            }
+        });
+        assert!(array.collect().is_empty(), "{}", array.algorithm_name());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the baseline activity arrays, mirroring the core
+//! crate's suite so that every implementation is held to the same contract.
+
+use la_baselines::{DirectMapArray, LinearProbingArray, LinearScanArray, RandomArray};
+use larng::default_rng;
+use levelarray::{ActivityArray, Name};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn flat_algorithms(n: usize, slots: usize) -> Vec<Box<dyn ActivityArray>> {
+    vec![
+        Box::new(RandomArray::with_slots(n, slots)),
+        Box::new(LinearProbingArray::with_slots(n, slots)),
+        Box::new(LinearScanArray::with_slots(n, slots)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Uniqueness + exact collect under arbitrary sequential scripts, for any
+    /// contention bound and any legal array size.
+    #[test]
+    fn sequential_contract(
+        seed in any::<u64>(),
+        n in 1usize..32,
+        extra_slots in 0usize..64,
+        script in proptest::collection::vec(any::<u8>(), 1..150),
+    ) {
+        let slots = 2 * n + extra_slots;
+        for array in flat_algorithms(n, slots) {
+            let mut rng = default_rng(seed);
+            let mut held: Vec<Name> = Vec::new();
+            for &step in &script {
+                if (step % 2 == 0 && held.len() < n) || held.is_empty() {
+                    let got = array.get(&mut rng);
+                    prop_assert!(got.name().index() < array.capacity());
+                    prop_assert!(!held.contains(&got.name()), "{}", array.algorithm_name());
+                    held.push(got.name());
+                } else {
+                    array.free(held.swap_remove((step as usize) % held.len()));
+                }
+                let collected: BTreeSet<Name> = array.collect().into_iter().collect();
+                let expected: BTreeSet<Name> = held.iter().copied().collect();
+                prop_assert_eq!(collected, expected, "{}", array.algorithm_name());
+            }
+        }
+    }
+
+    /// The deterministic scan always hands out the smallest free index —
+    /// checked against a straightforward model.
+    #[test]
+    fn linear_scan_matches_smallest_free_model(
+        seed in any::<u64>(),
+        n in 1usize..24,
+        script in proptest::collection::vec(any::<u8>(), 1..100),
+    ) {
+        let array = LinearScanArray::new(n);
+        let mut rng = default_rng(seed);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for &step in &script {
+            if (step % 2 == 0 && model.len() < n) || model.is_empty() {
+                let got = array.get(&mut rng);
+                let expected = (0..).find(|i| !model.contains(i)).unwrap();
+                prop_assert_eq!(got.name().index(), expected);
+                model.insert(got.name().index());
+            } else {
+                let victim = *model.iter().nth((step as usize) % model.len()).unwrap();
+                array.free(Name::new(victim));
+                model.remove(&victim);
+            }
+        }
+    }
+
+    /// The direct-map registry behaves like a set keyed by thread id and its
+    /// collect cost is the id space, independent of how many ids are active.
+    #[test]
+    fn direct_map_matches_set_semantics(
+        id_space in 1usize..128,
+        ops in proptest::collection::vec((any::<usize>(), any::<bool>()), 1..100),
+    ) {
+        let registry = DirectMapArray::new(id_space);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for (raw_id, register) in ops {
+            let id = raw_id % (id_space + 4); // occasionally out of range
+            if register {
+                match registry.register(id) {
+                    Ok(name) => {
+                        prop_assert_eq!(name.index(), id);
+                        prop_assert!(id < id_space);
+                        prop_assert!(model.insert(id));
+                    }
+                    Err(_) => prop_assert!(id >= id_space || model.contains(&id)),
+                }
+            } else {
+                match registry.deregister(id) {
+                    Ok(()) => prop_assert!(model.remove(&id)),
+                    Err(_) => prop_assert!(id >= id_space || !model.contains(&id)),
+                }
+            }
+            let collected: Vec<usize> =
+                registry.collect().into_iter().map(|n| n.index()).collect();
+            prop_assert_eq!(collected, model.iter().copied().collect::<Vec<_>>());
+            prop_assert_eq!(registry.occupancy().total_capacity(), id_space);
+        }
+    }
+
+    /// Probe accounting: on an empty flat array the first Get costs exactly
+    /// one probe for Random and LinearProbing, and `index + 1` probes for the
+    /// deterministic scan.
+    #[test]
+    fn probe_accounting_on_empty_arrays(seed in any::<u64>(), n in 1usize..64) {
+        for array in flat_algorithms(n, 2 * n) {
+            let mut rng = default_rng(seed);
+            let got = array.get(&mut rng);
+            if array.algorithm_name() == "LinearScan" {
+                prop_assert_eq!(got.probes() as usize, got.name().index() + 1);
+            } else {
+                prop_assert_eq!(got.probes(), 1, "{}", array.algorithm_name());
+            }
+            array.free(got.name());
+        }
+    }
+}

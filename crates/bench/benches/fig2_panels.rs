@@ -1,0 +1,111 @@
+//! Reproduces **Figure 2** of the paper: throughput, average number of
+//! trials, standard deviation of trials, and worst-case number of trials as a
+//! function of the thread count, for LevelArray, Random and LinearProbing.
+//!
+//! The paper runs each cell for 10 seconds on an 80-hardware-thread machine
+//! with `N = 1000 n` and `L = 2N` at 50 % pre-fill; this harness keeps the
+//! same workload *shape* but scales the volume so the whole figure regenerates
+//! in about a minute on a laptop.  Scale it up with environment variables:
+//!
+//! * `FIG2_THREADS` — comma-separated thread counts (default: 1,2,4 and the
+//!   host parallelism).
+//! * `FIG2_OPS` — measured Get+Free pairs per thread (default 200 000; the
+//!   paper's billion-operation claim corresponds to several hundred million —
+//!   set `FIG2_OPS=10000000` and a large thread list to approach it).
+//! * `FIG2_EMULATED` — slots held per thread, the paper's `N/n` (default 32).
+//! * `FIG2_PREFILL` — pre-fill fraction (default 0.5).
+
+use la_bench::{Algorithm, Cell, Table, WorkloadConfig};
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn thread_counts() -> Vec<usize> {
+    if let Ok(list) = std::env::var("FIG2_THREADS") {
+        let parsed: Vec<usize> = list
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .collect();
+        if !parsed.is_empty() {
+            return parsed;
+        }
+    }
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let mut counts = vec![1, 2, 4];
+    if !counts.contains(&host) {
+        counts.push(host);
+    }
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn main() {
+    // `cargo bench -- --test` style filter arguments are ignored; the harness
+    // always regenerates the whole figure.
+    let ops_per_thread: u64 = env_or("FIG2_OPS", 200_000);
+    let emulated: usize = env_or("FIG2_EMULATED", 32);
+    let prefill: f64 = env_or("FIG2_PREFILL", 0.5);
+    let threads = thread_counts();
+
+    println!("# Figure 2 — LevelArray vs Random vs LinearProbing");
+    println!(
+        "# workload: N/n = {emulated}, L = 2N, prefill = {:.0}%, {} measured ops/thread",
+        prefill * 100.0,
+        ops_per_thread
+    );
+    println!();
+
+    let mut throughput = Table::new(&["threads", "algorithm", "total ops", "ops/s"]);
+    let mut average = Table::new(&["threads", "algorithm", "avg trials"]);
+    let mut stddev = Table::new(&["threads", "algorithm", "stddev trials"]);
+    let mut worst = Table::new(&["threads", "algorithm", "worst (avg over threads)", "worst (absolute)"]);
+
+    for &n in &threads {
+        for algorithm in Algorithm::figure2_set() {
+            let config = WorkloadConfig {
+                threads: n,
+                emulated_per_thread: emulated,
+                space_factor: 2.0,
+                prefill,
+                target_ops_per_thread: ops_per_thread,
+                seed: 0xF16_2 + n as u64,
+            };
+            let result = la_bench::workload::run_workload(algorithm, &config);
+            throughput.push_row(vec![
+                n.into(),
+                result.algorithm.clone().into(),
+                result.total_ops.into(),
+                Cell::FloatPrec(result.throughput(), 0),
+            ]);
+            average.push_row(vec![
+                n.into(),
+                result.algorithm.clone().into(),
+                Cell::FloatPrec(result.stats.mean_probes(), 3),
+            ]);
+            stddev.push_row(vec![
+                n.into(),
+                result.algorithm.clone().into(),
+                Cell::FloatPrec(result.stats.stddev_probes(), 3),
+            ]);
+            worst.push_row(vec![
+                n.into(),
+                result.algorithm.clone().into(),
+                Cell::FloatPrec(result.mean_worst_case(), 2),
+                u64::from(result.absolute_worst_case()).into(),
+            ]);
+        }
+    }
+
+    println!("## Panel 1 — Throughput\n\n{}", throughput.to_markdown());
+    println!("## Panel 2 — Average number of trials\n\n{}", average.to_markdown());
+    println!("## Panel 3 — Standard deviation\n\n{}", stddev.to_markdown());
+    println!("## Panel 4 — Worst-case number of trials\n\n{}", worst.to_markdown());
+}

@@ -1,0 +1,83 @@
+//! Reproduces **Figure 3** of the paper: the self-healing property.
+//!
+//! The array starts in an unbalanced state (batch 0 a quarter full, batch 1
+//! half full — overcrowded), a typical register/deregister workload runs, and
+//! the per-batch fill is sampled every 4000 operations.  The paper's plot
+//! shows the distribution smoothly returning to the balanced profile within
+//! about 32 000 operations; the table printed here is the same data, one row
+//! per snapshot ("state" in the paper's axis labels).
+//!
+//! Environment variables:
+//!
+//! * `FIG3_N` — contention bound of the array (default 512).
+//! * `FIG3_OPS` — total operations (default 32 000, the paper's horizon).
+//! * `FIG3_SNAPSHOT` — operations between snapshots (default 4 000).
+//! * `FIG3_SEED` — RNG seed (default 3).
+
+use la_bench::{Cell, Table};
+use la_sim::{HealingExperiment, UnbalanceSpec};
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n: usize = env_or("FIG3_N", 512);
+    let total_ops: u64 = env_or("FIG3_OPS", 32_000);
+    let snapshot_every: u64 = env_or("FIG3_SNAPSHOT", 4_000);
+    let seed: u64 = env_or("FIG3_SEED", 3);
+
+    let experiment = HealingExperiment {
+        contention_bound: n,
+        workers: (n / 2).max(1),
+        total_ops,
+        snapshot_every,
+        spec: UnbalanceSpec::paper_figure3(),
+        seed,
+        ghost_release_probability: 0.5,
+    };
+    let report = experiment.run();
+
+    println!("# Figure 3 — Self-healing: per-batch fill over time");
+    println!(
+        "# n = {n}, initial skew = {{batch 0: 25%, batch 1: 50%}}, snapshot every {snapshot_every} ops"
+    );
+    println!(
+        "# initially balanced: {} | finally balanced: {} | ops until stably balanced: {}",
+        report.initially_balanced,
+        report.finally_balanced,
+        report
+            .ops_to_balance
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "never".to_string())
+    );
+    println!();
+
+    let batches = report
+        .samples
+        .first()
+        .map(|s| s.batch_fill.len())
+        .unwrap_or(0);
+    let mut header: Vec<String> = vec!["state (ops)".to_string(), "balanced".to_string()];
+    header.extend((0..batches).map(|b| format!("batch {b} fill")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut table = Table::new(&header_refs);
+    for sample in &report.samples {
+        let mut row: Vec<Cell> = vec![
+            sample.ops_completed.into(),
+            if sample.fully_balanced { "yes" } else { "no" }.into(),
+        ];
+        row.extend(
+            sample
+                .batch_fill
+                .iter()
+                .map(|&f| Cell::FloatPrec(f, 3)),
+        );
+        table.push_row(row);
+    }
+    println!("{}", table.to_markdown());
+}

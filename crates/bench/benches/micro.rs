@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks: per-operation costs of the activity arrays and
+//! of the applications built on top of them.
+//!
+//! These complement the figure harnesses: Figure 2 measures end-to-end
+//! workload behaviour, while these benches isolate the latency of a single
+//! `Get`+`Free` pair, a `Collect`, and the application fast paths
+//! (reclamation pin/unpin, flat-combining operations, reader registration) at
+//! a fixed occupancy.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use la_baselines::{LinearProbingArray, LinearScanArray, RandomArray};
+use la_coordination::ReaderRegistry;
+use la_flatcombine::FcCounter;
+use la_reclaim::{ReclaimDomain, TreiberStack};
+use larng::default_rng;
+use levelarray::{ActivityArray, LevelArray, LevelArrayConfig, Name, TasKind};
+
+/// Occupies `fraction` of the structure's contention bound and returns the
+/// held names so the benchmark runs at a realistic load.
+fn prefill(array: &dyn ActivityArray, fraction: f64, seed: u64) -> Vec<Name> {
+    let mut rng = default_rng(seed);
+    let target = ((array.max_participants() as f64) * fraction) as usize;
+    (0..target).map(|_| array.get(&mut rng).name()).collect()
+}
+
+fn bench_get_free(c: &mut Criterion) {
+    let n = 256;
+    let mut group = c.benchmark_group("get_free_50pct");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(30);
+
+    let arrays: Vec<(&str, Box<dyn ActivityArray>)> = vec![
+        ("LevelArray", Box::new(LevelArray::new(n))),
+        (
+            "LevelArray-swap",
+            Box::new(LevelArrayConfig::new(n).tas_kind(TasKind::Swap).build().unwrap()),
+        ),
+        ("Random", Box::new(RandomArray::new(n))),
+        ("LinearProbing", Box::new(LinearProbingArray::new(n))),
+        ("LinearScan", Box::new(LinearScanArray::new(n))),
+    ];
+    for (label, array) in &arrays {
+        let _held = prefill(array.as_ref(), 0.5, 1);
+        let mut rng = default_rng(2);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let got = array.get(&mut rng);
+                array.free(got.name());
+                got.probes()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_collect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collect");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(30);
+    for n in [64usize, 256, 1024] {
+        let array = LevelArray::new(n);
+        let _held = prefill(&array, 0.5, 3);
+        group.bench_with_input(BenchmarkId::new("LevelArray", n), &n, |b, _| {
+            b.iter(|| array.collect().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_applications(c: &mut Criterion) {
+    let mut group = c.benchmark_group("applications");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(30);
+
+    // Memory reclamation: pin/unpin plus one push/pop cycle.
+    {
+        let domain = Arc::new(ReclaimDomain::new(Arc::new(LevelArray::new(64))));
+        let stack = TreiberStack::new(Arc::clone(&domain));
+        let mut rng = default_rng(4);
+        let mut i = 0u64;
+        group.bench_function("reclaim_push_pop", |b| {
+            b.iter(|| {
+                stack.push(i, &mut rng);
+                i += 1;
+                let popped = stack.pop(&mut rng);
+                if i % 1024 == 0 {
+                    domain.try_reclaim();
+                }
+                popped
+            })
+        });
+        domain.try_reclaim();
+    }
+
+    // Flat combining: uncontended fetch_add through the combiner.
+    {
+        let counter = FcCounter::new(Arc::new(LevelArray::new(64)));
+        let mut rng = default_rng(5);
+        let session = counter.join(&mut rng);
+        group.bench_function("flatcombine_fetch_add", |b| b.iter(|| session.fetch_add(1)));
+    }
+
+    // Reader registry: enter/exit a read-side critical section.
+    {
+        let registry = ReaderRegistry::new(Arc::new(LevelArray::new(64)));
+        let mut rng = default_rng(6);
+        group.bench_function("reader_registry_enter_exit", |b| {
+            b.iter(|| {
+                let guard = registry.enter(&mut rng);
+                guard.probes()
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_get_free, bench_collect, bench_applications);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Reproduces the parameter sweeps described in the text of the paper's §6
+//! (and the ablations called out in DESIGN.md §7):
+//!
+//! 1. **Pre-fill sweep** — the paper states the Figure-2 results hold for
+//!    pre-fill percentages between 0 % and 90 %.
+//! 2. **Array-size sweep** — likewise for `L` between `2N` and `4N`.
+//! 3. **Deterministic comparison** — the left-to-right LinearScan is "at least
+//!    two orders of magnitude worse ... on all measures" and is therefore left
+//!    off the paper's graphs; this harness includes it so the claim can be
+//!    checked.
+//! 4. **Ablations** — probes-per-batch (`c_i`) and the TAS primitive
+//!    (`compare_exchange` vs `swap`), which the paper discusses qualitatively.
+//!
+//! Environment variables: `SWEEP_THREADS` (default: min(4, host)),
+//! `SWEEP_OPS` (default 50 000 measured ops/thread), `SWEEP_EMULATED`
+//! (default 32).
+
+use la_bench::{Algorithm, Cell, Table, WorkloadConfig};
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn result_row(result: &la_bench::WorkloadResult, extra: Vec<Cell>) -> Vec<Cell> {
+    let mut row = extra;
+    row.extend([
+        Cell::FloatPrec(result.throughput(), 0),
+        Cell::FloatPrec(result.stats.mean_probes(), 3),
+        Cell::FloatPrec(result.stats.stddev_probes(), 3),
+        Cell::FloatPrec(result.mean_worst_case(), 2),
+        u64::from(result.absolute_worst_case()).into(),
+    ]);
+    row
+}
+
+const METRIC_COLUMNS: [&str; 5] = [
+    "ops/s",
+    "avg trials",
+    "stddev",
+    "worst (avg)",
+    "worst (abs)",
+];
+
+fn main() {
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let threads: usize = env_or("SWEEP_THREADS", host.min(4));
+    let ops: u64 = env_or("SWEEP_OPS", 50_000);
+    let emulated: usize = env_or("SWEEP_EMULATED", 32);
+
+    let base = WorkloadConfig {
+        threads,
+        emulated_per_thread: emulated,
+        space_factor: 2.0,
+        prefill: 0.5,
+        target_ops_per_thread: ops,
+        seed: 0x5EEB,
+    };
+
+    println!("# §6 sweeps and ablations (threads = {threads}, N/n = {emulated}, {ops} ops/thread)");
+    println!();
+
+    // 1. Pre-fill sweep.
+    let mut header = vec!["prefill %", "algorithm"];
+    header.extend(METRIC_COLUMNS);
+    let mut prefill_table = Table::new(&header);
+    for prefill in [0.0, 0.25, 0.5, 0.75, 0.9] {
+        for algorithm in Algorithm::figure2_set() {
+            let config = WorkloadConfig {
+                prefill,
+                ..base.clone()
+            };
+            let result = la_bench::workload::run_workload(algorithm, &config);
+            prefill_table.push_row(result_row(
+                &result,
+                vec![
+                    Cell::FloatPrec(prefill * 100.0, 0),
+                    result.algorithm.clone().into(),
+                ],
+            ));
+        }
+    }
+    println!("## Pre-fill sweep (SWEEP-PREFILL)\n\n{}", prefill_table.to_markdown());
+
+    // 2. Array-size sweep (L/N).
+    let mut header = vec!["L/N", "algorithm"];
+    header.extend(METRIC_COLUMNS);
+    let mut size_table = Table::new(&header);
+    for space_factor in [2.0, 3.0, 4.0] {
+        for algorithm in Algorithm::figure2_set() {
+            let config = WorkloadConfig {
+                space_factor,
+                ..base.clone()
+            };
+            let result = la_bench::workload::run_workload(algorithm, &config);
+            size_table.push_row(result_row(
+                &result,
+                vec![
+                    Cell::FloatPrec(space_factor, 1),
+                    result.algorithm.clone().into(),
+                ],
+            ));
+        }
+    }
+    println!("## Array-size sweep (SWEEP-PREFILL, L ∈ [2N, 4N])\n\n{}", size_table.to_markdown());
+
+    // 3. Deterministic comparison (TAB-DETERMINISTIC).
+    let mut header = vec!["algorithm"];
+    header.extend(METRIC_COLUMNS);
+    let mut det_table = Table::new(&header);
+    let det_config = WorkloadConfig {
+        // The deterministic scan is O(held) per Get, so keep the cell small
+        // enough to finish while still showing the gap.
+        target_ops_per_thread: (ops / 5).max(1_000),
+        ..base.clone()
+    };
+    for algorithm in [
+        Algorithm::LevelArray,
+        Algorithm::Random,
+        Algorithm::LinearProbing,
+        Algorithm::LinearScan,
+    ] {
+        let result = la_bench::workload::run_workload(algorithm, &det_config);
+        det_table.push_row(result_row(&result, vec![result.algorithm.clone().into()]));
+    }
+    println!(
+        "## Deterministic LinearScan comparison (TAB-DETERMINISTIC)\n\n{}",
+        det_table.to_markdown()
+    );
+
+    // 4. Ablations: probes per batch and TAS primitive.
+    let mut header = vec!["variant"];
+    header.extend(METRIC_COLUMNS);
+    let mut ablation_table = Table::new(&header);
+    for algorithm in [
+        Algorithm::LevelArray,
+        Algorithm::LevelArrayProbes(2),
+        Algorithm::LevelArrayProbes(4),
+        Algorithm::LevelArrayProbes(16),
+        Algorithm::LevelArraySwapTas,
+    ] {
+        let result = la_bench::workload::run_workload(algorithm, &base);
+        ablation_table.push_row(result_row(&result, vec![result.algorithm.clone().into()]));
+    }
+    println!("## LevelArray ablations (DESIGN.md §7)\n\n{}", ablation_table.to_markdown());
+}

@@ -1,0 +1,26 @@
+//! # la-bench — the benchmark harness of the LevelArray reproduction
+//!
+//! This crate contains the *library* pieces of the harness (workload
+//! description, multi-threaded runner, result formatting); the runnable
+//! targets live under `benches/` so that `cargo bench --workspace` regenerates
+//! every figure of the paper's evaluation section:
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `fig2_panels` | Figure 2: throughput, average trials, standard deviation, worst case vs. thread count for LevelArray / Random / LinearProbing |
+//! | `fig3_healing` | Figure 3: per-batch fill over time starting from an unbalanced state |
+//! | `sweeps` | §6 text: pre-fill 0–90 %, L/N ∈ [2,4], the deterministic LinearScan comparison, probe-count and TAS ablations |
+//! | `micro` | Criterion micro-benchmarks: per-operation Get/Free/Collect cost, application overheads |
+//!
+//! Every target accepts environment variables to scale the run (see each
+//! target's module docs); the defaults are sized so that the whole suite
+//! completes in a few minutes on a laptop.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod report;
+pub mod workload;
+
+pub use report::{format_markdown_table, Cell, Table};
+pub use workload::{Algorithm, WorkloadConfig, WorkloadResult};

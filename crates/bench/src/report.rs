@@ -1,0 +1,211 @@
+//! Plain-text table formatting for the figure harnesses.
+//!
+//! The harness prints Markdown-flavoured tables (and TSV on request) so that
+//! EXPERIMENTS.md can embed the output verbatim and successive runs can be
+//! diffed textually — no plotting dependencies required.
+
+use std::fmt::Write as _;
+
+/// A single table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A label.
+    Text(String),
+    /// An integer quantity.
+    Int(u64),
+    /// A real quantity printed with two decimals.
+    Float(f64),
+    /// A real quantity printed with a given number of decimals.
+    FloatPrec(f64, usize),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v) => format!("{v:.2}"),
+            Cell::FloatPrec(v, p) => format!("{:.*}", *p, *v),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as u64)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Float(v)
+    }
+}
+
+/// A simple rectangular table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        format_markdown_table(&self.header, &self.rows)
+    }
+
+    /// Renders the table as tab-separated values (header included).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join("\t"));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Cell::render).collect();
+            let _ = writeln!(out, "{}", cells.join("\t"));
+        }
+        out
+    }
+}
+
+/// Renders a Markdown table with aligned columns.
+pub fn format_markdown_table(header: &[String], rows: &[Vec<Cell>]) -> String {
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| row.iter().map(Cell::render).collect())
+        .collect();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let pad = |s: &str, w: usize| format!("{s:<w$}");
+    let _ = writeln!(
+        out,
+        "| {} |",
+        header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| pad(h, widths[i]))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
+    let _ = writeln!(
+        out,
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in &rendered {
+        let _ = writeln!(
+            out,
+            "| {} |",
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| pad(c, widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_is_aligned_and_complete() {
+        let mut table = Table::new(&["algorithm", "ops", "mean"]);
+        table.push_row(vec!["LevelArray".into(), 1000u64.into(), 1.75f64.into()]);
+        table.push_row(vec!["Random".into(), 999u64.into(), Cell::FloatPrec(1.5, 3)]);
+        let md = table.to_markdown();
+        assert!(md.contains("| algorithm"));
+        assert!(md.contains("| LevelArray | 1000 | 1.75"));
+        assert!(md.contains("1.500"));
+        assert_eq!(md.lines().count(), 4);
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn tsv_rendering() {
+        let mut table = Table::new(&["a", "b"]);
+        table.push_row(vec![1u64.into(), 2.5f64.into()]);
+        let tsv = table.to_tsv();
+        assert_eq!(tsv, "a\tb\n1\t2.50\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut table = Table::new(&["a", "b"]);
+        table.push_row(vec![1u64.into()]);
+    }
+
+    #[test]
+    fn cell_conversions() {
+        assert_eq!(Cell::from("x"), Cell::Text("x".to_string()));
+        assert_eq!(Cell::from(3usize), Cell::Int(3));
+        assert_eq!(Cell::from(2.0f64).render(), "2.00");
+        assert_eq!(Cell::FloatPrec(2.0, 4).render(), "2.0000");
+    }
+}

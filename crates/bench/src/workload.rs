@@ -1,0 +1,359 @@
+//! The multi-threaded register/deregister workload of the paper's §6.
+//!
+//! Parameters mirror the paper's methodology:
+//!
+//! * `threads` (the paper's `n`) — OS threads spawned.
+//! * `emulated_per_thread` (the paper's `N/n`) — how many slots each thread
+//!   holds at once, emulating `N = threads * emulated_per_thread` logical
+//!   participants.
+//! * `space_factor` (the paper's `L/N`) — slots per logical participant,
+//!   swept over `[2, 4]` in the paper.
+//! * `prefill` — fraction of each thread's quota registered up front and held
+//!   for the whole run, so the measured traffic executes on a loaded array.
+//! * `target_ops_per_thread` — how many Get+Free operations each thread
+//!   performs in its main loop (the paper runs for a fixed wall-clock time;
+//!   a fixed operation count keeps runs reproducible and CI-friendly, and the
+//!   runner reports elapsed time so throughput is still meaningful).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use la_baselines::{LinearProbingArray, LinearScanArray, RandomArray};
+use larng::{default_rng, SeedSequence};
+use levelarray::{ActivityArray, GetStats, LevelArrayConfig, ProbePolicy, TasKind};
+
+/// Which algorithm a workload run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The paper's contribution with its default configuration.
+    LevelArray,
+    /// LevelArray with `c_i` probes per batch (ablation).
+    LevelArrayProbes(u32),
+    /// LevelArray using `swap` instead of `compare_exchange` (ablation).
+    LevelArraySwapTas,
+    /// Uniform random probing over a flat array.
+    Random,
+    /// Linear probing from a random start.
+    LinearProbing,
+    /// Deterministic left-to-right scan.
+    LinearScan,
+}
+
+impl Algorithm {
+    /// The label used in tables (matches the paper's legend).
+    pub fn label(&self) -> String {
+        match self {
+            Algorithm::LevelArray => "LevelArray".to_string(),
+            Algorithm::LevelArrayProbes(c) => format!("LevelArray(c={c})"),
+            Algorithm::LevelArraySwapTas => "LevelArray(swap)".to_string(),
+            Algorithm::Random => "Random".to_string(),
+            Algorithm::LinearProbing => "LinearProbing".to_string(),
+            Algorithm::LinearScan => "LinearScan".to_string(),
+        }
+    }
+
+    /// The three algorithms plotted in Figure 2.
+    pub fn figure2_set() -> Vec<Algorithm> {
+        vec![Algorithm::LevelArray, Algorithm::Random, Algorithm::LinearProbing]
+    }
+
+    /// Builds an instance sized for `capacity_for` simultaneously held slots
+    /// with `space_factor` slots per holder.
+    pub fn build(&self, capacity_for: usize, space_factor: f64) -> Arc<dyn ActivityArray> {
+        let slots = ((capacity_for as f64) * space_factor).ceil() as usize;
+        match self {
+            Algorithm::LevelArray => Arc::new(
+                LevelArrayConfig::new(capacity_for)
+                    .space_factor(space_factor)
+                    .build()
+                    .expect("valid configuration"),
+            ),
+            Algorithm::LevelArrayProbes(c) => Arc::new(
+                LevelArrayConfig::new(capacity_for)
+                    .space_factor(space_factor)
+                    .probe_policy(ProbePolicy::Uniform(*c))
+                    .build()
+                    .expect("valid configuration"),
+            ),
+            Algorithm::LevelArraySwapTas => Arc::new(
+                LevelArrayConfig::new(capacity_for)
+                    .space_factor(space_factor)
+                    .tas_kind(TasKind::Swap)
+                    .build()
+                    .expect("valid configuration"),
+            ),
+            Algorithm::Random => Arc::new(RandomArray::with_slots(capacity_for, slots)),
+            Algorithm::LinearProbing => {
+                Arc::new(LinearProbingArray::with_slots(capacity_for, slots))
+            }
+            Algorithm::LinearScan => Arc::new(LinearScanArray::with_slots(capacity_for, slots)),
+        }
+    }
+}
+
+/// Parameters of one workload cell (one point of one panel of Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of OS threads (the paper's `n`, x-axis of Figure 2).
+    pub threads: usize,
+    /// Slots each thread holds at once (the paper's `N/n`; the paper uses
+    /// `N = 1000 n`, which is far more slots than a laptop needs — the shape
+    /// of the results is insensitive to this as long as it is ≥ 1).
+    pub emulated_per_thread: usize,
+    /// Array slots per logical participant (the paper's `L/N ∈ [2, 4]`).
+    pub space_factor: f64,
+    /// Fraction of each thread's quota registered up front and never freed.
+    pub prefill: f64,
+    /// Get+Free operations each thread performs in its measured main loop.
+    pub target_ops_per_thread: u64,
+    /// Master seed for all per-thread generators.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            threads: 4,
+            emulated_per_thread: 8,
+            space_factor: 2.0,
+            prefill: 0.5,
+            target_ops_per_thread: 100_000,
+            seed: 0xB0B0,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// The total number of logical participants `N = threads * N/n`.
+    pub fn logical_participants(&self) -> usize {
+        self.threads * self.emulated_per_thread
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is out of range (zero threads/quota, space
+    /// factor below 1, pre-fill outside `[0, 1)`).
+    pub fn validate(&self) {
+        assert!(self.threads > 0, "need at least one thread");
+        assert!(self.emulated_per_thread > 0, "need a positive per-thread quota");
+        assert!(
+            self.space_factor >= 1.0 && self.space_factor.is_finite(),
+            "space factor must be >= 1"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.prefill),
+            "prefill must be in [0, 1), got {}",
+            self.prefill
+        );
+    }
+}
+
+/// The outcome of one workload cell.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// The algorithm exercised.
+    pub algorithm: String,
+    /// The configuration used.
+    pub config: WorkloadConfig,
+    /// Wall-clock time of the measured main loop.
+    pub elapsed: Duration,
+    /// Total Get+Free operations completed across all threads.
+    pub total_ops: u64,
+    /// Merged probe statistics over every measured Get.
+    pub stats: GetStats,
+    /// Per-thread worst-case probe counts (the paper averages these for the
+    /// "worst case" panel to damp outlier executions).
+    pub per_thread_max: Vec<u32>,
+}
+
+impl WorkloadResult {
+    /// Operations per second over the measured loop.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            self.total_ops as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// The paper's "worst case" metric: the per-thread maxima averaged over
+    /// threads.
+    pub fn mean_worst_case(&self) -> f64 {
+        if self.per_thread_max.is_empty() {
+            0.0
+        } else {
+            self.per_thread_max.iter().map(|&m| m as f64).sum::<f64>()
+                / self.per_thread_max.len() as f64
+        }
+    }
+
+    /// The absolute worst case over every operation of every thread.
+    pub fn absolute_worst_case(&self) -> u32 {
+        self.stats.max_probes()
+    }
+}
+
+/// Runs one workload cell: `config.threads` threads hammering one shared
+/// instance of `algorithm`.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`WorkloadConfig::validate`]).
+pub fn run_workload(algorithm: Algorithm, config: &WorkloadConfig) -> WorkloadResult {
+    config.validate();
+    let capacity_for = config.logical_participants();
+    let array = algorithm.build(capacity_for, config.space_factor);
+    let mut seeds = SeedSequence::new(config.seed);
+
+    let quota = config.emulated_per_thread;
+    let prefill_count = ((quota as f64) * config.prefill).floor() as usize;
+    let churn = (quota - prefill_count).max(1);
+
+    let mut per_thread_stats: Vec<GetStats> = Vec::with_capacity(config.threads);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.threads);
+        for _ in 0..config.threads {
+            let array = Arc::clone(&array);
+            let seed = seeds.next_seed();
+            let target = config.target_ops_per_thread;
+            handles.push(scope.spawn(move || {
+                let mut rng = default_rng(seed);
+                let mut stats = GetStats::new();
+
+                // Pre-fill: register and hold (not measured).
+                let held: Vec<_> = (0..prefill_count)
+                    .map(|_| array.get(&mut rng).name())
+                    .collect();
+
+                // Main loop: churn the remaining quota.
+                let mut ops = 0u64;
+                let mut churned = Vec::with_capacity(churn);
+                while ops < target {
+                    for _ in 0..churn {
+                        let got = array.get(&mut rng);
+                        stats.record(&got);
+                        churned.push(got.name());
+                        ops += 1;
+                    }
+                    for name in churned.drain(..) {
+                        array.free(name);
+                        ops += 1;
+                    }
+                }
+
+                // Tear down the pre-fill so the array is reusable.
+                for name in held {
+                    array.free(name);
+                }
+                stats
+            }));
+        }
+        for handle in handles {
+            per_thread_stats.push(handle.join().expect("worker panicked"));
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let mut merged = GetStats::new();
+    let mut per_thread_max = Vec::with_capacity(per_thread_stats.len());
+    for stats in &per_thread_stats {
+        merged.merge(stats);
+        per_thread_max.push(stats.max_probes());
+    }
+    let total_ops = merged.operations() * 2; // every measured Get has a Free
+
+    WorkloadResult {
+        algorithm: algorithm.label(),
+        config: config.clone(),
+        elapsed,
+        total_ops,
+        stats: merged,
+        per_thread_max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 2,
+            emulated_per_thread: 4,
+            space_factor: 2.0,
+            prefill: 0.5,
+            target_ops_per_thread: 2_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn every_algorithm_completes_the_workload() {
+        for algorithm in [
+            Algorithm::LevelArray,
+            Algorithm::LevelArrayProbes(2),
+            Algorithm::LevelArraySwapTas,
+            Algorithm::Random,
+            Algorithm::LinearProbing,
+            Algorithm::LinearScan,
+        ] {
+            let result = run_workload(algorithm, &small_config());
+            assert!(result.total_ops >= 2 * 2_000, "{}", result.algorithm);
+            assert!(result.stats.mean_probes() >= 1.0, "{}", result.algorithm);
+            assert!(result.throughput() > 0.0, "{}", result.algorithm);
+            assert_eq!(result.per_thread_max.len(), 2);
+            assert!(result.mean_worst_case() >= 1.0);
+            assert!(result.absolute_worst_case() >= 1);
+        }
+    }
+
+    #[test]
+    fn levelarray_beats_baselines_on_worst_case_at_high_prefill() {
+        // The paper's headline qualitative result: under load the LevelArray's
+        // worst case is far below Random / LinearProbing.  Use a high pre-fill
+        // to make the contrast visible even in a quick test.
+        let config = WorkloadConfig {
+            threads: 2,
+            emulated_per_thread: 64,
+            space_factor: 2.0,
+            prefill: 0.9,
+            target_ops_per_thread: 20_000,
+            seed: 13,
+        };
+        let level = run_workload(Algorithm::LevelArray, &config);
+        let random = run_workload(Algorithm::Random, &config);
+        let linear = run_workload(Algorithm::LinearProbing, &config);
+        assert!(
+            level.absolute_worst_case() < random.absolute_worst_case(),
+            "LevelArray {} vs Random {}",
+            level.absolute_worst_case(),
+            random.absolute_worst_case()
+        );
+        assert!(
+            level.absolute_worst_case() < linear.absolute_worst_case(),
+            "LevelArray {} vs LinearProbing {}",
+            level.absolute_worst_case(),
+            linear.absolute_worst_case()
+        );
+    }
+
+    #[test]
+    fn logical_participants_and_labels() {
+        let c = small_config();
+        assert_eq!(c.logical_participants(), 8);
+        assert_eq!(Algorithm::LevelArray.label(), "LevelArray");
+        assert_eq!(Algorithm::LevelArrayProbes(3).label(), "LevelArray(c=3)");
+        assert_eq!(Algorithm::figure2_set().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefill must be in [0, 1)")]
+    fn invalid_prefill_rejected() {
+        let mut c = small_config();
+        c.prefill = 1.0;
+        run_workload(Algorithm::LevelArray, &c);
+    }
+}

@@ -1,0 +1,38 @@
+//! # la-coordination — barriers and reader registries over an activity array
+//!
+//! Two more of the coordination patterns the LevelArray paper lists as users
+//! of fast registration (§1):
+//!
+//! * [`DynamicBarrier`] — a phase barrier whose participant set changes at
+//!   run time: threads join (register) and leave (deregister) between phases,
+//!   and each phase completes when every *currently registered* participant
+//!   has arrived.  The arrival check enumerates participants with `Collect`.
+//! * [`ReaderRegistry`] — an STM-style read indicator: readers register while
+//!   they are inside a read-side critical section; a writer that wants to make
+//!   its update visible waits until a `Collect` shows that every reader that
+//!   was present when it started has left (the conflict-detection pattern of
+//!   the paper's STM references [3, 16]).
+//!
+//! ```
+//! use la_coordination::ReaderRegistry;
+//! use levelarray::LevelArray;
+//! use larng::default_rng;
+//! use std::sync::Arc;
+//!
+//! let registry = ReaderRegistry::new(Arc::new(LevelArray::new(8)));
+//! let mut rng = default_rng(1);
+//! {
+//!     let _read = registry.enter(&mut rng);
+//!     assert_eq!(registry.active_readers(), 1);
+//! }
+//! assert!(registry.is_quiescent());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod barrier;
+pub mod readers;
+
+pub use barrier::{BarrierMember, DynamicBarrier};
+pub use readers::{ReadGuard, ReaderRegistry};

@@ -1,0 +1,325 @@
+//! The generic flat-combining engine.
+//!
+//! # How it works
+//!
+//! The engine owns a sequential structure `S` behind a mutex (the *combiner
+//! lock*), an activity array, and one publication record per activity-array
+//! slot.  A thread using the structure first **joins** ([`FlatCombining::join`]),
+//! acquiring a slot (`Get`) whose publication record becomes its mailbox; it
+//! **leaves** by dropping the [`Session`] (`Free`).
+//!
+//! To execute an operation the session writes the operation into its record,
+//! marks it `PENDING`, and then either becomes the combiner (if it wins the
+//! lock) or spins until its record is marked `DONE`.  The combiner walks the
+//! records of every registered slot (`Collect`), applies each pending
+//! operation to the sequential structure, deposits the result, and marks the
+//! record `DONE`.
+//!
+//! # Memory-ordering argument
+//!
+//! A record's `op` and `result` cells are plain `UnsafeCell`s synchronized by
+//! the record's `state` atomic: the owner writes `op` *before* the release
+//! store of `PENDING`; the combiner's acquire load of `PENDING` therefore sees
+//! the operation, and its release store of `DONE` publishes the result it
+//! wrote, which the owner picks up with an acquire load.  Only one combiner
+//! runs at a time (mutex), and the owner never touches the record between
+//! `PENDING` and `DONE`.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+use larng::RandomSource;
+use levelarray::{ActivityArray, Name};
+
+const EMPTY: u32 = 0;
+const PENDING: u32 = 1;
+const DONE: u32 = 2;
+
+struct Record<Op, R> {
+    state: AtomicU32,
+    op: UnsafeCell<Option<Op>>,
+    result: UnsafeCell<Option<R>>,
+}
+
+impl<Op, R> Record<Op, R> {
+    fn new() -> Self {
+        Record {
+            state: AtomicU32::new(EMPTY),
+            op: UnsafeCell::new(None),
+            result: UnsafeCell::new(None),
+        }
+    }
+}
+
+// SAFETY: access to the UnsafeCells is serialized by the `state` protocol
+// described in the module docs; Op and R cross threads, hence the Send bounds.
+unsafe impl<Op: Send, R: Send> Sync for Record<Op, R> {}
+
+impl<Op, R> std::fmt::Debug for Record<Op, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Record")
+            .field("state", &self.state.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A concurrent object built by flat-combining a sequential structure `S`.
+///
+/// `apply` is the sequential semantics: it receives exclusive access to `S`
+/// and one operation, and returns that operation's result.
+pub struct FlatCombining<S, Op, R> {
+    registry: Arc<dyn ActivityArray>,
+    records: Box<[Record<Op, R>]>,
+    sequential: Mutex<S>,
+    apply: fn(&mut S, Op) -> R,
+    combines: AtomicU32,
+}
+
+impl<S, Op, R> std::fmt::Debug for FlatCombining<S, Op, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatCombining")
+            .field("slots", &self.records.len())
+            .field("combines", &self.combines.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<S, Op, R> FlatCombining<S, Op, R>
+where
+    S: Send,
+    Op: Send,
+    R: Send,
+{
+    /// Creates a combining structure around `sequential`, using `registry` to
+    /// manage publication slots and `apply` as the sequential semantics.
+    pub fn new(registry: Arc<dyn ActivityArray>, sequential: S, apply: fn(&mut S, Op) -> R) -> Self {
+        let records = (0..registry.capacity()).map(|_| Record::new()).collect();
+        FlatCombining {
+            registry,
+            records,
+            sequential: Mutex::new(sequential),
+            apply,
+            combines: AtomicU32::new(0),
+        }
+    }
+
+    /// Registers the calling thread as a participant, claiming a publication
+    /// slot through the activity array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activity array is exhausted (more simultaneous
+    /// participants than its contention bound).
+    pub fn join(&self, rng: &mut dyn RandomSource) -> Session<'_, S, Op, R> {
+        let acquired = self.registry.get(rng);
+        Session {
+            fc: self,
+            slot: acquired.name(),
+        }
+    }
+
+    /// Number of combining passes performed so far (for tests/benchmarks).
+    pub fn combine_passes(&self) -> u32 {
+        self.combines.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` with exclusive access to the sequential structure, applying no
+    /// operation.  Useful for reading aggregate state (e.g. a counter's value)
+    /// outside any session.
+    pub fn with_sequential<T>(&self, f: impl FnOnce(&S) -> T) -> T {
+        let guard = self.sequential.lock().expect("combiner lock poisoned");
+        f(&guard)
+    }
+
+    /// The activity array managing the publication slots.
+    pub fn registry(&self) -> &dyn ActivityArray {
+        self.registry.as_ref()
+    }
+
+    fn execute(&self, slot: Name, op: Op) -> R {
+        let record = &self.records[slot.index()];
+        // Publish the operation.
+        // SAFETY: this thread owns `slot`, and the record is EMPTY or DONE
+        // (never PENDING) between its own operations, so no combiner is
+        // reading the cell right now.
+        unsafe { *record.op.get() = Some(op) };
+        record.state.store(PENDING, Ordering::Release);
+
+        loop {
+            // Fast path: our operation was already combined by someone else.
+            if record.state.load(Ordering::Acquire) == DONE {
+                break;
+            }
+            // Otherwise try to become the combiner.
+            if let Ok(mut seq) = self.sequential.try_lock() {
+                self.combine(&mut seq);
+                // Our own record was registered, so it is DONE now.
+                debug_assert_eq!(record.state.load(Ordering::Acquire), DONE);
+                break;
+            }
+            // Someone else is combining; give them the CPU.  Yielding (rather
+            // than pure spinning) keeps the engine live on oversubscribed
+            // machines, where the combiner may have been preempted.
+            std::thread::yield_now();
+        }
+
+        record.state.store(EMPTY, Ordering::Relaxed);
+        // SAFETY: the DONE acquire load above synchronizes with the combiner's
+        // release store, making its write to `result` visible; no combiner can
+        // touch the record again until we re-publish.
+        unsafe { (*record.result.get()).take() }.expect("combiner must deposit a result")
+    }
+
+    fn combine(&self, seq: &mut S) {
+        self.combines.fetch_add(1, Ordering::Relaxed);
+        for name in self.registry.collect() {
+            let record = &self.records[name.index()];
+            if record.state.load(Ordering::Acquire) == PENDING {
+                // SAFETY: the PENDING acquire load synchronizes with the
+                // owner's release store, so the operation is visible; the
+                // owner will not touch the cells until we store DONE.
+                let op = unsafe { (*record.op.get()).take() }.expect("pending record has an op");
+                let result = (self.apply)(seq, op);
+                unsafe { *record.result.get() = Some(result) };
+                record.state.store(DONE, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// A participant's handle: owns a publication slot until dropped.
+pub struct Session<'a, S, Op, R> {
+    fc: &'a FlatCombining<S, Op, R>,
+    slot: Name,
+}
+
+impl<S, Op, R> std::fmt::Debug for Session<'_, S, Op, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("slot", &self.slot).finish()
+    }
+}
+
+impl<S, Op, R> Session<'_, S, Op, R>
+where
+    S: Send,
+    Op: Send,
+    R: Send,
+{
+    /// Executes one operation through the combiner and returns its result.
+    pub fn execute(&self, op: Op) -> R {
+        self.fc.execute(self.slot, op)
+    }
+
+    /// The publication slot this session occupies.
+    pub fn slot(&self) -> Name {
+        self.slot
+    }
+}
+
+impl<S, Op, R> Drop for Session<'_, S, Op, R> {
+    fn drop(&mut self) {
+        self.fc.registry.free(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use larng::default_rng;
+    use levelarray::LevelArray;
+
+    fn adder(seq: &mut u64, delta: u64) -> u64 {
+        let old = *seq;
+        *seq += delta;
+        old
+    }
+
+    fn engine(n: usize) -> FlatCombining<u64, u64, u64> {
+        FlatCombining::new(Arc::new(LevelArray::new(n)), 0, adder)
+    }
+
+    #[test]
+    fn single_thread_operations_apply_in_order() {
+        let fc = engine(4);
+        let mut rng = default_rng(1);
+        let session = fc.join(&mut rng);
+        assert_eq!(session.execute(5), 0);
+        assert_eq!(session.execute(7), 5);
+        assert_eq!(fc.with_sequential(|s| *s), 12);
+        assert!(fc.combine_passes() >= 2);
+    }
+
+    #[test]
+    fn sessions_claim_and_release_publication_slots() {
+        let registry = Arc::new(LevelArray::new(4));
+        let fc: FlatCombining<u64, u64, u64> =
+            FlatCombining::new(registry.clone() as Arc<dyn ActivityArray>, 0, adder);
+        let mut rng = default_rng(2);
+        {
+            let a = fc.join(&mut rng);
+            let b = fc.join(&mut rng);
+            assert_ne!(a.slot(), b.slot());
+            assert_eq!(registry.collect().len(), 2);
+        }
+        assert!(registry.collect().is_empty());
+    }
+
+    #[test]
+    fn concurrent_increments_are_all_applied_exactly_once() {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(2)
+            .clamp(2, 4);
+        let per_thread = 20_000u64;
+        let fc = Arc::new(engine(threads));
+
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let fc = Arc::clone(&fc);
+                scope.spawn(move || {
+                    let mut rng = default_rng(100 + t as u64);
+                    let session = fc.join(&mut rng);
+                    for _ in 0..per_thread {
+                        let _ = session.execute(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(fc.with_sequential(|s| *s), threads as u64 * per_thread);
+        assert!(fc.registry().collect().is_empty());
+    }
+
+    #[test]
+    fn results_are_returned_to_the_right_thread() {
+        // Each thread adds its own distinct constant; the returned "old value"
+        // sequence must be consistent with a serial order of the additions,
+        // and the final sum must equal the total.
+        let threads = 3;
+        let fc = Arc::new(engine(threads));
+        let per_thread = 2_000u64;
+        let sums: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let fc = Arc::clone(&fc);
+                    scope.spawn(move || {
+                        let mut rng = default_rng(200 + t as u64);
+                        let session = fc.join(&mut rng);
+                        let delta = t as u64 + 1;
+                        let mut olds = Vec::new();
+                        for _ in 0..per_thread {
+                            olds.push(session.execute(delta));
+                        }
+                        // Old values seen by one thread must be strictly
+                        // increasing (the counter never decreases).
+                        assert!(olds.windows(2).all(|w| w[0] < w[1]));
+                        delta * per_thread
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let expected: u64 = sums.iter().sum();
+        assert_eq!(fc.with_sequential(|s| *s), expected);
+    }
+}

@@ -1,0 +1,43 @@
+//! # la-flatcombine — flat combining over an activity array
+//!
+//! Flat combining (Hendler, Incze, Shavit, Tzafrir — SPAA 2010, reference [20]
+//! in the LevelArray paper) funnels the operations of many threads through a
+//! single *combiner*: each thread publishes its pending operation in a
+//! per-thread publication record and one thread — whoever grabs the combiner
+//! lock — applies all pending operations to a sequential data structure.
+//!
+//! The piece flat combining needs from this workspace is the *publication
+//! slot management*: a thread must claim a publication record when it starts
+//! using the structure and release it when it stops, and the combiner must be
+//! able to enumerate the active records — exactly the `Get`/`Free`/`Collect`
+//! interface of the activity array (the paper calls this use case out in §1).
+//!
+//! * [`FlatCombining`] — the generic engine: any sequential structure plus an
+//!   `apply` function becomes a concurrent one.
+//! * [`FcCounter`] — a combining counter (fetch-and-add).
+//! * [`FcQueue`] — a combining FIFO queue.
+//!
+//! ```
+//! use la_flatcombine::FcCounter;
+//! use levelarray::LevelArray;
+//! use larng::default_rng;
+//! use std::sync::Arc;
+//!
+//! let counter = FcCounter::new(Arc::new(LevelArray::new(4)));
+//! let mut rng = default_rng(1);
+//! let session = counter.join(&mut rng);
+//! assert_eq!(session.fetch_add(5), 0);
+//! assert_eq!(session.fetch_add(1), 5);
+//! assert_eq!(counter.load(), 6);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod counter;
+pub mod engine;
+pub mod queue;
+
+pub use counter::{CounterSession, FcCounter};
+pub use engine::{FlatCombining, Session};
+pub use queue::{FcQueue, QueueSession};

@@ -1,0 +1,178 @@
+//! Seed derivation utilities.
+//!
+//! Multi-threaded benchmarks need one generator per thread; deriving the
+//! per-thread seeds naively (`master + thread_id`) produces correlated streams
+//! for counter-based generators.  [`SeedSequence`] derives well-separated
+//! 64-bit seeds from a master seed by running SplitMix64, mirroring how the
+//! `rand` crate's `SeedableRng::seed_from_u64` whitens seeds — without taking
+//! on the dependency in the core crates.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::{RandomSource, SplitMix64};
+
+/// Derives a stream of decorrelated 64-bit seeds from one master seed.
+///
+/// # Examples
+///
+/// ```
+/// use larng::SeedSequence;
+/// let mut seq = SeedSequence::new(42);
+/// let a = seq.next_seed();
+/// let b = seq.next_seed();
+/// assert_ne!(a, b);
+///
+/// // Deriving per-thread generators:
+/// let rngs: Vec<_> = SeedSequence::new(42).take_rngs(8);
+/// assert_eq!(rngs.len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeedSequence {
+    inner: SplitMix64,
+    master: u64,
+    produced: usize,
+}
+
+impl SeedSequence {
+    /// Creates a sequence from a master seed.
+    pub fn new(master: u64) -> Self {
+        Self {
+            inner: SplitMix64::seed_from_u64(master ^ 0x5851_f42d_4c95_7f2d),
+            master,
+            produced: 0,
+        }
+    }
+
+    /// The master seed this sequence was created from.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// How many seeds have been produced so far.
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+
+    /// Produces the next derived seed.
+    pub fn next_seed(&mut self) -> u64 {
+        self.produced += 1;
+        self.inner.next_u64()
+    }
+
+    /// Produces the seed for a specific index without advancing the sequence.
+    ///
+    /// Always returns the same value for the same `(master, index)` pair, so
+    /// thread `i` of a benchmark can be re-run in isolation.
+    pub fn seed_for(&self, index: usize) -> u64 {
+        let mut probe = SplitMix64::seed_from_u64(self.master ^ 0x5851_f42d_4c95_7f2d);
+        let mut seed = 0;
+        for _ in 0..=index {
+            seed = probe.next_u64();
+        }
+        seed
+    }
+
+    /// Convenience: builds `count` default generators with consecutive derived
+    /// seeds, consuming the sequence.
+    pub fn take_rngs(mut self, count: usize) -> Vec<crate::DefaultRng> {
+        (0..count)
+            .map(|_| crate::default_rng(self.next_seed()))
+            .collect()
+    }
+}
+
+impl Iterator for SeedSequence {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_seed())
+    }
+}
+
+/// Returns a best-effort 64-bit entropy value without touching the OS RNG.
+///
+/// Mixes the wall clock (nanosecond resolution where available), the address
+/// of a stack local (ASLR), and the `RandomState` per-process hashing keys.
+/// Good enough to decorrelate benchmark runs; **not** cryptographic.
+pub fn entropy_seed() -> u64 {
+    let time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9e3779b97f4a7c15);
+
+    let stack_marker = 0u8;
+    let addr = &stack_marker as *const u8 as usize as u64;
+
+    // RandomState is seeded per-process from OS entropy; hashing a constant
+    // extracts some of that without needing the `getrandom` crate.
+    let mut hasher = RandomState::new().build_hasher();
+    hasher.write_u64(time);
+    hasher.write_u64(addr);
+    let hashed = hasher.finish();
+
+    SplitMix64::mix(time ^ addr.rotate_left(32) ^ hashed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sequence_is_deterministic() {
+        let a: Vec<u64> = SeedSequence::new(7).take(16).collect();
+        let b: Vec<u64> = SeedSequence::new(7).take(16).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sequence_has_no_early_duplicates() {
+        let seeds: HashSet<u64> = SeedSequence::new(1).take(10_000).collect();
+        assert_eq!(seeds.len(), 10_000);
+    }
+
+    #[test]
+    fn seed_for_matches_streaming_order() {
+        let seq = SeedSequence::new(99);
+        let streamed: Vec<u64> = SeedSequence::new(99).take(10).collect();
+        for (i, &s) in streamed.iter().enumerate() {
+            assert_eq!(seq.seed_for(i), s, "index {i}");
+        }
+    }
+
+    #[test]
+    fn different_masters_give_different_seeds() {
+        let a: Vec<u64> = SeedSequence::new(1).take(4).collect();
+        let b: Vec<u64> = SeedSequence::new(2).take(4).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn take_rngs_produces_distinct_generators() {
+        let mut rngs = SeedSequence::new(3).take_rngs(4);
+        let first: Vec<u64> = rngs.iter_mut().map(|r| r.next_u64()).collect();
+        let unique: HashSet<u64> = first.iter().copied().collect();
+        assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn produced_counter_tracks_draws() {
+        let mut seq = SeedSequence::new(5);
+        assert_eq!(seq.produced(), 0);
+        let _ = seq.next_seed();
+        let _ = seq.next_seed();
+        assert_eq!(seq.produced(), 2);
+        assert_eq!(seq.master(), 5);
+    }
+
+    #[test]
+    fn entropy_seed_varies_between_calls() {
+        // The wall clock and hasher make collisions overwhelmingly unlikely.
+        let a = entropy_seed();
+        let b = entropy_seed();
+        let c = entropy_seed();
+        assert!(a != b || b != c);
+    }
+}

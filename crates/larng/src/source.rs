@@ -1,0 +1,277 @@
+//! The [`RandomSource`] trait: the minimal random-number interface the
+//! algorithms in this workspace need.
+//!
+//! The trait is object-safe so that data structures can accept
+//! `&mut dyn RandomSource`, which keeps the activity-array APIs monomorphic and
+//! lets the simulator substitute scripted generators (see [`crate::mock`]).
+
+/// A stream of uniformly distributed 64-bit values plus derived helpers.
+///
+/// Implementors only need to provide [`next_u64`](RandomSource::next_u64); all
+/// derived draws (bounded integers, indices, booleans, unit floats) have
+/// default implementations that are unbiased (bounded draws use Lemire's
+/// widening-multiply rejection method).
+///
+/// # Examples
+///
+/// ```
+/// use larng::{RandomSource, SplitMix64};
+///
+/// let mut rng = SplitMix64::seed_from_u64(1);
+/// let die = rng.random(1, 6);
+/// assert!((1..=6).contains(&die));
+/// ```
+pub trait RandomSource {
+    /// Returns the next 64 bits from the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 bits from the stream.
+    ///
+    /// The default implementation uses the *high* half of
+    /// [`next_u64`](RandomSource::next_u64), which is the better half for
+    /// generators whose low bits are weaker (e.g. LCG-style generators).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniformly distributed value in `0..bound`.
+    ///
+    /// Uses Lemire's multiply-and-reject method, which is unbiased and almost
+    /// always needs a single draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below requires a non-zero bound");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            // Rejection threshold: (2^64 - bound) mod bound, computed without
+            // 128-bit division.
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed value in `lo..hi` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range requires lo < hi (got {lo}..{hi})");
+        lo + self.gen_below(hi - lo)
+    }
+
+    /// The paper's `random(1, v)` primitive: a uniformly distributed integer in
+    /// the **inclusive** range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    fn random(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "random requires lo <= hi (got {lo}..={hi})");
+        lo + self.gen_below(hi - lo + 1)
+    }
+
+    /// Returns a uniformly distributed index in `0..len`, for indexing slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    fn gen_index(&mut self, len: usize) -> usize {
+        self.gen_below(len as u64) as usize
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.gen_unit_f64() < p
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)` with 53 bits of
+    /// precision.
+    fn gen_unit_f64(&mut self) -> f64 {
+        // Take the top 53 bits; 2^-53 scaling yields [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fills `dest` with bytes from the stream.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    /// Performs an in-place Fisher–Yates shuffle of `slice`.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: RandomSource + ?Sized> RandomSource for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+impl<R: RandomSource + ?Sized> RandomSource for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn gen_below_respects_bound() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        for bound in [1u64, 2, 3, 7, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.gen_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_below_one_is_always_zero() {
+        let mut rng = SplitMix64::seed_from_u64(10);
+        for _ in 0..100 {
+            assert_eq!(rng.gen_below(1), 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values_eventually() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..8 should be drawn: {seen:?}");
+    }
+
+    #[test]
+    fn random_is_inclusive() {
+        let mut rng = SplitMix64::seed_from_u64(12);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..2000 {
+            let v = rng.random(1, 4);
+            assert!((1..=4).contains(&v));
+            saw_lo |= v == 1;
+            saw_hi |= v == 4;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn random_single_point_range() {
+        let mut rng = SplitMix64::seed_from_u64(13);
+        for _ in 0..10 {
+            assert_eq!(rng.random(5, 5), 5);
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = SplitMix64::seed_from_u64(14);
+        for _ in 0..1000 {
+            let x = rng.gen_unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SplitMix64::seed_from_u64(15);
+        for _ in 0..50 {
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SplitMix64::seed_from_u64(16);
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 33] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len} should have entropy");
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::seed_from_u64(17);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut rng = SplitMix64::seed_from_u64(18);
+        let dynrng: &mut dyn RandomSource = &mut rng;
+        assert!(dynrng.gen_below(10) < 10);
+    }
+
+    #[test]
+    fn boxed_source_usable() {
+        let mut boxed: Box<dyn RandomSource> = Box::new(SplitMix64::seed_from_u64(19));
+        assert!(boxed.gen_below(10) < 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero bound")]
+    fn gen_below_zero_panics() {
+        let mut rng = SplitMix64::seed_from_u64(20);
+        let _ = rng.gen_below(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn gen_range_empty_panics() {
+        let mut rng = SplitMix64::seed_from_u64(21);
+        let _ = rng.gen_range(3, 3);
+    }
+}

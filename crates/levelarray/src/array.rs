@@ -1,0 +1,290 @@
+//! The [`ActivityArray`] trait: the interface shared by the LevelArray and all
+//! baseline implementations, plus the [`Acquired`] operation record and the
+//! RAII [`Registration`] guard.
+//!
+//! The trait mirrors the paper's problem statement (§2): `Get` returns a
+//! unique index, `Free` releases the most recently returned index, and
+//! `Collect` returns every index that was held throughout the call (it is
+//! *not* an atomic snapshot).  All methods take `&self` — implementations are
+//! internally synchronized and wait-free.
+
+use larng::RandomSource;
+
+use crate::name::Name;
+use crate::occupancy::OccupancySnapshot;
+
+/// The result of a successful `Get`: the acquired name plus the measurements
+/// the paper's evaluation reports (number of probes, the batch where the
+/// operation stopped, whether the backup array was needed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Acquired {
+    name: Name,
+    probes: u32,
+    batch: Option<usize>,
+    used_backup: bool,
+}
+
+impl Acquired {
+    /// Creates an operation record.  `batch` is `None` when the slot was taken
+    /// from the backup array (in which case `used_backup` must be `true`).
+    pub fn new(name: Name, probes: u32, batch: Option<usize>, used_backup: bool) -> Self {
+        debug_assert!(
+            batch.is_some() != used_backup,
+            "a Get stops either in a batch or in the backup, never both/neither"
+        );
+        Acquired {
+            name,
+            probes,
+            batch,
+            used_backup,
+        }
+    }
+
+    /// The acquired name (slot index).
+    pub fn name(&self) -> Name {
+        self.name
+    }
+
+    /// Number of probes (test-and-set attempts, plus sequential backup reads)
+    /// the operation performed — the paper's "number of trials".
+    pub fn probes(&self) -> u32 {
+        self.probes
+    }
+
+    /// The batch of the main array in which the operation stopped, or `None`
+    /// if it fell through to the backup array.  Flat baselines report batch 0.
+    pub fn batch(&self) -> Option<usize> {
+        self.batch
+    }
+
+    /// Whether the operation had to use the backup array.
+    pub fn used_backup(&self) -> bool {
+        self.used_backup
+    }
+}
+
+/// A long-lived-renaming activity array (paper §2).
+///
+/// Implementations must guarantee:
+///
+/// * **Uniqueness** — no two in-flight acquisitions return the same [`Name`].
+/// * **Validity of `Collect`** — every name in the returned set was held by
+///   some process at some point during the call.
+/// * **Wait-freedom** — `try_get` completes in a bounded number of its own
+///   steps regardless of the scheduling of other threads.
+pub trait ActivityArray: Send + Sync + std::fmt::Debug {
+    /// A short human-readable label for benchmark output (e.g. `"LevelArray"`).
+    fn algorithm_name(&self) -> &'static str;
+
+    /// Attempts to register, returning `None` only if the structure has no
+    /// free capacity reachable by its probing strategy.
+    ///
+    /// Calling `try_get` more than `max_participants()` times without
+    /// intervening `free`s may legitimately fail.
+    fn try_get(&self, rng: &mut dyn RandomSource) -> Option<Acquired>;
+
+    /// Registers, panicking if the structure is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no free slot could be acquired, which can only happen when
+    /// more than `max_participants()` processes hold slots simultaneously —
+    /// i.e. when the caller has violated the contention bound.
+    fn get(&self, rng: &mut dyn RandomSource) -> Acquired {
+        self.try_get(rng).unwrap_or_else(|| {
+            panic!(
+                "{}: no free slot; the contention bound ({}) was exceeded",
+                self.algorithm_name(),
+                self.max_participants()
+            )
+        })
+    }
+
+    /// Releases a name previously returned by `try_get`/`get`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `name` is out of range or not currently held
+    /// (a double free); both indicate a bug in the caller.
+    fn free(&self, name: Name);
+
+    /// Returns the names currently held, by scanning the array.
+    ///
+    /// The result is not an atomic snapshot; it satisfies the weaker validity
+    /// property from the paper: every returned name was held at some point
+    /// during the scan.
+    fn collect(&self) -> Vec<Name>;
+
+    /// Total number of slots (the dense namespace size).
+    fn capacity(&self) -> usize;
+
+    /// The contention bound `n` the structure was built for.
+    fn max_participants(&self) -> usize;
+
+    /// A per-region census of held slots (see [`OccupancySnapshot`]).
+    fn occupancy(&self) -> OccupancySnapshot;
+}
+
+/// An RAII registration: acquires a name on construction and frees it on drop.
+///
+/// # Examples
+///
+/// ```
+/// use levelarray::{ActivityArray, LevelArray, Registration};
+/// use larng::default_rng;
+///
+/// let array = LevelArray::new(4);
+/// let mut rng = default_rng(7);
+/// {
+///     let reg = Registration::acquire(&array, &mut rng);
+///     assert!(array.collect().contains(&reg.name()));
+/// } // dropped here -> freed
+/// assert!(array.collect().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Registration<'a, A: ActivityArray + ?Sized> {
+    array: &'a A,
+    acquired: Acquired,
+    released: bool,
+}
+
+impl<'a, A: ActivityArray + ?Sized> Registration<'a, A> {
+    /// Registers with `array`, panicking if it is exhausted (see
+    /// [`ActivityArray::get`]).
+    pub fn acquire(array: &'a A, rng: &mut dyn RandomSource) -> Self {
+        let acquired = array.get(rng);
+        Registration {
+            array,
+            acquired,
+            released: false,
+        }
+    }
+
+    /// Attempts to register with `array`.
+    pub fn try_acquire(array: &'a A, rng: &mut dyn RandomSource) -> Option<Self> {
+        array.try_get(rng).map(|acquired| Registration {
+            array,
+            acquired,
+            released: false,
+        })
+    }
+
+    /// The held name.
+    pub fn name(&self) -> Name {
+        self.acquired.name()
+    }
+
+    /// The full operation record of the underlying `Get`.
+    pub fn acquired(&self) -> &Acquired {
+        &self.acquired
+    }
+
+    /// Releases the name now instead of at drop time.
+    pub fn release(mut self) {
+        self.release_in_place();
+    }
+
+    /// Forgets the guard without releasing, handing responsibility for the
+    /// eventual [`ActivityArray::free`] to the caller.
+    pub fn leak(mut self) -> Name {
+        self.released = true;
+        self.acquired.name()
+    }
+
+    fn release_in_place(&mut self) {
+        if !self.released {
+            self.released = true;
+            self.array.free(self.acquired.name());
+        }
+    }
+}
+
+impl<A: ActivityArray + ?Sized> Drop for Registration<'_, A> {
+    fn drop(&mut self) {
+        self.release_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LevelArray;
+    use larng::default_rng;
+
+    #[test]
+    fn acquired_accessors() {
+        let a = Acquired::new(Name::new(3), 2, Some(1), false);
+        assert_eq!(a.name().index(), 3);
+        assert_eq!(a.probes(), 2);
+        assert_eq!(a.batch(), Some(1));
+        assert!(!a.used_backup());
+
+        let b = Acquired::new(Name::new(9), 40, None, true);
+        assert!(b.used_backup());
+        assert_eq!(b.batch(), None);
+    }
+
+    #[test]
+    fn registration_frees_on_drop() {
+        let array = LevelArray::new(4);
+        let mut rng = default_rng(1);
+        let name;
+        {
+            let reg = Registration::acquire(&array, &mut rng);
+            name = reg.name();
+            assert_eq!(array.collect(), vec![name]);
+        }
+        assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn registration_release_is_idempotent_with_drop() {
+        let array = LevelArray::new(4);
+        let mut rng = default_rng(2);
+        let reg = Registration::acquire(&array, &mut rng);
+        reg.release();
+        assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn registration_leak_transfers_ownership() {
+        let array = LevelArray::new(4);
+        let mut rng = default_rng(3);
+        let name = Registration::acquire(&array, &mut rng).leak();
+        // Still held after the guard is gone...
+        assert_eq!(array.collect(), vec![name]);
+        // ...and can be freed manually.
+        array.free(name);
+        assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn try_acquire_fails_gracefully_when_exhausted() {
+        // A tiny array (n = 1, so 2 main + 1 backup slots).  Randomized probing
+        // may miss a free main slot on any given attempt, but over many
+        // attempts the array fills up completely, never over-fills, and once
+        // full every further attempt returns `None`.
+        let array = LevelArray::new(1);
+        let mut rng = default_rng(4);
+        let mut held = std::collections::HashSet::new();
+        for _ in 0..200 {
+            if let Some(reg) = Registration::try_acquire(&array, &mut rng) {
+                assert!(held.insert(reg.leak()), "duplicate name handed out");
+                assert!(held.len() <= array.capacity(), "acquired more names than slots");
+            }
+        }
+        assert_eq!(held.len(), array.capacity(), "array should fill up within 200 attempts");
+        assert!(Registration::try_acquire(&array, &mut rng).is_none());
+    }
+
+    #[test]
+    fn works_through_a_trait_object() {
+        let array = LevelArray::new(4);
+        let dyn_array: &dyn ActivityArray = &array;
+        let mut rng = default_rng(5);
+        let reg = Registration::acquire(dyn_array, &mut rng);
+        assert_eq!(dyn_array.collect().len(), 1);
+        drop(reg);
+        assert!(dyn_array.collect().is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! The paper's balance definitions (§5, Definition 2) as executable predicates.
+//!
+//! *Overcrowded*: batch `j ≥ 1` is overcrowded when at least `n / 2^(2^j + 1)`
+//! of its slots are held (the paper writes this as `16·n_j`).  Batch 0 is never
+//! overcrowded (its threshold, `16·n`, exceeds the number of processes).
+//!
+//! *Balanced up to `j`*: none of the batches `0..=j` are overcrowded.
+//!
+//! *Fully balanced*: balanced up to batch `log log n − 1`, i.e. over all the
+//! batches the analysis tracks; later batches hold so few processes that they
+//! are irrelevant to the argument.
+//!
+//! These predicates are what the simulation crate evaluates after every step
+//! of an adversarial schedule to validate Theorem 1 (arrays stay balanced over
+//! polynomial executions) and Theorem 2 (self-healing), and what the healing
+//! benchmark uses to decide when the array has recovered.
+
+use crate::occupancy::OccupancySnapshot;
+
+/// The number of batch indices the balance analysis tracks for contention
+/// bound `n`: `⌊log₂ log₂ n⌋ + 1` (at least 1), i.e. batches
+/// `0 ..= ⌊log log n⌋`.
+///
+/// # Examples
+///
+/// ```
+/// use levelarray::balance::tracked_batches;
+/// assert_eq!(tracked_batches(2), 1);
+/// assert_eq!(tracked_batches(16), 3);   // log2 log2 16 = 2
+/// assert_eq!(tracked_batches(80), 3);
+/// assert_eq!(tracked_batches(1 << 16), 5);
+/// ```
+pub fn tracked_batches(n: usize) -> usize {
+    let log_n = usize::BITS - n.max(2).leading_zeros() - 1; // floor(log2 n)
+    let log_log_n = usize::BITS - (log_n as usize).max(1).leading_zeros() - 1;
+    log_log_n as usize + 1
+}
+
+/// The overcrowding threshold of batch `j` for contention bound `n`:
+/// `Some(n / 2^(2^j + 1))` for tracked batches `j ≥ 1`, `None` for batch 0
+/// (never overcrowded) and for batches beyond the tracked range (the analysis
+/// makes no claim about them).
+///
+/// # Examples
+///
+/// ```
+/// use levelarray::balance::overcrowding_threshold;
+/// // n = 1024: batch 1 threshold = 1024 / 2^3 = 128, batch 2 = 1024 / 2^5 = 32.
+/// assert_eq!(overcrowding_threshold(1024, 0), None);
+/// assert_eq!(overcrowding_threshold(1024, 1), Some(128));
+/// assert_eq!(overcrowding_threshold(1024, 2), Some(32));
+/// ```
+pub fn overcrowding_threshold(n: usize, batch: usize) -> Option<usize> {
+    if batch == 0 || batch >= tracked_batches(n) {
+        return None;
+    }
+    let exponent = (1usize << batch) + 1; // 2^j + 1
+    if exponent >= usize::BITS as usize {
+        return None;
+    }
+    Some(n >> exponent)
+}
+
+/// Returns `true` if batch `j` with `occupied` held slots is overcrowded for
+/// contention bound `n` (always `false` for batch 0 and untracked batches).
+pub fn is_overcrowded(n: usize, batch: usize, occupied: usize) -> bool {
+    match overcrowding_threshold(n, batch) {
+        Some(threshold) => occupied >= threshold.max(1),
+        None => false,
+    }
+}
+
+/// A per-batch balance verdict derived from an occupancy snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceReport {
+    n: usize,
+    /// `(occupied, threshold, overcrowded)` per batch present in the snapshot.
+    batches: Vec<BatchBalance>,
+}
+
+/// The balance verdict for a single batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchBalance {
+    /// Batch index.
+    pub batch: usize,
+    /// Held slots observed in the batch.
+    pub occupied: usize,
+    /// Overcrowding threshold, if the analysis tracks this batch.
+    pub threshold: Option<usize>,
+    /// Whether the batch is overcrowded.
+    pub overcrowded: bool,
+}
+
+impl BalanceReport {
+    /// Evaluates the balance definitions against a snapshot, for contention
+    /// bound `n`.
+    pub fn from_snapshot(snapshot: &OccupancySnapshot, n: usize) -> Self {
+        let batches = (0..snapshot.num_batches())
+            .map(|j| {
+                let occupied = snapshot.batch(j).map(|r| r.occupied()).unwrap_or(0);
+                BatchBalance {
+                    batch: j,
+                    occupied,
+                    threshold: overcrowding_threshold(n, j),
+                    overcrowded: is_overcrowded(n, j, occupied),
+                }
+            })
+            .collect();
+        BalanceReport { n, batches }
+    }
+
+    /// The contention bound the report was evaluated against.
+    pub fn contention_bound(&self) -> usize {
+        self.n
+    }
+
+    /// Per-batch verdicts.
+    pub fn batches(&self) -> &[BatchBalance] {
+        &self.batches
+    }
+
+    /// Indices of overcrowded batches.
+    pub fn overcrowded_batches(&self) -> Vec<usize> {
+        self.batches
+            .iter()
+            .filter(|b| b.overcrowded)
+            .map(|b| b.batch)
+            .collect()
+    }
+
+    /// Definition 2: no batch in `0..=j` is overcrowded.
+    pub fn is_balanced_up_to(&self, j: usize) -> bool {
+        self.batches
+            .iter()
+            .take_while(|b| b.batch <= j)
+            .all(|b| !b.overcrowded)
+    }
+
+    /// Definition 2: balanced over the whole tracked range.
+    pub fn is_fully_balanced(&self) -> bool {
+        self.batches.iter().all(|b| !b.overcrowded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::{Region, RegionOccupancy};
+
+    fn snapshot(per_batch: &[(usize, usize)]) -> OccupancySnapshot {
+        OccupancySnapshot::new(
+            per_batch
+                .iter()
+                .enumerate()
+                .map(|(i, &(cap, occ))| RegionOccupancy::new(Region::Batch(i), cap, occ))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn tracked_batches_examples() {
+        assert_eq!(tracked_batches(2), 1);
+        assert_eq!(tracked_batches(4), 2);
+        assert_eq!(tracked_batches(16), 3);
+        assert_eq!(tracked_batches(256), 4);
+        assert_eq!(tracked_batches(65536), 5);
+        // Degenerate inputs are clamped rather than panicking.
+        assert_eq!(tracked_batches(0), 1);
+        assert_eq!(tracked_batches(1), 1);
+    }
+
+    #[test]
+    fn thresholds_follow_the_definition() {
+        let n = 1 << 20;
+        assert_eq!(overcrowding_threshold(n, 0), None);
+        assert_eq!(overcrowding_threshold(n, 1), Some(n >> 3));
+        assert_eq!(overcrowding_threshold(n, 2), Some(n >> 5));
+        assert_eq!(overcrowding_threshold(n, 3), Some(n >> 9));
+        assert_eq!(overcrowding_threshold(n, 4), Some(n >> 17));
+        // Batches beyond the tracked range are not judged.
+        assert_eq!(overcrowding_threshold(n, tracked_batches(n)), None);
+        assert_eq!(overcrowding_threshold(n, 60), None);
+    }
+
+    #[test]
+    fn batch_zero_is_never_overcrowded() {
+        assert!(!is_overcrowded(1024, 0, 1024));
+        assert!(!is_overcrowded(4, 0, 4));
+    }
+
+    #[test]
+    fn overcrowding_is_at_least_threshold() {
+        let n = 1024;
+        let t = overcrowding_threshold(n, 1).unwrap();
+        assert!(!is_overcrowded(n, 1, t - 1));
+        assert!(is_overcrowded(n, 1, t));
+        assert!(is_overcrowded(n, 1, t + 5));
+    }
+
+    #[test]
+    fn small_n_thresholds_clamp_to_one() {
+        // n = 8: batch 1 threshold would be 8/8 = 1; batch 2 is untracked
+        // (tracked_batches(8) = 2).
+        assert_eq!(overcrowding_threshold(8, 1), Some(1));
+        assert!(is_overcrowded(8, 1, 1));
+        assert!(!is_overcrowded(8, 1, 0));
+        assert_eq!(overcrowding_threshold(8, 2), None);
+    }
+
+    #[test]
+    fn report_flags_the_right_batches() {
+        // n = 1024, batch sizes roughly the paper's; batch 1 holds 200 >= 128
+        // (overcrowded), batch 2 holds 10 < 32 (fine).
+        let snap = snapshot(&[(1536, 700), (256, 200), (128, 10), (64, 0)]);
+        let report = BalanceReport::from_snapshot(&snap, 1024);
+        assert_eq!(report.contention_bound(), 1024);
+        assert_eq!(report.overcrowded_batches(), vec![1]);
+        assert!(report.is_balanced_up_to(0));
+        assert!(!report.is_balanced_up_to(1));
+        assert!(!report.is_fully_balanced());
+        assert_eq!(report.batches()[1].threshold, Some(128));
+    }
+
+    #[test]
+    fn balanced_array_is_fully_balanced() {
+        let snap = snapshot(&[(1536, 900), (256, 50), (128, 3), (64, 0)]);
+        let report = BalanceReport::from_snapshot(&snap, 1024);
+        assert!(report.is_fully_balanced());
+        assert!(report.is_balanced_up_to(100));
+        assert!(report.overcrowded_batches().is_empty());
+    }
+
+    #[test]
+    fn report_handles_missing_batches_gracefully() {
+        let snap = OccupancySnapshot::new(vec![]);
+        let report = BalanceReport::from_snapshot(&snap, 64);
+        assert!(report.is_fully_balanced());
+        assert!(report.batches().is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Configuration for the [`crate::LevelArray`].
+//!
+//! The defaults reproduce the configuration benchmarked in the paper (§6):
+//! a main array of `2n` slots, first batch `3n/2`, **one** probe per batch, a
+//! backup array of `n` slots, and compare-and-swap as the test-and-set
+//! primitive.  Every knob called out in DESIGN.md §7 ("design decisions for
+//! ablation") is exposed here.
+
+use std::fmt;
+
+use crate::geometry::{BatchGeometry, GeometryError};
+use crate::slot::TasKind;
+
+/// How many random probes a `Get` performs in each batch before moving on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ProbePolicy {
+    /// The same number of probes in every batch.  The paper's implementation
+    /// uses `Uniform(1)`; its analysis assumes a larger constant (≥ 16) purely
+    /// to obtain high-probability concentration bounds.
+    Uniform(u32),
+    /// An explicit per-batch count `c_i`; batches beyond the end of the vector
+    /// reuse the last entry.
+    PerBatch(Vec<u32>),
+}
+
+impl Default for ProbePolicy {
+    fn default() -> Self {
+        ProbePolicy::Uniform(1)
+    }
+}
+
+impl ProbePolicy {
+    /// The number of probes to perform in batch `i`.
+    pub fn probes_in_batch(&self, i: usize) -> u32 {
+        match self {
+            ProbePolicy::Uniform(c) => *c,
+            ProbePolicy::PerBatch(v) => *v
+                .get(i)
+                .or_else(|| v.last())
+                .expect("validated non-empty in LevelArrayConfig::validate"),
+        }
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            ProbePolicy::Uniform(0) => Err(ConfigError::ZeroProbes),
+            ProbePolicy::Uniform(_) => Ok(()),
+            ProbePolicy::PerBatch(v) if v.is_empty() => Err(ConfigError::EmptyProbeVector),
+            ProbePolicy::PerBatch(v) if v.contains(&0) => Err(ConfigError::ZeroProbes),
+            ProbePolicy::PerBatch(_) => Ok(()),
+        }
+    }
+}
+
+/// Builder-style configuration for a [`crate::LevelArray`].
+///
+/// # Examples
+///
+/// ```
+/// use levelarray::{ActivityArray, LevelArrayConfig};
+///
+/// // The paper's benchmark configuration for 32 threads.
+/// let array = LevelArrayConfig::new(32).build().unwrap();
+/// assert_eq!(array.capacity(), 32 * 2 + 32); // main (2n) + backup (n)
+///
+/// // An ablation: 4x space, two probes per batch, no backup.
+/// let wide = LevelArrayConfig::new(32)
+///     .space_factor(4.0)
+///     .probes_per_batch(2)
+///     .backup(false)
+///     .build()
+///     .unwrap();
+/// assert_eq!(wide.capacity(), 32 * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelArrayConfig {
+    max_concurrency: usize,
+    space_factor: f64,
+    first_batch_fraction: f64,
+    probe_policy: ProbePolicy,
+    backup: bool,
+    tas_kind: TasKind,
+}
+
+impl LevelArrayConfig {
+    /// Starts a configuration for at most `max_concurrency` simultaneously
+    /// registered processes (the paper's `n`).
+    pub fn new(max_concurrency: usize) -> Self {
+        LevelArrayConfig {
+            max_concurrency,
+            space_factor: 2.0,
+            first_batch_fraction: BatchGeometry::DEFAULT_FIRST_FRACTION,
+            probe_policy: ProbePolicy::default(),
+            backup: true,
+            tas_kind: TasKind::default(),
+        }
+    }
+
+    /// Sets the ratio between the main-array length and `n` (the paper's
+    /// evaluation uses values in `[2, 4]`; the algorithm requires `> 1`).
+    pub fn space_factor(mut self, factor: f64) -> Self {
+        self.space_factor = factor;
+        self
+    }
+
+    /// Sets the fraction of the main array given to batch 0 (paper: 3/4).
+    pub fn first_batch_fraction(mut self, fraction: f64) -> Self {
+        self.first_batch_fraction = fraction;
+        self
+    }
+
+    /// Sets a uniform number of probes per batch (paper implementation: 1).
+    pub fn probes_per_batch(mut self, probes: u32) -> Self {
+        self.probe_policy = ProbePolicy::Uniform(probes);
+        self
+    }
+
+    /// Sets an explicit per-batch probe count `c_i` (paper analysis: ≥ 16).
+    pub fn probe_policy(mut self, policy: ProbePolicy) -> Self {
+        self.probe_policy = policy;
+        self
+    }
+
+    /// Enables or disables the sequential backup array (paper: enabled, size
+    /// exactly `n`).  Disabling it makes `try_get` return `None` when all
+    /// random probes fail, which is useful for studying the main array alone.
+    pub fn backup(mut self, enabled: bool) -> Self {
+        self.backup = enabled;
+        self
+    }
+
+    /// Selects the test-and-set primitive (ablation knob).
+    pub fn tas_kind(mut self, kind: TasKind) -> Self {
+        self.tas_kind = kind;
+        self
+    }
+
+    /// The contention bound `n` this configuration targets.
+    pub fn max_concurrency_value(&self) -> usize {
+        self.max_concurrency
+    }
+
+    /// Validates the configuration and materializes the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `n == 0`, the space factor is not a finite
+    /// value `≥ 1`, the first-batch fraction is outside `(0, 1)`, or the probe
+    /// policy asks for zero probes.
+    pub fn validate(&self) -> Result<ValidatedConfig, ConfigError> {
+        if self.max_concurrency == 0 {
+            return Err(ConfigError::ZeroConcurrency);
+        }
+        if !self.space_factor.is_finite() || self.space_factor < 1.0 {
+            return Err(ConfigError::InvalidSpaceFactor(self.space_factor));
+        }
+        self.probe_policy.validate()?;
+
+        let main_len = ((self.max_concurrency as f64) * self.space_factor).floor() as usize;
+        let main_len = main_len.max(1);
+        let geometry = BatchGeometry::new(main_len, self.first_batch_fraction)
+            .map_err(ConfigError::Geometry)?;
+        let backup_len = if self.backup { self.max_concurrency } else { 0 };
+
+        Ok(ValidatedConfig {
+            max_concurrency: self.max_concurrency,
+            geometry,
+            backup_len,
+            probe_policy: self.probe_policy.clone(),
+            tas_kind: self.tas_kind,
+        })
+    }
+
+    /// Validates the configuration and builds the [`crate::LevelArray`].
+    ///
+    /// # Errors
+    ///
+    /// See [`LevelArrayConfig::validate`].
+    pub fn build(&self) -> Result<crate::LevelArray, ConfigError> {
+        Ok(crate::LevelArray::from_validated(self.validate()?))
+    }
+}
+
+/// A fully validated configuration, ready to materialize a `LevelArray`.
+#[derive(Debug, Clone)]
+pub struct ValidatedConfig {
+    pub(crate) max_concurrency: usize,
+    pub(crate) geometry: BatchGeometry,
+    pub(crate) backup_len: usize,
+    pub(crate) probe_policy: ProbePolicy,
+    pub(crate) tas_kind: TasKind,
+}
+
+/// Errors produced while validating a [`LevelArrayConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `max_concurrency` was zero.
+    ZeroConcurrency,
+    /// The space factor was below 1 or not finite.
+    InvalidSpaceFactor(f64),
+    /// A probe policy requested zero probes in some batch.
+    ZeroProbes,
+    /// A per-batch probe policy was given an empty vector.
+    EmptyProbeVector,
+    /// The derived geometry was invalid (bad first-batch fraction).
+    Geometry(GeometryError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroConcurrency => write!(f, "max concurrency must be at least 1"),
+            ConfigError::InvalidSpaceFactor(x) => {
+                write!(f, "space factor must be a finite value >= 1, got {x}")
+            }
+            ConfigError::ZeroProbes => write!(f, "probe counts must be at least 1"),
+            ConfigError::EmptyProbeVector => {
+                write!(f, "per-batch probe policy needs at least one entry")
+            }
+            ConfigError::Geometry(e) => write!(f, "invalid geometry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeometryError> for ConfigError {
+    fn from(e: GeometryError) -> Self {
+        ConfigError::Geometry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ActivityArray;
+
+    #[test]
+    fn default_configuration_matches_paper() {
+        let v = LevelArrayConfig::new(64).validate().unwrap();
+        assert_eq!(v.max_concurrency, 64);
+        assert_eq!(v.geometry.main_len(), 128);
+        assert_eq!(v.geometry.batch_len(0), 96);
+        assert_eq!(v.backup_len, 64);
+        assert_eq!(v.probe_policy.probes_in_batch(0), 1);
+        assert_eq!(v.tas_kind, TasKind::CompareExchange);
+    }
+
+    #[test]
+    fn space_factor_scales_main_array() {
+        for factor in [2.0, 2.5, 3.0, 4.0] {
+            let v = LevelArrayConfig::new(100).space_factor(factor).validate().unwrap();
+            assert_eq!(v.geometry.main_len(), (100.0 * factor) as usize);
+        }
+    }
+
+    #[test]
+    fn disabling_backup_removes_it() {
+        let v = LevelArrayConfig::new(10).backup(false).validate().unwrap();
+        assert_eq!(v.backup_len, 0);
+    }
+
+    #[test]
+    fn probe_policies() {
+        assert_eq!(ProbePolicy::Uniform(3).probes_in_batch(7), 3);
+        let per = ProbePolicy::PerBatch(vec![16, 8, 4]);
+        assert_eq!(per.probes_in_batch(0), 16);
+        assert_eq!(per.probes_in_batch(2), 4);
+        // Batches past the end reuse the last entry.
+        assert_eq!(per.probes_in_batch(9), 4);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert_eq!(
+            LevelArrayConfig::new(0).validate().unwrap_err(),
+            ConfigError::ZeroConcurrency
+        );
+        assert!(matches!(
+            LevelArrayConfig::new(4).space_factor(0.5).validate().unwrap_err(),
+            ConfigError::InvalidSpaceFactor(_)
+        ));
+        assert!(matches!(
+            LevelArrayConfig::new(4).space_factor(f64::INFINITY).validate().unwrap_err(),
+            ConfigError::InvalidSpaceFactor(_)
+        ));
+        assert_eq!(
+            LevelArrayConfig::new(4).probes_per_batch(0).validate().unwrap_err(),
+            ConfigError::ZeroProbes
+        );
+        assert_eq!(
+            LevelArrayConfig::new(4)
+                .probe_policy(ProbePolicy::PerBatch(vec![]))
+                .validate()
+                .unwrap_err(),
+            ConfigError::EmptyProbeVector
+        );
+        assert!(matches!(
+            LevelArrayConfig::new(4).first_batch_fraction(1.5).validate().unwrap_err(),
+            ConfigError::Geometry(_)
+        ));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e = ConfigError::Geometry(GeometryError::EmptyArray);
+        assert!(e.to_string().contains("geometry"));
+        assert!(e.source().is_some());
+        assert!(ConfigError::ZeroConcurrency.source().is_none());
+        assert!(ConfigError::InvalidSpaceFactor(0.1).to_string().contains("0.1"));
+    }
+
+    #[test]
+    fn config_is_reusable_after_build() {
+        let config = LevelArrayConfig::new(8);
+        let a = config.build().unwrap();
+        let b = config.build().unwrap();
+        assert_eq!(a.capacity(), b.capacity());
+    }
+}

@@ -1,0 +1,301 @@
+//! Batch geometry: how the main array is split into levels (paper §4).
+//!
+//! For an array of size `2n` the paper uses `log n` batches where batch `B0`
+//! holds the first `⌊3n/2⌋` locations and each later batch `Bi` holds
+//! `⌊n/2^{i+1}⌋` locations.  [`BatchGeometry`] generalizes this to an arbitrary
+//! main-array length `L` and first-batch fraction `f` (defaults `L = 2n`,
+//! `f = 3/4`, which reproduce the paper exactly): batch 0 has `⌊f·L⌋` slots and
+//! batch `i ≥ 1` has `⌊(1−f)·L/2^i⌋` slots; slots lost to rounding are folded
+//! into the last batch so that every location belongs to exactly one batch.
+
+use std::fmt;
+use std::ops::Range;
+
+/// The partition of the main array into geometrically shrinking batches.
+///
+/// # Examples
+///
+/// ```
+/// use levelarray::geometry::BatchGeometry;
+///
+/// // The paper's layout for n = 64: main array of 128 slots,
+/// // batches of 96, 16, 8, 4, 2, 1, 1 slots.
+/// let g = BatchGeometry::for_contention(64);
+/// assert_eq!(g.main_len(), 128);
+/// assert_eq!(g.batch_len(0), 96);
+/// assert_eq!(g.batch_len(1), 16);
+/// assert_eq!(g.batch_of(100), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchGeometry {
+    /// `starts[i]..starts[i + 1]` is the index range of batch `i`.
+    starts: Vec<usize>,
+}
+
+/// Error returned when a geometry cannot be constructed from the requested
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeometryError {
+    /// The main array must contain at least one slot.
+    EmptyArray,
+    /// The first-batch fraction must lie strictly between 0 and 1.
+    InvalidFraction(f64),
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::EmptyArray => write!(f, "main array must have at least one slot"),
+            GeometryError::InvalidFraction(x) => {
+                write!(f, "first-batch fraction must be in (0, 1), got {x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+impl BatchGeometry {
+    /// The paper's default first-batch fraction: batch 0 takes 3/4 of the main
+    /// array (i.e. `3n/2` slots of a `2n`-slot array).
+    pub const DEFAULT_FIRST_FRACTION: f64 = 0.75;
+
+    /// Builds the paper's geometry for a contention bound `n`: a main array of
+    /// `2n` slots with first-batch fraction 3/4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn for_contention(n: usize) -> Self {
+        assert!(n > 0, "contention bound must be at least 1");
+        Self::new(2 * n, Self::DEFAULT_FIRST_FRACTION)
+            .expect("2n slots with fraction 3/4 is always valid")
+    }
+
+    /// Builds a geometry over `main_len` slots with the given first-batch
+    /// fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::EmptyArray`] if `main_len == 0` and
+    /// [`GeometryError::InvalidFraction`] if `first_fraction` is not strictly
+    /// between 0 and 1 (or is not finite).
+    pub fn new(main_len: usize, first_fraction: f64) -> Result<Self, GeometryError> {
+        if main_len == 0 {
+            return Err(GeometryError::EmptyArray);
+        }
+        if !first_fraction.is_finite() || first_fraction <= 0.0 || first_fraction >= 1.0 {
+            return Err(GeometryError::InvalidFraction(first_fraction));
+        }
+
+        let first = ((main_len as f64) * first_fraction).floor() as usize;
+        let first = first.clamp(1, main_len);
+
+        let mut starts = vec![0, first];
+        let tail = main_len - first;
+        let mut covered = first;
+        let mut i = 1u32;
+        loop {
+            // Batch i >= 1 gets floor(tail / 2^i) slots.
+            let size = tail >> i;
+            if size == 0 || covered + size > main_len {
+                break;
+            }
+            covered += size;
+            starts.push(covered);
+            i += 1;
+        }
+        // Fold slots lost to rounding into the last batch.
+        if covered < main_len {
+            *starts.last_mut().expect("at least batch 0 exists") = main_len;
+        }
+        Ok(BatchGeometry { starts })
+    }
+
+    /// Number of batches.
+    pub fn num_batches(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total number of slots in the main array.
+    pub fn main_len(&self) -> usize {
+        *self.starts.last().expect("non-empty")
+    }
+
+    /// The slot-index range of batch `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_batches()`.
+    pub fn batch_range(&self, i: usize) -> Range<usize> {
+        assert!(i < self.num_batches(), "batch {i} out of range");
+        self.starts[i]..self.starts[i + 1]
+    }
+
+    /// The number of slots in batch `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_batches()`.
+    pub fn batch_len(&self, i: usize) -> usize {
+        let r = self.batch_range(i);
+        r.end - r.start
+    }
+
+    /// The batch containing slot index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= main_len()`.
+    pub fn batch_of(&self, idx: usize) -> usize {
+        assert!(idx < self.main_len(), "index {idx} outside the main array");
+        // starts is sorted; find the last start <= idx.
+        match self.starts.binary_search(&idx) {
+            Ok(pos) if pos == self.num_batches() => pos - 1,
+            Ok(pos) => pos,
+            Err(pos) => pos - 1,
+        }
+    }
+
+    /// Iterates over the batch ranges in order.
+    pub fn batches(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.num_batches()).map(move |i| self.batch_range(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_for_power_of_two() {
+        // n = 64: 2n = 128; B0 = 96, then 16, 8, 4, 2, 1, 1 (the final 1 is the
+        // rounding remainder folded into the last batch).
+        let g = BatchGeometry::for_contention(64);
+        assert_eq!(g.main_len(), 128);
+        assert_eq!(g.batch_len(0), 96);
+        assert_eq!(g.batch_len(1), 16);
+        assert_eq!(g.batch_len(2), 8);
+        assert_eq!(g.batch_len(3), 4);
+        let total: usize = g.batches().map(|r| r.len()).sum();
+        assert_eq!(total, 128);
+    }
+
+    #[test]
+    fn batches_partition_the_array() {
+        for n in [1usize, 2, 3, 5, 8, 17, 64, 100, 1000, 4096] {
+            let g = BatchGeometry::for_contention(n);
+            assert_eq!(g.main_len(), 2 * n, "n={n}");
+            let mut expected_start = 0;
+            for (i, r) in g.batches().enumerate() {
+                assert_eq!(r.start, expected_start, "n={n} batch={i}");
+                assert!(!r.is_empty(), "n={n} batch={i} empty");
+                expected_start = r.end;
+            }
+            assert_eq!(expected_start, g.main_len(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn batch_sizes_follow_paper_formula_before_rounding_tail() {
+        // For power-of-two n, batch i >= 1 should have exactly n / 2^(i+1)
+        // slots (except possibly the last batch which absorbs the remainder).
+        for exp in 3..12u32 {
+            let n = 1usize << exp;
+            let g = BatchGeometry::for_contention(n);
+            assert_eq!(g.batch_len(0), 3 * n / 2);
+            for i in 1..g.num_batches() - 1 {
+                assert_eq!(g.batch_len(i), n >> (i + 1), "n={n} batch={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn number_of_batches_is_logarithmic() {
+        for exp in 1..16u32 {
+            let n = 1usize << exp;
+            let g = BatchGeometry::for_contention(n);
+            let batches = g.num_batches();
+            assert!(
+                batches <= exp as usize + 1,
+                "n={n}: {batches} batches > log2(n)+1"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_of_agrees_with_ranges() {
+        for n in [1usize, 2, 7, 64, 100, 513] {
+            let g = BatchGeometry::for_contention(n);
+            for (i, r) in g.batches().enumerate() {
+                assert_eq!(g.batch_of(r.start), i, "n={n}");
+                assert_eq!(g.batch_of(r.end - 1), i, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_arrays_are_single_batch() {
+        let g = BatchGeometry::for_contention(1);
+        assert_eq!(g.main_len(), 2);
+        assert_eq!(g.num_batches(), 1);
+        assert_eq!(g.batch_len(0), 2);
+    }
+
+    #[test]
+    fn custom_fraction_and_length() {
+        let g = BatchGeometry::new(100, 0.5).unwrap();
+        assert_eq!(g.main_len(), 100);
+        assert_eq!(g.batch_len(0), 50);
+        assert_eq!(g.batch_len(1), 25);
+        let total: usize = g.batches().map(|r| r.len()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert_eq!(BatchGeometry::new(0, 0.75), Err(GeometryError::EmptyArray));
+        assert!(matches!(
+            BatchGeometry::new(10, 0.0),
+            Err(GeometryError::InvalidFraction(_))
+        ));
+        assert!(matches!(
+            BatchGeometry::new(10, 1.0),
+            Err(GeometryError::InvalidFraction(_))
+        ));
+        assert!(matches!(
+            BatchGeometry::new(10, f64::NAN),
+            Err(GeometryError::InvalidFraction(_))
+        ));
+        assert!(matches!(
+            BatchGeometry::new(10, -0.5),
+            Err(GeometryError::InvalidFraction(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(GeometryError::EmptyArray.to_string().contains("at least one slot"));
+        assert!(GeometryError::InvalidFraction(2.0).to_string().contains("2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn batch_range_out_of_range_panics() {
+        let g = BatchGeometry::for_contention(4);
+        let _ = g.batch_range(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the main array")]
+    fn batch_of_out_of_range_panics() {
+        let g = BatchGeometry::for_contention(4);
+        let _ = g.batch_of(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_contention_panics() {
+        let _ = BatchGeometry::for_contention(0);
+    }
+}

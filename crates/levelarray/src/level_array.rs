@@ -1,0 +1,509 @@
+//! The LevelArray: the paper's long-lived renaming algorithm (§4).
+//!
+//! A `Get` walks the batches of the main array in increasing order, performing
+//! `c_i` test-and-set probes on uniformly random slots of batch `i`, and stops
+//! at the first probe it wins.  If every randomized probe loses (which the
+//! analysis shows is vanishingly unlikely), it probes the backup array
+//! *sequentially*, guaranteeing wait-freedom and a bounded namespace.  `Free`
+//! resets the held slot; `Collect` scans every slot.
+
+use larng::RandomSource;
+
+use crate::array::{Acquired, ActivityArray};
+use crate::config::{LevelArrayConfig, ProbePolicy, ValidatedConfig};
+use crate::geometry::BatchGeometry;
+use crate::name::Name;
+use crate::occupancy::{OccupancySnapshot, Region, RegionOccupancy};
+use crate::slot::{Slot, TasKind};
+
+/// The LevelArray long-lived renaming structure.
+///
+/// # Examples
+///
+/// Basic register / scan / deregister cycle:
+///
+/// ```
+/// use levelarray::{ActivityArray, LevelArray};
+/// use larng::default_rng;
+///
+/// let array = LevelArray::new(16);          // up to 16 concurrent holders
+/// let mut rng = default_rng(1);
+///
+/// let got = array.get(&mut rng);
+/// assert!(got.probes() >= 1);
+/// assert!(array.collect().contains(&got.name()));
+/// array.free(got.name());
+/// assert!(array.collect().is_empty());
+/// ```
+///
+/// Shared across threads (the intended use):
+///
+/// ```
+/// use levelarray::{ActivityArray, LevelArray};
+/// use larng::{default_rng, SeedSequence};
+/// use std::sync::Arc;
+///
+/// let array = Arc::new(LevelArray::new(8));
+/// let mut seeds = SeedSequence::new(42);
+/// std::thread::scope(|scope| {
+///     for _ in 0..4 {
+///         let array = Arc::clone(&array);
+///         let seed = seeds.next_seed();
+///         scope.spawn(move || {
+///             let mut rng = default_rng(seed);
+///             for _ in 0..100 {
+///                 let got = array.get(&mut rng);
+///                 array.free(got.name());
+///             }
+///         });
+///     }
+/// });
+/// assert!(array.collect().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct LevelArray {
+    main: Box<[Slot]>,
+    backup: Box<[Slot]>,
+    geometry: BatchGeometry,
+    probe_policy: ProbePolicy,
+    tas_kind: TasKind,
+    max_concurrency: usize,
+}
+
+impl LevelArray {
+    /// Creates a LevelArray with the paper's default configuration for at most
+    /// `max_concurrency` simultaneously registered processes: a `2n`-slot main
+    /// array (first batch `3n/2`), an `n`-slot backup array, one probe per
+    /// batch, compare-and-swap as the TAS primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_concurrency == 0`.  Use [`LevelArrayConfig`] for
+    /// fallible construction and for non-default parameters.
+    pub fn new(max_concurrency: usize) -> Self {
+        LevelArrayConfig::new(max_concurrency)
+            .build()
+            .expect("default configuration is valid for any non-zero contention bound")
+    }
+
+    pub(crate) fn from_validated(config: ValidatedConfig) -> Self {
+        let ValidatedConfig {
+            max_concurrency,
+            geometry,
+            backup_len,
+            probe_policy,
+            tas_kind,
+        } = config;
+        let main = (0..geometry.main_len()).map(|_| Slot::new()).collect();
+        let backup = (0..backup_len).map(|_| Slot::new()).collect();
+        LevelArray {
+            main,
+            backup,
+            geometry,
+            probe_policy,
+            tas_kind,
+            max_concurrency,
+        }
+    }
+
+    /// The batch layout of the main array.
+    pub fn geometry(&self) -> &BatchGeometry {
+        &self.geometry
+    }
+
+    /// Number of slots in the main (randomly probed) array.
+    pub fn main_len(&self) -> usize {
+        self.main.len()
+    }
+
+    /// Number of slots in the sequential backup array (0 if disabled).
+    pub fn backup_len(&self) -> usize {
+        self.backup.len()
+    }
+
+    /// The test-and-set primitive this instance uses.
+    pub fn tas_kind(&self) -> TasKind {
+        self.tas_kind
+    }
+
+    /// The probe policy (`c_i`) this instance uses.
+    pub fn probe_policy(&self) -> &ProbePolicy {
+        &self.probe_policy
+    }
+
+    /// Whether `name` lies in the backup array.
+    pub fn is_backup_name(&self, name: Name) -> bool {
+        name.index() >= self.main.len()
+    }
+
+    /// Directly occupies a specific slot, bypassing the probing strategy.
+    ///
+    /// Returns `true` if the slot was free and is now held by the caller.
+    /// This is **not** part of the renaming protocol; it exists so that tests
+    /// and the healing experiment (paper Figure 3) can place the array in an
+    /// arbitrary — possibly unbalanced — initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is out of range.
+    pub fn force_occupy(&self, name: Name) -> bool {
+        self.slot(name).try_acquire(self.tas_kind)
+    }
+
+    /// Reads whether a specific slot is currently held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is out of range.
+    pub fn is_held(&self, name: Name) -> bool {
+        self.slot(name).is_held()
+    }
+
+    fn slot(&self, name: Name) -> &Slot {
+        let idx = name.index();
+        if idx < self.main.len() {
+            &self.main[idx]
+        } else if idx - self.main.len() < self.backup.len() {
+            &self.backup[idx - self.main.len()]
+        } else {
+            panic!(
+                "name {idx} out of range for a LevelArray with capacity {}",
+                self.capacity()
+            );
+        }
+    }
+
+    /// The number of occupied slots in batch `i` of the main array.
+    pub fn batch_occupancy(&self, i: usize) -> usize {
+        self.geometry
+            .batch_range(i)
+            .filter(|&idx| self.main[idx].is_held())
+            .count()
+    }
+}
+
+impl ActivityArray for LevelArray {
+    fn algorithm_name(&self) -> &'static str {
+        "LevelArray"
+    }
+
+    fn try_get(&self, rng: &mut dyn RandomSource) -> Option<Acquired> {
+        let mut probes = 0u32;
+        // Randomized phase: c_i probes per batch, batches in increasing order.
+        for batch in 0..self.geometry.num_batches() {
+            let range = self.geometry.batch_range(batch);
+            let len = range.end - range.start;
+            let trials = self.probe_policy.probes_in_batch(batch);
+            for _ in 0..trials {
+                probes += 1;
+                let idx = range.start + rng.gen_index(len);
+                if self.main[idx].try_acquire(self.tas_kind) {
+                    return Some(Acquired::new(Name::new(idx), probes, Some(batch), false));
+                }
+            }
+        }
+        // Deterministic backup phase: scan sequentially (paper §4).
+        for (offset, slot) in self.backup.iter().enumerate() {
+            probes += 1;
+            if slot.try_acquire(self.tas_kind) {
+                let name = Name::new(self.main.len() + offset);
+                return Some(Acquired::new(name, probes, None, true));
+            }
+        }
+        None
+    }
+
+    fn free(&self, name: Name) {
+        let released = self.slot(name).release();
+        assert!(
+            released,
+            "double free: name {name} was not held when free() was called"
+        );
+    }
+
+    fn collect(&self) -> Vec<Name> {
+        let mut held = Vec::new();
+        for (idx, slot) in self.main.iter().enumerate() {
+            if slot.is_held() {
+                held.push(Name::new(idx));
+            }
+        }
+        for (offset, slot) in self.backup.iter().enumerate() {
+            if slot.is_held() {
+                held.push(Name::new(self.main.len() + offset));
+            }
+        }
+        held
+    }
+
+    fn capacity(&self) -> usize {
+        self.main.len() + self.backup.len()
+    }
+
+    fn max_participants(&self) -> usize {
+        self.max_concurrency
+    }
+
+    fn occupancy(&self) -> OccupancySnapshot {
+        let mut regions: Vec<RegionOccupancy> = self
+            .geometry
+            .batches()
+            .enumerate()
+            .map(|(i, range)| {
+                let occupied = range.clone().filter(|&idx| self.main[idx].is_held()).count();
+                RegionOccupancy::new(Region::Batch(i), range.len(), occupied)
+            })
+            .collect();
+        if !self.backup.is_empty() {
+            let occupied = self.backup.iter().filter(|s| s.is_held()).count();
+            regions.push(RegionOccupancy::new(
+                Region::Backup,
+                self.backup.len(),
+                occupied,
+            ));
+        }
+        OccupancySnapshot::new(regions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::BalanceReport;
+    use crate::config::LevelArrayConfig;
+    use larng::{default_rng, SequenceRng};
+    use std::collections::HashSet;
+
+    #[test]
+    fn new_array_matches_paper_dimensions() {
+        let array = LevelArray::new(64);
+        assert_eq!(array.main_len(), 128);
+        assert_eq!(array.backup_len(), 64);
+        assert_eq!(array.capacity(), 192);
+        assert_eq!(array.max_participants(), 64);
+        assert_eq!(array.algorithm_name(), "LevelArray");
+        assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn get_free_round_trip() {
+        let array = LevelArray::new(8);
+        let mut rng = default_rng(1);
+        let got = array.get(&mut rng);
+        assert!(got.probes() >= 1);
+        assert!(!got.used_backup());
+        assert!(array.is_held(got.name()));
+        array.free(got.name());
+        assert!(!array.is_held(got.name()));
+    }
+
+    #[test]
+    fn names_are_unique_while_held() {
+        let array = LevelArray::new(32);
+        let mut rng = default_rng(2);
+        let mut held = HashSet::new();
+        for _ in 0..32 {
+            let got = array.get(&mut rng);
+            assert!(held.insert(got.name()), "duplicate name {}", got.name());
+        }
+        assert_eq!(array.collect().len(), 32);
+        for name in held {
+            array.free(name);
+        }
+        assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn full_capacity_is_reachable_and_exhaustion_is_detected() {
+        // With the backup array the structure can hand out every slot, even
+        // when oversubscribed beyond n; after that, try_get must return None.
+        let array = LevelArray::new(4);
+        let mut rng = default_rng(3);
+        let mut held = Vec::new();
+        for _ in 0..10_000 {
+            match array.try_get(&mut rng) {
+                Some(got) => held.push(got.name()),
+                None => break,
+            }
+        }
+        assert_eq!(held.len(), array.capacity());
+        assert!(array.try_get(&mut rng).is_none());
+        let unique: HashSet<_> = held.iter().collect();
+        assert_eq!(unique.len(), held.len());
+    }
+
+    #[test]
+    fn backup_is_used_only_when_random_probes_all_fail() {
+        // Force every random probe to hit slot 0 of each batch, and occupy
+        // those slots beforehand: the Get must fall through to the backup.
+        let array = LevelArray::new(8);
+        let num_batches = array.geometry().num_batches();
+        for b in 0..num_batches {
+            let start = array.geometry().batch_range(b).start;
+            assert!(array.force_occupy(Name::new(start)));
+        }
+        // Script one probe per batch, each hitting the (occupied) first slot.
+        let script: Vec<u64> = (0..num_batches)
+            .map(|b| larng::mock::raw_for_index(0, array.geometry().batch_len(b) as u64))
+            .collect();
+        let mut rng = SequenceRng::new(script);
+        let got = array.get(&mut rng);
+        assert!(got.used_backup());
+        assert_eq!(got.batch(), None);
+        assert!(array.is_backup_name(got.name()));
+        assert_eq!(got.probes(), num_batches as u32 + 1);
+    }
+
+    #[test]
+    fn probes_are_counted_per_batch_policy() {
+        // Two probes per batch and scripted misses in batch 0: the operation
+        // should charge 2 probes before reaching batch 1.
+        let array = LevelArrayConfig::new(16).probes_per_batch(2).build().unwrap();
+        let b0 = array.geometry().batch_range(0);
+        let b0_len = b0.end - b0.start;
+        // Occupy all of batch 0 so any probe there fails.
+        for idx in b0.clone() {
+            assert!(array.force_occupy(Name::new(idx)));
+        }
+        let mut rng = default_rng(11);
+        let got = array.get(&mut rng);
+        assert!(got.probes() > 2, "had to probe beyond batch 0: {}", got.probes());
+        assert_ne!(got.batch(), Some(0));
+        assert!(got.name().index() >= b0_len || got.used_backup());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let array = LevelArray::new(4);
+        let mut rng = default_rng(5);
+        let got = array.get(&mut rng);
+        array.free(got.name());
+        array.free(got.name());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn free_of_out_of_range_name_panics() {
+        let array = LevelArray::new(4);
+        array.free(Name::new(10_000));
+    }
+
+    #[test]
+    fn collect_reports_exactly_the_held_names() {
+        let array = LevelArray::new(16);
+        let mut rng = default_rng(6);
+        let mut held: Vec<Name> = (0..10).map(|_| array.get(&mut rng).name()).collect();
+        let mut collected = array.collect();
+        collected.sort();
+        held.sort();
+        assert_eq!(collected, held);
+
+        // Free half and re-check.
+        for name in held.drain(..5) {
+            array.free(name);
+        }
+        let mut collected = array.collect();
+        collected.sort();
+        assert_eq!(collected, held);
+    }
+
+    #[test]
+    fn occupancy_snapshot_matches_collect() {
+        let array = LevelArray::new(32);
+        let mut rng = default_rng(7);
+        for _ in 0..20 {
+            let _ = array.get(&mut rng);
+        }
+        let snap = array.occupancy();
+        assert_eq!(snap.total_occupied(), array.collect().len());
+        assert_eq!(snap.total_capacity(), array.capacity());
+        assert_eq!(snap.num_batches(), array.geometry().num_batches());
+        // Per-batch counts agree with direct slot scans.
+        for i in 0..array.geometry().num_batches() {
+            assert_eq!(snap.batch(i).unwrap().occupied(), array.batch_occupancy(i));
+        }
+    }
+
+    #[test]
+    fn typical_load_keeps_the_array_balanced() {
+        // Register n/2 of n = 256 processes; the array must be fully balanced
+        // per Definition 2 (this is a sanity check of the common case, not a
+        // statistical claim).
+        let n = 256;
+        let array = LevelArray::new(n);
+        let mut rng = default_rng(8);
+        for _ in 0..n / 2 {
+            let _ = array.get(&mut rng);
+        }
+        let report = BalanceReport::from_snapshot(&array.occupancy(), n);
+        assert!(report.is_fully_balanced(), "{report:?}");
+    }
+
+    #[test]
+    fn swap_tas_behaves_like_compare_exchange() {
+        let array = LevelArrayConfig::new(8).tas_kind(TasKind::Swap).build().unwrap();
+        let mut rng = default_rng(9);
+        let mut names = HashSet::new();
+        for _ in 0..8 {
+            assert!(names.insert(array.get(&mut rng).name()));
+        }
+        assert_eq!(array.collect().len(), 8);
+        for name in names {
+            array.free(name);
+        }
+        assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn disabled_backup_limits_capacity_to_main_array() {
+        let array = LevelArrayConfig::new(8).backup(false).build().unwrap();
+        assert_eq!(array.backup_len(), 0);
+        assert_eq!(array.capacity(), array.main_len());
+        // occupancy() must not report a backup region.
+        assert!(array.occupancy().backup().is_none());
+    }
+
+    #[test]
+    fn force_occupy_reports_conflicts() {
+        let array = LevelArray::new(4);
+        assert!(array.force_occupy(Name::new(0)));
+        assert!(!array.force_occupy(Name::new(0)));
+        array.free(Name::new(0));
+        assert!(array.force_occupy(Name::new(0)));
+    }
+
+    #[test]
+    fn concurrent_get_free_never_duplicates_names() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let n = 16;
+        let array = Arc::new(LevelArray::new(n));
+        // One ownership flag per slot, maintained by the test: a second owner
+        // of the same slot would trip the swap assertion.
+        let owned: Arc<Vec<AtomicBool>> = Arc::new(
+            (0..array.capacity()).map(|_| AtomicBool::new(false)).collect(),
+        );
+        std::thread::scope(|scope| {
+            for t in 0..n {
+                let array = Arc::clone(&array);
+                let owned = Arc::clone(&owned);
+                scope.spawn(move || {
+                    let mut rng = default_rng(1000 + t as u64);
+                    for _ in 0..2_000 {
+                        let got = array.get(&mut rng);
+                        let idx = got.name().index();
+                        assert!(
+                            !owned[idx].swap(true, Ordering::SeqCst),
+                            "slot {idx} handed to two threads at once"
+                        );
+                        owned[idx].store(false, Ordering::SeqCst);
+                        array.free(got.name());
+                    }
+                });
+            }
+        });
+        assert!(array.collect().is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! The [`Name`] type: the index a process acquires from an activity array.
+//!
+//! In the renaming literature a "name" is a small integer drawn from a
+//! namespace whose size is proportional to the maximal contention `n`; in the
+//! activity-array formulation the name doubles as the index of the array slot
+//! the process holds.  The newtype keeps names from being confused with other
+//! integers (probe counts, batch indices, thread ids, ...).
+
+use std::fmt;
+
+/// A name (slot index) held by a process between a `Get` and the matching
+/// `Free`.
+///
+/// Names are dense: a structure with capacity `C` only ever hands out names in
+/// `0..C`, which is what makes `Collect` proportional to the contention bound
+/// rather than to the thread-ID space.
+///
+/// # Examples
+///
+/// ```
+/// use levelarray::Name;
+/// let name = Name::new(17);
+/// assert_eq!(name.index(), 17);
+/// assert_eq!(usize::from(name), 17);
+/// assert_eq!(format!("{name}"), "17");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Name(usize);
+
+impl Name {
+    /// Wraps a raw slot index as a name.
+    pub const fn new(index: usize) -> Self {
+        Name(index)
+    }
+
+    /// The raw slot index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for Name {
+    fn from(index: usize) -> Self {
+        Name(index)
+    }
+}
+
+impl From<Name> for usize {
+    fn from(name: Name) -> Self {
+        name.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn round_trip_conversions() {
+        for i in [0usize, 1, 7, 1000, usize::MAX] {
+            let n = Name::from(i);
+            assert_eq!(usize::from(n), i);
+            assert_eq!(n.index(), i);
+            assert_eq!(Name::new(i), n);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_index_ordering() {
+        let names: BTreeSet<Name> = [3usize, 1, 2].into_iter().map(Name::new).collect();
+        let sorted: Vec<usize> = names.into_iter().map(Name::index).collect();
+        assert_eq!(sorted, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn display_is_the_bare_index() {
+        assert_eq!(Name::new(42).to_string(), "42");
+    }
+
+    #[test]
+    fn hashable_and_copy() {
+        let mut set = std::collections::HashSet::new();
+        let n = Name::new(5);
+        set.insert(n);
+        set.insert(n); // Copy: still usable after insert
+        assert_eq!(set.len(), 1);
+    }
+}

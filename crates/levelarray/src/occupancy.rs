@@ -1,0 +1,245 @@
+//! Occupancy snapshots: how full each region of an activity array is.
+//!
+//! A snapshot is a read-only census taken by scanning the array (the same scan
+//! a `Collect` performs), broken down by *region*: one region per batch for the
+//! LevelArray, plus its backup array, or a single region for the flat
+//! baselines.  The healing experiment (paper Figure 3) plots exactly this
+//! census over time, and the balance definitions of §5 are predicates over it
+//! (see [`crate::balance`]).
+
+use std::fmt;
+
+/// Identifies a region of an activity array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Batch `i` of a LevelArray's main array.
+    Batch(usize),
+    /// The LevelArray's sequential backup array.
+    Backup,
+    /// The whole array of a structure that has no internal levels.
+    Whole,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::Batch(i) => write!(f, "batch {i}"),
+            Region::Backup => write!(f, "backup"),
+            Region::Whole => write!(f, "whole array"),
+        }
+    }
+}
+
+/// The census of one region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionOccupancy {
+    region: Region,
+    capacity: usize,
+    occupied: usize,
+}
+
+impl RegionOccupancy {
+    /// Creates a census entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `occupied > capacity`.
+    pub fn new(region: Region, capacity: usize, occupied: usize) -> Self {
+        assert!(
+            occupied <= capacity,
+            "occupied ({occupied}) cannot exceed capacity ({capacity}) in {region}"
+        );
+        RegionOccupancy {
+            region,
+            capacity,
+            occupied,
+        }
+    }
+
+    /// Which region this entry describes.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Number of slots in the region.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of held slots observed.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Fraction of the region's slots that were held (0 for an empty region).
+    pub fn fill_fraction(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.occupied as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// A point-in-time census of an entire activity array.
+///
+/// Snapshots are *not* atomic: they are assembled from individual slot reads,
+/// exactly like a `Collect`.  Under concurrent modification the per-region
+/// counts are approximations; in the single-threaded simulator they are exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancySnapshot {
+    regions: Vec<RegionOccupancy>,
+}
+
+impl OccupancySnapshot {
+    /// Builds a snapshot from region entries.
+    pub fn new(regions: Vec<RegionOccupancy>) -> Self {
+        OccupancySnapshot { regions }
+    }
+
+    /// The per-region census entries, in array order.
+    pub fn regions(&self) -> &[RegionOccupancy] {
+        &self.regions
+    }
+
+    /// Total capacity across all regions.
+    pub fn total_capacity(&self) -> usize {
+        self.regions.iter().map(|r| r.capacity()).sum()
+    }
+
+    /// Total held slots across all regions.
+    pub fn total_occupied(&self) -> usize {
+        self.regions.iter().map(|r| r.occupied()).sum()
+    }
+
+    /// Overall fill fraction.
+    pub fn fill_fraction(&self) -> f64 {
+        let cap = self.total_capacity();
+        if cap == 0 {
+            0.0
+        } else {
+            self.total_occupied() as f64 / cap as f64
+        }
+    }
+
+    /// The census entry for batch `i` of the main array, if present.
+    pub fn batch(&self, i: usize) -> Option<&RegionOccupancy> {
+        self.regions
+            .iter()
+            .find(|r| r.region() == Region::Batch(i))
+    }
+
+    /// The number of batch regions present in the snapshot.
+    pub fn num_batches(&self) -> usize {
+        self.regions
+            .iter()
+            .filter(|r| matches!(r.region(), Region::Batch(_)))
+            .count()
+    }
+
+    /// The census entry for the backup array, if the structure has one.
+    pub fn backup(&self) -> Option<&RegionOccupancy> {
+        self.regions.iter().find(|r| r.region() == Region::Backup)
+    }
+
+    /// Per-batch fill fractions, in batch order — the series plotted in the
+    /// paper's Figure 3.
+    pub fn batch_fill_fractions(&self) -> Vec<f64> {
+        (0..self.num_batches())
+            .map(|i| self.batch(i).map(|r| r.fill_fraction()).unwrap_or(0.0))
+            .collect()
+    }
+}
+
+impl fmt::Display for OccupancySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} occupied",
+            self.total_occupied(),
+            self.total_capacity()
+        )?;
+        for r in &self.regions {
+            write!(
+                f,
+                "; {}: {}/{}",
+                r.region(),
+                r.occupied(),
+                r.capacity()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OccupancySnapshot {
+        OccupancySnapshot::new(vec![
+            RegionOccupancy::new(Region::Batch(0), 96, 48),
+            RegionOccupancy::new(Region::Batch(1), 16, 8),
+            RegionOccupancy::new(Region::Batch(2), 16, 0),
+            RegionOccupancy::new(Region::Backup, 64, 0),
+        ])
+    }
+
+    #[test]
+    fn totals_are_sums_over_regions() {
+        let s = sample();
+        assert_eq!(s.total_capacity(), 96 + 16 + 16 + 64);
+        assert_eq!(s.total_occupied(), 56);
+        assert!((s.fill_fraction() - 56.0 / 192.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_lookup_and_count() {
+        let s = sample();
+        assert_eq!(s.num_batches(), 3);
+        assert_eq!(s.batch(1).unwrap().occupied(), 8);
+        assert!(s.batch(5).is_none());
+        assert_eq!(s.backup().unwrap().capacity(), 64);
+    }
+
+    #[test]
+    fn fill_fractions_per_batch() {
+        let s = sample();
+        let fractions = s.batch_fill_fractions();
+        assert_eq!(fractions.len(), 3);
+        assert!((fractions[0] - 0.5).abs() < 1e-12);
+        assert!((fractions[1] - 0.5).abs() < 1e-12);
+        assert_eq!(fractions[2], 0.0);
+    }
+
+    #[test]
+    fn empty_regions_have_zero_fill() {
+        let r = RegionOccupancy::new(Region::Whole, 0, 0);
+        assert_eq!(r.fill_fraction(), 0.0);
+        let s = OccupancySnapshot::new(vec![]);
+        assert_eq!(s.fill_fraction(), 0.0);
+        assert_eq!(s.num_batches(), 0);
+        assert!(s.backup().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed capacity")]
+    fn overfull_region_panics() {
+        let _ = RegionOccupancy::new(Region::Batch(0), 4, 5);
+    }
+
+    #[test]
+    fn display_mentions_every_region() {
+        let text = sample().to_string();
+        assert!(text.contains("batch 0"));
+        assert!(text.contains("backup"));
+        assert!(text.contains("56/192"));
+    }
+
+    #[test]
+    fn region_display() {
+        assert_eq!(Region::Batch(3).to_string(), "batch 3");
+        assert_eq!(Region::Backup.to_string(), "backup");
+        assert_eq!(Region::Whole.to_string(), "whole array");
+    }
+}

@@ -1,0 +1,153 @@
+//! The atomic slot: a test-and-set register.
+//!
+//! The paper's abstract algorithm acquires a slot with a *test-and-set* (TAS)
+//! and releases it by resetting the location to 0; its implementation section
+//! notes that the authors used compare-and-swap.  [`Slot`] supports both, and
+//! [`TasKind`] selects which primitive a structure uses (an ablation knob for
+//! the benchmark harness — on most hardware `swap` and `compare_exchange`
+//! behave identically for this workload).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Which hardware primitive `Get` uses to win a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TasKind {
+    /// `compare_exchange(FREE, HELD)` — the paper's implementation choice.
+    #[default]
+    CompareExchange,
+    /// `swap(HELD)` — a pure test-and-set; never fails spuriously but always
+    /// performs a write, even on an already-held slot.
+    Swap,
+}
+
+const FREE: u32 = 0;
+const HELD: u32 = 1;
+
+/// A single activity-array location.
+///
+/// The slot is a one-bit register exposed through atomic operations; it is
+/// deliberately *not* padded to a cache line because the whole point of the
+/// activity array is that `Collect` scans it with good cache behaviour
+/// (paper §1).  False sharing between neighbouring slots is part of the
+/// faithful reproduction; the randomized probing spreads writers out.
+#[derive(Debug, Default)]
+pub struct Slot {
+    state: AtomicU32,
+}
+
+impl Slot {
+    /// Creates a free slot.
+    pub const fn new() -> Self {
+        Slot {
+            state: AtomicU32::new(FREE),
+        }
+    }
+
+    /// Attempts to win the slot with the requested primitive.  Returns `true`
+    /// if this call transitioned the slot from free to held.
+    #[inline]
+    pub fn try_acquire(&self, kind: TasKind) -> bool {
+        match kind {
+            TasKind::CompareExchange => self
+                .state
+                .compare_exchange(FREE, HELD, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok(),
+            TasKind::Swap => self.state.swap(HELD, Ordering::AcqRel) == FREE,
+        }
+    }
+
+    /// Releases the slot.
+    ///
+    /// Returns `true` if the slot was held (the normal case).  A `false`
+    /// return means the caller released a slot that was already free — a
+    /// protocol violation the caller should treat as a bug.
+    #[inline]
+    pub fn release(&self) -> bool {
+        self.state.swap(FREE, Ordering::AcqRel) == HELD
+    }
+
+    /// Reads whether the slot is currently held.
+    ///
+    /// This is the read `Collect` performs; it is a plain acquire load and is
+    /// *not* a snapshot — see the validity property in the crate docs.
+    #[inline]
+    pub fn is_held(&self) -> bool {
+        self.state.load(Ordering::Acquire) == HELD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn new_slot_is_free() {
+        let s = Slot::new();
+        assert!(!s.is_held());
+    }
+
+    #[test]
+    fn acquire_release_cycle_compare_exchange() {
+        let s = Slot::new();
+        assert!(s.try_acquire(TasKind::CompareExchange));
+        assert!(s.is_held());
+        assert!(!s.try_acquire(TasKind::CompareExchange), "second acquire must lose");
+        assert!(s.release());
+        assert!(!s.is_held());
+        assert!(s.try_acquire(TasKind::CompareExchange), "slot is reusable after release");
+    }
+
+    #[test]
+    fn acquire_release_cycle_swap() {
+        let s = Slot::new();
+        assert!(s.try_acquire(TasKind::Swap));
+        assert!(!s.try_acquire(TasKind::Swap));
+        assert!(s.release());
+        assert!(s.try_acquire(TasKind::Swap));
+    }
+
+    #[test]
+    fn release_of_free_slot_reports_false() {
+        let s = Slot::new();
+        assert!(!s.release());
+    }
+
+    #[test]
+    fn default_matches_new() {
+        let s = Slot::default();
+        assert!(!s.is_held());
+    }
+
+    #[test]
+    fn mixed_primitives_interoperate() {
+        let s = Slot::new();
+        assert!(s.try_acquire(TasKind::Swap));
+        assert!(!s.try_acquire(TasKind::CompareExchange));
+        assert!(s.release());
+        assert!(s.try_acquire(TasKind::CompareExchange));
+        assert!(!s.try_acquire(TasKind::Swap));
+    }
+
+    /// Exactly one of many concurrent acquirers can win a free slot.
+    #[test]
+    fn concurrent_acquire_has_a_unique_winner() {
+        for kind in [TasKind::CompareExchange, TasKind::Swap] {
+            let slot = Arc::new(Slot::new());
+            let winners = Arc::new(AtomicUsize::new(0));
+            std::thread::scope(|scope| {
+                for _ in 0..8 {
+                    let slot = Arc::clone(&slot);
+                    let winners = Arc::clone(&winners);
+                    scope.spawn(move || {
+                        if slot.try_acquire(kind) {
+                            winners.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(winners.load(Ordering::Relaxed), 1, "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Per-operation and aggregated probe statistics.
+//!
+//! The paper's evaluation (§6, Figure 2) reports four quantities per
+//! algorithm: throughput, the *average* number of trials (probes) per `Get`,
+//! the *standard deviation* of that number, and the *worst case* observed.
+//! [`GetStats`] accumulates exactly those, plus the full probe-count histogram
+//! and the distribution of the batch in which operations stopped, which the
+//! healing analysis (Figure 3) needs.
+//!
+//! Recorders are cheap plain structs: each worker thread keeps its own and the
+//! harness merges them at the end ([`GetStats::merge`]), so recording never
+//! adds synchronization to the hot path being measured.
+
+use crate::array::Acquired;
+
+/// Probe counts at or above this value are clamped into the histogram's last
+/// (overflow) bucket.  The paper's worst case over ~10⁹ operations is 6, so 64
+/// buckets is generous.
+pub const PROBE_HISTOGRAM_BUCKETS: usize = 64;
+
+/// Aggregated statistics over a sequence of `Get` operations.
+///
+/// # Examples
+///
+/// ```
+/// use levelarray::{ActivityArray, GetStats, LevelArray};
+/// use larng::default_rng;
+///
+/// let array = LevelArray::new(8);
+/// let mut rng = default_rng(1);
+/// let mut stats = GetStats::new();
+/// for _ in 0..100 {
+///     let got = array.get(&mut rng);
+///     stats.record(&got);
+///     array.free(got.name());
+/// }
+/// assert_eq!(stats.operations(), 100);
+/// assert!(stats.mean_probes() >= 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GetStats {
+    operations: u64,
+    probe_sum: u64,
+    probe_sq_sum: u128,
+    max_probes: u32,
+    backup_operations: u64,
+    probe_histogram: Vec<u64>,
+    batch_histogram: Vec<u64>,
+}
+
+impl GetStats {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        GetStats {
+            operations: 0,
+            probe_sum: 0,
+            probe_sq_sum: 0,
+            max_probes: 0,
+            backup_operations: 0,
+            probe_histogram: vec![0; PROBE_HISTOGRAM_BUCKETS + 1],
+            batch_histogram: Vec::new(),
+        }
+    }
+
+    /// Records one completed `Get`.
+    pub fn record(&mut self, acquired: &Acquired) {
+        self.record_parts(acquired.probes(), acquired.batch(), acquired.used_backup());
+    }
+
+    /// Records a `Get` described by its raw measurements.  `batch` is the
+    /// batch in which the operation stopped (`None` when it fell through to
+    /// the backup array).
+    pub fn record_parts(&mut self, probes: u32, batch: Option<usize>, used_backup: bool) {
+        self.operations += 1;
+        self.probe_sum += u64::from(probes);
+        self.probe_sq_sum += u128::from(probes) * u128::from(probes);
+        self.max_probes = self.max_probes.max(probes);
+        if used_backup {
+            self.backup_operations += 1;
+        }
+        let bucket = (probes as usize).min(PROBE_HISTOGRAM_BUCKETS);
+        self.probe_histogram[bucket] += 1;
+        if let Some(b) = batch {
+            if self.batch_histogram.len() <= b {
+                self.batch_histogram.resize(b + 1, 0);
+            }
+            self.batch_histogram[b] += 1;
+        }
+    }
+
+    /// Merges another recorder into this one (used to combine per-thread
+    /// recorders).
+    pub fn merge(&mut self, other: &GetStats) {
+        self.operations += other.operations;
+        self.probe_sum += other.probe_sum;
+        self.probe_sq_sum += other.probe_sq_sum;
+        self.max_probes = self.max_probes.max(other.max_probes);
+        self.backup_operations += other.backup_operations;
+        for (a, b) in self.probe_histogram.iter_mut().zip(&other.probe_histogram) {
+            *a += b;
+        }
+        if self.batch_histogram.len() < other.batch_histogram.len() {
+            self.batch_histogram.resize(other.batch_histogram.len(), 0);
+        }
+        for (i, &b) in other.batch_histogram.iter().enumerate() {
+            self.batch_histogram[i] += b;
+        }
+    }
+
+    /// Number of `Get` operations recorded.
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// Total number of probes across all recorded operations.
+    pub fn total_probes(&self) -> u64 {
+        self.probe_sum
+    }
+
+    /// Mean probes per `Get` (the paper's "average number of trials").
+    /// Returns 0 when nothing has been recorded.
+    pub fn mean_probes(&self) -> f64 {
+        if self.operations == 0 {
+            0.0
+        } else {
+            self.probe_sum as f64 / self.operations as f64
+        }
+    }
+
+    /// Population standard deviation of probes per `Get`.
+    pub fn stddev_probes(&self) -> f64 {
+        if self.operations == 0 {
+            return 0.0;
+        }
+        let n = self.operations as f64;
+        let mean = self.mean_probes();
+        let mean_sq = self.probe_sq_sum as f64 / n;
+        (mean_sq - mean * mean).max(0.0).sqrt()
+    }
+
+    /// The worst case (maximum probes in a single `Get`).
+    pub fn max_probes(&self) -> u32 {
+        self.max_probes
+    }
+
+    /// Number of operations that fell through to the backup array.
+    pub fn backup_operations(&self) -> u64 {
+        self.backup_operations
+    }
+
+    /// The probe-count histogram: entry `i` counts operations that used
+    /// exactly `i` probes; the final entry is an overflow bucket.
+    pub fn probe_histogram(&self) -> &[u64] {
+        &self.probe_histogram
+    }
+
+    /// The stopping-batch histogram: entry `b` counts operations that acquired
+    /// their slot in batch `b` of the main array.
+    pub fn batch_histogram(&self) -> &[u64] {
+        &self.batch_histogram
+    }
+
+    /// A compact summary of the Figure-2 quantities.
+    pub fn summary(&self) -> StatsSummary {
+        StatsSummary {
+            operations: self.operations,
+            mean_probes: self.mean_probes(),
+            stddev_probes: self.stddev_probes(),
+            max_probes: self.max_probes,
+            backup_fraction: if self.operations == 0 {
+                0.0
+            } else {
+                self.backup_operations as f64 / self.operations as f64
+            },
+        }
+    }
+}
+
+impl Default for GetStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The Figure-2 quantities for one run of one algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSummary {
+    /// Number of `Get` operations.
+    pub operations: u64,
+    /// Mean probes per `Get`.
+    pub mean_probes: f64,
+    /// Population standard deviation of probes per `Get`.
+    pub stddev_probes: f64,
+    /// Maximum probes observed in a single `Get`.
+    pub max_probes: u32,
+    /// Fraction of operations that needed the backup array.
+    pub backup_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_raw(stats: &mut GetStats, probes: u32, batch: usize) {
+        stats.record_parts(probes, Some(batch), false);
+    }
+
+    #[test]
+    fn empty_stats_are_all_zero() {
+        let s = GetStats::new();
+        assert_eq!(s.operations(), 0);
+        assert_eq!(s.mean_probes(), 0.0);
+        assert_eq!(s.stddev_probes(), 0.0);
+        assert_eq!(s.max_probes(), 0);
+        assert_eq!(s.summary().backup_fraction, 0.0);
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let mut s = GetStats::new();
+        for p in [1u32, 2, 3, 6] {
+            record_raw(&mut s, p, 0);
+        }
+        assert_eq!(s.operations(), 4);
+        assert_eq!(s.total_probes(), 12);
+        assert!((s.mean_probes() - 3.0).abs() < 1e-12);
+        assert_eq!(s.max_probes(), 6);
+    }
+
+    #[test]
+    fn stddev_matches_direct_computation() {
+        let samples = [1u32, 1, 2, 5, 9, 3, 3, 1];
+        let mut s = GetStats::new();
+        for &p in &samples {
+            record_raw(&mut s, p, 0);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert!((s.stddev_probes() - var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut s = GetStats::new();
+        record_raw(&mut s, 1, 0);
+        record_raw(&mut s, 1, 0);
+        record_raw(&mut s, 5, 1);
+        record_raw(&mut s, PROBE_HISTOGRAM_BUCKETS as u32 + 10, 2);
+        assert_eq!(s.probe_histogram()[1], 2);
+        assert_eq!(s.probe_histogram()[5], 1);
+        assert_eq!(s.probe_histogram()[PROBE_HISTOGRAM_BUCKETS], 1);
+        assert_eq!(s.batch_histogram(), &[2, 1, 1]);
+    }
+
+    #[test]
+    fn backup_operations_are_counted() {
+        let mut s = GetStats::new();
+        s.record_parts(40, None, true);
+        s.record_parts(1, Some(0), false);
+        assert_eq!(s.backup_operations(), 1);
+        assert!((s.summary().backup_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_everything_in_one() {
+        let samples_a = [1u32, 2, 3, 4];
+        let samples_b = [2u32, 2, 7];
+        let mut a = GetStats::new();
+        let mut b = GetStats::new();
+        let mut combined = GetStats::new();
+        for &p in &samples_a {
+            record_raw(&mut a, p, (p % 3) as usize);
+            record_raw(&mut combined, p, (p % 3) as usize);
+        }
+        for &p in &samples_b {
+            record_raw(&mut b, p, (p % 2) as usize);
+            record_raw(&mut combined, p, (p % 2) as usize);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = GetStats::new();
+        record_raw(&mut a, 3, 1);
+        let before = a.clone();
+        a.merge(&GetStats::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn summary_reports_figure2_quantities() {
+        let mut s = GetStats::new();
+        for p in [1u32, 1, 2] {
+            record_raw(&mut s, p, 0);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.operations, 3);
+        assert_eq!(sum.max_probes, 2);
+        assert!((sum.mean_probes - 4.0 / 3.0).abs() < 1e-12);
+    }
+}

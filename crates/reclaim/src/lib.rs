@@ -1,0 +1,50 @@
+//! # la-reclaim — activity-array-driven memory reclamation
+//!
+//! The LevelArray paper's flagship motivating application (§1) is memory
+//! management for lock-free data structures: worker threads must *register*
+//! before operating on the structure and *deregister* afterwards, while a
+//! reclaimer periodically *collects* the set of registered operations to
+//! decide which retired nodes can safely be freed (Dragojević et al.'s
+//! *dynamic collect* formulation, [17] in the paper).  Registration is on the
+//! hot path of every operation, which is why the activity array's `Get`/`Free`
+//! cost matters so much.
+//!
+//! This crate provides:
+//!
+//! * [`ReclaimDomain`] — a reclamation domain built on any
+//!   [`levelarray::ActivityArray`]: pin/unpin (register/deregister), retire,
+//!   and collect-based grace-period detection.
+//! * [`TreiberStack`] — a classic lock-free stack whose nodes are reclaimed
+//!   through a domain, exercising the registration path exactly the way the
+//!   paper describes.
+//!
+//! ```
+//! use la_reclaim::{ReclaimDomain, TreiberStack};
+//! use levelarray::LevelArray;
+//! use larng::default_rng;
+//! use std::sync::Arc;
+//!
+//! let domain = Arc::new(ReclaimDomain::new(Arc::new(LevelArray::new(8))));
+//! let stack = TreiberStack::new(Arc::clone(&domain));
+//! let mut rng = default_rng(1);
+//!
+//! stack.push(1, &mut rng);
+//! stack.push(2, &mut rng);
+//! assert_eq!(stack.pop(&mut rng), Some(2));
+//! assert_eq!(stack.pop(&mut rng), Some(1));
+//! assert_eq!(stack.pop(&mut rng), None);
+//!
+//! // Once nothing is pinned, a reclamation pass frees every retired node.
+//! let freed = domain.try_reclaim();
+//! assert_eq!(freed, 2);
+//! assert_eq!(domain.stats().in_limbo, 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod domain;
+pub mod stack;
+
+pub use domain::{DomainStats, OperationGuard, ReclaimDomain};
+pub use stack::TreiberStack;

@@ -1,0 +1,172 @@
+//! Time-series data produced by simulations and the summary statistics the
+//! paper's analysis section talks about (balance over time, time-to-balance).
+
+use levelarray::balance::BalanceReport;
+use levelarray::OccupancySnapshot;
+
+/// One sampled census of the array during an execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupancySample {
+    /// Number of completed `Get`+`Free` operations when the sample was taken.
+    pub ops_completed: u64,
+    /// Fill fraction of each batch of the main array, in batch order (the
+    /// series plotted in the paper's Figure 3).
+    pub batch_fill: Vec<f64>,
+    /// Total number of held slots.
+    pub total_occupied: usize,
+    /// Whether the array was fully balanced (Definition 2) at this sample.
+    pub fully_balanced: bool,
+}
+
+impl OccupancySample {
+    /// Builds a sample from a snapshot, evaluating balance for contention
+    /// bound `n`.
+    pub fn from_snapshot(ops_completed: u64, snapshot: &OccupancySnapshot, n: usize) -> Self {
+        let report = BalanceReport::from_snapshot(snapshot, n);
+        OccupancySample {
+            ops_completed,
+            batch_fill: snapshot.batch_fill_fractions(),
+            total_occupied: snapshot.total_occupied(),
+            fully_balanced: report.is_fully_balanced(),
+        }
+    }
+}
+
+/// Aggregated balance information over an execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BalanceTimeline {
+    /// How many times balance was evaluated.
+    pub checks: u64,
+    /// How many of those evaluations found the array *not* fully balanced.
+    pub unbalanced_checks: u64,
+    /// The operation count at the first unbalanced evaluation, if any.
+    pub first_unbalanced_at: Option<u64>,
+    /// The operation count at the last unbalanced evaluation, if any.
+    pub last_unbalanced_at: Option<u64>,
+}
+
+impl BalanceTimeline {
+    /// Records one balance evaluation taken after `ops_completed` operations.
+    pub fn record(&mut self, ops_completed: u64, fully_balanced: bool) {
+        self.checks += 1;
+        if !fully_balanced {
+            self.unbalanced_checks += 1;
+            if self.first_unbalanced_at.is_none() {
+                self.first_unbalanced_at = Some(ops_completed);
+            }
+            self.last_unbalanced_at = Some(ops_completed);
+        }
+    }
+
+    /// Fraction of evaluations at which the array was fully balanced
+    /// (1.0 when no evaluations were made).
+    pub fn balanced_fraction(&self) -> f64 {
+        if self.checks == 0 {
+            1.0
+        } else {
+            1.0 - self.unbalanced_checks as f64 / self.checks as f64
+        }
+    }
+
+    /// Whether the array was fully balanced at every evaluation.
+    pub fn always_balanced(&self) -> bool {
+        self.unbalanced_checks == 0
+    }
+}
+
+/// The first operation count from which every subsequent sample is fully
+/// balanced — the empirical "time to re-balance" of the healing experiment
+/// (`None` if the final sample is still unbalanced, `Some(0)` if every sample
+/// is balanced).
+pub fn ops_until_stably_balanced(samples: &[OccupancySample]) -> Option<u64> {
+    if samples.is_empty() {
+        return Some(0);
+    }
+    let mut boundary = None;
+    for sample in samples {
+        if sample.fully_balanced {
+            if boundary.is_none() {
+                boundary = Some(sample.ops_completed);
+            }
+        } else {
+            boundary = None;
+        }
+    }
+    boundary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levelarray::{Region, RegionOccupancy};
+
+    fn snapshot(batch_occ: &[(usize, usize)]) -> OccupancySnapshot {
+        OccupancySnapshot::new(
+            batch_occ
+                .iter()
+                .enumerate()
+                .map(|(i, &(cap, occ))| RegionOccupancy::new(Region::Batch(i), cap, occ))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn sample_captures_fill_and_balance() {
+        // n = 1024; batch 1 overcrowded (>= 128 held).
+        let snap = snapshot(&[(1536, 100), (256, 200), (128, 0)]);
+        let sample = OccupancySample::from_snapshot(10, &snap, 1024);
+        assert_eq!(sample.ops_completed, 10);
+        assert_eq!(sample.total_occupied, 300);
+        assert!(!sample.fully_balanced);
+        assert!((sample.batch_fill[1] - 200.0 / 256.0).abs() < 1e-12);
+
+        let ok = OccupancySample::from_snapshot(20, &snapshot(&[(1536, 100), (256, 10)]), 1024);
+        assert!(ok.fully_balanced);
+    }
+
+    #[test]
+    fn timeline_tracks_first_and_last_unbalanced() {
+        let mut t = BalanceTimeline::default();
+        t.record(1, true);
+        t.record(2, false);
+        t.record(3, true);
+        t.record(4, false);
+        t.record(5, true);
+        assert_eq!(t.checks, 5);
+        assert_eq!(t.unbalanced_checks, 2);
+        assert_eq!(t.first_unbalanced_at, Some(2));
+        assert_eq!(t.last_unbalanced_at, Some(4));
+        assert!(!t.always_balanced());
+        assert!((t.balanced_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_timeline_is_vacuously_balanced() {
+        let t = BalanceTimeline::default();
+        assert!(t.always_balanced());
+        assert_eq!(t.balanced_fraction(), 1.0);
+        assert_eq!(t.first_unbalanced_at, None);
+    }
+
+    #[test]
+    fn stable_balance_boundary() {
+        let make = |ops: u64, balanced: bool| OccupancySample {
+            ops_completed: ops,
+            batch_fill: vec![],
+            total_occupied: 0,
+            fully_balanced: balanced,
+        };
+        // Unbalanced, unbalanced, balanced from 3000 onward.
+        let samples = vec![make(1000, false), make(2000, false), make(3000, true), make(4000, true)];
+        assert_eq!(ops_until_stably_balanced(&samples), Some(3000));
+        // A relapse resets the boundary.
+        let relapse = vec![make(1000, true), make(2000, false), make(3000, true)];
+        assert_eq!(ops_until_stably_balanced(&relapse), Some(3000));
+        // Still unbalanced at the end.
+        let bad = vec![make(1000, true), make(2000, false)];
+        assert_eq!(ops_until_stably_balanced(&bad), None);
+        // Trivial cases.
+        assert_eq!(ops_until_stably_balanced(&[]), Some(0));
+        assert_eq!(ops_until_stably_balanced(&[make(5, true)]), Some(5));
+    }
+}

@@ -1,0 +1,522 @@
+//! The sequential execution engine: runs well-formed process inputs against
+//! any [`ActivityArray`] under a fixed (oblivious-adversary) schedule, checking
+//! the renaming correctness properties and recording the quantities the
+//! paper's analysis is about.
+//!
+//! The engine schedules whole *method calls* rather than individual memory
+//! operations: because it is sequential, every call is atomic and the
+//! linearization order equals the schedule order, which is the natural setting
+//! in which to evaluate the analysis quantities (probes per `Get`, balance at
+//! linearization points).  `Call` steps advance time without touching the
+//! array, exactly as in the paper's model.
+
+use larng::{DefaultRng, SeedSequence};
+use levelarray::balance::BalanceReport;
+use levelarray::{ActivityArray, GetStats, Name, OccupancySnapshot};
+
+use crate::analysis::{BalanceTimeline, OccupancySample};
+use crate::process::{Op, ProcessId, ProcessInput};
+use crate::schedule::Schedule;
+
+/// Tuning knobs for a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Master seed from which every process's generator is derived.
+    pub master_seed: u64,
+    /// Take an occupancy sample every this many completed `Get`/`Free`
+    /// operations (`None` disables sampling).
+    pub snapshot_every: Option<u64>,
+    /// Evaluate the balance definitions after every this many completed
+    /// `Get`/`Free` operations (`None` disables balance tracking).
+    pub balance_every: Option<u64>,
+    /// Contention bound used for the balance definitions; `None` uses the
+    /// array's own `max_participants()`.
+    pub contention_bound: Option<usize>,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            master_seed: 0,
+            snapshot_every: None,
+            balance_every: Some(1),
+            contention_bound: None,
+        }
+    }
+}
+
+/// A correctness violation observed during a simulation.
+///
+/// A correct implementation never produces any; the simulator reports rather
+/// than panics so that tests can assert on the full list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two processes held the same name simultaneously.
+    DuplicateName {
+        /// The name handed out twice.
+        name: Name,
+        /// The process that just received it.
+        process: ProcessId,
+        /// The process that already held it.
+        holder: ProcessId,
+        /// Schedule position at which this happened.
+        time: usize,
+    },
+    /// `try_get` reported exhaustion although the contention bound was
+    /// respected.
+    SpuriousExhaustion {
+        /// The process whose `Get` failed.
+        process: ProcessId,
+        /// Schedule position at which this happened.
+        time: usize,
+        /// Number of names held across all processes at that moment.
+        held: usize,
+    },
+    /// `collect` returned a name no process held (validity violation — exact
+    /// in a sequential execution).
+    InvalidCollect {
+        /// The invalid name.
+        name: Name,
+        /// Schedule position at which this happened.
+        time: usize,
+    },
+}
+
+/// The outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Number of schedule steps actually consumed (idle steps included).
+    pub steps: usize,
+    /// Number of completed `Get` operations.
+    pub gets: u64,
+    /// Number of completed `Free` operations.
+    pub frees: u64,
+    /// Number of completed `Collect` operations.
+    pub collects: u64,
+    /// Number of `Call` steps.
+    pub calls: u64,
+    /// Number of steps at which the scheduled process had exhausted its input.
+    pub idle_steps: u64,
+    /// Probe statistics over all `Get` operations.
+    pub get_stats: GetStats,
+    /// Correctness violations (empty for a correct implementation).
+    pub violations: Vec<Violation>,
+    /// Periodic occupancy samples (see [`SimulationConfig::snapshot_every`]).
+    pub samples: Vec<OccupancySample>,
+    /// Balance evaluations (see [`SimulationConfig::balance_every`]).
+    pub balance: BalanceTimeline,
+    /// The array census after the last step.
+    pub final_occupancy: OccupancySnapshot,
+    /// Names still held per process at the end (index = process id).
+    pub final_holdings: Vec<Option<Name>>,
+}
+
+impl SimulationReport {
+    /// Convenience: `gets + frees`.
+    pub fn array_operations(&self) -> u64 {
+        self.gets + self.frees
+    }
+
+    /// Whether the run completed with no correctness violations.
+    pub fn is_correct(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+struct ProcessState {
+    input: ProcessInput,
+    cursor: usize,
+    holding: Option<Name>,
+    rng: DefaultRng,
+}
+
+/// A single simulation: one array, one set of process inputs, one schedule.
+pub struct Simulation<'a> {
+    array: &'a dyn ActivityArray,
+    processes: Vec<ProcessState>,
+    schedule: Schedule,
+    config: SimulationConfig,
+}
+
+impl std::fmt::Debug for Simulation<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("algorithm", &self.array.algorithm_name())
+            .field("processes", &self.processes.len())
+            .field("schedule_len", &self.schedule.len())
+            .finish()
+    }
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs does not match the schedule's process
+    /// count, or if more processes are given than the array's contention
+    /// bound (the model requires `processes ≤ n`).
+    pub fn new(
+        array: &'a dyn ActivityArray,
+        inputs: Vec<ProcessInput>,
+        schedule: Schedule,
+        config: SimulationConfig,
+    ) -> Self {
+        assert_eq!(
+            inputs.len(),
+            schedule.num_processes(),
+            "need exactly one input per scheduled process"
+        );
+        assert!(
+            inputs.len() <= array.max_participants(),
+            "{} processes exceed the array's contention bound {}",
+            inputs.len(),
+            array.max_participants()
+        );
+        let mut seeds = SeedSequence::new(config.master_seed);
+        let processes = inputs
+            .into_iter()
+            .map(|input| ProcessState {
+                input,
+                cursor: 0,
+                holding: None,
+                rng: larng::default_rng(seeds.next_seed()),
+            })
+            .collect();
+        Simulation {
+            array,
+            processes,
+            schedule,
+            config,
+        }
+    }
+
+    /// Runs the whole schedule and returns the report.
+    pub fn run(mut self) -> SimulationReport {
+        let n = self
+            .config
+            .contention_bound
+            .unwrap_or_else(|| self.array.max_participants());
+
+        let mut report = SimulationReport {
+            steps: 0,
+            gets: 0,
+            frees: 0,
+            collects: 0,
+            calls: 0,
+            idle_steps: 0,
+            get_stats: GetStats::new(),
+            violations: Vec::new(),
+            samples: Vec::new(),
+            balance: BalanceTimeline::default(),
+            final_occupancy: self.array.occupancy(),
+            final_holdings: Vec::new(),
+        };
+
+        // Ownership model: which process currently holds which name.  The
+        // simulator maintains it independently of the array so that it can
+        // detect duplicate handouts and invalid collects.
+        let mut holder_of: std::collections::HashMap<Name, ProcessId> =
+            std::collections::HashMap::new();
+
+        let schedule_steps: Vec<ProcessId> = self.schedule.steps().to_vec();
+        for (time, pid) in schedule_steps.into_iter().enumerate() {
+            report.steps += 1;
+            let state = &mut self.processes[pid.index()];
+            let Some(op) = state.input.ops().get(state.cursor).copied() else {
+                report.idle_steps += 1;
+                continue;
+            };
+            state.cursor += 1;
+
+            match op {
+                Op::Get => {
+                    debug_assert!(state.holding.is_none(), "input validated as well-formed");
+                    match self.array.try_get(&mut state.rng) {
+                        Some(got) => {
+                            report.gets += 1;
+                            report.get_stats.record(&got);
+                            state.holding = Some(got.name());
+                            if let Some(&holder) = holder_of.get(&got.name()) {
+                                report.violations.push(Violation::DuplicateName {
+                                    name: got.name(),
+                                    process: pid,
+                                    holder,
+                                    time,
+                                });
+                            }
+                            holder_of.insert(got.name(), pid);
+                        }
+                        None => {
+                            report.violations.push(Violation::SpuriousExhaustion {
+                                process: pid,
+                                time,
+                                held: holder_of.len(),
+                            });
+                        }
+                    }
+                }
+                Op::Free => {
+                    // A failed (spuriously exhausted) Get leaves nothing to
+                    // free; the violation was already recorded there.
+                    if let Some(name) = state.holding.take() {
+                        self.array.free(name);
+                        holder_of.remove(&name);
+                        report.frees += 1;
+                    }
+                }
+                Op::Collect => {
+                    report.collects += 1;
+                    for name in self.array.collect() {
+                        if !holder_of.contains_key(&name) {
+                            report
+                                .violations
+                                .push(Violation::InvalidCollect { name, time });
+                        }
+                    }
+                }
+                Op::Call => {
+                    report.calls += 1;
+                }
+            }
+
+            // Periodic measurements keyed on completed array operations.
+            if matches!(op, Op::Get | Op::Free) {
+                let ops = report.gets + report.frees;
+                if let Some(every) = self.config.balance_every {
+                    if every > 0 && ops % every == 0 {
+                        let balanced =
+                            BalanceReport::from_snapshot(&self.array.occupancy(), n)
+                                .is_fully_balanced();
+                        report.balance.record(ops, balanced);
+                    }
+                }
+                if let Some(every) = self.config.snapshot_every {
+                    if every > 0 && ops % every == 0 {
+                        report.samples.push(OccupancySample::from_snapshot(
+                            ops,
+                            &self.array.occupancy(),
+                            n,
+                        ));
+                    }
+                }
+            }
+        }
+
+        report.final_occupancy = self.array.occupancy();
+        report.final_holdings = self.processes.iter().map(|p| p.holding).collect();
+        report
+    }
+}
+
+/// Convenience driver for the common benchmark-style workload: `processes`
+/// processes each performing `cycles` Get/Free cycles (with `calls_between`
+/// Call steps inside each cycle) under a uniformly random schedule.
+///
+/// Returns the report of a run against `array`.
+pub fn run_uniform_workload(
+    array: &dyn ActivityArray,
+    processes: usize,
+    cycles: usize,
+    calls_between: usize,
+    config: SimulationConfig,
+) -> SimulationReport {
+    let inputs: Vec<ProcessInput> = (0..processes)
+        .map(|_| ProcessInput::get_free_cycles(cycles, calls_between, 0))
+        .collect();
+    let steps_needed: usize = inputs.iter().map(|i| i.len()).sum::<usize>() * 2;
+    let mut schedule_rng = larng::default_rng(config.master_seed ^ 0xABCD_EF01_2345_6789);
+    let schedule = Schedule::uniform_random(processes, steps_needed, &mut schedule_rng);
+    Simulation::new(array, inputs, schedule, config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use larng::RandomSource;
+    use levelarray::LevelArray;
+
+    fn default_config(seed: u64) -> SimulationConfig {
+        SimulationConfig {
+            master_seed: seed,
+            snapshot_every: Some(10),
+            balance_every: Some(1),
+            contention_bound: None,
+        }
+    }
+
+    #[test]
+    fn round_robin_run_completes_all_inputs() {
+        let array = LevelArray::new(4);
+        let inputs: Vec<ProcessInput> = (0..4)
+            .map(|_| ProcessInput::get_free_cycles(10, 1, 5))
+            .collect();
+        let total_ops: usize = inputs.iter().map(|i| i.len()).sum();
+        let schedule = Schedule::round_robin(4, total_ops);
+        let report = Simulation::new(&array, inputs, schedule, default_config(1)).run();
+
+        assert!(report.is_correct(), "{:?}", report.violations);
+        assert_eq!(report.gets, 40);
+        assert_eq!(report.frees, 40);
+        assert_eq!(report.collects, 4 * 2);
+        assert_eq!(report.calls, 40);
+        assert_eq!(report.idle_steps, 0);
+        assert_eq!(report.get_stats.operations(), 40);
+        assert_eq!(report.final_occupancy.total_occupied(), 0);
+        assert!(report.final_holdings.iter().all(Option::is_none));
+        assert!(!report.samples.is_empty());
+    }
+
+    #[test]
+    fn schedule_longer_than_inputs_counts_idle_steps() {
+        let array = LevelArray::new(2);
+        let inputs = vec![
+            ProcessInput::get_free_cycles(1, 0, 0),
+            ProcessInput::get_free_cycles(1, 0, 0),
+        ];
+        let schedule = Schedule::round_robin(2, 20);
+        let report = Simulation::new(&array, inputs, schedule, default_config(2)).run();
+        assert_eq!(report.gets, 2);
+        assert_eq!(report.frees, 2);
+        assert_eq!(report.idle_steps, 20 - 4);
+    }
+
+    #[test]
+    fn unfinished_gets_remain_held_at_the_end() {
+        let array = LevelArray::new(2);
+        let inputs = vec![ProcessInput::register_forever(), ProcessInput::register_forever()];
+        let schedule = Schedule::round_robin(2, 2);
+        let report = Simulation::new(&array, inputs, schedule, default_config(3)).run();
+        assert_eq!(report.gets, 2);
+        assert_eq!(report.frees, 0);
+        assert_eq!(report.final_occupancy.total_occupied(), 2);
+        assert!(report.final_holdings.iter().all(Option::is_some));
+        assert!(report.is_correct());
+    }
+
+    #[test]
+    fn balance_is_tracked_and_always_holds_in_typical_runs() {
+        // The formal overcrowding thresholds (Definition 2) are calibrated for
+        // the analysis' c_i >= 16 probes per batch; with the implementation's
+        // single probe per batch they only leave slack when the instantaneous
+        // contention sits below the bound n.  Run 16 processes against an
+        // array provisioned for n = 64 — the realistic "n is an upper bound"
+        // regime — and the array must stay fully balanced throughout.
+        let array = LevelArray::new(64);
+        let report = run_uniform_workload(&array, 16, 20, 2, default_config(4));
+        assert!(report.is_correct());
+        assert!(report.balance.checks > 0);
+        assert!(
+            report.balance.always_balanced(),
+            "typical small runs must stay balanced: {:?}",
+            report.balance
+        );
+    }
+
+    #[test]
+    fn works_against_every_algorithm() {
+        use la_baselines::{LinearProbingArray, LinearScanArray, RandomArray};
+        let arrays: Vec<Box<dyn ActivityArray>> = vec![
+            Box::new(LevelArray::new(8)),
+            Box::new(RandomArray::new(8)),
+            Box::new(LinearProbingArray::new(8)),
+            Box::new(LinearScanArray::new(8)),
+        ];
+        for array in &arrays {
+            let report = run_uniform_workload(array.as_ref(), 8, 25, 1, default_config(5));
+            assert!(report.is_correct(), "{}", array.algorithm_name());
+            assert_eq!(report.gets, 8 * 25, "{}", array.algorithm_name());
+            assert_eq!(report.frees, 8 * 25, "{}", array.algorithm_name());
+            assert!(report.get_stats.mean_probes() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_the_same_seed() {
+        let run = |seed| {
+            let array = LevelArray::new(8);
+            let report = run_uniform_workload(&array, 8, 10, 1, default_config(seed));
+            (
+                report.get_stats.total_probes(),
+                report.get_stats.max_probes(),
+                report.samples.len(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        // Different seeds should (overwhelmingly likely) differ in total probes
+        // or at least produce a valid run; we only assert validity to avoid a
+        // flaky inequality.
+        let _ = run(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per scheduled process")]
+    fn mismatched_inputs_and_schedule_panics() {
+        let array = LevelArray::new(4);
+        let _ = Simulation::new(
+            &array,
+            vec![ProcessInput::register_forever()],
+            Schedule::round_robin(2, 4),
+            SimulationConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the array's contention bound")]
+    fn too_many_processes_panics() {
+        let array = LevelArray::new(2);
+        let inputs = vec![ProcessInput::register_forever(); 3];
+        let _ = Simulation::new(
+            &array,
+            inputs,
+            Schedule::round_robin(3, 3),
+            SimulationConfig::default(),
+        );
+    }
+
+    #[test]
+    fn violations_are_detected_with_a_broken_array() {
+        /// An intentionally broken array that hands out the same name twice.
+        #[derive(Debug)]
+        struct Broken;
+        impl ActivityArray for Broken {
+            fn algorithm_name(&self) -> &'static str {
+                "Broken"
+            }
+            fn try_get(&self, _rng: &mut dyn RandomSource) -> Option<levelarray::Acquired> {
+                Some(levelarray::Acquired::new(Name::new(0), 1, Some(0), false))
+            }
+            fn free(&self, _name: Name) {}
+            fn collect(&self) -> Vec<Name> {
+                // Claims a name nobody holds.
+                vec![Name::new(17)]
+            }
+            fn capacity(&self) -> usize {
+                32
+            }
+            fn max_participants(&self) -> usize {
+                16
+            }
+            fn occupancy(&self) -> OccupancySnapshot {
+                OccupancySnapshot::new(vec![])
+            }
+        }
+
+        let array = Broken;
+        let inputs = vec![
+            ProcessInput::from_ops(vec![Op::Get, Op::Collect]).unwrap(),
+            ProcessInput::from_ops(vec![Op::Get]).unwrap(),
+        ];
+        let schedule = Schedule::round_robin(2, 4);
+        let report = Simulation::new(&array, inputs, schedule, SimulationConfig::default()).run();
+        assert!(!report.is_correct());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateName { .. })));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::InvalidCollect { .. })));
+    }
+}

@@ -1,0 +1,326 @@
+//! The self-healing experiment (paper §5.2 and Figure 3).
+//!
+//! The paper initializes the LevelArray in an *unbalanced* state — batch 0 a
+//! quarter full, batch 1 half full (and therefore overcrowded) — and then runs
+//! a typical register/deregister workload, sampling the per-batch fill every
+//! 4000 operations.  The distribution drifts back to the balanced profile
+//! within a few tens of thousands of operations, faster than the analysis
+//! predicts.  [`HealingExperiment`] reproduces exactly that protocol.
+
+use larng::{default_rng, DefaultRng, RandomSource};
+use levelarray::balance::BalanceReport;
+use levelarray::{ActivityArray, LevelArray, Name};
+
+use crate::analysis::{ops_until_stably_balanced, OccupancySample};
+
+/// How to skew the initial state of the array: the fraction of each batch's
+/// slots to pre-occupy (entries beyond the array's batch count are ignored;
+/// missing entries mean "leave empty").
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnbalanceSpec {
+    /// Fill fraction per batch, in batch order.
+    pub batch_fractions: Vec<f64>,
+}
+
+impl UnbalanceSpec {
+    /// The paper's Figure-3 initial state: batch 0 a quarter full, batch 1
+    /// half full (overcrowded for any realistic `n`).
+    pub fn paper_figure3() -> Self {
+        UnbalanceSpec {
+            batch_fractions: vec![0.25, 0.5],
+        }
+    }
+
+    /// A custom skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is outside `[0, 1]` or not finite.
+    pub fn new(batch_fractions: Vec<f64>) -> Self {
+        for &f in &batch_fractions {
+            assert!(
+                f.is_finite() && (0.0..=1.0).contains(&f),
+                "fill fractions must lie in [0, 1], got {f}"
+            );
+        }
+        UnbalanceSpec { batch_fractions }
+    }
+}
+
+/// Forces `array` into the skewed state described by `spec` by directly
+/// occupying randomly chosen slots of each batch.  Returns the occupied names
+/// (which the healing workload will treat as held by its simulated threads).
+///
+/// The slots are chosen uniformly at random *within* each batch so that the
+/// skew is in the batch totals, not in any particular slot pattern.
+pub fn force_unbalanced(
+    array: &LevelArray,
+    spec: &UnbalanceSpec,
+    rng: &mut dyn RandomSource,
+) -> Vec<Name> {
+    let mut held = Vec::new();
+    for (batch, &fraction) in spec.batch_fractions.iter().enumerate() {
+        if batch >= array.geometry().num_batches() {
+            break;
+        }
+        let range = array.geometry().batch_range(batch);
+        let mut slots: Vec<usize> = range.collect();
+        shuffle_indices(rng, &mut slots);
+        let target = ((slots.len() as f64) * fraction).round() as usize;
+        for &idx in slots.iter().take(target) {
+            let name = Name::new(idx);
+            if array.force_occupy(name) {
+                held.push(name);
+            }
+        }
+    }
+    held
+}
+
+/// Fisher–Yates shuffle usable through a `&mut dyn RandomSource`
+/// (the trait's own `shuffle` helper requires `Self: Sized`).
+fn shuffle_indices(rng: &mut dyn RandomSource, slice: &mut [usize]) {
+    for i in (1..slice.len()).rev() {
+        let j = rng.gen_index(i + 1);
+        slice.swap(i, j);
+    }
+}
+
+/// Configuration of a healing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealingExperiment {
+    /// Contention bound `n` of the LevelArray under test.
+    pub contention_bound: usize,
+    /// Number of simulated threads issuing Get/Free traffic.  Each holds at
+    /// most one name at a time, in addition to the pre-occupied skew which is
+    /// drained as the run progresses.
+    pub workers: usize,
+    /// Total number of Get/Free operations to run.
+    pub total_ops: u64,
+    /// Take an occupancy snapshot every this many operations (paper: 4000).
+    pub snapshot_every: u64,
+    /// The initial skew.
+    pub spec: UnbalanceSpec,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of operations that release one of the pre-occupied ("ghost")
+    /// names instead of a worker's own name, draining the skew gradually the
+    /// way real threads deregistering would.  The paper schedules "arbitrarily
+    /// chosen operations"; 0.5 reproduces its smooth decay.
+    pub ghost_release_probability: f64,
+}
+
+impl HealingExperiment {
+    /// The paper's Figure-3 setup scaled to contention bound `n`: the skew of
+    /// [`UnbalanceSpec::paper_figure3`], `n/2` workers, 8 snapshot intervals
+    /// of 4000 operations each.
+    pub fn paper_figure3(n: usize, seed: u64) -> Self {
+        HealingExperiment {
+            contention_bound: n,
+            workers: (n / 2).max(1),
+            total_ops: 32_000,
+            snapshot_every: 4_000,
+            spec: UnbalanceSpec::paper_figure3(),
+            seed,
+            ghost_release_probability: 0.5,
+        }
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`, `workers > contention_bound`,
+    /// `snapshot_every == 0`, or the ghost-release probability is outside
+    /// `[0, 1]`.
+    pub fn run(&self) -> HealingReport {
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(
+            self.workers <= self.contention_bound,
+            "workers ({}) exceed the contention bound ({})",
+            self.workers,
+            self.contention_bound
+        );
+        assert!(self.snapshot_every > 0, "snapshot interval must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.ghost_release_probability),
+            "ghost release probability must lie in [0, 1]"
+        );
+
+        let array = LevelArray::new(self.contention_bound);
+        let mut rng: DefaultRng = default_rng(self.seed);
+
+        // Install the skewed initial state.
+        let mut ghosts = force_unbalanced(&array, &self.spec, &mut rng);
+        let initial_snapshot = array.occupancy();
+        let initially_balanced =
+            BalanceReport::from_snapshot(&initial_snapshot, self.contention_bound)
+                .is_fully_balanced();
+        let mut samples = vec![OccupancySample::from_snapshot(
+            0,
+            &initial_snapshot,
+            self.contention_bound,
+        )];
+
+        // Worker-held names (at most one each).
+        let mut worker_names: Vec<Option<Name>> = vec![None; self.workers];
+
+        let mut ops: u64 = 0;
+        while ops < self.total_ops {
+            let worker = rng.gen_index(self.workers);
+            // Decide what this scheduled operation does, mirroring a typical
+            // register/deregister stream: a worker that holds a name frees it,
+            // one that does not registers; with some probability the "free"
+            // instead drains one of the ghost holdings left over from the
+            // skewed initial state.
+            if !ghosts.is_empty() && rng.gen_bool(self.ghost_release_probability) {
+                let victim = rng.gen_index(ghosts.len());
+                let name = ghosts.swap_remove(victim);
+                array.free(name);
+            } else if let Some(name) = worker_names[worker].take() {
+                array.free(name);
+            } else {
+                let got = array.get(&mut rng);
+                worker_names[worker] = Some(got.name());
+            }
+            ops += 1;
+
+            if ops % self.snapshot_every == 0 {
+                samples.push(OccupancySample::from_snapshot(
+                    ops,
+                    &array.occupancy(),
+                    self.contention_bound,
+                ));
+            }
+        }
+
+        let final_report =
+            BalanceReport::from_snapshot(&array.occupancy(), self.contention_bound);
+        HealingReport {
+            initially_balanced,
+            finally_balanced: final_report.is_fully_balanced(),
+            ops_to_balance: ops_until_stably_balanced(&samples),
+            samples,
+        }
+    }
+}
+
+/// The outcome of a healing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealingReport {
+    /// Whether the array was (already) fully balanced in its skewed initial
+    /// state — `false` when the spec actually overcrowds a batch.
+    pub initially_balanced: bool,
+    /// Whether the array was fully balanced after the last operation.
+    pub finally_balanced: bool,
+    /// The operation count of the first snapshot from which the array stayed
+    /// balanced for the rest of the run (`None` if it never stabilized).
+    pub ops_to_balance: Option<u64>,
+    /// The snapshot series (first entry = the skewed initial state at 0 ops).
+    pub samples: Vec<OccupancySample>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbalance_spec_validation() {
+        let spec = UnbalanceSpec::new(vec![0.0, 1.0, 0.5]);
+        assert_eq!(spec.batch_fractions.len(), 3);
+        assert_eq!(
+            UnbalanceSpec::paper_figure3().batch_fractions,
+            vec![0.25, 0.5]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn unbalance_spec_rejects_bad_fractions() {
+        let _ = UnbalanceSpec::new(vec![1.5]);
+    }
+
+    #[test]
+    fn force_unbalanced_hits_the_requested_fractions() {
+        let n = 512;
+        let array = LevelArray::new(n);
+        let mut rng = default_rng(1);
+        let spec = UnbalanceSpec::paper_figure3();
+        let held = force_unbalanced(&array, &spec, &mut rng);
+
+        let snap = array.occupancy();
+        let b0 = snap.batch(0).unwrap();
+        let b1 = snap.batch(1).unwrap();
+        assert_eq!(b0.occupied(), (b0.capacity() as f64 * 0.25).round() as usize);
+        assert_eq!(b1.occupied(), (b1.capacity() as f64 * 0.5).round() as usize);
+        assert_eq!(held.len(), b0.occupied() + b1.occupied());
+
+        // Batch 1 holds n/8 slots = 64 >= the overcrowding threshold n/8 = 64,
+        // so the initial state is genuinely unbalanced.
+        let report = BalanceReport::from_snapshot(&snap, n);
+        assert!(!report.is_fully_balanced(), "{report:?}");
+    }
+
+    #[test]
+    fn healing_restores_balance() {
+        let experiment = HealingExperiment {
+            contention_bound: 256,
+            workers: 64,
+            total_ops: 20_000,
+            snapshot_every: 1_000,
+            spec: UnbalanceSpec::paper_figure3(),
+            seed: 42,
+            ghost_release_probability: 0.5,
+        };
+        let report = experiment.run();
+        assert!(!report.initially_balanced, "the skew must start unbalanced");
+        assert!(report.finally_balanced, "the array should have healed");
+        let healed_at = report
+            .ops_to_balance
+            .expect("the array should stabilize within the run");
+        assert!(healed_at <= 20_000);
+        // The fill of batch 1 must end below its starting point.
+        let first = &report.samples[0];
+        let last = report.samples.last().unwrap();
+        assert!(last.batch_fill[1] < first.batch_fill[1]);
+        // Samples are taken at the configured cadence plus the initial one.
+        assert_eq!(report.samples.len(), 1 + 20);
+    }
+
+    #[test]
+    fn paper_figure3_constructor_matches_paper_parameters() {
+        let e = HealingExperiment::paper_figure3(80, 7);
+        assert_eq!(e.total_ops, 32_000);
+        assert_eq!(e.snapshot_every, 4_000);
+        assert_eq!(e.workers, 40);
+        assert_eq!(e.spec, UnbalanceSpec::paper_figure3());
+        let report = e.run();
+        assert_eq!(report.samples.len(), 9);
+        assert!(report.finally_balanced);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the contention bound")]
+    fn too_many_workers_rejected() {
+        let mut e = HealingExperiment::paper_figure3(8, 1);
+        e.workers = 100;
+        let _ = e.run();
+    }
+
+    #[test]
+    fn already_balanced_start_stays_balanced() {
+        let experiment = HealingExperiment {
+            contention_bound: 128,
+            workers: 32,
+            total_ops: 5_000,
+            snapshot_every: 500,
+            spec: UnbalanceSpec::new(vec![0.1]),
+            seed: 3,
+            ghost_release_probability: 0.25,
+        };
+        let report = experiment.run();
+        assert!(report.initially_balanced);
+        assert!(report.finally_balanced);
+        assert_eq!(report.ops_to_balance, Some(0));
+    }
+}

@@ -1,0 +1,55 @@
+//! # la-sim — oblivious-adversary simulation of activity arrays
+//!
+//! The LevelArray paper analyzes the algorithm in an adversarial model
+//! (paper §2, §5): each process receives a *well-formed input* of `Get`,
+//! `Free`, `Collect` and `Call` operations, and an *oblivious adversary* fixes
+//! the whole schedule (which process steps when) before the execution starts.
+//! This crate implements that model as a deterministic, sequential execution
+//! engine plus the analysis machinery needed to check the paper's claims
+//! empirically:
+//!
+//! * [`process`] — process identifiers and well-formed inputs.
+//! * [`schedule`] — adversarial schedules (round-robin, uniform, weighted,
+//!   bursty) and compactness checks (paper Definition 3).
+//! * [`executor`] — the engine: runs inputs against any
+//!   [`levelarray::ActivityArray`], verifies renaming correctness (unique
+//!   names, valid collects), and records probe statistics, occupancy samples
+//!   and balance evaluations.
+//! * [`analysis`] — occupancy/balance time series and summary statistics.
+//! * [`healing`] — the self-healing experiment of Figure 3: skew the array
+//!   into an unbalanced state and watch it re-balance under normal traffic.
+//!
+//! # Example: validating Theorem 1 on a small instance
+//!
+//! ```
+//! use la_sim::executor::{run_uniform_workload, SimulationConfig};
+//! use levelarray::LevelArray;
+//!
+//! // 32 active processes against an array provisioned for a contention bound
+//! // of 128 — the "n is an upper bound" regime of the paper's model.
+//! let array = LevelArray::new(128);
+//! let report = run_uniform_workload(&array, 32, 50, 2, SimulationConfig {
+//!     master_seed: 1,
+//!     balance_every: Some(1),
+//!     snapshot_every: None,
+//!     contention_bound: None,
+//! });
+//! assert!(report.is_correct());
+//! assert!(report.balance.always_balanced());
+//! assert!(report.get_stats.mean_probes() < 2.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod executor;
+pub mod healing;
+pub mod process;
+pub mod schedule;
+
+pub use analysis::{ops_until_stably_balanced, BalanceTimeline, OccupancySample};
+pub use executor::{run_uniform_workload, Simulation, SimulationConfig, SimulationReport, Violation};
+pub use healing::{force_unbalanced, HealingExperiment, HealingReport, UnbalanceSpec};
+pub use process::{InputError, Op, ProcessId, ProcessInput};
+pub use schedule::Schedule;

@@ -1,0 +1,290 @@
+//! Processes and their inputs (paper §2).
+//!
+//! Each process receives a *well-formed input*: a sequence of `Get`, `Free`,
+//! `Collect` and `Call` operations in which `Get` and `Free` alternate
+//! (starting with `Get`), while `Collect` and `Call` may be interspersed
+//! arbitrarily.  The adversary uses `Call` steps to model arbitrary work a
+//! thread performs between activity-array operations.
+
+use std::fmt;
+
+/// Identifier of a simulated process: an index in `0..num_processes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// One operation in a process's input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Register: acquire a name from the activity array.
+    Get,
+    /// Deregister: release the name acquired by the preceding `Get`.
+    Free,
+    /// Scan the set of currently registered processes.
+    Collect,
+    /// One step of unrelated work (does not touch the activity array).
+    Call,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Get => "Get",
+            Op::Free => "Free",
+            Op::Collect => "Collect",
+            Op::Call => "Call",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when an input sequence is not well-formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputError {
+    /// A `Free` appeared while the process did not hold a name.
+    FreeWithoutGet {
+        /// Position of the offending operation in the sequence.
+        position: usize,
+    },
+    /// A `Get` appeared while the process already held a name.
+    GetWhileHolding {
+        /// Position of the offending operation in the sequence.
+        position: usize,
+    },
+}
+
+impl fmt::Display for InputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputError::FreeWithoutGet { position } => {
+                write!(f, "free at position {position} without a preceding get")
+            }
+            InputError::GetWhileHolding { position } => {
+                write!(f, "get at position {position} while already holding a name")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InputError {}
+
+/// A well-formed input sequence for one process.
+///
+/// # Examples
+///
+/// ```
+/// use la_sim::process::{Op, ProcessInput};
+///
+/// // 3 register/deregister cycles with 2 Call steps between the Get and the Free.
+/// let input = ProcessInput::get_free_cycles(3, 2, 0);
+/// assert_eq!(input.len(), 3 * (1 + 2 + 1));
+/// assert!(ProcessInput::from_ops(input.ops().to_vec()).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessInput {
+    ops: Vec<Op>,
+}
+
+impl ProcessInput {
+    /// Validates and wraps an explicit operation sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InputError`] if `Get`/`Free` do not alternate starting
+    /// with `Get`.
+    pub fn from_ops(ops: Vec<Op>) -> Result<Self, InputError> {
+        let mut holding = false;
+        for (position, op) in ops.iter().enumerate() {
+            match op {
+                Op::Get if holding => return Err(InputError::GetWhileHolding { position }),
+                Op::Get => holding = true,
+                Op::Free if !holding => return Err(InputError::FreeWithoutGet { position }),
+                Op::Free => holding = false,
+                Op::Collect | Op::Call => {}
+            }
+        }
+        Ok(ProcessInput { ops })
+    }
+
+    /// The canonical benchmark input: `cycles` repetitions of
+    /// `Get, Call^calls_between, Free, Collect?` — with `collect_every > 0`
+    /// inserting a `Collect` after every `collect_every`-th cycle
+    /// (`collect_every == 0` means no collects).
+    pub fn get_free_cycles(cycles: usize, calls_between: usize, collect_every: usize) -> Self {
+        let mut ops = Vec::with_capacity(cycles * (2 + calls_between + 1));
+        for cycle in 0..cycles {
+            ops.push(Op::Get);
+            ops.extend(std::iter::repeat(Op::Call).take(calls_between));
+            ops.push(Op::Free);
+            if collect_every > 0 && (cycle + 1) % collect_every == 0 {
+                ops.push(Op::Collect);
+            }
+        }
+        ProcessInput { ops }
+    }
+
+    /// An input that registers once and never deregisters (used to pre-fill
+    /// arrays, mirroring the paper's pre-fill percentage parameter).
+    pub fn register_forever() -> Self {
+        ProcessInput { ops: vec![Op::Get] }
+    }
+
+    /// The operations, in program order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the input contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of `Get` operations in the input.
+    pub fn num_gets(&self) -> usize {
+        self.ops.iter().filter(|op| **op == Op::Get).count()
+    }
+
+    /// Whether the input is *compact with bound `b`* in the sense of paper
+    /// Definition 3 restricted to program order: every `Get` is followed by
+    /// its `Free` within at most `b` subsequent operations of this process.
+    pub fn is_compact(&self, b: usize) -> bool {
+        let mut since_get: Option<usize> = None;
+        for op in &self.ops {
+            match op {
+                Op::Get => since_get = Some(0),
+                Op::Free => since_get = None,
+                _ => {}
+            }
+            if let Some(steps) = since_get.as_mut() {
+                *steps += 1;
+                if *steps > b + 1 {
+                    return false;
+                }
+            }
+        }
+        // A trailing un-freed Get is not compact (unless it is the pre-fill
+        // idiom of a single Get with nothing after it).
+        since_get.is_none() || self.ops.last() == Some(&Op::Get)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_inputs_accepted() {
+        assert!(ProcessInput::from_ops(vec![]).is_ok());
+        assert!(ProcessInput::from_ops(vec![Op::Get]).is_ok());
+        assert!(ProcessInput::from_ops(vec![Op::Get, Op::Free, Op::Get]).is_ok());
+        assert!(ProcessInput::from_ops(vec![
+            Op::Collect,
+            Op::Call,
+            Op::Get,
+            Op::Call,
+            Op::Free,
+            Op::Collect
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert_eq!(
+            ProcessInput::from_ops(vec![Op::Free]),
+            Err(InputError::FreeWithoutGet { position: 0 })
+        );
+        assert_eq!(
+            ProcessInput::from_ops(vec![Op::Get, Op::Get]),
+            Err(InputError::GetWhileHolding { position: 1 })
+        );
+        assert_eq!(
+            ProcessInput::from_ops(vec![Op::Get, Op::Free, Op::Free]),
+            Err(InputError::FreeWithoutGet { position: 2 })
+        );
+    }
+
+    #[test]
+    fn cycles_builder_produces_well_formed_input() {
+        let input = ProcessInput::get_free_cycles(5, 3, 2);
+        assert!(ProcessInput::from_ops(input.ops().to_vec()).is_ok());
+        assert_eq!(input.num_gets(), 5);
+        // 5 * (Get + 3 Calls + Free) + 2 Collects
+        assert_eq!(input.len(), 5 * 5 + 2);
+        assert!(!input.is_empty());
+    }
+
+    #[test]
+    fn zero_collect_every_means_no_collects() {
+        let input = ProcessInput::get_free_cycles(4, 0, 0);
+        assert!(!input.ops().contains(&Op::Collect));
+        assert_eq!(input.len(), 8);
+    }
+
+    #[test]
+    fn register_forever_is_a_single_get() {
+        let input = ProcessInput::register_forever();
+        assert_eq!(input.ops(), &[Op::Get]);
+        assert_eq!(input.num_gets(), 1);
+    }
+
+    #[test]
+    fn compactness_detection() {
+        // Get, Call, Free: the Free comes 2 steps after the Get.
+        let tight = ProcessInput::get_free_cycles(3, 1, 0);
+        assert!(tight.is_compact(2));
+        assert!(!tight.is_compact(0));
+
+        // A long stretch of Calls between Get and Free violates small bounds.
+        let loose = ProcessInput::from_ops(vec![
+            Op::Get,
+            Op::Call,
+            Op::Call,
+            Op::Call,
+            Op::Call,
+            Op::Free,
+        ])
+        .unwrap();
+        assert!(loose.is_compact(10));
+        assert!(!loose.is_compact(2));
+
+        // Pre-fill idiom: a single trailing Get is allowed.
+        assert!(ProcessInput::register_forever().is_compact(1));
+
+        // A Get that is never freed with trailing work is not compact.
+        let abandoned =
+            ProcessInput::from_ops(vec![Op::Get, Op::Call, Op::Call, Op::Call]).unwrap();
+        assert!(!abandoned.is_compact(1));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(ProcessId(3).to_string(), "p3");
+        assert_eq!(Op::Get.to_string(), "Get");
+        assert_eq!(Op::Collect.to_string(), "Collect");
+        assert!(InputError::FreeWithoutGet { position: 2 }.to_string().contains("2"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Schedules: who takes a step when (paper §2, §5).
+//!
+//! A schedule is a finite string of process identifiers; the process named at
+//! position `t` takes the `t`-th step of the execution.  The adversary is
+//! *oblivious*: the whole schedule (and every process's input) is fixed before
+//! the execution starts, independently of the processes' random choices — which
+//! is exactly how [`crate::executor::Simulation`] consumes it.
+
+use larng::RandomSource;
+
+use crate::process::ProcessId;
+
+/// A fixed, adversary-chosen sequence of process identifiers.
+///
+/// # Examples
+///
+/// ```
+/// use la_sim::schedule::Schedule;
+/// use larng::default_rng;
+///
+/// let rr = Schedule::round_robin(4, 12);
+/// assert_eq!(rr.len(), 12);
+///
+/// let mut rng = default_rng(1);
+/// let random = Schedule::uniform_random(4, 100, &mut rng);
+/// assert!(random.steps().iter().all(|p| p.index() < 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    steps: Vec<ProcessId>,
+    num_processes: usize,
+}
+
+impl Schedule {
+    /// Builds a schedule from an explicit step sequence over `num_processes`
+    /// processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any step names a process `>= num_processes` or if
+    /// `num_processes == 0`.
+    pub fn from_steps(num_processes: usize, steps: Vec<ProcessId>) -> Self {
+        assert!(num_processes > 0, "a schedule needs at least one process");
+        for (t, p) in steps.iter().enumerate() {
+            assert!(
+                p.index() < num_processes,
+                "step {t} schedules {p} but only {num_processes} processes exist"
+            );
+        }
+        Schedule {
+            steps,
+            num_processes,
+        }
+    }
+
+    /// The fair round-robin schedule: processes take turns in index order for
+    /// `total_steps` steps.
+    pub fn round_robin(num_processes: usize, total_steps: usize) -> Self {
+        assert!(num_processes > 0, "a schedule needs at least one process");
+        let steps = (0..total_steps)
+            .map(|t| ProcessId(t % num_processes))
+            .collect();
+        Schedule {
+            steps,
+            num_processes,
+        }
+    }
+
+    /// A uniformly random schedule: each step is taken by a process chosen
+    /// independently and uniformly at random.  (The randomness is drawn ahead
+    /// of the execution, so the adversary remains oblivious.)
+    pub fn uniform_random(
+        num_processes: usize,
+        total_steps: usize,
+        rng: &mut dyn RandomSource,
+    ) -> Self {
+        assert!(num_processes > 0, "a schedule needs at least one process");
+        let steps = (0..total_steps)
+            .map(|_| ProcessId(rng.gen_index(num_processes)))
+            .collect();
+        Schedule {
+            steps,
+            num_processes,
+        }
+    }
+
+    /// A biased random schedule: process `i` is scheduled with probability
+    /// proportional to `weights[i]`.  Useful for modelling skewed thread
+    /// activity (e.g. one hot thread registering far more often than others).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains only zeros, or contains a
+    /// non-finite or negative weight.
+    pub fn weighted_random(
+        weights: &[f64],
+        total_steps: usize,
+        rng: &mut dyn RandomSource,
+    ) -> Self {
+        assert!(!weights.is_empty(), "a schedule needs at least one process");
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+        }
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        let steps = (0..total_steps)
+            .map(|_| {
+                let x = rng.gen_unit_f64();
+                let idx = cumulative
+                    .iter()
+                    .position(|&c| x < c)
+                    .unwrap_or(weights.len() - 1);
+                ProcessId(idx)
+            })
+            .collect();
+        Schedule {
+            steps,
+            num_processes: weights.len(),
+        }
+    }
+
+    /// An adversarial "bursty" schedule: the adversary runs each process for
+    /// `burst` consecutive steps before switching, cycling through processes.
+    /// This is the kind of schedule that maximizes the time between a `Get`
+    /// and the matching `Free` of *other* processes.
+    pub fn bursty(num_processes: usize, burst: usize, total_steps: usize) -> Self {
+        assert!(num_processes > 0, "a schedule needs at least one process");
+        assert!(burst > 0, "burst length must be at least 1");
+        let steps = (0..total_steps)
+            .map(|t| ProcessId((t / burst) % num_processes))
+            .collect();
+        Schedule {
+            steps,
+            num_processes,
+        }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the schedule has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of processes the schedule is defined over.
+    pub fn num_processes(&self) -> usize {
+        self.num_processes
+    }
+
+    /// The step sequence.
+    pub fn steps(&self) -> &[ProcessId] {
+        &self.steps
+    }
+
+    /// How many steps each process takes, indexed by process id.
+    pub fn steps_per_process(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_processes];
+        for p in &self.steps {
+            counts[p.index()] += 1;
+        }
+        counts
+    }
+
+    /// Whether the schedule is *compact with bound `b`* (paper Definition 3,
+    /// measured in scheduled steps): between any two consecutive steps of the
+    /// same process there are at most `b` steps of other processes.  Combined
+    /// with a compact per-process input this bounds how long a process can sit
+    /// on a name.
+    pub fn is_compact(&self, b: usize) -> bool {
+        let mut last_seen = vec![None::<usize>; self.num_processes];
+        for (t, p) in self.steps.iter().enumerate() {
+            if let Some(prev) = last_seen[p.index()] {
+                if t - prev - 1 > b {
+                    return false;
+                }
+            }
+            last_seen[p.index()] = Some(t);
+        }
+        true
+    }
+
+    /// Concatenates another schedule over the same process set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process counts differ.
+    pub fn concat(mut self, other: &Schedule) -> Self {
+        assert_eq!(
+            self.num_processes, other.num_processes,
+            "cannot concatenate schedules over different process sets"
+        );
+        self.steps.extend_from_slice(&other.steps);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use larng::default_rng;
+
+    #[test]
+    fn round_robin_is_fair_and_in_order() {
+        let s = Schedule::round_robin(3, 9);
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.num_processes(), 3);
+        assert_eq!(s.steps_per_process(), vec![3, 3, 3]);
+        assert_eq!(s.steps()[0], ProcessId(0));
+        assert_eq!(s.steps()[4], ProcessId(1));
+        assert!(s.is_compact(2));
+        assert!(!s.is_compact(1));
+    }
+
+    #[test]
+    fn uniform_random_covers_all_processes() {
+        let mut rng = default_rng(1);
+        let s = Schedule::uniform_random(4, 1000, &mut rng);
+        let counts = s.steps_per_process();
+        assert_eq!(counts.len(), 4);
+        assert!(counts.iter().all(|&c| c > 150), "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_random_respects_weights() {
+        let mut rng = default_rng(2);
+        let s = Schedule::weighted_random(&[9.0, 1.0], 5000, &mut rng);
+        let counts = s.steps_per_process();
+        assert!(counts[0] > counts[1] * 4, "{counts:?}");
+        assert_eq!(counts[0] + counts[1], 5000);
+    }
+
+    #[test]
+    fn bursty_schedules_run_one_process_at_a_time() {
+        let s = Schedule::bursty(2, 3, 12);
+        let expected: Vec<usize> = vec![0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1];
+        assert_eq!(
+            s.steps().iter().map(|p| p.index()).collect::<Vec<_>>(),
+            expected
+        );
+        assert!(s.is_compact(3));
+        assert!(!s.is_compact(2));
+    }
+
+    #[test]
+    fn from_steps_validates_bounds() {
+        let s = Schedule::from_steps(2, vec![ProcessId(0), ProcessId(1), ProcessId(0)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 2 processes exist")]
+    fn from_steps_rejects_out_of_range() {
+        let _ = Schedule::from_steps(2, vec![ProcessId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_rejected() {
+        let _ = Schedule::round_robin(0, 10);
+    }
+
+    #[test]
+    fn concat_appends_steps() {
+        let a = Schedule::round_robin(2, 4);
+        let b = Schedule::bursty(2, 2, 4);
+        let c = a.clone().concat(&b);
+        assert_eq!(c.len(), 8);
+        assert_eq!(&c.steps()[..4], a.steps());
+        assert_eq!(&c.steps()[4..], b.steps());
+    }
+
+    #[test]
+    #[should_panic(expected = "different process sets")]
+    fn concat_rejects_mismatched_process_counts() {
+        let a = Schedule::round_robin(2, 4);
+        let b = Schedule::round_robin(3, 4);
+        let _ = a.concat(&b);
+    }
+
+    #[test]
+    fn empty_schedule_properties() {
+        let s = Schedule::from_steps(1, vec![]);
+        assert!(s.is_empty());
+        assert!(s.is_compact(0));
+        assert_eq!(s.steps_per_process(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn weighted_rejects_negative_weights() {
+        let mut rng = default_rng(3);
+        let _ = Schedule::weighted_random(&[1.0, -1.0], 10, &mut rng);
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the simulator: arbitrary well-formed inputs and
+//! arbitrary schedules must never produce correctness violations for any
+//! activity-array implementation, and the simulator's own accounting must be
+//! internally consistent.
+
+use la_baselines::{LinearProbingArray, LinearScanArray, RandomArray};
+use la_sim::executor::{Simulation, SimulationConfig};
+use la_sim::{Op, ProcessId, ProcessInput, Schedule};
+use levelarray::{ActivityArray, LevelArray};
+use proptest::prelude::*;
+
+/// Strategy: a well-formed input of up to `max_len` operations.
+fn well_formed_input(max_len: usize) -> impl Strategy<Value = ProcessInput> {
+    proptest::collection::vec(0u8..10, 0..max_len).prop_map(|choices| {
+        let mut ops = Vec::with_capacity(choices.len());
+        let mut holding = false;
+        for c in choices {
+            let op = match c {
+                0..=4 => {
+                    if holding {
+                        Op::Free
+                    } else {
+                        Op::Get
+                    }
+                }
+                5 | 6 => Op::Collect,
+                _ => Op::Call,
+            };
+            match op {
+                Op::Get => holding = true,
+                Op::Free => holding = false,
+                _ => {}
+            }
+            ops.push(op);
+        }
+        ProcessInput::from_ops(ops).expect("constructed well-formed")
+    })
+}
+
+fn check_report_consistency(
+    report: &la_sim::SimulationReport,
+    inputs_gets: u64,
+    algorithm: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert!(report.is_correct(), "{algorithm}: {:?}", report.violations);
+    prop_assert!(report.gets <= inputs_gets, "{algorithm}");
+    prop_assert_eq!(report.gets, report.get_stats.operations(), "{}", algorithm);
+    // Every completed Get was either freed or is still held at the end.
+    let still_held = report
+        .final_holdings
+        .iter()
+        .filter(|h| h.is_some())
+        .count() as u64;
+    prop_assert_eq!(report.gets, report.frees + still_held, "{}", algorithm);
+    prop_assert_eq!(
+        report.final_occupancy.total_occupied() as u64,
+        still_held,
+        "{}",
+        algorithm
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary well-formed inputs + arbitrary schedules are executed without
+    /// violations by the LevelArray, and the report's accounting adds up.
+    #[test]
+    fn levelarray_handles_arbitrary_executions(
+        seed in any::<u64>(),
+        inputs in proptest::collection::vec(well_formed_input(40), 1..8),
+        raw_steps in proptest::collection::vec(any::<usize>(), 1..400),
+    ) {
+        let n = inputs.len();
+        let array = LevelArray::new(n);
+        let total_gets: u64 = inputs.iter().map(|i| i.num_gets() as u64).sum();
+        let schedule = Schedule::from_steps(
+            n,
+            raw_steps.into_iter().map(|s| ProcessId(s % n)).collect(),
+        );
+        let report = Simulation::new(
+            &array,
+            inputs,
+            schedule,
+            SimulationConfig {
+                master_seed: seed,
+                snapshot_every: Some(7),
+                balance_every: Some(3),
+                contention_bound: None,
+            },
+        )
+        .run();
+        check_report_consistency(&report, total_gets, "LevelArray")?;
+    }
+
+    /// The same property for every baseline implementation.
+    #[test]
+    fn baselines_handle_arbitrary_executions(
+        seed in any::<u64>(),
+        inputs in proptest::collection::vec(well_formed_input(30), 1..6),
+        schedule_seed in any::<u64>(),
+    ) {
+        let n = inputs.len();
+        let total_gets: u64 = inputs.iter().map(|i| i.num_gets() as u64).sum();
+        let steps: usize = inputs.iter().map(ProcessInput::len).sum::<usize>() * 2 + 1;
+        let mut rng = larng::default_rng(schedule_seed);
+        let schedule = Schedule::uniform_random(n, steps, &mut rng);
+
+        let arrays: Vec<Box<dyn ActivityArray>> = vec![
+            Box::new(RandomArray::new(n)),
+            Box::new(LinearProbingArray::new(n)),
+            Box::new(LinearScanArray::new(n)),
+        ];
+        for array in &arrays {
+            let report = Simulation::new(
+                array.as_ref(),
+                inputs.clone(),
+                schedule.clone(),
+                SimulationConfig {
+                    master_seed: seed,
+                    snapshot_every: None,
+                    balance_every: None,
+                    contention_bound: None,
+                },
+            )
+            .run();
+            check_report_consistency(&report, total_gets, array.algorithm_name())?;
+        }
+    }
+
+    /// Simulations are reproducible: the same seed, inputs and schedule give
+    /// identical statistics and samples.
+    #[test]
+    fn simulations_are_deterministic(
+        seed in any::<u64>(),
+        cycles in 1usize..30,
+        processes in 1usize..6,
+    ) {
+        let run = || {
+            let array = LevelArray::new(processes);
+            let inputs: Vec<ProcessInput> = (0..processes)
+                .map(|_| ProcessInput::get_free_cycles(cycles, 1, 3))
+                .collect();
+            let steps: usize = inputs.iter().map(ProcessInput::len).sum();
+            let mut rng = larng::default_rng(seed ^ 0x5555);
+            let schedule = Schedule::uniform_random(processes, steps, &mut rng);
+            Simulation::new(&array, inputs, schedule, SimulationConfig {
+                master_seed: seed,
+                snapshot_every: Some(5),
+                balance_every: Some(2),
+                contention_bound: None,
+            })
+            .run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.get_stats, b.get_stats);
+        prop_assert_eq!(a.samples, b.samples);
+        prop_assert_eq!(a.balance, b.balance);
+        prop_assert_eq!(a.gets, b.gets);
+    }
+
+    /// Schedule generators always produce schedules over the right process set
+    /// with the right length, and compactness is monotone in the bound.
+    #[test]
+    fn schedule_generator_invariants(
+        processes in 1usize..20,
+        steps in 0usize..500,
+        seed in any::<u64>(),
+        burst in 1usize..20,
+    ) {
+        let mut rng = larng::default_rng(seed);
+        let schedules = vec![
+            Schedule::round_robin(processes, steps),
+            Schedule::uniform_random(processes, steps, &mut rng),
+            Schedule::bursty(processes, burst, steps),
+        ];
+        for s in schedules {
+            prop_assert_eq!(s.len(), steps);
+            prop_assert_eq!(s.num_processes(), processes);
+            prop_assert!(s.steps().iter().all(|p| p.index() < processes));
+            prop_assert_eq!(s.steps_per_process().iter().sum::<usize>(), steps);
+            // Compactness is monotone: compact(b) implies compact(b + 1).
+            for b in [0usize, 1, 2, 8, 64] {
+                if s.is_compact(b) {
+                    prop_assert!(s.is_compact(b + 1));
+                }
+            }
+            // Every schedule is compact with bound = its own length.
+            prop_assert!(s.is_compact(s.len()));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Dynamic barrier and STM-style reader registry — two more of the paper's
+//! motivating applications.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example coordination
+//! ```
+//!
+//! Phase 1: a set of workers synchronizes on a [`DynamicBarrier`] while some
+//! of them leave mid-computation; the barrier keeps working because membership
+//! is tracked by the activity array.
+//!
+//! Phase 2: readers continuously enter and exit a [`ReaderRegistry`] while a
+//! writer publishes versioned updates, waiting out the readers that might
+//! still observe the old version (the conflict-detection pattern used by STM
+//! systems).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use la_coordination::{DynamicBarrier, ReaderRegistry};
+use larng::{default_rng, SeedSequence};
+use levelarray::LevelArray;
+
+fn barrier_demo(workers: usize) {
+    println!("-- dynamic barrier: {workers} workers, half leave after 5 phases --");
+    let barrier = Arc::new(DynamicBarrier::new(Arc::new(LevelArray::new(workers))));
+    let mut rng = default_rng(1);
+    let members: Vec<_> = (0..workers).map(|_| barrier.join(&mut rng)).collect();
+    let work_done = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        for (index, member) in members.into_iter().enumerate() {
+            let work_done = Arc::clone(&work_done);
+            scope.spawn(move || {
+                let phases = if index % 2 == 0 { 5 } else { 10 };
+                for _ in 0..phases {
+                    work_done.fetch_add(1, Ordering::Relaxed);
+                    member.wait();
+                }
+                // member dropped here -> leaves the barrier
+            });
+        }
+    });
+    println!(
+        "completed {} phases, {} units of work, {} members left registered",
+        barrier.phase(),
+        work_done.load(Ordering::Relaxed),
+        barrier.members()
+    );
+    assert_eq!(barrier.members(), 0);
+}
+
+fn reader_registry_demo(readers: usize) {
+    println!("-- reader registry: {readers} readers, 1 writer publishing 100 versions --");
+    let registry = Arc::new(ReaderRegistry::new(Arc::new(LevelArray::new(readers + 1))));
+    let data = Arc::new(AtomicU64::new(0));
+    let versions = 100u64;
+    let mut seeds = SeedSequence::new(2);
+
+    std::thread::scope(|scope| {
+        // Readers: read until they have seen the final version.
+        for _ in 0..readers {
+            let registry = Arc::clone(&registry);
+            let data = Arc::clone(&data);
+            let seed = seeds.next_seed();
+            scope.spawn(move || {
+                let mut rng = default_rng(seed);
+                let mut reads = 0u64;
+                loop {
+                    let guard = registry.enter(&mut rng);
+                    std::sync::atomic::fence(Ordering::SeqCst);
+                    let value = data.load(Ordering::Acquire);
+                    drop(guard);
+                    reads += 1;
+                    if value >= versions {
+                        return reads;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Writer.
+        let registry = Arc::clone(&registry);
+        let data = Arc::clone(&data);
+        scope.spawn(move || {
+            for version in 1..=versions {
+                data.store(version, Ordering::Release);
+                std::sync::atomic::fence(Ordering::SeqCst);
+                // Wait until every reader that might still see the previous
+                // version has left its read-side section.
+                registry.wait_for_readers();
+            }
+        });
+    });
+    println!(
+        "writer published {versions} versions; registry quiescent: {}",
+        registry.is_quiescent()
+    );
+    assert!(registry.is_quiescent());
+}
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    barrier_demo(workers);
+    println!();
+    reader_registry_demo(workers.saturating_sub(1).max(1));
+    println!("\nOK");
+}

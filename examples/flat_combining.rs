@@ -1,0 +1,99 @@
+//! Flat combining with activity-array publication slots.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example flat_combining
+//! ```
+//!
+//! Worker threads funnel increments and queue operations through a combiner.
+//! Each worker claims its publication slot by registering in a LevelArray and
+//! the combiner discovers pending work by collecting the registered slots —
+//! the flat-combining use case the paper lists in its introduction.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use la_flatcombine::{FcCounter, FcQueue};
+use larng::{default_rng, SeedSequence};
+use levelarray::LevelArray;
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    let increments_per_worker = 50_000u64;
+    let queue_items_per_worker = 10_000usize;
+
+    println!("flat_combining: {workers} workers, {increments_per_worker} increments each");
+
+    // Combining counter.
+    let counter = Arc::new(FcCounter::new(Arc::new(LevelArray::new(workers))));
+    let started = Instant::now();
+    let mut seeds = SeedSequence::new(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let counter = Arc::clone(&counter);
+            let seed = seeds.next_seed();
+            scope.spawn(move || {
+                let mut rng = default_rng(seed);
+                let session = counter.join(&mut rng);
+                for _ in 0..increments_per_worker {
+                    session.increment();
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    println!(
+        "counter: value={} (expected {}), {} combining passes, {:.0} ops/s",
+        counter.load(),
+        workers as u64 * increments_per_worker,
+        counter.combine_passes(),
+        (workers as u64 * increments_per_worker) as f64 / elapsed.as_secs_f64()
+    );
+    assert_eq!(counter.load(), workers as u64 * increments_per_worker);
+
+    // Combining FIFO queue: producers and consumers.
+    let queue: Arc<FcQueue<usize>> = Arc::new(FcQueue::new(Arc::new(LevelArray::new(workers))));
+    let mut seeds = SeedSequence::new(2);
+    let consumed: usize = std::thread::scope(|scope| {
+        let mut consumers = Vec::new();
+        for worker in 0..workers {
+            let queue = Arc::clone(&queue);
+            let seed = seeds.next_seed();
+            if worker % 2 == 0 {
+                // Producer.
+                scope.spawn(move || {
+                    let mut rng = default_rng(seed);
+                    let session = queue.join(&mut rng);
+                    for i in 0..queue_items_per_worker {
+                        session.enqueue(worker * queue_items_per_worker + i);
+                    }
+                });
+            } else {
+                // Consumer: takes a fixed number of items.
+                consumers.push(scope.spawn(move || {
+                    let mut rng = default_rng(seed);
+                    let session = queue.join(&mut rng);
+                    let mut taken = 0usize;
+                    while taken < queue_items_per_worker / 2 {
+                        if session.dequeue().is_some() {
+                            taken += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    taken
+                }));
+            }
+        }
+        consumers.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    println!(
+        "queue: consumed {consumed} items concurrently, {} left in the queue",
+        queue.len()
+    );
+    println!("OK");
+}

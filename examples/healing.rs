@@ -1,0 +1,62 @@
+//! The self-healing experiment (paper Figure 3) as a runnable example.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example healing
+//! ```
+//!
+//! The LevelArray is forced into an unbalanced state — batch 0 a quarter full,
+//! batch 1 half full (overcrowded) — and then ordinary register/deregister
+//! traffic runs against it.  Every 4000 operations the example prints the
+//! per-batch fill; the skew drains away and the array returns to a balanced
+//! profile without any explicit rebuilding, exactly as the paper observes.
+
+use la_sim::{HealingExperiment, UnbalanceSpec};
+
+fn main() {
+    let n = 512;
+    let experiment = HealingExperiment {
+        contention_bound: n,
+        workers: n / 2,
+        total_ops: 32_000,
+        snapshot_every: 4_000,
+        spec: UnbalanceSpec::paper_figure3(),
+        seed: 2014, // the paper's publication year, for luck
+        ghost_release_probability: 0.5,
+    };
+    println!(
+        "healing: LevelArray with n = {n}, initial skew batch0=25% batch1=50%, {} ops",
+        experiment.total_ops
+    );
+    let report = experiment.run();
+
+    let batches = report.samples[0].batch_fill.len().min(6);
+    print!("{:>12} {:>9}", "state (ops)", "balanced");
+    for b in 0..batches {
+        print!(" {:>9}", format!("batch {b}"));
+    }
+    println!();
+    for sample in &report.samples {
+        print!(
+            "{:>12} {:>9}",
+            sample.ops_completed,
+            if sample.fully_balanced { "yes" } else { "NO" }
+        );
+        for b in 0..batches {
+            print!(" {:>8.1}%", sample.batch_fill[b] * 100.0);
+        }
+        println!();
+    }
+
+    println!();
+    match report.ops_to_balance {
+        Some(ops) => println!(
+            "array became (and stayed) fully balanced after {ops} operations — \
+             the paper reports ~32000 for its machine-scale run, and notes the \
+             convergence is faster than the analysis predicts"
+        ),
+        None => println!("array did not stabilize within the run (unexpected — try more ops)"),
+    }
+    assert!(report.finally_balanced, "the array should heal");
+}

@@ -1,0 +1,97 @@
+//! Black-box property tests of the long-lived renaming semantics, written
+//! against the umbrella crate exactly as an external user would.
+
+use levelarray_suite::baselines::{LinearProbingArray, LinearScanArray, RandomArray};
+use levelarray_suite::core::{ActivityArray, LevelArray, Name};
+use levelarray_suite::rng::default_rng;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn algorithms(n: usize) -> Vec<Box<dyn ActivityArray>> {
+    vec![
+        Box::new(LevelArray::new(n)),
+        Box::new(RandomArray::new(n)),
+        Box::new(LinearProbingArray::new(n)),
+        Box::new(LinearScanArray::new(n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Renaming safety under arbitrary interleaved register/deregister
+    /// scripts: held names are always distinct, always in range, and Collect
+    /// is exactly the held set in a sequential execution.
+    #[test]
+    fn renaming_safety_black_box(
+        seed in any::<u64>(),
+        n in 1usize..32,
+        script in proptest::collection::vec(any::<u8>(), 1..200),
+    ) {
+        for array in algorithms(n) {
+            let mut rng = default_rng(seed);
+            let mut held: Vec<Name> = Vec::new();
+            for &step in &script {
+                if (step % 2 == 0 && held.len() < n) || held.is_empty() {
+                    let got = array.get(&mut rng);
+                    prop_assert!(got.name().index() < array.capacity());
+                    prop_assert!(!held.contains(&got.name()), "{}", array.algorithm_name());
+                    held.push(got.name());
+                } else {
+                    let index = (step as usize) % held.len();
+                    array.free(held.swap_remove(index));
+                }
+                let collected: BTreeSet<Name> = array.collect().into_iter().collect();
+                let expected: BTreeSet<Name> = held.iter().copied().collect();
+                prop_assert_eq!(collected, expected, "{}", array.algorithm_name());
+            }
+            for name in held {
+                array.free(name);
+            }
+            prop_assert!(array.collect().is_empty());
+        }
+    }
+
+    /// Namespace density: for every algorithm the largest name ever handed out
+    /// stays below the structure's capacity, which is O(n) — never O(id space).
+    #[test]
+    fn names_are_bounded_by_capacity(seed in any::<u64>(), n in 1usize..64) {
+        for array in algorithms(n) {
+            let mut rng = default_rng(seed);
+            let mut max_name = 0usize;
+            let mut held = Vec::new();
+            for _ in 0..n {
+                let got = array.get(&mut rng);
+                max_name = max_name.max(got.name().index());
+                held.push(got.name());
+            }
+            prop_assert!(max_name < array.capacity(), "{}", array.algorithm_name());
+            for name in held {
+                array.free(name);
+            }
+        }
+    }
+
+    /// Free-then-reacquire keeps the structure at a steady occupancy: the
+    /// occupancy census equals the number of currently held names no matter
+    /// how the script interleaves operations.
+    #[test]
+    fn occupancy_census_is_exact(
+        seed in any::<u64>(),
+        n in 1usize..24,
+        rounds in 1usize..50,
+    ) {
+        let array = LevelArray::new(n);
+        let mut rng = default_rng(seed);
+        let mut held = Vec::new();
+        for round in 0..rounds {
+            if round % 3 != 2 && held.len() < n {
+                held.push(array.get(&mut rng).name());
+            } else if let Some(name) = held.pop() {
+                array.free(name);
+            }
+            prop_assert_eq!(array.occupancy().total_occupied(), held.len());
+            prop_assert_eq!(array.collect().len(), held.len());
+        }
+    }
+}
