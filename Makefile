@@ -1,0 +1,29 @@
+# Local mirror of .github/workflows/ci.yml — `make ci` runs the full gate.
+
+CARGO ?= cargo
+
+.PHONY: ci fmt clippy build test bench-check examples
+
+ci: fmt clippy build test bench-check
+
+fmt:
+	$(CARGO) fmt --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+bench-check:
+	$(CARGO) bench --no-run
+
+examples:
+	$(CARGO) run -q --release --example quickstart
+	$(CARGO) run -q --release --example healing
+	$(CARGO) run -q --release --example coordination
+	$(CARGO) run -q --release --example flat_combining
+	$(CARGO) run -q --release --example memory_reclamation

@@ -81,7 +81,10 @@ impl DirectMapArray {
     ///
     /// Panics if `id_space == 0`.
     pub fn new(id_space: usize) -> Self {
-        assert!(id_space > 0, "id space must contain at least one identifier");
+        assert!(
+            id_space > 0,
+            "id space must contain at least one identifier"
+        );
         DirectMapArray {
             slots: (0..id_space).map(|_| Slot::new()).collect(),
         }
@@ -175,9 +178,15 @@ mod tests {
     fn double_register_and_double_deregister_are_errors() {
         let registry = DirectMapArray::new(4);
         registry.register(1).unwrap();
-        assert_eq!(registry.register(1), Err(DirectMapError::AlreadyRegistered(1)));
+        assert_eq!(
+            registry.register(1),
+            Err(DirectMapError::AlreadyRegistered(1))
+        );
         registry.deregister(1).unwrap();
-        assert_eq!(registry.deregister(1), Err(DirectMapError::NotRegistered(1)));
+        assert_eq!(
+            registry.deregister(1),
+            Err(DirectMapError::NotRegistered(1))
+        );
     }
 
     #[test]
@@ -207,7 +216,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(DirectMapError::AlreadyRegistered(3).to_string().contains('3'));
+        assert!(DirectMapError::AlreadyRegistered(3)
+            .to_string()
+            .contains('3'));
         assert!(DirectMapError::NotRegistered(4).to_string().contains('4'));
         assert!(DirectMapError::IdOutOfRange { id: 9, id_space: 4 }
             .to_string()

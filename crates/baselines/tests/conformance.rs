@@ -144,7 +144,11 @@ fn exhaustion_is_reported_not_hung() {
             held.len()
         );
         assert!(held.len() <= array.capacity(), "{}", array.algorithm_name());
-        assert!(array.try_get(&mut rng).is_none(), "{}", array.algorithm_name());
+        assert!(
+            array.try_get(&mut rng).is_none(),
+            "{}",
+            array.algorithm_name()
+        );
     }
 }
 
@@ -157,7 +161,9 @@ fn concurrent_unique_ownership_for_every_algorithm() {
     for array in all_algorithms(threads) {
         let array: Arc<dyn ActivityArray> = Arc::from(array);
         let ownership: Arc<Vec<AtomicBool>> = Arc::new(
-            (0..array.capacity()).map(|_| AtomicBool::new(false)).collect(),
+            (0..array.capacity())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
         );
         let mut seeds = SeedSequence::new(6);
         std::thread::scope(|scope| {

@@ -66,7 +66,12 @@ fn main() {
     let mut throughput = Table::new(&["threads", "algorithm", "total ops", "ops/s"]);
     let mut average = Table::new(&["threads", "algorithm", "avg trials"]);
     let mut stddev = Table::new(&["threads", "algorithm", "stddev trials"]);
-    let mut worst = Table::new(&["threads", "algorithm", "worst (avg over threads)", "worst (absolute)"]);
+    let mut worst = Table::new(&[
+        "threads",
+        "algorithm",
+        "worst (avg over threads)",
+        "worst (absolute)",
+    ]);
 
     for &n in &threads {
         for algorithm in Algorithm::figure2_set() {
@@ -76,7 +81,7 @@ fn main() {
                 space_factor: 2.0,
                 prefill,
                 target_ops_per_thread: ops_per_thread,
-                seed: 0xF16_2 + n as u64,
+                seed: 0xF162 + n as u64,
             };
             let result = la_bench::workload::run_workload(algorithm, &config);
             throughput.push_row(vec![
@@ -105,7 +110,16 @@ fn main() {
     }
 
     println!("## Panel 1 — Throughput\n\n{}", throughput.to_markdown());
-    println!("## Panel 2 — Average number of trials\n\n{}", average.to_markdown());
-    println!("## Panel 3 — Standard deviation\n\n{}", stddev.to_markdown());
-    println!("## Panel 4 — Worst-case number of trials\n\n{}", worst.to_markdown());
+    println!(
+        "## Panel 2 — Average number of trials\n\n{}",
+        average.to_markdown()
+    );
+    println!(
+        "## Panel 3 — Standard deviation\n\n{}",
+        stddev.to_markdown()
+    );
+    println!(
+        "## Panel 4 — Worst-case number of trials\n\n{}",
+        worst.to_markdown()
+    );
 }

@@ -16,6 +16,7 @@
 
 use la_bench::{Cell, Table};
 use la_sim::{HealingExperiment, UnbalanceSpec};
+use levelarray::LevelArrayConfig;
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
     std::env::var(key)
@@ -31,7 +32,7 @@ fn main() {
     let seed: u64 = env_or("FIG3_SEED", 3);
 
     let experiment = HealingExperiment {
-        contention_bound: n,
+        array: LevelArrayConfig::new(n),
         workers: (n / 2).max(1),
         total_ops,
         snapshot_every,
@@ -71,12 +72,7 @@ fn main() {
             sample.ops_completed.into(),
             if sample.fully_balanced { "yes" } else { "no" }.into(),
         ];
-        row.extend(
-            sample
-                .batch_fill
-                .iter()
-                .map(|&f| Cell::FloatPrec(f, 3)),
-        );
+        row.extend(sample.batch_fill.iter().map(|&f| Cell::FloatPrec(f, 3)));
         table.push_row(row);
     }
     println!("{}", table.to_markdown());

@@ -37,7 +37,12 @@ fn bench_get_free(c: &mut Criterion) {
         ("LevelArray", Box::new(LevelArray::new(n))),
         (
             "LevelArray-swap",
-            Box::new(LevelArrayConfig::new(n).tas_kind(TasKind::Swap).build().unwrap()),
+            Box::new(
+                LevelArrayConfig::new(n)
+                    .tas_kind(TasKind::Swap)
+                    .build()
+                    .unwrap(),
+            ),
         ),
         ("Random", Box::new(RandomArray::new(n))),
         ("LinearProbing", Box::new(LinearProbingArray::new(n))),

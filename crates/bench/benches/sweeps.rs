@@ -84,7 +84,10 @@ fn main() {
             ));
         }
     }
-    println!("## Pre-fill sweep (SWEEP-PREFILL)\n\n{}", prefill_table.to_markdown());
+    println!(
+        "## Pre-fill sweep (SWEEP-PREFILL)\n\n{}",
+        prefill_table.to_markdown()
+    );
 
     // 2. Array-size sweep (L/N).
     let mut header = vec!["L/N", "algorithm"];
@@ -106,7 +109,10 @@ fn main() {
             ));
         }
     }
-    println!("## Array-size sweep (SWEEP-PREFILL, L ∈ [2N, 4N])\n\n{}", size_table.to_markdown());
+    println!(
+        "## Array-size sweep (SWEEP-PREFILL, L ∈ [2N, 4N])\n\n{}",
+        size_table.to_markdown()
+    );
 
     // 3. Deterministic comparison (TAB-DETERMINISTIC).
     let mut header = vec!["algorithm"];
@@ -146,5 +152,8 @@ fn main() {
         let result = la_bench::workload::run_workload(algorithm, &base);
         ablation_table.push_row(result_row(&result, vec![result.algorithm.clone().into()]));
     }
-    println!("## LevelArray ablations (DESIGN.md §7)\n\n{}", ablation_table.to_markdown());
+    println!(
+        "## LevelArray ablations (DESIGN.md §7)\n\n{}",
+        ablation_table.to_markdown()
+    );
 }

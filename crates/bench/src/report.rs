@@ -176,7 +176,11 @@ mod tests {
     fn markdown_rendering_is_aligned_and_complete() {
         let mut table = Table::new(&["algorithm", "ops", "mean"]);
         table.push_row(vec!["LevelArray".into(), 1000u64.into(), 1.75f64.into()]);
-        table.push_row(vec!["Random".into(), 999u64.into(), Cell::FloatPrec(1.5, 3)]);
+        table.push_row(vec![
+            "Random".into(),
+            999u64.into(),
+            Cell::FloatPrec(1.5, 3),
+        ]);
         let md = table.to_markdown();
         assert!(md.contains("| algorithm"));
         assert!(md.contains("| LevelArray | 1000 | 1.75"));

@@ -54,39 +54,42 @@ impl Algorithm {
 
     /// The three algorithms plotted in Figure 2.
     pub fn figure2_set() -> Vec<Algorithm> {
-        vec![Algorithm::LevelArray, Algorithm::Random, Algorithm::LinearProbing]
+        vec![
+            Algorithm::LevelArray,
+            Algorithm::Random,
+            Algorithm::LinearProbing,
+        ]
     }
 
-    /// Builds an instance sized for `capacity_for` simultaneously held slots
-    /// with `space_factor` slots per holder.
-    pub fn build(&self, capacity_for: usize, space_factor: f64) -> Arc<dyn ActivityArray> {
-        let slots = ((capacity_for as f64) * space_factor).ceil() as usize;
+    /// Builds an instance from one shared typed configuration.
+    ///
+    /// The LevelArray variants apply their ablation on top of `config`; the
+    /// flat baselines take `config.main_len()` slots for the same contention
+    /// bound, so every algorithm is sized by the *same* rule
+    /// ([`LevelArrayConfig::main_len`]) instead of re-deriving slot counts
+    /// here.
+    pub fn build(&self, config: &LevelArrayConfig) -> Arc<dyn ActivityArray> {
+        let n = config.max_concurrency_value();
+        let slots = config.main_len();
         match self {
-            Algorithm::LevelArray => Arc::new(
-                LevelArrayConfig::new(capacity_for)
-                    .space_factor(space_factor)
-                    .build()
-                    .expect("valid configuration"),
-            ),
+            Algorithm::LevelArray => Arc::new(config.build().expect("valid configuration")),
             Algorithm::LevelArrayProbes(c) => Arc::new(
-                LevelArrayConfig::new(capacity_for)
-                    .space_factor(space_factor)
+                config
+                    .clone()
                     .probe_policy(ProbePolicy::Uniform(*c))
                     .build()
                     .expect("valid configuration"),
             ),
             Algorithm::LevelArraySwapTas => Arc::new(
-                LevelArrayConfig::new(capacity_for)
-                    .space_factor(space_factor)
+                config
+                    .clone()
                     .tas_kind(TasKind::Swap)
                     .build()
                     .expect("valid configuration"),
             ),
-            Algorithm::Random => Arc::new(RandomArray::with_slots(capacity_for, slots)),
-            Algorithm::LinearProbing => {
-                Arc::new(LinearProbingArray::with_slots(capacity_for, slots))
-            }
-            Algorithm::LinearScan => Arc::new(LinearScanArray::with_slots(capacity_for, slots)),
+            Algorithm::Random => Arc::new(RandomArray::with_slots(n, slots)),
+            Algorithm::LinearProbing => Arc::new(LinearProbingArray::with_slots(n, slots)),
+            Algorithm::LinearScan => Arc::new(LinearScanArray::with_slots(n, slots)),
         }
     }
 }
@@ -129,6 +132,14 @@ impl WorkloadConfig {
         self.threads * self.emulated_per_thread
     }
 
+    /// The core-array configuration this cell drives: contention bound `N`
+    /// with this cell's space factor.  Built once per cell and passed down to
+    /// [`Algorithm::build`], so array sizing lives in `levelarray::config`
+    /// alone.
+    pub fn array_config(&self) -> LevelArrayConfig {
+        LevelArrayConfig::new(self.logical_participants()).space_factor(self.space_factor)
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -137,7 +148,10 @@ impl WorkloadConfig {
     /// factor below 1, pre-fill outside `[0, 1)`).
     pub fn validate(&self) {
         assert!(self.threads > 0, "need at least one thread");
-        assert!(self.emulated_per_thread > 0, "need a positive per-thread quota");
+        assert!(
+            self.emulated_per_thread > 0,
+            "need a positive per-thread quota"
+        );
         assert!(
             self.space_factor >= 1.0 && self.space_factor.is_finite(),
             "space factor must be >= 1"
@@ -203,8 +217,7 @@ impl WorkloadResult {
 /// Panics if the configuration is invalid (see [`WorkloadConfig::validate`]).
 pub fn run_workload(algorithm: Algorithm, config: &WorkloadConfig) -> WorkloadResult {
     config.validate();
-    let capacity_for = config.logical_participants();
-    let array = algorithm.build(capacity_for, config.space_factor);
+    let array = algorithm.build(&config.array_config());
     let mut seeds = SeedSequence::new(config.seed);
 
     let quota = config.emulated_per_thread;

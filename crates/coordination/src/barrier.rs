@@ -57,7 +57,9 @@ pub struct DynamicBarrier {
 impl DynamicBarrier {
     /// Creates a barrier whose membership is tracked by `registry`.
     pub fn new(registry: Arc<dyn ActivityArray>) -> Self {
-        let arrived = (0..registry.capacity()).map(|_| AtomicU64::new(0)).collect();
+        let arrived = (0..registry.capacity())
+            .map(|_| AtomicU64::new(0))
+            .collect();
         DynamicBarrier {
             registry,
             arrived,
@@ -218,7 +220,10 @@ mod tests {
                 });
             }
         });
-        assert_eq!(counter.load(Ordering::SeqCst) as u64, phases * threads as u64);
+        assert_eq!(
+            counter.load(Ordering::SeqCst) as u64,
+            phases * threads as u64
+        );
         assert_eq!(b.phase(), phases);
         assert_eq!(b.members(), 0);
     }

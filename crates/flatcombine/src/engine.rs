@@ -93,7 +93,11 @@ where
 {
     /// Creates a combining structure around `sequential`, using `registry` to
     /// manage publication slots and `apply` as the sequential semantics.
-    pub fn new(registry: Arc<dyn ActivityArray>, sequential: S, apply: fn(&mut S, Op) -> R) -> Self {
+    pub fn new(
+        registry: Arc<dyn ActivityArray>,
+        sequential: S,
+        apply: fn(&mut S, Op) -> R,
+    ) -> Self {
         let records = (0..registry.capacity()).map(|_| Record::new()).collect();
         FlatCombining {
             registry,
@@ -181,6 +185,9 @@ where
                 // owner will not touch the cells until we store DONE.
                 let op = unsafe { (*record.op.get()).take() }.expect("pending record has an op");
                 let result = (self.apply)(seq, op);
+                // SAFETY: same protocol as the read above — the owner spins
+                // without touching the cells until the DONE release store
+                // below, and only one combiner runs at a time (mutex).
                 unsafe { *record.result.get() = Some(result) };
                 record.state.store(DONE, Ordering::Release);
             }

@@ -33,6 +33,10 @@
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
+// Every `unsafe` block and impl in this crate must carry a `// SAFETY:`
+// comment tying it to the state-protocol argument in `engine`'s module docs.
+#![deny(clippy::undocumented_unsafe_blocks)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod counter;
 pub mod engine;

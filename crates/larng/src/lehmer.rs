@@ -58,7 +58,7 @@ impl MinStd {
     /// Panics unless `1 <= state < 2³¹ − 1`.
     pub fn from_raw_state(state: u32) -> Self {
         assert!(
-            state >= 1 && state < MINSTD_MODULUS,
+            (1..MINSTD_MODULUS).contains(&state),
             "MinStd state must lie in 1..2^31-1, got {state}"
         );
         Self { state }
@@ -181,7 +181,10 @@ mod tests {
     fn minstd_seeding_never_produces_invalid_state() {
         for seed in 0..2_000u64 {
             let rng = MinStd::seed_from_u64(seed);
-            assert!(rng.state() >= 1 && rng.state() < MINSTD_MODULUS, "seed {seed}");
+            assert!(
+                rng.state() >= 1 && rng.state() < MINSTD_MODULUS,
+                "seed {seed}"
+            );
         }
     }
 

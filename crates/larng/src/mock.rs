@@ -56,7 +56,10 @@ impl SequenceRng {
     /// Panics if `values` is empty.
     pub fn cycling(values: impl Into<Vec<u64>>) -> Self {
         let values = values.into();
-        assert!(!values.is_empty(), "cycling SequenceRng needs at least one value");
+        assert!(
+            !values.is_empty(),
+            "cycling SequenceRng needs at least one value"
+        );
         Self {
             values,
             position: 0,

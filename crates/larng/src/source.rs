@@ -183,7 +183,10 @@ mod tests {
         for _ in 0..1000 {
             seen[rng.gen_range(0, 8) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all of 0..8 should be drawn: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all of 0..8 should be drawn: {seen:?}"
+        );
     }
 
     #[test]

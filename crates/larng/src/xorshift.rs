@@ -175,7 +175,10 @@ mod tests {
         let mut rng = Xorshift64Star::seed_from_u64(42);
         let mut seen = HashSet::new();
         for _ in 0..50_000 {
-            assert!(seen.insert(rng.next_u64()), "value repeated within 50k draws");
+            assert!(
+                seen.insert(rng.next_u64()),
+                "value repeated within 50k draws"
+            );
         }
     }
 

@@ -270,10 +270,17 @@ mod tests {
         for _ in 0..200 {
             if let Some(reg) = Registration::try_acquire(&array, &mut rng) {
                 assert!(held.insert(reg.leak()), "duplicate name handed out");
-                assert!(held.len() <= array.capacity(), "acquired more names than slots");
+                assert!(
+                    held.len() <= array.capacity(),
+                    "acquired more names than slots"
+                );
             }
         }
-        assert_eq!(held.len(), array.capacity(), "array should fill up within 200 attempts");
+        assert_eq!(
+            held.len(),
+            array.capacity(),
+            "array should fill up within 200 attempts"
+        );
         assert!(Registration::try_acquire(&array, &mut rng).is_none());
     }
 

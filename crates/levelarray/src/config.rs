@@ -8,7 +8,9 @@
 
 use std::fmt;
 
+use crate::balance::BalanceReport;
 use crate::geometry::{BatchGeometry, GeometryError};
+use crate::occupancy::OccupancySnapshot;
 use crate::slot::TasKind;
 
 /// How many random probes a `Get` performs in each batch before moving on.
@@ -140,6 +142,24 @@ impl LevelArrayConfig {
         self.max_concurrency
     }
 
+    /// The main-array length this configuration produces:
+    /// `⌊n · space_factor⌋`, clamped to at least one slot.
+    ///
+    /// This is the workspace's *single* sizing rule: the LevelArray's own
+    /// geometry, the flat baselines, and the bench harness all size their
+    /// arrays through it, so "`L` slots for contention bound `n`" always means
+    /// the same number everywhere.
+    pub fn main_len(&self) -> usize {
+        (((self.max_concurrency as f64) * self.space_factor).floor() as usize).max(1)
+    }
+
+    /// Evaluates the paper's balance definitions (§5, Definition 2) against a
+    /// snapshot taken from an array built with this configuration, using this
+    /// configuration's contention bound.
+    pub fn balance_report(&self, snapshot: &OccupancySnapshot) -> BalanceReport {
+        BalanceReport::from_snapshot(snapshot, self.max_concurrency)
+    }
+
     /// Validates the configuration and materializes the geometry.
     ///
     /// # Errors
@@ -156,9 +176,7 @@ impl LevelArrayConfig {
         }
         self.probe_policy.validate()?;
 
-        let main_len = ((self.max_concurrency as f64) * self.space_factor).floor() as usize;
-        let main_len = main_len.max(1);
-        let geometry = BatchGeometry::new(main_len, self.first_batch_fraction)
+        let geometry = BatchGeometry::new(self.main_len(), self.first_batch_fraction)
             .map_err(ConfigError::Geometry)?;
         let backup_len = if self.backup { self.max_concurrency } else { 0 };
 
@@ -256,7 +274,10 @@ mod tests {
     #[test]
     fn space_factor_scales_main_array() {
         for factor in [2.0, 2.5, 3.0, 4.0] {
-            let v = LevelArrayConfig::new(100).space_factor(factor).validate().unwrap();
+            let v = LevelArrayConfig::new(100)
+                .space_factor(factor)
+                .validate()
+                .unwrap();
             assert_eq!(v.geometry.main_len(), (100.0 * factor) as usize);
         }
     }
@@ -284,15 +305,24 @@ mod tests {
             ConfigError::ZeroConcurrency
         );
         assert!(matches!(
-            LevelArrayConfig::new(4).space_factor(0.5).validate().unwrap_err(),
+            LevelArrayConfig::new(4)
+                .space_factor(0.5)
+                .validate()
+                .unwrap_err(),
             ConfigError::InvalidSpaceFactor(_)
         ));
         assert!(matches!(
-            LevelArrayConfig::new(4).space_factor(f64::INFINITY).validate().unwrap_err(),
+            LevelArrayConfig::new(4)
+                .space_factor(f64::INFINITY)
+                .validate()
+                .unwrap_err(),
             ConfigError::InvalidSpaceFactor(_)
         ));
         assert_eq!(
-            LevelArrayConfig::new(4).probes_per_batch(0).validate().unwrap_err(),
+            LevelArrayConfig::new(4)
+                .probes_per_batch(0)
+                .validate()
+                .unwrap_err(),
             ConfigError::ZeroProbes
         );
         assert_eq!(
@@ -303,7 +333,10 @@ mod tests {
             ConfigError::EmptyProbeVector
         );
         assert!(matches!(
-            LevelArrayConfig::new(4).first_batch_fraction(1.5).validate().unwrap_err(),
+            LevelArrayConfig::new(4)
+                .first_batch_fraction(1.5)
+                .validate()
+                .unwrap_err(),
             ConfigError::Geometry(_)
         ));
     }
@@ -315,7 +348,9 @@ mod tests {
         assert!(e.to_string().contains("geometry"));
         assert!(e.source().is_some());
         assert!(ConfigError::ZeroConcurrency.source().is_none());
-        assert!(ConfigError::InvalidSpaceFactor(0.1).to_string().contains("0.1"));
+        assert!(ConfigError::InvalidSpaceFactor(0.1)
+            .to_string()
+            .contains("0.1"));
     }
 
     #[test]

@@ -275,8 +275,12 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert!(GeometryError::EmptyArray.to_string().contains("at least one slot"));
-        assert!(GeometryError::InvalidFraction(2.0).to_string().contains("2"));
+        assert!(GeometryError::EmptyArray
+            .to_string()
+            .contains("at least one slot"));
+        assert!(GeometryError::InvalidFraction(2.0)
+            .to_string()
+            .contains("2"));
     }
 
     #[test]

@@ -250,7 +250,10 @@ impl ActivityArray for LevelArray {
             .batches()
             .enumerate()
             .map(|(i, range)| {
-                let occupied = range.clone().filter(|&idx| self.main[idx].is_held()).count();
+                let occupied = range
+                    .clone()
+                    .filter(|&idx| self.main[idx].is_held())
+                    .count();
                 RegionOccupancy::new(Region::Batch(i), range.len(), occupied)
             })
             .collect();
@@ -358,7 +361,10 @@ mod tests {
     fn probes_are_counted_per_batch_policy() {
         // Two probes per batch and scripted misses in batch 0: the operation
         // should charge 2 probes before reaching batch 1.
-        let array = LevelArrayConfig::new(16).probes_per_batch(2).build().unwrap();
+        let array = LevelArrayConfig::new(16)
+            .probes_per_batch(2)
+            .build()
+            .unwrap();
         let b0 = array.geometry().batch_range(0);
         let b0_len = b0.end - b0.start;
         // Occupy all of batch 0 so any probe there fails.
@@ -367,7 +373,11 @@ mod tests {
         }
         let mut rng = default_rng(11);
         let got = array.get(&mut rng);
-        assert!(got.probes() > 2, "had to probe beyond batch 0: {}", got.probes());
+        assert!(
+            got.probes() > 2,
+            "had to probe beyond batch 0: {}",
+            got.probes()
+        );
         assert_ne!(got.batch(), Some(0));
         assert!(got.name().index() >= b0_len || got.used_backup());
     }
@@ -442,7 +452,10 @@ mod tests {
 
     #[test]
     fn swap_tas_behaves_like_compare_exchange() {
-        let array = LevelArrayConfig::new(8).tas_kind(TasKind::Swap).build().unwrap();
+        let array = LevelArrayConfig::new(8)
+            .tas_kind(TasKind::Swap)
+            .build()
+            .unwrap();
         let mut rng = default_rng(9);
         let mut names = HashSet::new();
         for _ in 0..8 {
@@ -483,7 +496,9 @@ mod tests {
         // One ownership flag per slot, maintained by the test: a second owner
         // of the same slot would trip the swap assertion.
         let owned: Arc<Vec<AtomicBool>> = Arc::new(
-            (0..array.capacity()).map(|_| AtomicBool::new(false)).collect(),
+            (0..array.capacity())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
         );
         std::thread::scope(|scope| {
             for t in 0..n {

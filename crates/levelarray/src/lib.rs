@@ -77,8 +77,8 @@ pub use array::{Acquired, ActivityArray, Registration};
 pub use config::{ConfigError, LevelArrayConfig, ProbePolicy};
 pub use level_array::LevelArray;
 pub use name::Name;
-pub use registry::ThreadRegistry;
 pub use occupancy::{OccupancySnapshot, Region, RegionOccupancy};
+pub use registry::ThreadRegistry;
 pub use slot::TasKind;
 pub use stats::{GetStats, StatsSummary};
 

@@ -124,9 +124,7 @@ impl OccupancySnapshot {
 
     /// The census entry for batch `i` of the main array, if present.
     pub fn batch(&self, i: usize) -> Option<&RegionOccupancy> {
-        self.regions
-            .iter()
-            .find(|r| r.region() == Region::Batch(i))
+        self.regions.iter().find(|r| r.region() == Region::Batch(i))
     }
 
     /// The number of batch regions present in the snapshot.
@@ -160,13 +158,7 @@ impl fmt::Display for OccupancySnapshot {
             self.total_capacity()
         )?;
         for r in &self.regions {
-            write!(
-                f,
-                "; {}: {}/{}",
-                r.region(),
-                r.occupied(),
-                r.capacity()
-            )?;
+            write!(f, "; {}: {}/{}", r.region(), r.occupied(), r.capacity())?;
         }
         Ok(())
     }

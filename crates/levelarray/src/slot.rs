@@ -93,10 +93,16 @@ mod tests {
         let s = Slot::new();
         assert!(s.try_acquire(TasKind::CompareExchange));
         assert!(s.is_held());
-        assert!(!s.try_acquire(TasKind::CompareExchange), "second acquire must lose");
+        assert!(
+            !s.try_acquire(TasKind::CompareExchange),
+            "second acquire must lose"
+        );
         assert!(s.release());
         assert!(!s.is_held());
-        assert!(s.try_acquire(TasKind::CompareExchange), "slot is reusable after release");
+        assert!(
+            s.try_acquire(TasKind::CompareExchange),
+            "slot is reusable after release"
+        );
     }
 
     #[test]

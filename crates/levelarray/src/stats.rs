@@ -236,7 +236,11 @@ mod tests {
         }
         let n = samples.len() as f64;
         let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n;
-        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!((s.stddev_probes() - var.sqrt()).abs() < 1e-9);
     }
 

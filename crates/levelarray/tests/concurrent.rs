@@ -23,7 +23,9 @@ fn available_threads() -> usize {
 /// merged statistics.
 fn hammer(array: Arc<LevelArray>, threads: usize, iters: usize, seed: u64) -> GetStats {
     let ownership: Arc<Vec<AtomicBool>> = Arc::new(
-        (0..array.capacity()).map(|_| AtomicBool::new(false)).collect(),
+        (0..array.capacity())
+            .map(|_| AtomicBool::new(false))
+            .collect(),
     );
     let mut seeds = SeedSequence::new(seed);
     let mut merged = GetStats::new();
@@ -63,7 +65,10 @@ fn unique_ownership_under_contention() {
     let array = Arc::new(LevelArray::new(threads));
     let stats = hammer(array.clone(), threads, 20_000, 0xDEADBEEF);
     assert_eq!(stats.operations(), (threads * 20_000) as u64);
-    assert!(array.collect().is_empty(), "all slots must be free at the end");
+    assert!(
+        array.collect().is_empty(),
+        "all slots must be free at the end"
+    );
 }
 
 #[test]
@@ -87,7 +92,11 @@ fn worst_case_probe_count_stays_small() {
         "mean {} probes is far above the paper's ~1.75",
         stats.mean_probes()
     );
-    assert_eq!(stats.backup_operations(), 0, "backup should never be needed");
+    assert_eq!(
+        stats.backup_operations(),
+        0,
+        "backup should never be needed"
+    );
 }
 
 #[test]
@@ -132,7 +141,9 @@ fn concurrent_collect_sees_a_valid_subset() {
     let n = threads;
     let array = Arc::new(LevelArray::new(n));
     let acquired_ever: Arc<Vec<AtomicBool>> = Arc::new(
-        (0..array.capacity()).map(|_| AtomicBool::new(false)).collect(),
+        (0..array.capacity())
+            .map(|_| AtomicBool::new(false))
+            .collect(),
     );
     let stop = Arc::new(AtomicBool::new(false));
     let collects_done = Arc::new(AtomicU64::new(0));

@@ -5,7 +5,9 @@
 use larng::{default_rng, RandomSource};
 use levelarray::balance::{is_overcrowded, overcrowding_threshold, tracked_batches};
 use levelarray::geometry::BatchGeometry;
-use levelarray::{ActivityArray, GetStats, LevelArray, LevelArrayConfig, Name, ProbePolicy, TasKind};
+use levelarray::{
+    ActivityArray, GetStats, LevelArray, LevelArrayConfig, Name, ProbePolicy, TasKind,
+};
 use proptest::prelude::*;
 use std::collections::HashSet;
 

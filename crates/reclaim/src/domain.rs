@@ -196,7 +196,11 @@ impl ReclaimDomain {
     pub fn stats(&self) -> DomainStats {
         let limbo = self.limbo.lock().expect("limbo lock poisoned");
         let in_limbo = limbo.open.len() as u64
-            + limbo.closed.iter().map(|b| b.nodes.len() as u64).sum::<u64>();
+            + limbo
+                .closed
+                .iter()
+                .map(|b| b.nodes.len() as u64)
+                .sum::<u64>();
         DomainStats {
             retired: self.retired.load(Ordering::Relaxed),
             freed: self.freed.load(Ordering::Relaxed),
@@ -387,7 +391,11 @@ mod tests {
             let _ = d.try_reclaim();
             drop(_guard);
         }
-        assert_eq!(drops.load(Ordering::SeqCst), 5, "Drop must free limbo nodes");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            5,
+            "Drop must free limbo nodes"
+        );
     }
 
     #[test]

@@ -42,6 +42,10 @@
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
+// Every `unsafe` block and impl in this crate must carry a `// SAFETY:`
+// comment tying it to the grace-period argument in the module docs.
+#![deny(clippy::undocumented_unsafe_blocks)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod domain;
 pub mod stack;

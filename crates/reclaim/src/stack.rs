@@ -24,6 +24,10 @@ struct Node<T> {
 // head pointer and are only dropped by the reclamation domain after a grace
 // period; `T: Send` is required by the public API bounds.
 unsafe impl<T: Send> Send for Node<T> {}
+// SAFETY: shared access to a node is read-only while it is reachable (`next`
+// is only written before the node is published by `push`'s CAS, `value` only
+// taken after `pop`'s CAS grants exclusive logical ownership), so `&Node<T>`
+// may cross threads whenever `T: Send`.
 unsafe impl<T: Send> Sync for Node<T> {}
 
 /// A lock-free LIFO stack with activity-array-based memory reclamation.
@@ -38,6 +42,9 @@ pub struct TreiberStack<T> {
 // SAFETY: the raw head pointer is only manipulated through atomic operations,
 // and node lifetime is governed by the reclamation domain.
 unsafe impl<T: Send> Send for TreiberStack<T> {}
+// SAFETY: all shared-reference operations (`push`, `pop`, `is_empty`) are
+// internally synchronized: the head is accessed atomically and unlinked nodes
+// are handed to the domain, never freed while another thread can hold them.
 unsafe impl<T: Send> Sync for TreiberStack<T> {}
 
 impl<T: Send + 'static> TreiberStack<T> {
@@ -182,7 +189,9 @@ mod tests {
     #[test]
     fn registration_traffic_flows_through_the_activity_array() {
         let registry = Arc::new(LevelArray::new(8));
-        let domain = Arc::new(ReclaimDomain::new(registry.clone() as Arc<dyn ActivityArray>));
+        let domain = Arc::new(ReclaimDomain::new(
+            registry.clone() as Arc<dyn ActivityArray>
+        ));
         let stack = TreiberStack::new(domain);
         let mut rng = default_rng(3);
         stack.push(1, &mut rng);
@@ -258,7 +267,11 @@ mod tests {
         while let Some(v) = stack.pop(&mut rng) {
             all.push(v);
         }
-        assert_eq!(all.len(), threads * per_thread, "lost or duplicated elements");
+        assert_eq!(
+            all.len(),
+            threads * per_thread,
+            "lost or duplicated elements"
+        );
         let unique: HashSet<usize> = all.iter().copied().collect();
         assert_eq!(unique.len(), all.len(), "duplicated elements");
 

@@ -157,7 +157,12 @@ mod tests {
             fully_balanced: balanced,
         };
         // Unbalanced, unbalanced, balanced from 3000 onward.
-        let samples = vec![make(1000, false), make(2000, false), make(3000, true), make(4000, true)];
+        let samples = vec![
+            make(1000, false),
+            make(2000, false),
+            make(3000, true),
+            make(4000, true),
+        ];
         assert_eq!(ops_until_stably_balanced(&samples), Some(3000));
         // A relapse resets the boundary.
         let relapse = vec![make(1000, true), make(2000, false), make(3000, true)];

@@ -285,9 +285,8 @@ impl<'a> Simulation<'a> {
                 let ops = report.gets + report.frees;
                 if let Some(every) = self.config.balance_every {
                     if every > 0 && ops % every == 0 {
-                        let balanced =
-                            BalanceReport::from_snapshot(&self.array.occupancy(), n)
-                                .is_fully_balanced();
+                        let balanced = BalanceReport::from_snapshot(&self.array.occupancy(), n)
+                            .is_fully_balanced();
                         report.balance.record(ops, balanced);
                     }
                 }
@@ -384,7 +383,10 @@ mod tests {
     #[test]
     fn unfinished_gets_remain_held_at_the_end() {
         let array = LevelArray::new(2);
-        let inputs = vec![ProcessInput::register_forever(), ProcessInput::register_forever()];
+        let inputs = vec![
+            ProcessInput::register_forever(),
+            ProcessInput::register_forever(),
+        ];
         let schedule = Schedule::round_robin(2, 2);
         let report = Simulation::new(&array, inputs, schedule, default_config(3)).run();
         assert_eq!(report.gets, 2);

@@ -8,8 +8,7 @@
 //! predicts.  [`HealingExperiment`] reproduces exactly that protocol.
 
 use larng::{default_rng, DefaultRng, RandomSource};
-use levelarray::balance::BalanceReport;
-use levelarray::{ActivityArray, LevelArray, Name};
+use levelarray::{ActivityArray, LevelArray, LevelArrayConfig, Name};
 
 use crate::analysis::{ops_until_stably_balanced, OccupancySample};
 
@@ -89,8 +88,11 @@ fn shuffle_indices(rng: &mut dyn RandomSource, slice: &mut [usize]) {
 /// Configuration of a healing run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealingExperiment {
-    /// Contention bound `n` of the LevelArray under test.
-    pub contention_bound: usize,
+    /// The LevelArray under test, as a full typed configuration: healing can
+    /// be studied on any geometry/probe/TAS ablation, not just the default
+    /// `2n` layout.  The configuration's contention bound is the experiment's
+    /// `n`.
+    pub array: LevelArrayConfig,
     /// Number of simulated threads issuing Get/Free traffic.  Each holds at
     /// most one name at a time, in addition to the pre-occupied skew which is
     /// drained as the run progresses.
@@ -116,7 +118,7 @@ impl HealingExperiment {
     /// of 4000 operations each.
     pub fn paper_figure3(n: usize, seed: u64) -> Self {
         HealingExperiment {
-            contention_bound: n,
+            array: LevelArrayConfig::new(n),
             workers: (n / 2).max(1),
             total_ops: 32_000,
             snapshot_every: 4_000,
@@ -134,33 +136,36 @@ impl HealingExperiment {
     /// `snapshot_every == 0`, or the ghost-release probability is outside
     /// `[0, 1]`.
     pub fn run(&self) -> HealingReport {
+        let n = self.array.max_concurrency_value();
         assert!(self.workers > 0, "need at least one worker");
         assert!(
-            self.workers <= self.contention_bound,
-            "workers ({}) exceed the contention bound ({})",
-            self.workers,
-            self.contention_bound
+            self.workers <= n,
+            "workers ({}) exceed the contention bound ({n})",
+            self.workers
         );
-        assert!(self.snapshot_every > 0, "snapshot interval must be positive");
+        assert!(
+            self.snapshot_every > 0,
+            "snapshot interval must be positive"
+        );
         assert!(
             (0.0..=1.0).contains(&self.ghost_release_probability),
             "ghost release probability must lie in [0, 1]"
         );
 
-        let array = LevelArray::new(self.contention_bound);
+        let array = self
+            .array
+            .build()
+            .expect("invalid LevelArray configuration");
         let mut rng: DefaultRng = default_rng(self.seed);
 
         // Install the skewed initial state.
         let mut ghosts = force_unbalanced(&array, &self.spec, &mut rng);
         let initial_snapshot = array.occupancy();
-        let initially_balanced =
-            BalanceReport::from_snapshot(&initial_snapshot, self.contention_bound)
-                .is_fully_balanced();
-        let mut samples = vec![OccupancySample::from_snapshot(
-            0,
-            &initial_snapshot,
-            self.contention_bound,
-        )];
+        let initially_balanced = self
+            .array
+            .balance_report(&initial_snapshot)
+            .is_fully_balanced();
+        let mut samples = vec![OccupancySample::from_snapshot(0, &initial_snapshot, n)];
 
         // Worker-held names (at most one each).
         let mut worker_names: Vec<Option<Name>> = vec![None; self.workers];
@@ -186,16 +191,11 @@ impl HealingExperiment {
             ops += 1;
 
             if ops % self.snapshot_every == 0 {
-                samples.push(OccupancySample::from_snapshot(
-                    ops,
-                    &array.occupancy(),
-                    self.contention_bound,
-                ));
+                samples.push(OccupancySample::from_snapshot(ops, &array.occupancy(), n));
             }
         }
 
-        let final_report =
-            BalanceReport::from_snapshot(&array.occupancy(), self.contention_bound);
+        let final_report = self.array.balance_report(&array.occupancy());
         HealingReport {
             initially_balanced,
             finally_balanced: final_report.is_fully_balanced(),
@@ -251,20 +251,23 @@ mod tests {
         let snap = array.occupancy();
         let b0 = snap.batch(0).unwrap();
         let b1 = snap.batch(1).unwrap();
-        assert_eq!(b0.occupied(), (b0.capacity() as f64 * 0.25).round() as usize);
+        assert_eq!(
+            b0.occupied(),
+            (b0.capacity() as f64 * 0.25).round() as usize
+        );
         assert_eq!(b1.occupied(), (b1.capacity() as f64 * 0.5).round() as usize);
         assert_eq!(held.len(), b0.occupied() + b1.occupied());
 
         // Batch 1 holds n/8 slots = 64 >= the overcrowding threshold n/8 = 64,
         // so the initial state is genuinely unbalanced.
-        let report = BalanceReport::from_snapshot(&snap, n);
+        let report = LevelArrayConfig::new(n).balance_report(&snap);
         assert!(!report.is_fully_balanced(), "{report:?}");
     }
 
     #[test]
     fn healing_restores_balance() {
         let experiment = HealingExperiment {
-            contention_bound: 256,
+            array: LevelArrayConfig::new(256),
             workers: 64,
             total_ops: 20_000,
             snapshot_every: 1_000,
@@ -310,7 +313,7 @@ mod tests {
     #[test]
     fn already_balanced_start_stays_balanced() {
         let experiment = HealingExperiment {
-            contention_bound: 128,
+            array: LevelArrayConfig::new(128),
             workers: 32,
             total_ops: 5_000,
             snapshot_every: 500,

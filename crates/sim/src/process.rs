@@ -285,6 +285,8 @@ mod tests {
         assert_eq!(ProcessId(3).to_string(), "p3");
         assert_eq!(Op::Get.to_string(), "Get");
         assert_eq!(Op::Collect.to_string(), "Collect");
-        assert!(InputError::FreeWithoutGet { position: 2 }.to_string().contains("2"));
+        assert!(InputError::FreeWithoutGet { position: 2 }
+            .to_string()
+            .contains("2"));
     }
 }

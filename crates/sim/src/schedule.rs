@@ -99,7 +99,10 @@ impl Schedule {
     ) -> Self {
         assert!(!weights.is_empty(), "a schedule needs at least one process");
         for &w in weights {
-            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weights must be finite and non-negative"
+            );
         }
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "at least one weight must be positive");

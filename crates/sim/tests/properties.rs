@@ -46,11 +46,7 @@ fn check_report_consistency(
     prop_assert!(report.gets <= inputs_gets, "{algorithm}");
     prop_assert_eq!(report.gets, report.get_stats.operations(), "{}", algorithm);
     // Every completed Get was either freed or is still held at the end.
-    let still_held = report
-        .final_holdings
-        .iter()
-        .filter(|h| h.is_some())
-        .count() as u64;
+    let still_held = report.final_holdings.iter().filter(|h| h.is_some()).count() as u64;
     prop_assert_eq!(report.gets, report.frees + still_held, "{}", algorithm);
     prop_assert_eq!(
         report.final_occupancy.total_occupied() as u64,

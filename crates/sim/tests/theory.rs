@@ -7,7 +7,7 @@
 
 use la_sim::executor::{Simulation, SimulationConfig};
 use la_sim::{HealingExperiment, ProcessInput, Schedule, UnbalanceSpec};
-use levelarray::{ActivityArray, LevelArray, LevelArrayConfig, ProbePolicy};
+use levelarray::{LevelArray, LevelArrayConfig, ProbePolicy};
 
 /// Theorem 1 (polynomial executions stay balanced) under the *analysis*
 /// configuration: c_i = 16 probes per batch.  Even at full contention
@@ -144,7 +144,7 @@ fn bursty_adversarial_schedule_is_still_fast_and_correct() {
 fn theorem2_self_healing_from_figure3_skew() {
     let n = 512;
     let experiment = HealingExperiment {
-        contention_bound: n,
+        array: LevelArrayConfig::new(n),
         workers: n / 4,
         total_ops: 40_000,
         snapshot_every: 2_000,
@@ -174,7 +174,7 @@ fn theorem2_self_healing_from_figure3_skew() {
 fn theorem2_self_healing_from_saturated_deep_batches() {
     let n = 512;
     let experiment = HealingExperiment {
-        contention_bound: n,
+        array: LevelArrayConfig::new(n),
         workers: n / 8,
         total_ops: 60_000,
         snapshot_every: 3_000,
@@ -184,7 +184,11 @@ fn theorem2_self_healing_from_saturated_deep_batches() {
     };
     let report = experiment.run();
     assert!(!report.initially_balanced);
-    assert!(report.finally_balanced, "did not heal: {:?}", report.samples.last());
+    assert!(
+        report.finally_balanced,
+        "did not heal: {:?}",
+        report.samples.last()
+    );
     assert!(report.ops_to_balance.is_some());
 }
 

@@ -19,9 +19,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use la_coordination::{DynamicBarrier, ReaderRegistry};
-use larng::{default_rng, SeedSequence};
-use levelarray::LevelArray;
+use levelarray_suite::coordination::{DynamicBarrier, ReaderRegistry};
+use levelarray_suite::core::LevelArray;
+use levelarray_suite::rng::{default_rng, SeedSequence};
 
 fn barrier_demo(workers: usize) {
     println!("-- dynamic barrier: {workers} workers, half leave after 5 phases --");

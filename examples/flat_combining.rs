@@ -14,9 +14,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use la_flatcombine::{FcCounter, FcQueue};
-use larng::{default_rng, SeedSequence};
-use levelarray::LevelArray;
+use levelarray_suite::core::LevelArray;
+use levelarray_suite::flatcombine::{FcCounter, FcQueue};
+use levelarray_suite::rng::{default_rng, SeedSequence};
 
 fn main() {
     let workers = std::thread::available_parallelism()

@@ -12,12 +12,13 @@
 //! per-batch fill; the skew drains away and the array returns to a balanced
 //! profile without any explicit rebuilding, exactly as the paper observes.
 
-use la_sim::{HealingExperiment, UnbalanceSpec};
+use levelarray_suite::core::LevelArrayConfig;
+use levelarray_suite::sim::{HealingExperiment, UnbalanceSpec};
 
 fn main() {
     let n = 512;
     let experiment = HealingExperiment {
-        contention_bound: n,
+        array: LevelArrayConfig::new(n),
         workers: n / 2,
         total_ops: 32_000,
         snapshot_every: 4_000,

@@ -17,9 +17,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use la_reclaim::{ReclaimDomain, TreiberStack};
-use larng::{default_rng, SeedSequence};
-use levelarray::LevelArray;
+use levelarray_suite::core::LevelArray;
+use levelarray_suite::reclaim::{ReclaimDomain, TreiberStack};
+use levelarray_suite::rng::{default_rng, SeedSequence};
 
 fn main() {
     let workers = std::thread::available_parallelism()

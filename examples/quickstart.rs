@@ -16,8 +16,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use larng::{default_rng, SeedSequence};
-use levelarray::{ActivityArray, GetStats, LevelArray, Registration};
+use levelarray_suite::core::{ActivityArray, GetStats, LevelArray, Registration};
+use levelarray_suite::rng::{default_rng, SeedSequence};
 
 fn main() {
     let workers = std::thread::available_parallelism()
@@ -83,8 +83,17 @@ fn main() {
     let summary = merged.summary();
     println!();
     println!("== aggregate over {} registrations ==", summary.operations);
-    println!("average probes : {:.3}  (paper: ~1.75 at 50% pre-fill)", summary.mean_probes);
+    println!(
+        "average probes : {:.3}  (paper: ~1.75 at 50% pre-fill)",
+        summary.mean_probes
+    );
     println!("std deviation  : {:.3}", summary.stddev_probes);
-    println!("worst case     : {}      (paper: <= 6 over ~10^9 operations)", summary.max_probes);
-    println!("backup used    : {:.4}% of operations", summary.backup_fraction * 100.0);
+    println!(
+        "worst case     : {}      (paper: <= 6 over ~10^9 operations)",
+        summary.max_probes
+    );
+    println!(
+        "backup used    : {:.4}% of operations",
+        summary.backup_fraction * 100.0
+    );
 }

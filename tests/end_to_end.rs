@@ -142,7 +142,7 @@ fn headline_behaviours_hold_end_to_end() {
 
     // 2. Self-healing from the Figure-3 skew.
     let healing = HealingExperiment {
-        contention_bound: 256,
+        array: LevelArrayConfig::new(256),
         workers: 64,
         total_ops: 24_000,
         snapshot_every: 2_000,

@@ -1,0 +1,135 @@
+//! Root integration smoke test: the paper's core correctness invariant,
+//! exercised through the umbrella crate exactly the way an application would.
+//!
+//! Up to `n` threads repeatedly register with and deregister from one shared
+//! `LevelArray`.  At every moment the held names must be (a) pairwise unique
+//! and (b) drawn from a namespace of at most `2n` (the main array; the backup
+//! is disabled here so the bound is the paper's tight one).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use levelarray_suite::core::{ActivityArray, LevelArrayConfig, Name};
+use levelarray_suite::rng::default_rng;
+use proptest::prelude::*;
+
+/// Keep case counts small enough that the suite stays fast under
+/// interpreted/instrumented runs (Miri, sanitizers); the vendored proptest
+/// shim additionally drops its default to 4 cases under `cfg(miri)`.
+fn cases() -> ProptestConfig {
+    ProptestConfig::with_cases(if cfg!(miri) { 2 } else { 32 })
+}
+
+#[test]
+fn n_threads_register_free_names_unique_and_at_most_2n() {
+    let n = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    let rounds = 2_000usize;
+
+    // Backup disabled: every acquired name must come from the 2n main slots.
+    let array = LevelArrayConfig::new(n)
+        .backup(false)
+        .build()
+        .expect("valid configuration");
+    assert_eq!(array.capacity(), 2 * n);
+
+    // One claim flag per possible name: a `Get` that returns a name whose flag
+    // is already set has handed the same name to two in-flight registrations.
+    let claimed: Vec<AtomicBool> = (0..array.capacity())
+        .map(|_| AtomicBool::new(false))
+        .collect();
+    let duplicates = AtomicUsize::new(0);
+    let out_of_range = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..n {
+            let array = &array;
+            let claimed = &claimed;
+            let duplicates = &duplicates;
+            let out_of_range = &out_of_range;
+            let completed = &completed;
+            scope.spawn(move || {
+                let mut rng = default_rng(0xD15EA5E + t as u64);
+                for _ in 0..rounds {
+                    // With <= n concurrent holders and the backup disabled,
+                    // a random probe can still lose every toss; retry.
+                    let got = loop {
+                        if let Some(got) = array.try_get(&mut rng) {
+                            break got;
+                        }
+                    };
+                    let name = got.name();
+                    if name.index() >= 2 * n {
+                        out_of_range.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if claimed[name.index()].swap(true, Ordering::SeqCst) {
+                        duplicates.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Hold the name across a collect to give overlap a chance
+                    // to surface bugs, then release.
+                    let seen = array.collect();
+                    assert!(seen.contains(&name));
+                    claimed[name.index()].store(false, Ordering::SeqCst);
+                    array.free(name);
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        duplicates.load(Ordering::Relaxed),
+        0,
+        "duplicate names handed out"
+    );
+    assert_eq!(
+        out_of_range.load(Ordering::Relaxed),
+        0,
+        "name outside the 2n namespace"
+    );
+    assert_eq!(completed.load(Ordering::Relaxed), n * rounds);
+    assert!(array.collect().is_empty(), "everything was freed");
+}
+
+proptest! {
+    #![proptest_config(cases())]
+
+    /// Sequential register/free scripts keep the held set unique and within
+    /// the `2n` namespace at every step, for arbitrary interleavings.
+    #[test]
+    fn scripted_register_free_preserves_uniqueness(
+        n in 1usize..16,
+        script in proptest::collection::vec(any::<u8>(), 1..120),
+        seed in any::<u64>(),
+    ) {
+        let array = LevelArrayConfig::new(n)
+            .backup(false)
+            .build()
+            .expect("valid configuration");
+        let mut rng = default_rng(seed);
+        let mut held: Vec<Name> = Vec::new();
+
+        for step in script {
+            let register = held.is_empty() || (step % 2 == 0 && held.len() < n);
+            if register {
+                if let Some(got) = array.try_get(&mut rng) {
+                    let name = got.name();
+                    prop_assert!(name.index() < 2 * n, "name {} >= 2n = {}", name.index(), 2 * n);
+                    prop_assert!(!held.contains(&name), "duplicate name {}", name.index());
+                    held.push(name);
+                }
+            } else {
+                let victim = (step as usize) % held.len();
+                array.free(held.swap_remove(victim));
+            }
+            // Collect sees exactly the held set (sequential execution).
+            let mut seen: Vec<usize> = array.collect().iter().map(|h| h.index()).collect();
+            let mut want: Vec<usize> = held.iter().map(|h| h.index()).collect();
+            seen.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(seen, want);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! A vendored, dependency-free stand-in for the crates.io `criterion` crate.
+//!
+//! The workspace builds in offline environments, so this crate provides the
+//! subset of criterion's API the benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! and the `criterion_group!` / `criterion_main!` macros — backed by a
+//! straightforward timing loop instead of criterion's statistical machinery.
+//!
+//! Each benchmark warms up for `warm_up_time`, then runs timed batches until
+//! `measurement_time` elapses, and reports the per-iteration mean and the
+//! spread across batches (min/max of the batch means) on stdout.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported from `std`, like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter, printed as `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// The per-benchmark timing driver passed to `b.iter(..)` closures.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    /// Filled in by `iter`: (mean, min, max) nanoseconds per iteration.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, batching iterations so cheap routines are measured
+    /// above timer resolution.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also used to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / (warm_iters.max(1) as f64);
+        // Aim for `samples` batches within the measurement window, each long
+        // enough (>= ~50us) that Instant::now overhead is negligible.
+        let batch_target = (self.measurement.as_secs_f64() / self.samples as f64).max(50e-6);
+        let batch_iters = ((batch_target / per_iter) as u64).clamp(1, 1 << 24);
+
+        let mut batch_means: Vec<f64> = Vec::with_capacity(self.samples);
+        let total_start = Instant::now();
+        while total_start.elapsed() < self.measurement && batch_means.len() < self.samples {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            batch_means.push(elapsed * 1e9 / batch_iters as f64);
+        }
+        if batch_means.is_empty() {
+            batch_means.push(per_iter * 1e9);
+        }
+        let mean = batch_means.iter().sum::<f64>() / batch_means.len() as f64;
+        let min = batch_means.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = batch_means.iter().copied().fold(0.0f64, f64::max);
+        self.result = Some((mean, min, max));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        warm_up,
+        measurement,
+        samples,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, min, max)) => {
+            println!("{label:<48} {mean:>12.1} ns/iter  [{min:.1} .. {max:.1}]");
+        }
+        None => println!("{label:<48} (no measurement: closure never called iter)"),
+    }
+}
+
+/// A named collection of related benchmarks sharing timing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measured duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the number of timed batches ("samples") per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.warm_up, self.measurement, self.samples, f);
+        self
+    }
+
+    /// Runs one benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.warm_up, self.measurement, self.samples, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op marker).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            samples: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// CLI-argument handling is not supported; returns `self` unchanged.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            name,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: self.samples,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().to_string();
+        run_one(&label, self.warm_up, self.measurement, self.samples, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a single runner function, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(20),
+            samples: 5,
+        };
+        let mut group = c.benchmark_group("smoke");
+        let mut x = 0u64;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        group
+            .bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &k| {
+                b.iter(|| k * 2)
+            })
+            .finish();
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(
+            BenchmarkId::from_parameter("LevelArray").to_string(),
+            "LevelArray"
+        );
+    }
+}

@@ -1,0 +1,478 @@
+//! A vendored, dependency-free stand-in for the crates.io `proptest` crate.
+//!
+//! The workspace builds in offline environments, so this crate reimplements
+//! the (small) slice of proptest's API that the test suites actually use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]` header;
+//! * [`prelude`] exporting [`Strategy`], [`arbitrary::any`], `prop_assert*`
+//!   and [`test_runner::ProptestConfig`] / [`test_runner::TestCaseError`];
+//! * range, tuple, `any`, `prop_map` and [`collection::vec`] strategies.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports the
+//! case number and the master seed (settable via `PROPTEST_SEED`) so the run
+//! can be reproduced exactly, which is enough for a deterministic CI suite.
+
+/// The deterministic generator behind every strategy draw (SplitMix64).
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test RNG handed to strategies. SplitMix64: tiny, full-period,
+    /// statistically fine for test-case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng(seed)
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `0..bound` (Lemire widening multiply; unbiased).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below() requires a non-zero bound");
+            let mut x = self.next_u64();
+            let mut m = (x as u128) * (bound as u128);
+            let mut low = m as u64;
+            if low < bound {
+                let threshold = bound.wrapping_neg() % bound;
+                while low < threshold {
+                    x = self.next_u64();
+                    m = (x as u128) * (bound as u128);
+                    low = m as u64;
+                }
+            }
+            (m >> 64) as u64
+        }
+    }
+
+    /// Configuration block accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Keep the default modest (the real crate uses 256) and drop to a
+            // handful of cases under Miri, whose interpreter is ~1000x slower.
+            let cases = if cfg!(miri) { 4 } else { 64 };
+            ProptestConfig { cases }
+        }
+    }
+
+    /// The error type `prop_assert!` returns through `?`.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failed assertion with the given message.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Shorthand used by helper functions in test files.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives one property: derives a per-case RNG from the master seed and
+    /// panics (with reproduction instructions) on the first failing case.
+    pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let master: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x1CDC_5201_4AB5_EED5);
+        for i in 0..config.cases {
+            // Distinct, deterministic stream per case: split the master seed.
+            let mut rng =
+                TestRng::from_seed(master ^ (u64::from(i)).wrapping_mul(0xA076_1D64_78BD_642F));
+            if let Err(e) = case(&mut rng) {
+                panic!(
+                    "proptest property `{test_name}` failed at case {i}/{} \
+                     (master seed {master}; rerun with PROPTEST_SEED={master}): {e}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// Strategies: composable value generators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type [`Strategy::Value`].
+    ///
+    /// The real crate's `Strategy` produces shrinkable value *trees*; this
+    /// stand-in generates plain values, which keeps `impl Strategy<Value = T>`
+    /// return types source-compatible.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (proptest's combinator name).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy {:?}", self);
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    // A `Range` never covers the full domain (that would be
+                    // `start..=MAX`), so `span` is non-zero.
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as u64).wrapping_sub(*self.start() as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    self.start().wrapping_add(rng.below(span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy {self:?}");
+            // 53-bit uniform unit draw scaled into the range; half-open because
+            // the unit draw is in [0, 1).
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start() <= self.end(), "empty range strategy");
+            let unit = (rng.next_u64() >> 10) as f64 * (1.0 / ((1u64 << 54) - 1) as f64);
+            self.start() + unit.min(1.0) * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+
+    /// The `any::<T>()` strategy: the full domain of `T`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// `any::<T>()`, proptest's entry point for full-domain strategies.
+pub mod arbitrary {
+    use crate::strategy::{Any, Arbitrary};
+
+    /// A strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Supports the same surface syntax as the real
+/// macro for simple `ident in strategy` parameter lists.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_cases(stringify!($name), &config, |rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    result
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config (::std::default::Default::default()) $($rest)*
+        );
+    };
+}
+
+/// `assert!` that reports failure through `Result` instead of panicking
+/// mid-case, so helper functions can propagate with `?`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Result-reporting `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`: {}", left, right, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Result-reporting `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the case when the assumption does not hold. Without shrinking
+/// there is nothing smarter to do than skip to the next case, which matches
+/// the real macro's observable behaviour for passing runs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in 0usize..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_strategy_has_bounded_len(v in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn map_applies(x in (0u64..100).prop_map(|v| v * 2)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 199);
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (any::<usize>(), any::<bool>())) {
+            let (n, b) = pair;
+            prop_assume!(n % 2 == 0 || b);
+            prop_assert!(n % 2 == 0 || b);
+        }
+    }
+
+    mod without_header {
+        use crate::prelude::*;
+
+        proptest! {
+            #[test]
+            fn default_config_is_used(seed in any::<u64>()) {
+                prop_assert_eq!(seed, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(0u64..1000, 5..6);
+        let a = strat.generate(&mut TestRng::from_seed(7));
+        let b = strat.generate(&mut TestRng::from_seed(7));
+        assert_eq!(a, b);
+    }
+}
