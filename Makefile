@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt clippy build test bench-check examples
+.PHONY: ci fmt clippy build test doc bench-check bench-smoke examples
 
-ci: fmt clippy build test bench-check
+ci: fmt clippy build test doc bench-check
 
 fmt:
 	$(CARGO) fmt --check
@@ -18,12 +18,28 @@ build:
 test:
 	$(CARGO) test -q
 
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps
+
 bench-check:
 	$(CARGO) bench --no-run
+
+# Run every bench binary on a minimal cell so the bench wiring (workload
+# construction, algorithm set, table rendering) is *executed*, not just
+# compiled.  Finishes in well under a minute.
+bench-smoke:
+	FIG2_THREADS=2 FIG2_OPS=2000 FIG2_EMULATED=4 FIG2_SHARDS=2 \
+		$(CARGO) bench --bench fig2_panels
+	SWEEP_THREADS=2 SWEEP_OPS=2000 SWEEP_EMULATED=4 \
+		$(CARGO) bench --bench sweeps
+	FIG3_N=64 FIG3_OPS=4000 FIG3_SNAPSHOT=1000 FIG3_SHARDS=2 \
+		$(CARGO) bench --bench fig3_healing
+	MICRO_QUICK=1 $(CARGO) bench --bench micro
 
 examples:
 	$(CARGO) run -q --release --example quickstart
 	$(CARGO) run -q --release --example healing
+	$(CARGO) run -q --release --example sharded
 	$(CARGO) run -q --release --example coordination
 	$(CARGO) run -q --release --example flat_combining
 	$(CARGO) run -q --release --example memory_reclamation

@@ -1,6 +1,9 @@
 //! Reproduces **Figure 2** of the paper: throughput, average number of
 //! trials, standard deviation of trials, and worst-case number of trials as a
-//! function of the thread count, for LevelArray, Random and LinearProbing.
+//! function of the thread count, for LevelArray, Random and LinearProbing —
+//! plus this reproduction's ShardedLevelArray cell (`FIG2_SHARDS` shards,
+//! default 4), which targets the cache-line contention the single array hits
+//! at high thread counts.
 //!
 //! The paper runs each cell for 10 seconds on an 80-hardware-thread machine
 //! with `N = 1000 n` and `L = 2N` at 50 % pre-fill; this harness keeps the
@@ -14,6 +17,7 @@
 //!   set `FIG2_OPS=10000000` and a large thread list to approach it).
 //! * `FIG2_EMULATED` — slots held per thread, the paper's `N/n` (default 32).
 //! * `FIG2_PREFILL` — pre-fill fraction (default 0.5).
+//! * `FIG2_SHARDS` — shard count of the ShardedLevelArray cell (default 4).
 
 use la_bench::{Algorithm, Cell, Table, WorkloadConfig};
 
@@ -53,9 +57,10 @@ fn main() {
     let ops_per_thread: u64 = env_or("FIG2_OPS", 200_000);
     let emulated: usize = env_or("FIG2_EMULATED", 32);
     let prefill: f64 = env_or("FIG2_PREFILL", 0.5);
+    let shards: usize = env_or("FIG2_SHARDS", 4);
     let threads = thread_counts();
 
-    println!("# Figure 2 — LevelArray vs Random vs LinearProbing");
+    println!("# Figure 2 — LevelArray vs ShardedLevelArray(s={shards}) vs Random vs LinearProbing");
     println!(
         "# workload: N/n = {emulated}, L = 2N, prefill = {:.0}%, {} measured ops/thread",
         prefill * 100.0,
@@ -73,8 +78,16 @@ fn main() {
         "worst (absolute)",
     ]);
 
+    let mut algorithms = Algorithm::figure2_set();
+    // Honor FIG2_SHARDS for the sharded cell.
+    for algorithm in &mut algorithms {
+        if let Algorithm::ShardedLevelArray { shards: s } = algorithm {
+            *s = shards;
+        }
+    }
+
     for &n in &threads {
-        for algorithm in Algorithm::figure2_set() {
+        for &algorithm in &algorithms {
             let config = WorkloadConfig {
                 threads: n,
                 emulated_per_thread: emulated,

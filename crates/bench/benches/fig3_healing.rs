@@ -7,15 +7,20 @@
 //! about 32 000 operations; the table printed here is the same data, one row
 //! per snapshot ("state" in the paper's axis labels).
 //!
+//! A second cell runs the same protocol on the `ShardedLevelArray`
+//! (per-shard skew, balance judged on the batch-aggregated census) to show
+//! the self-healing property survives the sharded decomposition.
+//!
 //! Environment variables:
 //!
 //! * `FIG3_N` — contention bound of the array (default 512).
 //! * `FIG3_OPS` — total operations (default 32 000, the paper's horizon).
 //! * `FIG3_SNAPSHOT` — operations between snapshots (default 4 000).
 //! * `FIG3_SEED` — RNG seed (default 3).
+//! * `FIG3_SHARDS` — shard count of the sharded cell (default 4).
 
 use la_bench::{Cell, Table};
-use la_sim::{HealingExperiment, UnbalanceSpec};
+use la_sim::{HealingExperiment, HealingReport, UnbalanceSpec};
 use levelarray::LevelArrayConfig;
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -25,27 +30,7 @@ fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
-fn main() {
-    let n: usize = env_or("FIG3_N", 512);
-    let total_ops: u64 = env_or("FIG3_OPS", 32_000);
-    let snapshot_every: u64 = env_or("FIG3_SNAPSHOT", 4_000);
-    let seed: u64 = env_or("FIG3_SEED", 3);
-
-    let experiment = HealingExperiment {
-        array: LevelArrayConfig::new(n),
-        workers: (n / 2).max(1),
-        total_ops,
-        snapshot_every,
-        spec: UnbalanceSpec::paper_figure3(),
-        seed,
-        ghost_release_probability: 0.5,
-    };
-    let report = experiment.run();
-
-    println!("# Figure 3 — Self-healing: per-batch fill over time");
-    println!(
-        "# n = {n}, initial skew = {{batch 0: 25%, batch 1: 50%}}, snapshot every {snapshot_every} ops"
-    );
+fn print_report(report: &HealingReport) {
     println!(
         "# initially balanced: {} | finally balanced: {} | ops until stably balanced: {}",
         report.initially_balanced,
@@ -76,4 +61,33 @@ fn main() {
         table.push_row(row);
     }
     println!("{}", table.to_markdown());
+}
+
+fn main() {
+    let n: usize = env_or("FIG3_N", 512);
+    let total_ops: u64 = env_or("FIG3_OPS", 32_000);
+    let snapshot_every: u64 = env_or("FIG3_SNAPSHOT", 4_000);
+    let seed: u64 = env_or("FIG3_SEED", 3);
+    let shards: usize = env_or("FIG3_SHARDS", 4);
+
+    let experiment = HealingExperiment {
+        array: LevelArrayConfig::new(n),
+        workers: (n / 2).max(1),
+        total_ops,
+        snapshot_every,
+        spec: UnbalanceSpec::paper_figure3(),
+        seed,
+        ghost_release_probability: 0.5,
+    };
+
+    println!("# Figure 3 — Self-healing: per-batch fill over time");
+    println!(
+        "# n = {n}, initial skew = {{batch 0: 25%, batch 1: 50%}}, snapshot every {snapshot_every} ops"
+    );
+    println!();
+    println!("## LevelArray");
+    print_report(&experiment.run());
+
+    println!("## ShardedLevelArray (s = {shards}, per-shard skew, batch-aggregated census)");
+    print_report(&experiment.run_sharded(shards));
 }

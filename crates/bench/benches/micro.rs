@@ -7,6 +7,10 @@
 //! (reclamation pin/unpin, flat-combining operations, reader registration) at
 //! a fixed occupancy.
 
+//! Set `MICRO_QUICK=1` to shrink the warm-up and measurement windows to a
+//! smoke-test size (`make bench-smoke` uses this to *execute* the wiring
+//! rather than collect publishable numbers).
+
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -16,7 +20,18 @@ use la_coordination::ReaderRegistry;
 use la_flatcombine::FcCounter;
 use la_reclaim::{ReclaimDomain, TreiberStack};
 use larng::default_rng;
-use levelarray::{ActivityArray, LevelArray, LevelArrayConfig, Name, TasKind};
+use levelarray::{ActivityArray, LevelArray, LevelArrayConfig, Name, ShardedLevelArray, TasKind};
+
+/// Warm-up and measurement windows: full-size by default, tiny under
+/// `MICRO_QUICK=1` (the `make bench-smoke` mode).
+fn windows() -> (Duration, Duration) {
+    let quick = std::env::var("MICRO_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    if quick {
+        (Duration::from_millis(50), Duration::from_millis(150))
+    } else {
+        (Duration::from_millis(500), Duration::from_secs(2))
+    }
+}
 
 /// Occupies `fraction` of the structure's contention bound and returns the
 /// held names so the benchmark runs at a realistic load.
@@ -29,8 +44,9 @@ fn prefill(array: &dyn ActivityArray, fraction: f64, seed: u64) -> Vec<Name> {
 fn bench_get_free(c: &mut Criterion) {
     let n = 256;
     let mut group = c.benchmark_group("get_free_50pct");
-    group.measurement_time(Duration::from_secs(2));
-    group.warm_up_time(Duration::from_millis(500));
+    let (warm_up, measurement) = windows();
+    group.measurement_time(measurement);
+    group.warm_up_time(warm_up);
     group.sample_size(30);
 
     let arrays: Vec<(&str, Box<dyn ActivityArray>)> = vec![
@@ -43,6 +59,10 @@ fn bench_get_free(c: &mut Criterion) {
                     .build()
                     .unwrap(),
             ),
+        ),
+        (
+            "ShardedLevelArray-s4",
+            Box::new(ShardedLevelArray::new(n, 4)),
         ),
         ("Random", Box::new(RandomArray::new(n))),
         ("LinearProbing", Box::new(LinearProbingArray::new(n))),
@@ -64,8 +84,9 @@ fn bench_get_free(c: &mut Criterion) {
 
 fn bench_collect(c: &mut Criterion) {
     let mut group = c.benchmark_group("collect");
-    group.measurement_time(Duration::from_secs(2));
-    group.warm_up_time(Duration::from_millis(500));
+    let (warm_up, measurement) = windows();
+    group.measurement_time(measurement);
+    group.warm_up_time(warm_up);
     group.sample_size(30);
     for n in [64usize, 256, 1024] {
         let array = LevelArray::new(n);
@@ -79,8 +100,9 @@ fn bench_collect(c: &mut Criterion) {
 
 fn bench_applications(c: &mut Criterion) {
     let mut group = c.benchmark_group("applications");
-    group.measurement_time(Duration::from_secs(2));
-    group.warm_up_time(Duration::from_millis(500));
+    let (warm_up, measurement) = windows();
+    group.measurement_time(measurement);
+    group.warm_up_time(warm_up);
     group.sample_size(30);
 
     // Memory reclamation: pin/unpin plus one push/pop cycle.

@@ -10,6 +10,9 @@
 //!    checked.
 //! 4. **Ablations** — probes-per-batch (`c_i`) and the TAS primitive
 //!    (`compare_exchange` vs `swap`), which the paper discusses qualitatively.
+//! 5. **Shard-count sweep** — the ShardedLevelArray against its own shard
+//!    count (1 shard degenerates to the plain layout), the knob behind the
+//!    ROADMAP's cache-line-contention item.
 //!
 //! Environment variables: `SWEEP_THREADS` (default: min(4, host)),
 //! `SWEEP_OPS` (default 50 000 measured ops/thread), `SWEEP_EMULATED`
@@ -155,5 +158,22 @@ fn main() {
     println!(
         "## LevelArray ablations (DESIGN.md §7)\n\n{}",
         ablation_table.to_markdown()
+    );
+
+    // 5. Shard-count sweep: how the sharded variant scales with its own knob.
+    let mut header = vec!["shards", "algorithm"];
+    header.extend(METRIC_COLUMNS);
+    let mut shard_table = Table::new(&header);
+    for shards in [1usize, 2, 4, 8] {
+        let algorithm = Algorithm::ShardedLevelArray { shards };
+        let result = la_bench::workload::run_workload(algorithm, &base);
+        shard_table.push_row(result_row(
+            &result,
+            vec![shards.into(), result.algorithm.clone().into()],
+        ));
+    }
+    println!(
+        "## Shard-count sweep (ShardedLevelArray)\n\n{}",
+        shard_table.to_markdown()
     );
 }

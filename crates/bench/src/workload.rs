@@ -20,7 +20,9 @@ use std::time::{Duration, Instant};
 
 use la_baselines::{LinearProbingArray, LinearScanArray, RandomArray};
 use larng::{default_rng, SeedSequence};
-use levelarray::{ActivityArray, GetStats, LevelArrayConfig, ProbePolicy, TasKind};
+use levelarray::{
+    ActivityArray, GetStats, LevelArrayConfig, ProbePolicy, ShardedLevelArray, TasKind,
+};
 
 /// Which algorithm a workload run exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,6 +33,12 @@ pub enum Algorithm {
     LevelArrayProbes(u32),
     /// LevelArray using `swap` instead of `compare_exchange` (ablation).
     LevelArraySwapTas,
+    /// The contention bound split across cache-padded shards with work
+    /// stealing on local exhaustion (the ROADMAP's sharded-arrays item).
+    ShardedLevelArray {
+        /// Number of shards the namespace is partitioned into.
+        shards: usize,
+    },
     /// Uniform random probing over a flat array.
     Random,
     /// Linear probing from a random start.
@@ -40,22 +48,26 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    /// The label used in tables (matches the paper's legend).
+    /// The label used in tables (matches the paper's legend; the sharded
+    /// variant reports its shard count).
     pub fn label(&self) -> String {
         match self {
             Algorithm::LevelArray => "LevelArray".to_string(),
             Algorithm::LevelArrayProbes(c) => format!("LevelArray(c={c})"),
             Algorithm::LevelArraySwapTas => "LevelArray(swap)".to_string(),
+            Algorithm::ShardedLevelArray { shards } => format!("ShardedLevelArray(s={shards})"),
             Algorithm::Random => "Random".to_string(),
             Algorithm::LinearProbing => "LinearProbing".to_string(),
             Algorithm::LinearScan => "LinearScan".to_string(),
         }
     }
 
-    /// The three algorithms plotted in Figure 2.
+    /// The three algorithms plotted in Figure 2, plus the sharded LevelArray
+    /// (this reproduction's extension cell, plotted alongside them).
     pub fn figure2_set() -> Vec<Algorithm> {
         vec![
             Algorithm::LevelArray,
+            Algorithm::ShardedLevelArray { shards: 4 },
             Algorithm::Random,
             Algorithm::LinearProbing,
         ]
@@ -86,6 +98,9 @@ impl Algorithm {
                     .tas_kind(TasKind::Swap)
                     .build()
                     .expect("valid configuration"),
+            ),
+            Algorithm::ShardedLevelArray { shards } => Arc::new(
+                ShardedLevelArray::from_config(config, *shards).expect("valid configuration"),
             ),
             Algorithm::Random => Arc::new(RandomArray::with_slots(n, slots)),
             Algorithm::LinearProbing => Arc::new(LinearProbingArray::with_slots(n, slots)),
@@ -309,6 +324,8 @@ mod tests {
             Algorithm::LevelArray,
             Algorithm::LevelArrayProbes(2),
             Algorithm::LevelArraySwapTas,
+            Algorithm::ShardedLevelArray { shards: 2 },
+            Algorithm::ShardedLevelArray { shards: 4 },
             Algorithm::Random,
             Algorithm::LinearProbing,
             Algorithm::LinearScan,
@@ -327,29 +344,36 @@ mod tests {
     fn levelarray_beats_baselines_on_worst_case_at_high_prefill() {
         // The paper's headline qualitative result: under load the LevelArray's
         // worst case is far below Random / LinearProbing.  Use a high pre-fill
-        // to make the contrast visible even in a quick test.
-        let config = WorkloadConfig {
-            threads: 2,
-            emulated_per_thread: 64,
-            space_factor: 2.0,
-            prefill: 0.9,
-            target_ops_per_thread: 20_000,
-            seed: 13,
+        // to make the contrast visible even in a quick test, and aggregate a
+        // few seeds: single-run worst cases are extreme-value statistics, so
+        // one execution can tie on a lucky baseline run (this was a rare but
+        // real flake with a single strict comparison).
+        let worst_sum = |algorithm: Algorithm| -> u32 {
+            [13u64, 14, 15]
+                .iter()
+                .map(|&seed| {
+                    let config = WorkloadConfig {
+                        threads: 2,
+                        emulated_per_thread: 64,
+                        space_factor: 2.0,
+                        prefill: 0.9,
+                        target_ops_per_thread: 20_000,
+                        seed,
+                    };
+                    run_workload(algorithm, &config).absolute_worst_case()
+                })
+                .sum()
         };
-        let level = run_workload(Algorithm::LevelArray, &config);
-        let random = run_workload(Algorithm::Random, &config);
-        let linear = run_workload(Algorithm::LinearProbing, &config);
+        let level = worst_sum(Algorithm::LevelArray);
+        let random = worst_sum(Algorithm::Random);
+        let linear = worst_sum(Algorithm::LinearProbing);
         assert!(
-            level.absolute_worst_case() < random.absolute_worst_case(),
-            "LevelArray {} vs Random {}",
-            level.absolute_worst_case(),
-            random.absolute_worst_case()
+            level < random,
+            "LevelArray {level} vs Random {random} (summed over 3 seeds)"
         );
         assert!(
-            level.absolute_worst_case() < linear.absolute_worst_case(),
-            "LevelArray {} vs LinearProbing {}",
-            level.absolute_worst_case(),
-            linear.absolute_worst_case()
+            level < linear,
+            "LevelArray {level} vs LinearProbing {linear} (summed over 3 seeds)"
         );
     }
 
@@ -359,7 +383,24 @@ mod tests {
         assert_eq!(c.logical_participants(), 8);
         assert_eq!(Algorithm::LevelArray.label(), "LevelArray");
         assert_eq!(Algorithm::LevelArrayProbes(3).label(), "LevelArray(c=3)");
-        assert_eq!(Algorithm::figure2_set().len(), 3);
+        assert_eq!(
+            Algorithm::ShardedLevelArray { shards: 4 }.label(),
+            "ShardedLevelArray(s=4)"
+        );
+        assert_eq!(Algorithm::figure2_set().len(), 4);
+        assert!(Algorithm::figure2_set().contains(&Algorithm::ShardedLevelArray { shards: 4 }));
+    }
+
+    #[test]
+    fn sharded_build_reports_shard_count_and_runs() {
+        let config = small_config();
+        let array = Algorithm::ShardedLevelArray { shards: 2 }.build(&config.array_config());
+        assert_eq!(array.algorithm_name(), "ShardedLevelArray");
+        // Capacity covers the logical participants with per-shard rounding.
+        assert!(array.capacity() >= config.logical_participants() * 2);
+        let result = run_workload(Algorithm::ShardedLevelArray { shards: 2 }, &config);
+        assert_eq!(result.algorithm, "ShardedLevelArray(s=2)");
+        assert!(result.total_ops >= 2 * 2_000);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! A phase barrier with a dynamic participant set.
 //!
 //! Classic barriers fix the number of participants up front; the barriers the
-//! paper has in mind (reference [22]) let threads join and leave between
+//! paper has in mind (reference \[22\]) let threads join and leave between
 //! phases.  The activity array provides exactly the two pieces such a barrier
 //! needs: fast join/leave (Get/Free) and an enumeration of the current
 //! participants (Collect) for the arrival check.

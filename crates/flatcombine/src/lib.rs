@@ -1,6 +1,6 @@
 //! # la-flatcombine — flat combining over an activity array
 //!
-//! Flat combining (Hendler, Incze, Shavit, Tzafrir — SPAA 2010, reference [20]
+//! Flat combining (Hendler, Incze, Shavit, Tzafrir — SPAA 2010, reference \[20\]
 //! in the LevelArray paper) funnels the operations of many threads through a
 //! single *combiner*: each thread publishes its pending operation in a
 //! per-thread publication record and one thread — whoever grabs the combiner

@@ -17,6 +17,7 @@ use crate::occupancy::OccupancySnapshot;
 /// the paper's evaluation reports (number of probes, the batch where the
 /// operation stopped, whether the backup array was needed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[must_use = "an Acquired records a held name; dropping it without freeing leaks the slot"]
 pub struct Acquired {
     name: Name,
     probes: u32,
@@ -81,6 +82,7 @@ pub trait ActivityArray: Send + Sync + std::fmt::Debug {
     ///
     /// Calling `try_get` more than `max_participants()` times without
     /// intervening `free`s may legitimately fail.
+    #[must_use = "dropping the result leaks the acquired name"]
     fn try_get(&self, rng: &mut dyn RandomSource) -> Option<Acquired>;
 
     /// Registers, panicking if the structure is exhausted.
@@ -142,6 +144,7 @@ pub trait ActivityArray: Send + Sync + std::fmt::Debug {
 /// assert!(array.collect().is_empty());
 /// ```
 #[derive(Debug)]
+#[must_use = "dropping a Registration immediately deregisters"]
 pub struct Registration<'a, A: ActivityArray + ?Sized> {
     array: &'a A,
     acquired: Acquired,
@@ -186,6 +189,7 @@ impl<'a, A: ActivityArray + ?Sized> Registration<'a, A> {
 
     /// Forgets the guard without releasing, handing responsibility for the
     /// eventual [`ActivityArray::free`] to the caller.
+    #[must_use = "dropping the returned name leaks the slot forever"]
     pub fn leak(mut self) -> Name {
         self.released = true;
         self.acquired.name()

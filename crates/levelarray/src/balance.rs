@@ -94,10 +94,19 @@ pub struct BatchBalance {
 impl BalanceReport {
     /// Evaluates the balance definitions against a snapshot, for contention
     /// bound `n`.
+    ///
+    /// Per-shard censuses (from a sharded array's `occupancy()`) aggregate:
+    /// batch `j`'s occupancy is summed across shards before the predicates
+    /// are evaluated.  Note that the report only covers the batch indices
+    /// *present in the snapshot*: a sharded array's per-shard geometry is
+    /// built for `⌈n/S⌉`, so at high shard counts it has fewer batches than
+    /// a plain array for the same `n`, and the deeper tracked batches simply
+    /// do not exist (their would-be occupants live in the shards' backup
+    /// regions, which Definition 2 never judges).
     pub fn from_snapshot(snapshot: &OccupancySnapshot, n: usize) -> Self {
         let batches = (0..snapshot.num_batches())
             .map(|j| {
-                let occupied = snapshot.batch(j).map(|r| r.occupied()).unwrap_or(0);
+                let occupied = snapshot.batch_occupied(j);
                 BatchBalance {
                     batch: j,
                     occupied,

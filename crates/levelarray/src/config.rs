@@ -98,6 +98,14 @@ impl LevelArrayConfig {
         }
     }
 
+    /// Replaces the contention bound, keeping every other knob.  This is how
+    /// [`crate::ShardedLevelArray`] derives its per-shard configuration from
+    /// one shared workload configuration.
+    pub fn with_contention(mut self, max_concurrency: usize) -> Self {
+        self.max_concurrency = max_concurrency;
+        self
+    }
+
     /// Sets the ratio between the main-array length and `n` (the paper's
     /// evaluation uses values in `[2, 4]`; the algorithm requires `> 1`).
     pub fn space_factor(mut self, factor: f64) -> Self {
@@ -197,6 +205,18 @@ impl LevelArrayConfig {
     pub fn build(&self) -> Result<crate::LevelArray, ConfigError> {
         Ok(crate::LevelArray::from_validated(self.validate()?))
     }
+
+    /// Validates the configuration and builds a [`crate::ShardedLevelArray`]
+    /// that partitions this contention bound across `shards` shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroShards`] if `shards == 0`; otherwise see
+    /// [`LevelArrayConfig::validate`] (applied to the per-shard
+    /// configuration).
+    pub fn build_sharded(&self, shards: usize) -> Result<crate::ShardedLevelArray, ConfigError> {
+        crate::ShardedLevelArray::from_config(self, shards)
+    }
 }
 
 /// A fully validated configuration, ready to materialize a `LevelArray`.
@@ -207,6 +227,20 @@ pub struct ValidatedConfig {
     pub(crate) backup_len: usize,
     pub(crate) probe_policy: ProbePolicy,
     pub(crate) tas_kind: TasKind,
+}
+
+impl ValidatedConfig {
+    /// Materializes the probing core this configuration describes (the slots,
+    /// geometry, probe policy and TAS primitive — everything except the
+    /// contention bound, which belongs to the facade).
+    pub fn into_probe_core(self) -> crate::probe_core::ProbeCore {
+        crate::probe_core::ProbeCore::new(
+            self.geometry,
+            self.backup_len,
+            self.probe_policy,
+            self.tas_kind,
+        )
+    }
 }
 
 /// Errors produced while validating a [`LevelArrayConfig`].
@@ -222,6 +256,8 @@ pub enum ConfigError {
     EmptyProbeVector,
     /// The derived geometry was invalid (bad first-batch fraction).
     Geometry(GeometryError),
+    /// A sharded build was requested with zero shards.
+    ZeroShards,
 }
 
 impl fmt::Display for ConfigError {
@@ -236,6 +272,7 @@ impl fmt::Display for ConfigError {
                 write!(f, "per-batch probe policy needs at least one entry")
             }
             ConfigError::Geometry(e) => write!(f, "invalid geometry: {e}"),
+            ConfigError::ZeroShards => write!(f, "a sharded array needs at least one shard"),
         }
     }
 }

@@ -13,8 +13,9 @@ use crate::array::{Acquired, ActivityArray};
 use crate::config::{LevelArrayConfig, ProbePolicy, ValidatedConfig};
 use crate::geometry::BatchGeometry;
 use crate::name::Name;
-use crate::occupancy::{OccupancySnapshot, Region, RegionOccupancy};
-use crate::slot::{Slot, TasKind};
+use crate::occupancy::OccupancySnapshot;
+use crate::probe_core::ProbeCore;
+use crate::slot::TasKind;
 
 /// The LevelArray long-lived renaming structure.
 ///
@@ -62,11 +63,7 @@ use crate::slot::{Slot, TasKind};
 /// ```
 #[derive(Debug)]
 pub struct LevelArray {
-    main: Box<[Slot]>,
-    backup: Box<[Slot]>,
-    geometry: BatchGeometry,
-    probe_policy: ProbePolicy,
-    tas_kind: TasKind,
+    core: ProbeCore,
     max_concurrency: usize,
 }
 
@@ -87,53 +84,48 @@ impl LevelArray {
     }
 
     pub(crate) fn from_validated(config: ValidatedConfig) -> Self {
-        let ValidatedConfig {
-            max_concurrency,
-            geometry,
-            backup_len,
-            probe_policy,
-            tas_kind,
-        } = config;
-        let main = (0..geometry.main_len()).map(|_| Slot::new()).collect();
-        let backup = (0..backup_len).map(|_| Slot::new()).collect();
+        let max_concurrency = config.max_concurrency;
         LevelArray {
-            main,
-            backup,
-            geometry,
-            probe_policy,
-            tas_kind,
+            core: config.into_probe_core(),
             max_concurrency,
         }
     }
 
+    /// The probing core this facade wraps: the slots, geometry, probe policy
+    /// and TAS primitive, behind the reusable probing machinery shared with
+    /// [`crate::ShardedLevelArray`].
+    pub fn probe_core(&self) -> &ProbeCore {
+        &self.core
+    }
+
     /// The batch layout of the main array.
     pub fn geometry(&self) -> &BatchGeometry {
-        &self.geometry
+        self.core.geometry()
     }
 
     /// Number of slots in the main (randomly probed) array.
     pub fn main_len(&self) -> usize {
-        self.main.len()
+        self.core.main_len()
     }
 
     /// Number of slots in the sequential backup array (0 if disabled).
     pub fn backup_len(&self) -> usize {
-        self.backup.len()
+        self.core.backup_len()
     }
 
     /// The test-and-set primitive this instance uses.
     pub fn tas_kind(&self) -> TasKind {
-        self.tas_kind
+        self.core.tas_kind()
     }
 
     /// The probe policy (`c_i`) this instance uses.
     pub fn probe_policy(&self) -> &ProbePolicy {
-        &self.probe_policy
+        self.core.probe_policy()
     }
 
     /// Whether `name` lies in the backup array.
     pub fn is_backup_name(&self, name: Name) -> bool {
-        name.index() >= self.main.len()
+        self.core.is_backup_name(name)
     }
 
     /// Directly occupies a specific slot, bypassing the probing strategy.
@@ -146,8 +138,9 @@ impl LevelArray {
     /// # Panics
     ///
     /// Panics if `name` is out of range.
+    #[must_use = "a false return means the slot was already held; ignoring it leaks the intent"]
     pub fn force_occupy(&self, name: Name) -> bool {
-        self.slot(name).try_acquire(self.tas_kind)
+        self.core.force_occupy(name)
     }
 
     /// Reads whether a specific slot is currently held.
@@ -156,29 +149,12 @@ impl LevelArray {
     ///
     /// Panics if `name` is out of range.
     pub fn is_held(&self, name: Name) -> bool {
-        self.slot(name).is_held()
-    }
-
-    fn slot(&self, name: Name) -> &Slot {
-        let idx = name.index();
-        if idx < self.main.len() {
-            &self.main[idx]
-        } else if idx - self.main.len() < self.backup.len() {
-            &self.backup[idx - self.main.len()]
-        } else {
-            panic!(
-                "name {idx} out of range for a LevelArray with capacity {}",
-                self.capacity()
-            );
-        }
+        self.core.is_held(name)
     }
 
     /// The number of occupied slots in batch `i` of the main array.
     pub fn batch_occupancy(&self, i: usize) -> usize {
-        self.geometry
-            .batch_range(i)
-            .filter(|&idx| self.main[idx].is_held())
-            .count()
+        self.core.batch_occupancy(i)
     }
 }
 
@@ -188,56 +164,21 @@ impl ActivityArray for LevelArray {
     }
 
     fn try_get(&self, rng: &mut dyn RandomSource) -> Option<Acquired> {
-        let mut probes = 0u32;
-        // Randomized phase: c_i probes per batch, batches in increasing order.
-        for batch in 0..self.geometry.num_batches() {
-            let range = self.geometry.batch_range(batch);
-            let len = range.end - range.start;
-            let trials = self.probe_policy.probes_in_batch(batch);
-            for _ in 0..trials {
-                probes += 1;
-                let idx = range.start + rng.gen_index(len);
-                if self.main[idx].try_acquire(self.tas_kind) {
-                    return Some(Acquired::new(Name::new(idx), probes, Some(batch), false));
-                }
-            }
-        }
-        // Deterministic backup phase: scan sequentially (paper §4).
-        for (offset, slot) in self.backup.iter().enumerate() {
-            probes += 1;
-            if slot.try_acquire(self.tas_kind) {
-                let name = Name::new(self.main.len() + offset);
-                return Some(Acquired::new(name, probes, None, true));
-            }
-        }
-        None
+        self.core.try_get(rng)
     }
 
     fn free(&self, name: Name) {
-        let released = self.slot(name).release();
-        assert!(
-            released,
-            "double free: name {name} was not held when free() was called"
-        );
+        self.core.free(name);
     }
 
     fn collect(&self) -> Vec<Name> {
         let mut held = Vec::new();
-        for (idx, slot) in self.main.iter().enumerate() {
-            if slot.is_held() {
-                held.push(Name::new(idx));
-            }
-        }
-        for (offset, slot) in self.backup.iter().enumerate() {
-            if slot.is_held() {
-                held.push(Name::new(self.main.len() + offset));
-            }
-        }
+        self.core.collect_into(0, &mut held);
         held
     }
 
     fn capacity(&self) -> usize {
-        self.main.len() + self.backup.len()
+        self.core.capacity()
     }
 
     fn max_participants(&self) -> usize {
@@ -245,27 +186,7 @@ impl ActivityArray for LevelArray {
     }
 
     fn occupancy(&self) -> OccupancySnapshot {
-        let mut regions: Vec<RegionOccupancy> = self
-            .geometry
-            .batches()
-            .enumerate()
-            .map(|(i, range)| {
-                let occupied = range
-                    .clone()
-                    .filter(|&idx| self.main[idx].is_held())
-                    .count();
-                RegionOccupancy::new(Region::Batch(i), range.len(), occupied)
-            })
-            .collect();
-        if !self.backup.is_empty() {
-            let occupied = self.backup.iter().filter(|s| s.is_held()).count();
-            regions.push(RegionOccupancy::new(
-                Region::Backup,
-                self.backup.len(),
-                occupied,
-            ));
-        }
-        OccupancySnapshot::new(regions)
+        OccupancySnapshot::new(self.core.region_occupancies(|r| r))
     }
 }
 

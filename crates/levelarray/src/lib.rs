@@ -51,7 +51,12 @@
 //!
 //! ## Crate layout
 //!
-//! * [`LevelArray`], [`LevelArrayConfig`] — the algorithm and its knobs.
+//! * [`ProbeCore`] — the reusable probing machinery (slots, batch geometry,
+//!   probe policy, TAS primitive) every facade composes.
+//! * [`LevelArray`], [`LevelArrayConfig`] — the paper's algorithm: one
+//!   `ProbeCore` plus a contention bound.
+//! * [`ShardedLevelArray`] — `S` cache-padded `ProbeCore`s with RNG-routed
+//!   home shards and work stealing, for high-thread-count deployments.
 //! * [`ActivityArray`] — the trait shared with the baseline implementations in
 //!   the `la-baselines` crate.
 //! * [`geometry`] — the batch layout (paper §4).
@@ -67,7 +72,9 @@ pub mod config;
 pub mod geometry;
 pub mod name;
 pub mod occupancy;
+pub mod probe_core;
 pub mod registry;
+pub mod sharded;
 pub mod slot;
 pub mod stats;
 
@@ -78,7 +85,9 @@ pub use config::{ConfigError, LevelArrayConfig, ProbePolicy};
 pub use level_array::LevelArray;
 pub use name::Name;
 pub use occupancy::{OccupancySnapshot, Region, RegionOccupancy};
+pub use probe_core::ProbeCore;
 pub use registry::ThreadRegistry;
+pub use sharded::ShardedLevelArray;
 pub use slot::TasKind;
 pub use stats::{GetStats, StatsSummary};
 

@@ -18,6 +18,15 @@ pub enum Region {
     Backup,
     /// The whole array of a structure that has no internal levels.
     Whole,
+    /// Batch `batch` of shard `shard` of a sharded array.
+    ShardBatch {
+        /// Which shard the batch belongs to.
+        shard: usize,
+        /// The batch index within that shard's main array.
+        batch: usize,
+    },
+    /// The sequential backup array of shard `shard` of a sharded array.
+    ShardBackup(usize),
 }
 
 impl fmt::Display for Region {
@@ -26,6 +35,8 @@ impl fmt::Display for Region {
             Region::Batch(i) => write!(f, "batch {i}"),
             Region::Backup => write!(f, "backup"),
             Region::Whole => write!(f, "whole array"),
+            Region::ShardBatch { shard, batch } => write!(f, "shard {shard} batch {batch}"),
+            Region::ShardBackup(shard) => write!(f, "shard {shard} backup"),
         }
     }
 }
@@ -123,16 +134,48 @@ impl OccupancySnapshot {
     }
 
     /// The census entry for batch `i` of the main array, if present.
+    ///
+    /// Only plain [`Region::Batch`] entries match; for censuses with
+    /// per-shard regions use [`OccupancySnapshot::batch_occupied`] /
+    /// [`OccupancySnapshot::batch_capacity`], which aggregate across shards.
     pub fn batch(&self, i: usize) -> Option<&RegionOccupancy> {
         self.regions.iter().find(|r| r.region() == Region::Batch(i))
     }
 
-    /// The number of batch regions present in the snapshot.
+    /// The number of distinct batch indices present in the snapshot, counting
+    /// both plain [`Region::Batch`] entries and per-shard
+    /// [`Region::ShardBatch`] entries (batch `i` of every shard counts once),
+    /// so batch-aggregating consumers — balance reports, fill series — see
+    /// the same batch structure whether the census came from a plain or a
+    /// sharded array.
     pub fn num_batches(&self) -> usize {
         self.regions
             .iter()
-            .filter(|r| matches!(r.region(), Region::Batch(_)))
-            .count()
+            .filter_map(|r| match r.region() {
+                Region::Batch(i) | Region::ShardBatch { batch: i, .. } => Some(i + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total capacity of batch `i`, summed across shards when the census has
+    /// per-shard regions.
+    pub fn batch_capacity(&self, i: usize) -> usize {
+        self.batch_entries(i).map(|r| r.capacity()).sum()
+    }
+
+    /// Total held slots in batch `i`, summed across shards when the census
+    /// has per-shard regions.
+    pub fn batch_occupied(&self, i: usize) -> usize {
+        self.batch_entries(i).map(|r| r.occupied()).sum()
+    }
+
+    fn batch_entries(&self, i: usize) -> impl Iterator<Item = &RegionOccupancy> {
+        self.regions.iter().filter(move |r| {
+            matches!(r.region(),
+                Region::Batch(b) | Region::ShardBatch { batch: b, .. } if b == i)
+        })
     }
 
     /// The census entry for the backup array, if the structure has one.
@@ -140,11 +183,47 @@ impl OccupancySnapshot {
         self.regions.iter().find(|r| r.region() == Region::Backup)
     }
 
+    /// The census entry for batch `batch` of shard `shard`, if present (only
+    /// sharded arrays produce [`Region::ShardBatch`] entries).
+    pub fn shard_batch(&self, shard: usize, batch: usize) -> Option<&RegionOccupancy> {
+        self.regions
+            .iter()
+            .find(|r| r.region() == Region::ShardBatch { shard, batch })
+    }
+
+    /// The census entry for the backup array of shard `shard`, if present.
+    pub fn shard_backup(&self, shard: usize) -> Option<&RegionOccupancy> {
+        self.regions
+            .iter()
+            .find(|r| r.region() == Region::ShardBackup(shard))
+    }
+
+    /// The number of distinct shards appearing in the snapshot (0 for the
+    /// snapshots of unsharded structures).
+    pub fn num_shards(&self) -> usize {
+        self.regions
+            .iter()
+            .filter_map(|r| match r.region() {
+                Region::ShardBatch { shard, .. } | Region::ShardBackup(shard) => Some(shard + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Per-batch fill fractions, in batch order — the series plotted in the
-    /// paper's Figure 3.
+    /// paper's Figure 3.  Per-shard censuses aggregate: the fraction for
+    /// batch `i` is total-held over total-capacity across every shard.
     pub fn batch_fill_fractions(&self) -> Vec<f64> {
         (0..self.num_batches())
-            .map(|i| self.batch(i).map(|r| r.fill_fraction()).unwrap_or(0.0))
+            .map(|i| {
+                let capacity = self.batch_capacity(i);
+                if capacity == 0 {
+                    0.0
+                } else {
+                    self.batch_occupied(i) as f64 / capacity as f64
+                }
+            })
             .collect()
     }
 }
@@ -226,6 +305,33 @@ mod tests {
         assert!(text.contains("batch 0"));
         assert!(text.contains("backup"));
         assert!(text.contains("56/192"));
+    }
+
+    #[test]
+    fn sharded_regions_aggregate_in_batch_queries() {
+        // Two shards, two batches each, plus per-shard backups.
+        let s = OccupancySnapshot::new(vec![
+            RegionOccupancy::new(Region::ShardBatch { shard: 0, batch: 0 }, 12, 6),
+            RegionOccupancy::new(Region::ShardBatch { shard: 0, batch: 1 }, 4, 1),
+            RegionOccupancy::new(Region::ShardBackup(0), 8, 0),
+            RegionOccupancy::new(Region::ShardBatch { shard: 1, batch: 0 }, 12, 2),
+            RegionOccupancy::new(Region::ShardBatch { shard: 1, batch: 1 }, 4, 3),
+            RegionOccupancy::new(Region::ShardBackup(1), 8, 2),
+        ]);
+        assert_eq!(s.num_shards(), 2);
+        assert_eq!(s.num_batches(), 2);
+        assert_eq!(s.batch_capacity(0), 24);
+        assert_eq!(s.batch_occupied(0), 8);
+        assert_eq!(s.batch_capacity(1), 8);
+        assert_eq!(s.batch_occupied(1), 4);
+        // batch() only matches plain entries; the aggregate queries are the
+        // shard-aware path.
+        assert!(s.batch(0).is_none());
+        let fills = s.batch_fill_fractions();
+        assert!((fills[0] - 8.0 / 24.0).abs() < 1e-12);
+        assert!((fills[1] - 0.5).abs() < 1e-12);
+        assert_eq!(s.shard_batch(1, 1).unwrap().occupied(), 3);
+        assert_eq!(s.shard_backup(1).unwrap().occupied(), 2);
     }
 
     #[test]

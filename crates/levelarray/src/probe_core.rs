@@ -1,0 +1,342 @@
+//! The reusable probing core: the randomized-batch-probing plus
+//! sequential-backup machinery of the paper's `Get` (§4), factored out of any
+//! particular facade.
+//!
+//! A [`ProbeCore`] owns one slab of main-array [`Slot`]s partitioned by a
+//! [`BatchGeometry`], an optional sequential backup slab, a [`ProbePolicy`]
+//! (`c_i` probes per batch) and a [`TasKind`].  It knows how to *probe*,
+//! *free*, *scan* and *census* those slots — and nothing else.  The
+//! [`crate::LevelArray`] is a `ProbeCore` plus a contention bound; the
+//! [`crate::ShardedLevelArray`] is `S` cache-padded `ProbeCore`s plus shard
+//! routing and work stealing.  Keeping the machinery here means every probing
+//! facade shares one implementation of the paper's semantics (uniqueness,
+//! wait-freedom, occupancy accounting).
+
+use larng::RandomSource;
+
+use crate::array::Acquired;
+use crate::config::ProbePolicy;
+use crate::geometry::BatchGeometry;
+use crate::name::Name;
+use crate::occupancy::{Region, RegionOccupancy};
+use crate::slot::{Slot, TasKind};
+
+/// One slab of probeable slots: a batched main array plus an optional
+/// sequential backup array, with the probing strategy of the paper's `Get`.
+///
+/// All names handled by a `ProbeCore` are *local*: index `0` is the first
+/// main slot and index `main_len()` is the first backup slot.  Facades that
+/// compose several cores (e.g. [`crate::ShardedLevelArray`]) are responsible
+/// for translating local names into their global namespace.
+#[derive(Debug)]
+pub struct ProbeCore {
+    main: Box<[Slot]>,
+    backup: Box<[Slot]>,
+    geometry: BatchGeometry,
+    probe_policy: ProbePolicy,
+    tas_kind: TasKind,
+}
+
+impl ProbeCore {
+    /// Creates a core with `geometry.main_len()` main slots and `backup_len`
+    /// backup slots, all free.
+    pub fn new(
+        geometry: BatchGeometry,
+        backup_len: usize,
+        probe_policy: ProbePolicy,
+        tas_kind: TasKind,
+    ) -> Self {
+        let main = (0..geometry.main_len()).map(|_| Slot::new()).collect();
+        let backup = (0..backup_len).map(|_| Slot::new()).collect();
+        ProbeCore {
+            main,
+            backup,
+            geometry,
+            probe_policy,
+            tas_kind,
+        }
+    }
+
+    /// The batch layout of the main array.
+    pub fn geometry(&self) -> &BatchGeometry {
+        &self.geometry
+    }
+
+    /// The probe policy (`c_i`) this core uses.
+    pub fn probe_policy(&self) -> &ProbePolicy {
+        &self.probe_policy
+    }
+
+    /// The test-and-set primitive this core uses.
+    pub fn tas_kind(&self) -> TasKind {
+        self.tas_kind
+    }
+
+    /// Number of slots in the main (randomly probed) array.
+    pub fn main_len(&self) -> usize {
+        self.main.len()
+    }
+
+    /// Number of slots in the sequential backup array (0 if disabled).
+    pub fn backup_len(&self) -> usize {
+        self.backup.len()
+    }
+
+    /// Total number of slots (main + backup).
+    pub fn capacity(&self) -> usize {
+        self.main.len() + self.backup.len()
+    }
+
+    /// Whether the (local) `name` lies in the backup array.
+    pub fn is_backup_name(&self, name: Name) -> bool {
+        name.index() >= self.main.len()
+    }
+
+    /// The number of probes a `Get` performs when it exhausts this core
+    /// without winning a slot: every randomized probe of every batch plus the
+    /// full sequential backup scan.  This is deterministic, so composing
+    /// facades can account for a failed [`ProbeCore::try_get`] without
+    /// threading a counter through it.
+    pub fn exhausted_probe_count(&self) -> u32 {
+        let randomized: u32 = (0..self.geometry.num_batches())
+            .map(|b| self.probe_policy.probes_in_batch(b))
+            .sum();
+        randomized + self.backup.len() as u32
+    }
+
+    /// The paper's `Get` over this core's slots: `c_i` random test-and-set
+    /// probes per batch in increasing batch order, then a sequential scan of
+    /// the backup array.  Returns `None` only when every probe lost.
+    ///
+    /// The returned [`Acquired`] carries a *local* name.
+    #[must_use = "dropping the result leaks the acquired slot"]
+    pub fn try_get(&self, rng: &mut dyn RandomSource) -> Option<Acquired> {
+        let mut probes = 0u32;
+        // Randomized phase: c_i probes per batch, batches in increasing order.
+        for batch in 0..self.geometry.num_batches() {
+            let range = self.geometry.batch_range(batch);
+            let len = range.end - range.start;
+            let trials = self.probe_policy.probes_in_batch(batch);
+            for _ in 0..trials {
+                probes += 1;
+                let idx = range.start + rng.gen_index(len);
+                if self.main[idx].try_acquire(self.tas_kind) {
+                    return Some(Acquired::new(Name::new(idx), probes, Some(batch), false));
+                }
+            }
+        }
+        // Deterministic backup phase: scan sequentially (paper §4).
+        for (offset, slot) in self.backup.iter().enumerate() {
+            probes += 1;
+            if slot.try_acquire(self.tas_kind) {
+                let name = Name::new(self.main.len() + offset);
+                return Some(Acquired::new(name, probes, None, true));
+            }
+        }
+        None
+    }
+
+    /// Releases a (local) name previously acquired from this core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is out of range or was not held (a double free).
+    pub fn free(&self, name: Name) {
+        let released = self.slot(name).release();
+        assert!(
+            released,
+            "double free: name {name} was not held when free() was called"
+        );
+    }
+
+    /// Directly occupies a specific (local) slot, bypassing the probing
+    /// strategy.  Returns `true` if the slot was free and is now held by the
+    /// caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is out of range.
+    #[must_use = "a false return means the slot was already held; ignoring it leaks the intent"]
+    pub fn force_occupy(&self, name: Name) -> bool {
+        self.slot(name).try_acquire(self.tas_kind)
+    }
+
+    /// Reads whether a specific (local) slot is currently held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is out of range.
+    pub fn is_held(&self, name: Name) -> bool {
+        self.slot(name).is_held()
+    }
+
+    /// Appends every held local name, offset by `base`, to `out` — the scan a
+    /// `Collect` performs, reusable by facades that map local names into a
+    /// larger namespace.
+    pub fn collect_into(&self, base: usize, out: &mut Vec<Name>) {
+        for (idx, slot) in self.main.iter().enumerate() {
+            if slot.is_held() {
+                out.push(Name::new(base + idx));
+            }
+        }
+        for (offset, slot) in self.backup.iter().enumerate() {
+            if slot.is_held() {
+                out.push(Name::new(base + self.main.len() + offset));
+            }
+        }
+    }
+
+    /// The number of occupied slots in batch `i` of the main array.
+    ///
+    /// This is the *single* batch-scanning helper: the occupancy census
+    /// ([`ProbeCore::region_occupancies`]) and the facades' `batch_occupancy`
+    /// accessors all route through it.
+    pub fn batch_occupancy(&self, i: usize) -> usize {
+        self.count_held(self.geometry.batch_range(i))
+    }
+
+    /// The number of occupied slots in the backup array.
+    pub fn backup_occupancy(&self) -> usize {
+        self.backup.iter().filter(|s| s.is_held()).count()
+    }
+
+    /// The per-region census of this core: one [`Region::Batch`] entry per
+    /// batch, plus a [`Region::Backup`] entry when the backup array exists.
+    /// `label` rewrites each region identifier, letting a sharded facade tag
+    /// the same census with its shard index; pass the identity closure for
+    /// the plain layout.
+    pub fn region_occupancies(&self, label: impl Fn(Region) -> Region) -> Vec<RegionOccupancy> {
+        let mut regions: Vec<RegionOccupancy> = self
+            .geometry
+            .batches()
+            .enumerate()
+            .map(|(i, range)| {
+                let occupied = self.count_held(range.clone());
+                RegionOccupancy::new(label(Region::Batch(i)), range.len(), occupied)
+            })
+            .collect();
+        if !self.backup.is_empty() {
+            regions.push(RegionOccupancy::new(
+                label(Region::Backup),
+                self.backup.len(),
+                self.backup_occupancy(),
+            ));
+        }
+        regions
+    }
+
+    fn count_held(&self, range: std::ops::Range<usize>) -> usize {
+        range.filter(|&idx| self.main[idx].is_held()).count()
+    }
+
+    fn slot(&self, name: Name) -> &Slot {
+        let idx = name.index();
+        if idx < self.main.len() {
+            &self.main[idx]
+        } else if idx - self.main.len() < self.backup.len() {
+            &self.backup[idx - self.main.len()]
+        } else {
+            panic!(
+                "name {idx} out of range for an array with capacity {}",
+                self.capacity()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use larng::default_rng;
+
+    fn core(n: usize) -> ProbeCore {
+        ProbeCore::new(
+            BatchGeometry::for_contention(n),
+            n,
+            ProbePolicy::default(),
+            TasKind::default(),
+        )
+    }
+
+    #[test]
+    fn dimensions_follow_the_inputs() {
+        let c = core(64);
+        assert_eq!(c.main_len(), 128);
+        assert_eq!(c.backup_len(), 64);
+        assert_eq!(c.capacity(), 192);
+        assert!(c.is_backup_name(Name::new(128)));
+        assert!(!c.is_backup_name(Name::new(127)));
+    }
+
+    #[test]
+    fn exhausted_probe_count_is_policy_sum_plus_backup() {
+        let c = core(64);
+        let batches = c.geometry().num_batches() as u32;
+        // Uniform(1): one probe per batch.
+        assert_eq!(c.exhausted_probe_count(), batches + 64);
+
+        let per_batch = ProbeCore::new(
+            BatchGeometry::for_contention(64),
+            0,
+            ProbePolicy::PerBatch(vec![4, 2, 1]),
+            TasKind::default(),
+        );
+        let expected: u32 = (0..per_batch.geometry().num_batches())
+            .map(|b| per_batch.probe_policy().probes_in_batch(b))
+            .sum();
+        assert_eq!(per_batch.exhausted_probe_count(), expected);
+    }
+
+    #[test]
+    fn exhausted_core_charges_exactly_the_predicted_probes() {
+        let n = 4;
+        let c = core(n);
+        let mut rng = default_rng(1);
+        let mut held = Vec::new();
+        for _ in 0..10_000 {
+            match c.try_get(&mut rng) {
+                Some(got) => held.push(got.name()),
+                None => break,
+            }
+        }
+        assert_eq!(held.len(), c.capacity());
+        // A try_get on a full core performs the full deterministic budget.
+        assert!(c.try_get(&mut rng).is_none());
+    }
+
+    #[test]
+    fn census_and_batch_occupancy_agree() {
+        let c = core(32);
+        let mut rng = default_rng(2);
+        for _ in 0..20 {
+            let _ = c.try_get(&mut rng);
+        }
+        let regions = c.region_occupancies(|r| r);
+        for (i, region) in regions.iter().enumerate() {
+            match region.region() {
+                Region::Batch(b) => {
+                    assert_eq!(b, i);
+                    assert_eq!(region.occupied(), c.batch_occupancy(b));
+                }
+                Region::Backup => assert_eq!(region.occupied(), c.backup_occupancy()),
+                other => panic!("unexpected region {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn collect_into_applies_the_base_offset() {
+        let c = core(8);
+        assert!(c.force_occupy(Name::new(3)));
+        assert!(c.force_occupy(Name::new(16))); // first backup slot
+        let mut out = Vec::new();
+        c.collect_into(1000, &mut out);
+        assert_eq!(out, vec![Name::new(1003), Name::new(1016)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_name_panics() {
+        core(4).free(Name::new(10_000));
+    }
+}

@@ -85,6 +85,7 @@ impl<A: ActivityArray> ThreadRegistry<A> {
 
     /// Registers and immediately leaks the guard, returning the bare name.
     /// The caller is responsible for the eventual [`ThreadRegistry::release`].
+    #[must_use = "dropping the returned name leaks the slot forever"]
     pub fn register_leaked(&self) -> Name {
         self.register().leak()
     }

@@ -1,0 +1,583 @@
+//! The sharded LevelArray: per-shard probing cores with work stealing.
+//!
+//! At high thread counts every `Get` on a single LevelArray hammers the same
+//! `2n`-slot main array, so cache-line contention — not probe complexity —
+//! becomes the throughput ceiling.  [`ShardedLevelArray`] partitions the
+//! contention bound across `S` cache-padded [`ProbeCore`]s: each `Get` draws a
+//! *home shard* from the caller's RNG and runs the paper's probing strategy
+//! inside that shard alone; only when the home shard is exhausted does it
+//! *steal*, walking the remaining shards in ring order (each with the same
+//! full probing strategy, backup included).  Shard-local slot indices map
+//! into the global dense namespace as `shard * shard_capacity + local`, so
+//! uniqueness, `free`, `collect` and `occupancy` all keep the paper's
+//! semantics over the union of the shards.
+//!
+//! The per-shard contention bound is `⌈n / S⌉`, so the total backup capacity
+//! `S · ⌈n / S⌉ ≥ n` preserves the wait-freedom argument: at most `n − 1`
+//! other processes hold slots while a `Get` runs, so the steal walk always
+//! reaches a shard whose sequential backup has a free slot.
+
+use larng::RandomSource;
+
+use crate::array::{Acquired, ActivityArray};
+use crate::config::{ConfigError, LevelArrayConfig};
+use crate::geometry::BatchGeometry;
+use crate::name::Name;
+use crate::occupancy::{OccupancySnapshot, Region, RegionOccupancy};
+use crate::probe_core::ProbeCore;
+
+/// One shard, padded to two cache lines so that the hot atomic traffic of
+/// neighbouring shards' slots never shares a line with this shard's metadata.
+/// (The slots *within* a shard are deliberately unpadded, exactly like the
+/// plain LevelArray — see [`crate::slot::Slot`].)
+#[derive(Debug)]
+#[repr(align(128))]
+struct PaddedCore(ProbeCore);
+
+/// A LevelArray partitioned into `S` cache-padded shards with work stealing.
+///
+/// # Examples
+///
+/// Basic use — identical to [`crate::LevelArray`], through the same
+/// [`ActivityArray`] trait:
+///
+/// ```
+/// use levelarray::{ActivityArray, ShardedLevelArray};
+/// use larng::default_rng;
+///
+/// let array = ShardedLevelArray::new(64, 4); // contention bound 64, 4 shards
+/// let mut rng = default_rng(1);
+///
+/// let got = array.get(&mut rng);
+/// assert!(array.collect().contains(&got.name()));
+/// array.free(got.name());
+/// assert!(array.collect().is_empty());
+/// ```
+///
+/// Shared across threads, each routing through its own RNG:
+///
+/// ```
+/// use levelarray::{ActivityArray, ShardedLevelArray};
+/// use larng::{default_rng, SeedSequence};
+/// use std::sync::Arc;
+///
+/// let array = Arc::new(ShardedLevelArray::new(16, 4));
+/// let mut seeds = SeedSequence::new(7);
+/// std::thread::scope(|scope| {
+///     for _ in 0..4 {
+///         let array = Arc::clone(&array);
+///         let seed = seeds.next_seed();
+///         scope.spawn(move || {
+///             let mut rng = default_rng(seed);
+///             for _ in 0..100 {
+///                 let got = array.get(&mut rng);
+///                 array.free(got.name());
+///             }
+///         });
+///     }
+/// });
+/// assert!(array.collect().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct ShardedLevelArray {
+    shards: Box<[PaddedCore]>,
+    /// Capacity (main + backup) of every shard; the stride of the global
+    /// name mapping.
+    shard_capacity: usize,
+    /// The per-shard contention bound `⌈n / S⌉` the shards were sized for.
+    shard_contention: usize,
+    max_concurrency: usize,
+}
+
+impl ShardedLevelArray {
+    /// Creates a sharded array with the paper's default configuration for at
+    /// most `max_concurrency` simultaneously registered processes, split over
+    /// `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_concurrency == 0` or `shards == 0`.  Use
+    /// [`ShardedLevelArray::from_config`] (or
+    /// [`LevelArrayConfig::build_sharded`]) for fallible construction and for
+    /// non-default parameters.
+    pub fn new(max_concurrency: usize, shards: usize) -> Self {
+        Self::from_config(&LevelArrayConfig::new(max_concurrency), shards)
+            .expect("default configuration is valid for non-zero contention bound and shards")
+    }
+
+    /// Builds a sharded array from a shared configuration: the configuration's
+    /// contention bound `n` is split into `S` shards of bound `⌈n / S⌉`, each
+    /// materialized as an independent [`ProbeCore`] with the configuration's
+    /// space factor, probe policy, backup setting and TAS primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroShards`] if `shards == 0`; otherwise
+    /// whatever [`LevelArrayConfig::validate`] reports for the per-shard
+    /// configuration.
+    pub fn from_config(config: &LevelArrayConfig, shards: usize) -> Result<Self, ConfigError> {
+        if shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        let n = config.max_concurrency_value();
+        if n == 0 {
+            return Err(ConfigError::ZeroConcurrency);
+        }
+        let shard_contention = n.div_ceil(shards);
+        let per_shard = config.clone().with_contention(shard_contention);
+        let cores: Vec<PaddedCore> = (0..shards)
+            .map(|_| Ok(PaddedCore(per_shard.validate()?.into_probe_core())))
+            .collect::<Result<_, ConfigError>>()?;
+        let shard_capacity = cores[0].0.capacity();
+        Ok(ShardedLevelArray {
+            shards: cores.into_boxed_slice(),
+            shard_capacity,
+            shard_contention,
+            max_concurrency: n,
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Capacity (main + backup slots) of each shard — the stride between
+    /// consecutive shards in the global namespace.
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// The contention bound each shard was sized for: `⌈n / S⌉`.
+    pub fn shard_contention(&self) -> usize {
+        self.shard_contention
+    }
+
+    /// The batch layout shared by every shard's main array.
+    pub fn shard_geometry(&self) -> &BatchGeometry {
+        self.shards[0].0.geometry()
+    }
+
+    /// The probing core of shard `shard` (local names only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= num_shards()`.
+    pub fn shard_core(&self, shard: usize) -> &ProbeCore {
+        &self.shards[shard].0
+    }
+
+    /// The shard that owns the global `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is out of range.
+    pub fn shard_of(&self, name: Name) -> usize {
+        let shard = name.index() / self.shard_capacity;
+        assert!(
+            shard < self.shards.len(),
+            "name {} out of range for a sharded array with capacity {}",
+            name.index(),
+            self.capacity()
+        );
+        shard
+    }
+
+    /// Translates a shard-local slot index into the global namespace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or `local` exceeds the shard
+    /// capacity.
+    pub fn global_name(&self, shard: usize, local: Name) -> Name {
+        assert!(shard < self.shards.len(), "shard {shard} out of range");
+        assert!(
+            local.index() < self.shard_capacity,
+            "local name {} exceeds the shard capacity {}",
+            local.index(),
+            self.shard_capacity
+        );
+        Name::new(shard * self.shard_capacity + local.index())
+    }
+
+    fn split(&self, name: Name) -> (usize, Name) {
+        let shard = self.shard_of(name);
+        (shard, Name::new(name.index() % self.shard_capacity))
+    }
+
+    /// Directly occupies a specific slot of the global namespace, bypassing
+    /// the probing strategy (test/experiment hook, exactly like
+    /// [`crate::LevelArray::force_occupy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is out of range.
+    #[must_use = "a false return means the slot was already held; ignoring it leaks the intent"]
+    pub fn force_occupy(&self, name: Name) -> bool {
+        let (shard, local) = self.split(name);
+        self.shards[shard].0.force_occupy(local)
+    }
+
+    /// Reads whether a specific global slot is currently held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is out of range.
+    pub fn is_held(&self, name: Name) -> bool {
+        let (shard, local) = self.split(name);
+        self.shards[shard].0.is_held(local)
+    }
+
+    /// Whether the global `name` lies in some shard's backup array.
+    pub fn is_backup_name(&self, name: Name) -> bool {
+        let (shard, local) = self.split(name);
+        self.shards[shard].0.is_backup_name(local)
+    }
+
+    /// The batch-aggregated census: per-batch totals summed *across* shards
+    /// (batch `i` of every shard folded into one [`Region::Batch`] entry,
+    /// likewise the backups), so the paper's balance definitions — which are
+    /// predicates over batch totals for contention bound `n` — apply to the
+    /// sharded layout unchanged.  [`ActivityArray::occupancy`] reports the
+    /// finer per-shard census instead.
+    pub fn batchwise_occupancy(&self) -> OccupancySnapshot {
+        let geometry = self.shard_geometry();
+        let mut regions: Vec<RegionOccupancy> = (0..geometry.num_batches())
+            .map(|batch| {
+                let capacity = geometry.batch_len(batch) * self.shards.len();
+                let occupied = self.shards.iter().map(|s| s.0.batch_occupancy(batch)).sum();
+                RegionOccupancy::new(Region::Batch(batch), capacity, occupied)
+            })
+            .collect();
+        let backup_capacity: usize = self.shards.iter().map(|s| s.0.backup_len()).sum();
+        if backup_capacity > 0 {
+            let occupied = self.shards.iter().map(|s| s.0.backup_occupancy()).sum();
+            regions.push(RegionOccupancy::new(
+                Region::Backup,
+                backup_capacity,
+                occupied,
+            ));
+        }
+        OccupancySnapshot::new(regions)
+    }
+}
+
+impl ActivityArray for ShardedLevelArray {
+    fn algorithm_name(&self) -> &'static str {
+        "ShardedLevelArray"
+    }
+
+    fn try_get(&self, rng: &mut dyn RandomSource) -> Option<Acquired> {
+        let num_shards = self.shards.len();
+        // Route to a home shard chosen from the caller's RNG; steal from the
+        // remaining shards in ring order only on local exhaustion.
+        let home = rng.gen_index(num_shards);
+        let mut probes = 0u32;
+        for hop in 0..num_shards {
+            let shard = (home + hop) % num_shards;
+            let core = &self.shards[shard].0;
+            match core.try_get(rng) {
+                Some(local) => {
+                    let name = self.global_name(shard, local.name());
+                    return Some(Acquired::new(
+                        name,
+                        probes + local.probes(),
+                        local.batch(),
+                        local.used_backup(),
+                    ));
+                }
+                // A failed shard performs its full deterministic budget.
+                None => probes += core.exhausted_probe_count(),
+            }
+        }
+        None
+    }
+
+    fn free(&self, name: Name) {
+        let (shard, local) = self.split(name);
+        self.shards[shard].0.free(local);
+    }
+
+    fn collect(&self) -> Vec<Name> {
+        let mut held = Vec::new();
+        for (shard, core) in self.shards.iter().enumerate() {
+            core.0.collect_into(shard * self.shard_capacity, &mut held);
+        }
+        held
+    }
+
+    fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    fn max_participants(&self) -> usize {
+        self.max_concurrency
+    }
+
+    fn occupancy(&self) -> OccupancySnapshot {
+        let mut regions = Vec::new();
+        for (shard, core) in self.shards.iter().enumerate() {
+            regions.extend(core.0.region_occupancies(|region| match region {
+                Region::Batch(batch) => Region::ShardBatch { shard, batch },
+                Region::Backup => Region::ShardBackup(shard),
+                other => other,
+            }));
+        }
+        OccupancySnapshot::new(regions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LevelArrayConfig;
+    use larng::{default_rng, SequenceRng};
+    use std::collections::HashSet;
+
+    #[test]
+    fn dimensions_split_the_contention_bound() {
+        let array = ShardedLevelArray::new(64, 4);
+        assert_eq!(array.num_shards(), 4);
+        assert_eq!(array.shard_contention(), 16);
+        assert_eq!(array.shard_capacity(), 16 * 2 + 16);
+        assert_eq!(array.capacity(), 4 * 48);
+        assert_eq!(array.max_participants(), 64);
+        assert_eq!(array.algorithm_name(), "ShardedLevelArray");
+        assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn uneven_split_rounds_the_shard_bound_up() {
+        let array = ShardedLevelArray::new(10, 3);
+        assert_eq!(array.shard_contention(), 4);
+        // Total backup (3 * 4 = 12) covers the contention bound (10).
+        let backup_total: usize = (0..3).map(|s| array.shard_core(s).backup_len()).sum();
+        assert!(backup_total >= 10);
+    }
+
+    #[test]
+    fn zero_shards_and_zero_concurrency_are_rejected() {
+        assert_eq!(
+            ShardedLevelArray::from_config(&LevelArrayConfig::new(8), 0).unwrap_err(),
+            ConfigError::ZeroShards
+        );
+        assert_eq!(
+            ShardedLevelArray::from_config(&LevelArrayConfig::new(0), 2).unwrap_err(),
+            ConfigError::ZeroConcurrency
+        );
+    }
+
+    #[test]
+    fn get_free_round_trip() {
+        let array = ShardedLevelArray::new(16, 4);
+        let mut rng = default_rng(3);
+        let got = array.get(&mut rng);
+        assert!(got.probes() >= 1);
+        assert!(array.is_held(got.name()));
+        assert_eq!(array.collect(), vec![got.name()]);
+        array.free(got.name());
+        assert!(!array.is_held(got.name()));
+        assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn global_names_are_unique_while_held() {
+        let array = ShardedLevelArray::new(32, 4);
+        let mut rng = default_rng(4);
+        let mut held = HashSet::new();
+        for _ in 0..32 {
+            let got = array.get(&mut rng);
+            assert!(held.insert(got.name()), "duplicate name {}", got.name());
+            assert!(got.name().index() < array.capacity());
+        }
+        assert_eq!(array.collect().len(), 32);
+        for name in held {
+            array.free(name);
+        }
+        assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn full_capacity_is_reachable_across_shards() {
+        // Repeated try_get must eventually hand out *every* slot of every
+        // shard exactly once — the steal path covers shards whose own
+        // namespace is exhausted.
+        let array = ShardedLevelArray::new(8, 2);
+        let mut rng = default_rng(5);
+        let mut held = HashSet::new();
+        for _ in 0..100_000 {
+            if held.len() == array.capacity() {
+                break;
+            }
+            if let Some(got) = array.try_get(&mut rng) {
+                assert!(held.insert(got.name()), "duplicate name {}", got.name());
+            }
+        }
+        assert_eq!(held.len(), array.capacity());
+        assert!(array.try_get(&mut rng).is_none());
+    }
+
+    #[test]
+    fn steal_path_walks_to_the_next_shard() {
+        // Fill shard 0 completely, then script the RNG to route a Get there:
+        // the operation must steal from shard 1, charging shard 0's full
+        // deterministic probe budget on the way.
+        let array = ShardedLevelArray::new(8, 2);
+        let cap = array.shard_capacity();
+        for local in 0..cap {
+            assert!(array.force_occupy(Name::new(local)));
+        }
+        let core0 = array.shard_core(0);
+        // Script: home-shard draw = 0, then one raw value per randomized probe
+        // in shard 0 (each aimed at slot 0 of its batch, which is held and
+        // loses), then shard 1's first probe (slot 0 of batch 0, free, wins).
+        let mut script = vec![larng::mock::raw_for_index(0, 2)];
+        for b in 0..core0.geometry().num_batches() {
+            let len = core0.geometry().batch_len(b) as u64;
+            for _ in 0..core0.probe_policy().probes_in_batch(b) {
+                script.push(larng::mock::raw_for_index(0, len));
+            }
+        }
+        script.push(larng::mock::raw_for_index(
+            0,
+            array.shard_core(1).geometry().batch_len(0) as u64,
+        ));
+        let mut rng = SequenceRng::new(script);
+
+        let got = array.get(&mut rng);
+        assert_eq!(array.shard_of(got.name()), 1, "must have stolen");
+        assert_eq!(got.probes(), core0.exhausted_probe_count() + 1);
+        assert_eq!(got.batch(), Some(0));
+        assert!(!got.used_backup());
+    }
+
+    #[test]
+    fn occupancy_reports_per_shard_regions() {
+        let array = ShardedLevelArray::new(32, 4);
+        let mut rng = default_rng(6);
+        for _ in 0..24 {
+            let _ = array.get(&mut rng);
+        }
+        let snap = array.occupancy();
+        assert_eq!(snap.num_shards(), 4);
+        assert_eq!(snap.total_capacity(), array.capacity());
+        assert_eq!(snap.total_occupied(), array.collect().len());
+        // Every shard contributes its batch regions plus a backup region.
+        let per_shard = array.shard_geometry().num_batches() + 1;
+        assert_eq!(snap.regions().len(), 4 * per_shard);
+        assert!(snap.shard_batch(0, 0).is_some());
+        assert!(snap.shard_backup(3).is_some());
+        // The aggregate view folds the shards back into plain batches.
+        let agg = array.batchwise_occupancy();
+        assert_eq!(agg.num_shards(), 0);
+        assert_eq!(agg.total_capacity(), array.capacity());
+        assert_eq!(agg.total_occupied(), snap.total_occupied());
+        assert_eq!(agg.num_batches(), array.shard_geometry().num_batches());
+        for batch in 0..agg.num_batches() {
+            let total: usize = (0..4)
+                .map(|s| snap.shard_batch(s, batch).map_or(0, |r| r.occupied()))
+                .sum();
+            assert_eq!(agg.batch(batch).unwrap().occupied(), total);
+        }
+    }
+
+    #[test]
+    fn generic_balance_consumers_see_the_sharded_census() {
+        // The trait-level occupancy() feeds the same balance machinery the
+        // plain array uses: per-shard regions aggregate, so a generic
+        // consumer holding only a `dyn ActivityArray` judges balance
+        // identically to the explicit batchwise view.
+        use crate::balance::BalanceReport;
+        let n = 256;
+        let array = ShardedLevelArray::new(n, 4);
+        let mut rng = default_rng(10);
+        for _ in 0..n / 2 {
+            let _ = array.get(&mut rng);
+        }
+        let per_shard = array.occupancy();
+        let agg = array.batchwise_occupancy();
+        assert_eq!(per_shard.num_batches(), agg.num_batches());
+        assert_eq!(per_shard.batch_fill_fractions(), agg.batch_fill_fractions());
+        let from_per_shard = BalanceReport::from_snapshot(&per_shard, n);
+        let from_agg = BalanceReport::from_snapshot(&agg, n);
+        assert_eq!(from_per_shard.batches(), from_agg.batches());
+        assert_eq!(
+            from_per_shard.is_fully_balanced(),
+            from_agg.is_fully_balanced()
+        );
+    }
+
+    #[test]
+    fn single_shard_behaves_like_a_level_array() {
+        let sharded = ShardedLevelArray::new(16, 1);
+        let plain = crate::LevelArray::new(16);
+        assert_eq!(sharded.capacity(), plain.capacity());
+        assert_eq!(sharded.shard_geometry(), plain.geometry());
+        let mut rng = default_rng(8);
+        let mut held = Vec::new();
+        for _ in 0..16 {
+            held.push(sharded.get(&mut rng).name());
+        }
+        assert_eq!(sharded.collect().len(), 16);
+        for name in held {
+            sharded.free(name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let array = ShardedLevelArray::new(8, 2);
+        let mut rng = default_rng(9);
+        let got = array.get(&mut rng);
+        array.free(got.name());
+        array.free(got.name());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn free_of_out_of_range_name_panics() {
+        let array = ShardedLevelArray::new(8, 2);
+        array.free(Name::new(1_000_000));
+    }
+
+    #[test]
+    fn shards_are_cache_padded() {
+        assert_eq!(std::mem::align_of::<PaddedCore>(), 128);
+        assert_eq!(std::mem::size_of::<PaddedCore>() % 128, 0);
+    }
+
+    #[test]
+    fn concurrent_get_free_never_duplicates_names() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let n = 16;
+        let array = Arc::new(ShardedLevelArray::new(n, 4));
+        let owned: Arc<Vec<AtomicBool>> = Arc::new(
+            (0..array.capacity())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+        );
+        std::thread::scope(|scope| {
+            for t in 0..n {
+                let array = Arc::clone(&array);
+                let owned = Arc::clone(&owned);
+                scope.spawn(move || {
+                    let mut rng = default_rng(2000 + t as u64);
+                    for _ in 0..2_000 {
+                        let got = array.get(&mut rng);
+                        let idx = got.name().index();
+                        assert!(
+                            !owned[idx].swap(true, Ordering::SeqCst),
+                            "slot {idx} handed to two threads at once"
+                        );
+                        owned[idx].store(false, Ordering::SeqCst);
+                        array.free(got.name());
+                    }
+                });
+            }
+        });
+        assert!(array.collect().is_empty());
+    }
+}

@@ -19,7 +19,7 @@
 //!   delays reclamation; it never makes it unsafe.
 //!
 //! This is the "dynamic collect" reclamation scheme of the paper's reference
-//! [17], expressed over the activity-array API.
+//! \[17\], expressed over the activity-array API.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};

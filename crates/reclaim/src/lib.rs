@@ -5,7 +5,7 @@
 //! before operating on the structure and *deregister* afterwards, while a
 //! reclaimer periodically *collects* the set of registered operations to
 //! decide which retired nodes can safely be freed (Dragojević et al.'s
-//! *dynamic collect* formulation, [17] in the paper).  Registration is on the
+//! *dynamic collect* formulation, \[17\] in the paper).  Registration is on the
 //! hot path of every operation, which is why the activity array's `Get`/`Free`
 //! cost matters so much.
 //!

@@ -8,7 +8,9 @@
 //! predicts.  [`HealingExperiment`] reproduces exactly that protocol.
 
 use larng::{default_rng, DefaultRng, RandomSource};
-use levelarray::{ActivityArray, LevelArray, LevelArrayConfig, Name};
+use levelarray::{
+    ActivityArray, LevelArray, LevelArrayConfig, Name, OccupancySnapshot, ShardedLevelArray,
+};
 
 use crate::analysis::{ops_until_stably_balanced, OccupancySample};
 
@@ -58,22 +60,68 @@ pub fn force_unbalanced(
     rng: &mut dyn RandomSource,
 ) -> Vec<Name> {
     let mut held = Vec::new();
+    install_skew(
+        spec,
+        array.geometry(),
+        0,
+        rng,
+        |name| array.force_occupy(name),
+        &mut held,
+    );
+    held
+}
+
+/// The sharded counterpart of [`force_unbalanced`]: applies the same
+/// per-batch skew to *every shard* of the array (so the aggregate batch
+/// totals carry the same overcrowding the paper's Figure 3 starts from),
+/// choosing the occupied slots uniformly at random within each shard's
+/// batch.  Returns the occupied global names.
+pub fn force_unbalanced_sharded(
+    array: &ShardedLevelArray,
+    spec: &UnbalanceSpec,
+    rng: &mut dyn RandomSource,
+) -> Vec<Name> {
+    let mut held = Vec::new();
+    for shard in 0..array.num_shards() {
+        install_skew(
+            spec,
+            array.shard_geometry(),
+            shard * array.shard_capacity(),
+            rng,
+            |name| array.force_occupy(name),
+            &mut held,
+        );
+    }
+    held
+}
+
+/// The shared skew installer: occupies `round(len * fraction)` uniformly
+/// chosen slots of each batch of one `geometry`, with slot indices offset by
+/// `base`, recording the successfully occupied names in `held`.  Both the
+/// plain and the sharded skew route through this, so the rounding and
+/// slot-choice rules can never drift apart.
+fn install_skew(
+    spec: &UnbalanceSpec,
+    geometry: &levelarray::geometry::BatchGeometry,
+    base: usize,
+    rng: &mut dyn RandomSource,
+    mut occupy: impl FnMut(Name) -> bool,
+    held: &mut Vec<Name>,
+) {
     for (batch, &fraction) in spec.batch_fractions.iter().enumerate() {
-        if batch >= array.geometry().num_batches() {
+        if batch >= geometry.num_batches() {
             break;
         }
-        let range = array.geometry().batch_range(batch);
-        let mut slots: Vec<usize> = range.collect();
+        let mut slots: Vec<usize> = geometry.batch_range(batch).map(|i| base + i).collect();
         shuffle_indices(rng, &mut slots);
         let target = ((slots.len() as f64) * fraction).round() as usize;
         for &idx in slots.iter().take(target) {
             let name = Name::new(idx);
-            if array.force_occupy(name) {
+            if occupy(name) {
                 held.push(name);
             }
         }
     }
-    held
 }
 
 /// Fisher–Yates shuffle usable through a `&mut dyn RandomSource`
@@ -136,6 +184,43 @@ impl HealingExperiment {
     /// `snapshot_every == 0`, or the ghost-release probability is outside
     /// `[0, 1]`.
     pub fn run(&self) -> HealingReport {
+        self.validate();
+        let array = self
+            .array
+            .build()
+            .expect("invalid LevelArray configuration");
+        let mut rng: DefaultRng = default_rng(self.seed);
+        let ghosts = force_unbalanced(&array, &self.spec, &mut rng);
+        self.drive(&array, ghosts, &mut rng, |a| a.occupancy())
+    }
+
+    /// Runs the experiment on a [`ShardedLevelArray`] with `shards` shards:
+    /// the same protocol (per-batch skew, register/deregister traffic with
+    /// ghost draining, periodic sampling), with the skew applied to every
+    /// shard and balance judged on the *batch-aggregated* census
+    /// ([`ShardedLevelArray::batchwise_occupancy`]) so the paper's
+    /// definitions — predicates over batch totals for contention bound `n` —
+    /// carry over to the sharded layout.  Balance is only evaluated over the
+    /// batches the shard geometry actually has: `⌈n/S⌉`-sized shards have
+    /// fewer batches than a plain `n`-sized array, so keep the shard count
+    /// well below `n` when comparing healing depth against the plain run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`HealingExperiment::run`], or if the
+    /// sharded configuration is invalid (e.g. `shards == 0`).
+    pub fn run_sharded(&self, shards: usize) -> HealingReport {
+        self.validate();
+        let array = self
+            .array
+            .build_sharded(shards)
+            .expect("invalid ShardedLevelArray configuration");
+        let mut rng: DefaultRng = default_rng(self.seed);
+        let ghosts = force_unbalanced_sharded(&array, &self.spec, &mut rng);
+        self.drive(&array, ghosts, &mut rng, |a| a.batchwise_occupancy())
+    }
+
+    fn validate(&self) {
         let n = self.array.max_concurrency_value();
         assert!(self.workers > 0, "need at least one worker");
         assert!(
@@ -151,16 +236,21 @@ impl HealingExperiment {
             (0.0..=1.0).contains(&self.ghost_release_probability),
             "ghost release probability must lie in [0, 1]"
         );
+    }
 
-        let array = self
-            .array
-            .build()
-            .expect("invalid LevelArray configuration");
-        let mut rng: DefaultRng = default_rng(self.seed);
-
-        // Install the skewed initial state.
-        let mut ghosts = force_unbalanced(&array, &self.spec, &mut rng);
-        let initial_snapshot = array.occupancy();
+    /// The shared protocol: run register/deregister traffic over `array`
+    /// (whose skewed initial state holds `ghosts`), sampling `snapshot` every
+    /// `snapshot_every` operations and judging balance against this
+    /// experiment's contention bound.
+    fn drive<A: ActivityArray>(
+        &self,
+        array: &A,
+        mut ghosts: Vec<Name>,
+        rng: &mut DefaultRng,
+        snapshot: impl Fn(&A) -> OccupancySnapshot,
+    ) -> HealingReport {
+        let n = self.array.max_concurrency_value();
+        let initial_snapshot = snapshot(array);
         let initially_balanced = self
             .array
             .balance_report(&initial_snapshot)
@@ -185,17 +275,17 @@ impl HealingExperiment {
             } else if let Some(name) = worker_names[worker].take() {
                 array.free(name);
             } else {
-                let got = array.get(&mut rng);
+                let got = array.get(rng);
                 worker_names[worker] = Some(got.name());
             }
             ops += 1;
 
             if ops % self.snapshot_every == 0 {
-                samples.push(OccupancySample::from_snapshot(ops, &array.occupancy(), n));
+                samples.push(OccupancySample::from_snapshot(ops, &snapshot(array), n));
             }
         }
 
-        let final_report = self.array.balance_report(&array.occupancy());
+        let final_report = self.array.balance_report(&snapshot(array));
         HealingReport {
             initially_balanced,
             finally_balanced: final_report.is_fully_balanced(),
@@ -300,6 +390,56 @@ mod tests {
         let report = e.run();
         assert_eq!(report.samples.len(), 9);
         assert!(report.finally_balanced);
+    }
+
+    #[test]
+    fn sharded_healing_restores_balance() {
+        let experiment = HealingExperiment {
+            array: LevelArrayConfig::new(256),
+            workers: 64,
+            total_ops: 20_000,
+            snapshot_every: 1_000,
+            spec: UnbalanceSpec::paper_figure3(),
+            seed: 42,
+            ghost_release_probability: 0.5,
+        };
+        let report = experiment.run_sharded(4);
+        assert!(
+            !report.initially_balanced,
+            "the per-shard skew must aggregate to an unbalanced start"
+        );
+        assert!(report.finally_balanced, "the sharded array should heal");
+        let healed_at = report
+            .ops_to_balance
+            .expect("the sharded array should stabilize within the run");
+        assert!(healed_at <= 20_000);
+        // Batch 1's aggregate fill drains, exactly like the plain layout.
+        let first = &report.samples[0];
+        let last = report.samples.last().unwrap();
+        assert!(last.batch_fill[1] < first.batch_fill[1]);
+        assert_eq!(report.samples.len(), 1 + 20);
+    }
+
+    #[test]
+    fn sharded_skew_hits_every_shard() {
+        let array = levelarray::ShardedLevelArray::new(256, 4);
+        let mut rng = default_rng(9);
+        let spec = UnbalanceSpec::paper_figure3();
+        let held = force_unbalanced_sharded(&array, &spec, &mut rng);
+        let snap = array.occupancy();
+        for shard in 0..4 {
+            let b0 = snap.shard_batch(shard, 0).unwrap();
+            let b1 = snap.shard_batch(shard, 1).unwrap();
+            assert_eq!(
+                b0.occupied(),
+                (b0.capacity() as f64 * 0.25).round() as usize
+            );
+            assert_eq!(b1.occupied(), (b1.capacity() as f64 * 0.5).round() as usize);
+        }
+        assert_eq!(held.len(), snap.total_occupied());
+        // The aggregate view starts unbalanced for the full contention bound.
+        let report = LevelArrayConfig::new(256).balance_report(&array.batchwise_occupancy());
+        assert!(!report.is_fully_balanced(), "{report:?}");
     }
 
     #[test]

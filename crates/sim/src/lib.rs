@@ -52,6 +52,8 @@ pub use analysis::{ops_until_stably_balanced, BalanceTimeline, OccupancySample};
 pub use executor::{
     run_uniform_workload, Simulation, SimulationConfig, SimulationReport, Violation,
 };
-pub use healing::{force_unbalanced, HealingExperiment, HealingReport, UnbalanceSpec};
+pub use healing::{
+    force_unbalanced, force_unbalanced_sharded, HealingExperiment, HealingReport, UnbalanceSpec,
+};
 pub use process::{InputError, Op, ProcessId, ProcessInput};
 pub use schedule::Schedule;

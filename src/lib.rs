@@ -12,3 +12,11 @@ pub use la_reclaim as reclaim;
 pub use la_sim as sim;
 pub use larng as rng;
 pub use levelarray as core;
+
+// The workhorse types, re-exported flat so applications (and the umbrella's
+// own examples/tests) can `use levelarray_suite::{LevelArray, ...}` without
+// spelling out the crate path.
+pub use levelarray::{
+    ActivityArray, LevelArray, LevelArrayConfig, Name, ProbeCore, Registration, ShardedLevelArray,
+    ThreadRegistry,
+};

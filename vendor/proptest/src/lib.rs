@@ -4,7 +4,7 @@
 //! the (small) slice of proptest's API that the test suites actually use:
 //!
 //! * the [`proptest!`] macro with an optional `#![proptest_config(..)]` header;
-//! * [`prelude`] exporting [`Strategy`], [`arbitrary::any`], `prop_assert*`
+//! * [`prelude`] exporting `Strategy`, `arbitrary::any`, `prop_assert*`
 //!   and [`test_runner::ProptestConfig`] / [`test_runner::TestCaseError`];
 //! * range, tuple, `any`, `prop_map` and [`collection::vec`] strategies.
 //!
