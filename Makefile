@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt clippy build test doc bench-check bench-smoke examples
+.PHONY: ci fmt clippy build test doc bench-check bench-smoke bench-json bench-diff examples
 
 ci: fmt clippy build test doc bench-check
 
@@ -26,20 +26,45 @@ bench-check:
 
 # Run every bench binary on a minimal cell so the bench wiring (workload
 # construction, algorithm set, table rendering) is *executed*, not just
-# compiled.  Finishes in well under a minute.
+# compiled.  Finishes in well under a minute.  Honors BENCH_JSON (exported by
+# bench-diff) to also emit machine-readable records.
 bench-smoke:
-	FIG2_THREADS=2 FIG2_OPS=2000 FIG2_EMULATED=4 FIG2_SHARDS=2 \
+	FIG2_THREADS=2 FIG2_OPS=2000 FIG2_EMULATED=4 FIG2_SHARDS=2 FIG2_ELASTIC_EPOCHS=4 \
 		$(CARGO) bench --bench fig2_panels
 	SWEEP_THREADS=2 SWEEP_OPS=2000 SWEEP_EMULATED=4 \
 		$(CARGO) bench --bench sweeps
-	FIG3_N=64 FIG3_OPS=4000 FIG3_SNAPSHOT=1000 FIG3_SHARDS=2 \
+	FIG3_N=64 FIG3_OPS=4000 FIG3_SNAPSHOT=1000 FIG3_SHARDS=2 FIG3_ELASTIC_EPOCHS=4 \
 		$(CARGO) bench --bench fig3_healing
 	MICRO_QUICK=1 $(CARGO) bench --bench micro
+
+# The reference cells behind the committed baseline table: the same shape as
+# bench-smoke but with enough operations per cell that throughput is stable
+# enough to diff (the smoke cells are far too small for that).  The caller
+# sets BENCH_JSON; micro is skipped (its criterion stand-in has no JSON).
+bench-json:
+	BENCH_REPEAT=5 FIG2_THREADS=2 FIG2_OPS=50000 FIG2_EMULATED=8 FIG2_SHARDS=2 FIG2_ELASTIC_EPOCHS=4 \
+		$(CARGO) bench --bench fig2_panels
+	BENCH_REPEAT=5 SWEEP_THREADS=2 SWEEP_OPS=50000 SWEEP_EMULATED=8 \
+		$(CARGO) bench --bench sweeps
+	FIG3_N=256 FIG3_OPS=32000 FIG3_SNAPSHOT=4000 FIG3_SHARDS=2 FIG3_ELASTIC_EPOCHS=4 \
+		$(CARGO) bench --bench fig3_healing
+
+# Regression check: rerun the reference cells with JSON output and diff them
+# against the committed table, flagging >20% throughput or worst-case drift
+# (exit 1 on drift).  Throughput baselines are machine-specific — regenerate
+# with `rm bench/baselines/smoke.json && BENCH_JSON=$(CURDIR)/bench/baselines/smoke.json make bench-json`
+# on the reference machine.  Tune with BENCH_DIFF_TOLERANCE=<fraction>.
+bench-diff:
+	rm -f target/bench-current.json
+	BENCH_JSON=$(CURDIR)/target/bench-current.json $(MAKE) bench-json
+	$(CARGO) run -q --release -p la_bench --bin bench_diff -- \
+		bench/baselines/smoke.json target/bench-current.json
 
 examples:
 	$(CARGO) run -q --release --example quickstart
 	$(CARGO) run -q --release --example healing
 	$(CARGO) run -q --release --example sharded
+	$(CARGO) run -q --release --example elastic
 	$(CARGO) run -q --release --example coordination
 	$(CARGO) run -q --release --example flat_combining
 	$(CARGO) run -q --release --example memory_reclamation

@@ -69,6 +69,13 @@ impl FlatSlots {
     /// Releases `name`, panicking on double frees or out-of-range names (the
     /// same contract as [`levelarray::ActivityArray::free`]).
     pub fn free(&self, name: Name) {
+        // Flat baselines hand out dense epoch-0 names; an epoch-tagged name
+        // (from an elastic array) must not alias a slot via its index.
+        assert_eq!(
+            name.epoch(),
+            0,
+            "a flat baseline hands out only epoch-0 names, got {name}"
+        );
         let idx = name.index();
         assert!(
             idx < self.slots.len(),
@@ -135,6 +142,13 @@ mod tests {
     fn out_of_range_free_panics() {
         let flat = FlatSlots::new(4, 4);
         flat.free(Name::new(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch-0")]
+    fn epoch_tagged_free_panics() {
+        let flat = FlatSlots::new(4, 4);
+        flat.free(Name::with_epoch(2, 0));
     }
 
     #[test]

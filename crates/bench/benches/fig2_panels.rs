@@ -18,8 +18,16 @@
 //! * `FIG2_EMULATED` — slots held per thread, the paper's `N/n` (default 32).
 //! * `FIG2_PREFILL` — pre-fill fraction (default 0.5).
 //! * `FIG2_SHARDS` — shard count of the ShardedLevelArray cell (default 4).
+//! * `FIG2_ELASTIC_EPOCHS` — epoch cap of the Elastic cell (default 4; the
+//!   cell starts at a quarter of the contention bound and must grow through
+//!   epochs mid-measurement).
+//! * `BENCH_JSON` — append one machine-readable record per cell to this
+//!   file (see `la_bench::json`); `make bench-diff` compares such files.
+//! * `BENCH_REPEAT` — run each cell this many times and keep the
+//!   median-throughput run (default 1; `make bench-json` uses 5 to damp
+//!   scheduler noise in the committed baselines).
 
-use la_bench::{Algorithm, Cell, Table, WorkloadConfig};
+use la_bench::{Algorithm, Cell, JsonSink, Table, WorkloadConfig};
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
     std::env::var(key)
@@ -58,9 +66,15 @@ fn main() {
     let emulated: usize = env_or("FIG2_EMULATED", 32);
     let prefill: f64 = env_or("FIG2_PREFILL", 0.5);
     let shards: usize = env_or("FIG2_SHARDS", 4);
+    let elastic_epochs: usize = env_or("FIG2_ELASTIC_EPOCHS", 4);
+    let repeat: usize = env_or("BENCH_REPEAT", 1);
     let threads = thread_counts();
+    let mut sink = JsonSink::from_env();
 
-    println!("# Figure 2 — LevelArray vs ShardedLevelArray(s={shards}) vs Random vs LinearProbing");
+    println!(
+        "# Figure 2 — LevelArray vs ShardedLevelArray(s={shards}) vs \
+         Elastic(e<={elastic_epochs}) vs Random vs LinearProbing"
+    );
     println!(
         "# workload: N/n = {emulated}, L = 2N, prefill = {:.0}%, {} measured ops/thread",
         prefill * 100.0,
@@ -79,10 +93,12 @@ fn main() {
     ]);
 
     let mut algorithms = Algorithm::figure2_set();
-    // Honor FIG2_SHARDS for the sharded cell.
+    // Honor FIG2_SHARDS / FIG2_ELASTIC_EPOCHS for the extension cells.
     for algorithm in &mut algorithms {
-        if let Algorithm::ShardedLevelArray { shards: s } = algorithm {
-            *s = shards;
+        match algorithm {
+            Algorithm::ShardedLevelArray { shards: s } => *s = shards,
+            Algorithm::Elastic { max_epochs } => *max_epochs = elastic_epochs,
+            _ => {}
         }
     }
 
@@ -96,7 +112,11 @@ fn main() {
                 target_ops_per_thread: ops_per_thread,
                 seed: 0xF162 + n as u64,
             };
-            let result = la_bench::workload::run_workload(algorithm, &config);
+            let result = la_bench::workload::run_workload_repeated(algorithm, &config, repeat);
+            if let Some(sink) = sink.as_mut() {
+                let key = format!("fig2/threads={n}/{}", result.algorithm);
+                sink.write(&result.json_record("fig2_panels", key));
+            }
             throughput.push_row(vec![
                 n.into(),
                 result.algorithm.clone().into(),

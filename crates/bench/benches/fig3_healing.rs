@@ -8,8 +8,10 @@
 //! per snapshot ("state" in the paper's axis labels).
 //!
 //! A second cell runs the same protocol on the `ShardedLevelArray`
-//! (per-shard skew, balance judged on the batch-aggregated census) to show
-//! the self-healing property survives the sharded decomposition.
+//! (per-shard skew, balance judged on the batch-aggregated census) and a
+//! third on the `ElasticLevelArray` (skew in the newest epoch, doubling
+//! growth armed), to show the self-healing property survives both
+//! decompositions.
 //!
 //! Environment variables:
 //!
@@ -18,10 +20,14 @@
 //! * `FIG3_SNAPSHOT` — operations between snapshots (default 4 000).
 //! * `FIG3_SEED` — RNG seed (default 3).
 //! * `FIG3_SHARDS` — shard count of the sharded cell (default 4).
+//! * `FIG3_ELASTIC_EPOCHS` — epoch cap of the elastic cell (default 4).
+//! * `BENCH_JSON` — append one machine-readable record per cell (healing
+//!   records carry `ops_to_balance`/`finally_balanced` instead of
+//!   throughput, so `bench_diff` joins but does not rate them).
 
-use la_bench::{Cell, Table};
+use la_bench::{Cell, JsonRecord, JsonSink, Table};
 use la_sim::{HealingExperiment, HealingReport, UnbalanceSpec};
-use levelarray::LevelArrayConfig;
+use levelarray::{GrowthPolicy, LevelArrayConfig};
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
     std::env::var(key)
@@ -63,12 +69,28 @@ fn print_report(report: &HealingReport) {
     println!("{}", table.to_markdown());
 }
 
+fn record(sink: &mut Option<JsonSink>, key: &str, report: &HealingReport) {
+    if let Some(sink) = sink.as_mut() {
+        sink.write(
+            &JsonRecord::new()
+                .field("key", key)
+                .field("bench", "fig3_healing")
+                .field("initially_balanced", report.initially_balanced)
+                .field("finally_balanced", report.finally_balanced)
+                .field("ops_to_balance", report.ops_to_balance)
+                .field("samples", report.samples.len()),
+        );
+    }
+}
+
 fn main() {
     let n: usize = env_or("FIG3_N", 512);
     let total_ops: u64 = env_or("FIG3_OPS", 32_000);
     let snapshot_every: u64 = env_or("FIG3_SNAPSHOT", 4_000);
     let seed: u64 = env_or("FIG3_SEED", 3);
     let shards: usize = env_or("FIG3_SHARDS", 4);
+    let elastic_epochs: usize = env_or("FIG3_ELASTIC_EPOCHS", 4);
+    let mut sink = JsonSink::from_env();
 
     let experiment = HealingExperiment {
         array: LevelArrayConfig::new(n),
@@ -86,8 +108,26 @@ fn main() {
     );
     println!();
     println!("## LevelArray");
-    print_report(&experiment.run());
+    let report = experiment.run();
+    record(&mut sink, "fig3/levelarray", &report);
+    print_report(&report);
 
     println!("## ShardedLevelArray (s = {shards}, per-shard skew, batch-aggregated census)");
-    print_report(&experiment.run_sharded(shards));
+    let report = experiment.run_sharded(shards);
+    record(&mut sink, &format!("fig3/sharded-s{shards}"), &report);
+    print_report(&report);
+
+    println!(
+        "## ElasticLevelArray (e <= {elastic_epochs}, newest-epoch skew, \
+         batch-aggregated census)"
+    );
+    let elastic = HealingExperiment {
+        array: LevelArrayConfig::new(n).growth(GrowthPolicy::Doubling {
+            max_epochs: elastic_epochs,
+        }),
+        ..experiment
+    };
+    let report = elastic.run_elastic();
+    record(&mut sink, "fig3/elastic", &report);
+    print_report(&report);
 }

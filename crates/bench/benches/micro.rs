@@ -20,7 +20,10 @@ use la_coordination::ReaderRegistry;
 use la_flatcombine::FcCounter;
 use la_reclaim::{ReclaimDomain, TreiberStack};
 use larng::default_rng;
-use levelarray::{ActivityArray, LevelArray, LevelArrayConfig, Name, ShardedLevelArray, TasKind};
+use levelarray::{
+    ActivityArray, ElasticLevelArray, GrowthPolicy, LevelArray, LevelArrayConfig, Name,
+    ShardedLevelArray, TasKind,
+};
 
 /// Warm-up and measurement windows: full-size by default, tiny under
 /// `MICRO_QUICK=1` (the `make bench-smoke` mode).
@@ -63,6 +66,15 @@ fn bench_get_free(c: &mut Criterion) {
         (
             "ShardedLevelArray-s4",
             Box::new(ShardedLevelArray::new(n, 4)),
+        ),
+        (
+            // Fully provisioned single epoch: isolates the epoch-chain
+            // overhead (read lock + tag) against the plain LevelArray.
+            "ElasticLevelArray-e4",
+            Box::new(ElasticLevelArray::new(
+                n,
+                GrowthPolicy::Doubling { max_epochs: 4 },
+            )),
         ),
         ("Random", Box::new(RandomArray::new(n))),
         ("LinearProbing", Box::new(LinearProbingArray::new(n))),

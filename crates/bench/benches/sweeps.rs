@@ -16,15 +16,23 @@
 //!
 //! Environment variables: `SWEEP_THREADS` (default: min(4, host)),
 //! `SWEEP_OPS` (default 50 000 measured ops/thread), `SWEEP_EMULATED`
-//! (default 32).
+//! (default 32), `BENCH_JSON` to append one machine-readable record per
+//! cell (see `la_bench::json`), and `BENCH_REPEAT` to keep the
+//! median-throughput run of that many repetitions per cell.
 
-use la_bench::{Algorithm, Cell, Table, WorkloadConfig};
+use la_bench::{Algorithm, Cell, JsonSink, Table, WorkloadConfig, WorkloadResult};
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
     std::env::var(key)
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn record(sink: &mut Option<JsonSink>, result: &WorkloadResult, key: String) {
+    if let Some(sink) = sink.as_mut() {
+        sink.write(&result.json_record("sweeps", key));
+    }
 }
 
 fn result_row(result: &la_bench::WorkloadResult, extra: Vec<Cell>) -> Vec<Cell> {
@@ -54,6 +62,8 @@ fn main() {
     let threads: usize = env_or("SWEEP_THREADS", host.min(4));
     let ops: u64 = env_or("SWEEP_OPS", 50_000);
     let emulated: usize = env_or("SWEEP_EMULATED", 32);
+    let repeat: usize = env_or("BENCH_REPEAT", 1);
+    let mut sink = JsonSink::from_env();
 
     let base = WorkloadConfig {
         threads,
@@ -77,7 +87,12 @@ fn main() {
                 prefill,
                 ..base.clone()
             };
-            let result = la_bench::workload::run_workload(algorithm, &config);
+            let result = la_bench::workload::run_workload_repeated(algorithm, &config, repeat);
+            record(
+                &mut sink,
+                &result,
+                format!("sweeps/prefill={prefill}/{}", result.algorithm),
+            );
             prefill_table.push_row(result_row(
                 &result,
                 vec![
@@ -102,7 +117,12 @@ fn main() {
                 space_factor,
                 ..base.clone()
             };
-            let result = la_bench::workload::run_workload(algorithm, &config);
+            let result = la_bench::workload::run_workload_repeated(algorithm, &config, repeat);
+            record(
+                &mut sink,
+                &result,
+                format!("sweeps/space={space_factor}/{}", result.algorithm),
+            );
             size_table.push_row(result_row(
                 &result,
                 vec![
@@ -133,7 +153,12 @@ fn main() {
         Algorithm::LinearProbing,
         Algorithm::LinearScan,
     ] {
-        let result = la_bench::workload::run_workload(algorithm, &det_config);
+        let result = la_bench::workload::run_workload_repeated(algorithm, &det_config, repeat);
+        record(
+            &mut sink,
+            &result,
+            format!("sweeps/deterministic/{}", result.algorithm),
+        );
         det_table.push_row(result_row(&result, vec![result.algorithm.clone().into()]));
     }
     println!(
@@ -152,7 +177,12 @@ fn main() {
         Algorithm::LevelArrayProbes(16),
         Algorithm::LevelArraySwapTas,
     ] {
-        let result = la_bench::workload::run_workload(algorithm, &base);
+        let result = la_bench::workload::run_workload_repeated(algorithm, &base, repeat);
+        record(
+            &mut sink,
+            &result,
+            format!("sweeps/ablation/{}", result.algorithm),
+        );
         ablation_table.push_row(result_row(&result, vec![result.algorithm.clone().into()]));
     }
     println!(
@@ -166,7 +196,12 @@ fn main() {
     let mut shard_table = Table::new(&header);
     for shards in [1usize, 2, 4, 8] {
         let algorithm = Algorithm::ShardedLevelArray { shards };
-        let result = la_bench::workload::run_workload(algorithm, &base);
+        let result = la_bench::workload::run_workload_repeated(algorithm, &base, repeat);
+        record(
+            &mut sink,
+            &result,
+            format!("sweeps/shards={shards}/{}", result.algorithm),
+        );
         shard_table.push_row(result_row(
             &result,
             vec![shards.into(), result.algorithm.clone().into()],
@@ -175,5 +210,30 @@ fn main() {
     println!(
         "## Shard-count sweep (ShardedLevelArray)\n\n{}",
         shard_table.to_markdown()
+    );
+
+    // 6. Epoch-cap sweep: the elastic chain against its own knob.  Every
+    // cell starts at an eighth of the contention bound; deeper caps admit
+    // more headroom, the minimum cap of 3 (2.625n total slots) forces heavy
+    // fallback probing of old epochs near full load.
+    let mut header = vec!["max epochs", "algorithm"];
+    header.extend(METRIC_COLUMNS);
+    let mut elastic_table = Table::new(&header);
+    for max_epochs in [3usize, 4, 6, 8] {
+        let algorithm = Algorithm::Elastic { max_epochs };
+        let result = la_bench::workload::run_workload_repeated(algorithm, &base, repeat);
+        record(
+            &mut sink,
+            &result,
+            format!("sweeps/epochs={max_epochs}/{}", result.algorithm),
+        );
+        elastic_table.push_row(result_row(
+            &result,
+            vec![max_epochs.into(), result.algorithm.clone().into()],
+        ));
+    }
+    println!(
+        "## Epoch-cap sweep (ElasticLevelArray)\n\n{}",
+        elastic_table.to_markdown()
     );
 }

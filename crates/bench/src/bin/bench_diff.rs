@@ -1,0 +1,130 @@
+//! Compares two `BENCH_JSON` result files and flags regressions.
+//!
+//! ```text
+//! bench_diff <baseline.jsonl> <current.jsonl>
+//! ```
+//!
+//! Records are joined on their `key` field; for every key present in both
+//! files the relative drift of `throughput` and `worst_avg` is computed
+//! (skipping fields absent on either side, so healing records — which carry
+//! `ops_to_balance` instead — are joined but only compared on what they
+//! have).  A drift beyond the tolerance (default 20%, override with
+//! `BENCH_DIFF_TOLERANCE=<fraction>`) is flagged, and the process exits
+//! non-zero if anything was flagged — `make bench-diff` runs the reference
+//! cells against the committed table in `bench/baselines/`.
+//!
+//! The worst-case metric compared is `worst_avg` — the per-thread maxima
+//! averaged over threads, exactly the damping the paper applies to its
+//! "worst case" panel, because the absolute single-operation maximum is an
+//! extreme-value statistic too noisy to diff.  Worst-case drift is still a
+//! handful of probes, so a purely relative test would flag 3 → 5 probes as
+//! a 67% "regression"; the metric additionally gets an absolute slack
+//! (default 3 probes, override with `BENCH_DIFF_WORST_SLACK=<probes>`) —
+//! both thresholds must be exceeded to flag.
+//!
+//! Throughput is machine-dependent: treat a failure against a baseline
+//! recorded on different hardware as a prompt to regenerate the baseline
+//! (`rm bench/baselines/smoke.json && BENCH_JSON=$PWD/bench/baselines/smoke.json make bench-json`
+//! on the reference machine — *not* the much smaller `bench-smoke` cells),
+//! not necessarily as a regression.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use la_bench::json::{read_records, JsonRecord};
+
+/// The metrics compared: cell throughput and the paper's damped worst case.
+const METRICS: [&str; 2] = ["throughput", "worst_avg"];
+
+fn index_by_key(records: Vec<JsonRecord>) -> BTreeMap<String, JsonRecord> {
+    records
+        .into_iter()
+        .filter_map(|r| {
+            let key = r.get("key")?.as_str()?.to_string();
+            Some((key, r))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.jsonl> <current.jsonl>");
+        return ExitCode::from(2);
+    };
+    let tolerance: f64 = std::env::var("BENCH_DIFF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.20);
+    let worst_slack: f64 = std::env::var("BENCH_DIFF_WORST_SLACK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+
+    let baseline = match read_records(baseline_path) {
+        Ok(records) => index_by_key(records),
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = match read_records(current_path) {
+        Ok(records) => index_by_key(records),
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut flagged = 0usize;
+    let mut compared = 0usize;
+    for (key, base) in &baseline {
+        let Some(cur) = current.get(key) else {
+            println!("MISSING  {key}: present in baseline only");
+            continue;
+        };
+        for metric in METRICS {
+            let (Some(b), Some(c)) = (
+                base.get(metric).and_then(|v| v.as_f64()),
+                cur.get(metric).and_then(|v| v.as_f64()),
+            ) else {
+                continue;
+            };
+            compared += 1;
+            let drift = if b == 0.0 {
+                if c == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (c - b) / b
+            };
+            let within_slack = metric == "worst_avg" && (c - b).abs() <= worst_slack;
+            if drift.abs() > tolerance && !within_slack {
+                flagged += 1;
+                println!(
+                    "DRIFT    {key}: {metric} {b:.2} -> {c:.2} ({:+.1}%, tolerance {:.0}%)",
+                    drift * 100.0,
+                    tolerance * 100.0
+                );
+            }
+        }
+    }
+    for key in current.keys() {
+        if !baseline.contains_key(key) {
+            println!("NEW      {key}: present in current only (baseline needs regenerating?)");
+        }
+    }
+
+    println!(
+        "bench_diff: {compared} metric comparisons over {} shared cells, {flagged} beyond {:.0}%",
+        baseline.keys().filter(|k| current.contains_key(*k)).count(),
+        tolerance * 100.0
+    );
+    if flagged > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

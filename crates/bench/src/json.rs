@@ -1,0 +1,438 @@
+//! Machine-readable bench output: a dependency-free JSON-lines emitter and
+//! the matching flat-object parser.
+//!
+//! Every bench target honors the `BENCH_JSON=<path>` environment variable:
+//! when set, each measured cell appends one JSON object per line to the file
+//! (creating it if needed), alongside the human-readable Markdown tables.
+//! The records are flat — string keys, scalar values — so the
+//! `bench_diff` binary (and any ad-hoc tooling) can parse them without a
+//! JSON dependency, and `bench/baselines/` can hold committed reference
+//! tables produced by the exact same pipeline.
+//!
+//! Each record carries a `key` field uniquely identifying its cell (e.g.
+//! `fig2/threads=2/LevelArray`); `bench_diff` joins baseline and current
+//! runs on it.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// A scalar JSON value (the only kind bench records contain).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number holding an integer.
+    Int(u64),
+    /// A JSON number.
+    Float(f64),
+    /// A JSON boolean.
+    Bool(bool),
+    /// JSON `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// The value as an `f64`, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        match self {
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Float(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            // JSON has no NaN/Inf; degrade to null rather than emit garbage.
+            JsonValue::Float(_) => out.push_str("null"),
+            JsonValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JsonValue::Null => out.push_str("null"),
+        }
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Int(v as u64)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<Option<u64>> for JsonValue {
+    fn from(v: Option<u64>) -> Self {
+        v.map_or(JsonValue::Null, JsonValue::Int)
+    }
+}
+
+/// One flat JSON object, serialized as a single line.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JsonRecord {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonRecord {
+    /// Starts an empty record.
+    pub fn new() -> Self {
+        JsonRecord::default()
+    }
+
+    /// Appends a field (builder style; keys are kept in insertion order).
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Looks up a field by key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Serializes the record as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            JsonValue::Str(key.clone()).render(&mut out);
+            out.push(':');
+            value.render(&mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Parses one line produced by [`JsonRecord::to_line`] (any flat JSON object
+/// with scalar values works).
+///
+/// # Errors
+///
+/// Returns a description of the first syntax problem encountered.
+pub fn parse_record(line: &str) -> Result<JsonRecord, String> {
+    let mut p = Parser {
+        chars: line.trim().chars().collect(),
+        pos: 0,
+    };
+    let record = p.object()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing characters at offset {}", p.pos));
+    }
+    Ok(record)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected '{want}', found {other:?}")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonRecord, String> {
+        self.expect('{')?;
+        let mut record = JsonRecord::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(record);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            let value = self.value()?;
+            record.fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(record),
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + digit;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => Ok(JsonValue::Str(self.string()?)),
+            Some('t') => self.literal("true", JsonValue::Bool(true)),
+            Some('f') => self.literal("false", JsonValue::Bool(false)),
+            Some('n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        for want in word.chars() {
+            if self.bump() != Some(want) {
+                return Err(format!("bad literal (expected {word})"));
+            }
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c == '-' || c == '+' || c == '.'
+            || c == 'e' || c == 'E' || c.is_ascii_digit())
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(JsonValue::Int(v));
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+/// An append-mode sink for JSON-lines records, opened from `BENCH_JSON`.
+#[derive(Debug)]
+pub struct JsonSink {
+    file: std::fs::File,
+}
+
+impl JsonSink {
+    /// Opens the sink named by the `BENCH_JSON` environment variable, if set
+    /// and non-empty.  The file is opened in append mode so the bench targets
+    /// of one suite run can share it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be opened (a misspelled directory should
+    /// fail the run loudly, not silently drop the results).
+    pub fn from_env() -> Option<JsonSink> {
+        let path = std::env::var("BENCH_JSON").ok().filter(|p| !p.is_empty())?;
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("BENCH_JSON: cannot open {path}: {e}"));
+        Some(JsonSink { file })
+    }
+
+    /// Appends one record as a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write fails.
+    pub fn write(&mut self, record: &JsonRecord) {
+        let mut line = record.to_line();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .expect("BENCH_JSON: write failed");
+    }
+}
+
+/// Reads every record of a JSON-lines file (blank lines are skipped).
+///
+/// # Errors
+///
+/// Returns the file-read error or the first parse error, with its line
+/// number.
+pub fn read_records(path: &str) -> Result<Vec<JsonRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| parse_record(line).map_err(|e| format!("{path}:{}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_through_the_parser() {
+        let record = JsonRecord::new()
+            .field("key", "fig2/threads=2/LevelArray")
+            .field("throughput", 123456.75f64)
+            .field("ops", 4000u64)
+            .field("healed", true)
+            .field("ops_to_balance", Option::<u64>::None)
+            .field("label", "quote\" slash\\ tab\t");
+        let line = record.to_line();
+        let parsed = parse_record(&line).unwrap();
+        assert_eq!(parsed, record);
+        assert_eq!(
+            parsed.get("key").unwrap().as_str(),
+            Some("fig2/threads=2/LevelArray")
+        );
+        assert_eq!(parsed.get("throughput").unwrap().as_f64(), Some(123456.75));
+        assert_eq!(parsed.get("ops").unwrap().as_f64(), Some(4000.0));
+        assert_eq!(parsed.get("healed"), Some(&JsonValue::Bool(true)));
+        assert_eq!(parsed.get("ops_to_balance"), Some(&JsonValue::Null));
+        assert_eq!(parsed.get("missing"), None);
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_rejects_garbage() {
+        let parsed = parse_record(r#" { "a" : 1 , "b" : -2.5e3 } "#).unwrap();
+        assert_eq!(parsed.get("a").unwrap().as_f64(), Some(1.0));
+        assert_eq!(parsed.get("b").unwrap().as_f64(), Some(-2500.0));
+        assert!(parse_record("{").is_err());
+        assert!(parse_record(r#"{"a":}"#).is_err());
+        assert!(parse_record(r#"{"a":1} extra"#).is_err());
+        assert!(parse_record(r#"{"a":truthy}"#).is_err());
+        assert_eq!(parse_record("{}").unwrap(), JsonRecord::new());
+    }
+
+    #[test]
+    fn non_finite_floats_degrade_to_null() {
+        let line = JsonRecord::new().field("x", f64::NAN).to_line();
+        assert_eq!(line, r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn sink_appends_lines_readable_by_read_records() {
+        let dir = std::env::temp_dir().join(format!("la-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+
+        // `from_env` reads BENCH_JSON; set it just for this test (no other
+        // test in this crate touches the variable).
+        std::env::set_var("BENCH_JSON", &path_str);
+        {
+            let mut sink = JsonSink::from_env().expect("BENCH_JSON is set");
+            sink.write(&JsonRecord::new().field("key", "a").field("v", 1u64));
+            sink.write(&JsonRecord::new().field("key", "b").field("v", 2u64));
+        }
+        {
+            let mut sink = JsonSink::from_env().expect("append mode reopens");
+            sink.write(&JsonRecord::new().field("key", "c").field("v", 3u64));
+        }
+        std::env::remove_var("BENCH_JSON");
+        assert!(JsonSink::from_env().is_none());
+
+        let records = read_records(&path_str).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].get("key").unwrap().as_str(), Some("c"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

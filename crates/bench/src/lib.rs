@@ -19,8 +19,10 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod json;
 pub mod report;
 pub mod workload;
 
+pub use json::{JsonRecord, JsonSink, JsonValue};
 pub use report::{format_markdown_table, Cell, Table};
 pub use workload::{Algorithm, WorkloadConfig, WorkloadResult};

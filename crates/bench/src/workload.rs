@@ -21,7 +21,8 @@ use std::time::{Duration, Instant};
 use la_baselines::{LinearProbingArray, LinearScanArray, RandomArray};
 use larng::{default_rng, SeedSequence};
 use levelarray::{
-    ActivityArray, GetStats, LevelArrayConfig, ProbePolicy, ShardedLevelArray, TasKind,
+    ActivityArray, GetStats, GrowthPolicy, LevelArrayConfig, ProbePolicy, ShardedLevelArray,
+    TasKind,
 };
 
 /// Which algorithm a workload run exercises.
@@ -38,6 +39,14 @@ pub enum Algorithm {
     ShardedLevelArray {
         /// Number of shards the namespace is partitioned into.
         shards: usize,
+    },
+    /// The elastic variant: started deliberately *under-provisioned* at an
+    /// eighth of the cell's contention bound, so the measured run grows
+    /// through epochs while serving traffic (the ROADMAP's registry-growth
+    /// item).  Use `max_epochs >= 3` so the chain can cover the full bound.
+    Elastic {
+        /// Maximum simultaneously live epochs of the doubling chain.
+        max_epochs: usize,
     },
     /// Uniform random probing over a flat array.
     Random,
@@ -56,18 +65,22 @@ impl Algorithm {
             Algorithm::LevelArrayProbes(c) => format!("LevelArray(c={c})"),
             Algorithm::LevelArraySwapTas => "LevelArray(swap)".to_string(),
             Algorithm::ShardedLevelArray { shards } => format!("ShardedLevelArray(s={shards})"),
+            Algorithm::Elastic { max_epochs } => format!("Elastic(e<={max_epochs})"),
             Algorithm::Random => "Random".to_string(),
             Algorithm::LinearProbing => "LinearProbing".to_string(),
             Algorithm::LinearScan => "LinearScan".to_string(),
         }
     }
 
-    /// The three algorithms plotted in Figure 2, plus the sharded LevelArray
-    /// (this reproduction's extension cell, plotted alongside them).
+    /// The three algorithms plotted in Figure 2, plus this reproduction's
+    /// extension cells plotted alongside them: the sharded LevelArray and the
+    /// elastic LevelArray (which starts under-provisioned and must grow
+    /// through epochs mid-measurement).
     pub fn figure2_set() -> Vec<Algorithm> {
         vec![
             Algorithm::LevelArray,
             Algorithm::ShardedLevelArray { shards: 4 },
+            Algorithm::Elastic { max_epochs: 4 },
             Algorithm::Random,
             Algorithm::LinearProbing,
         ]
@@ -102,6 +115,27 @@ impl Algorithm {
             Algorithm::ShardedLevelArray { shards } => Arc::new(
                 ShardedLevelArray::from_config(config, *shards).expect("valid configuration"),
             ),
+            Algorithm::Elastic { max_epochs } => {
+                // Start at an eighth of the bound.  The first epoch then has
+                // 3n/8 slots (default space factor), below a single thread's
+                // quota n/threads for the ≤2-thread cells, so growth is
+                // *forced* even if the OS serializes the workers — the cell
+                // measures elastic behavior, not thread-overlap luck.  The
+                // doubling chain reaches full coverage by the second growth
+                // event (3·(n/8)·(2³−1) = 2.625n slots), so a Get still
+                // never fails; keep `max_epochs >= 3` for that headroom.
+                let initial = (n / 8).max(1);
+                Arc::new(
+                    config
+                        .clone()
+                        .with_contention(initial)
+                        .growth(GrowthPolicy::Doubling {
+                            max_epochs: *max_epochs,
+                        })
+                        .build_elastic()
+                        .expect("valid configuration"),
+                )
+            }
             Algorithm::Random => Arc::new(RandomArray::with_slots(n, slots)),
             Algorithm::LinearProbing => Arc::new(LinearProbingArray::with_slots(n, slots)),
             Algorithm::LinearScan => Arc::new(LinearScanArray::with_slots(n, slots)),
@@ -222,6 +256,28 @@ impl WorkloadResult {
     pub fn absolute_worst_case(&self) -> u32 {
         self.stats.max_probes()
     }
+
+    /// The machine-readable form of this result for `BENCH_JSON` output:
+    /// one flat record keyed by `key` (the cell's unique identifier within
+    /// `bench`), carrying the quantities `bench_diff` compares plus the
+    /// cell's workload shape.
+    pub fn json_record(&self, bench: &str, key: String) -> crate::json::JsonRecord {
+        crate::json::JsonRecord::new()
+            .field("key", key)
+            .field("bench", bench)
+            .field("algorithm", self.algorithm.clone())
+            .field("threads", self.config.threads)
+            .field("emulated_per_thread", self.config.emulated_per_thread)
+            .field("space_factor", self.config.space_factor)
+            .field("prefill", self.config.prefill)
+            .field("total_ops", self.total_ops)
+            .field("elapsed_s", self.elapsed.as_secs_f64())
+            .field("throughput", self.throughput())
+            .field("mean_probes", self.stats.mean_probes())
+            .field("stddev_probes", self.stats.stddev_probes())
+            .field("worst_avg", self.mean_worst_case())
+            .field("worst_abs", u64::from(self.absolute_worst_case()))
+    }
 }
 
 /// Runs one workload cell: `config.threads` threads hammering one shared
@@ -303,6 +359,27 @@ pub fn run_workload(algorithm: Algorithm, config: &WorkloadConfig) -> WorkloadRe
     }
 }
 
+/// Runs one workload cell `repeats` times (clamped to at least once) and
+/// returns the run with the *median throughput* — the standard damping for
+/// scheduler noise when a cell's numbers feed a regression comparison
+/// (`make bench-diff`).  The bench targets wire this to the `BENCH_REPEAT`
+/// environment variable.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`WorkloadConfig::validate`]).
+pub fn run_workload_repeated(
+    algorithm: Algorithm,
+    config: &WorkloadConfig,
+    repeats: usize,
+) -> WorkloadResult {
+    let mut runs: Vec<WorkloadResult> = (0..repeats.max(1))
+        .map(|_| run_workload(algorithm, config))
+        .collect();
+    runs.sort_by(|a, b| a.throughput().total_cmp(&b.throughput()));
+    runs.swap_remove(runs.len() / 2)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +403,7 @@ mod tests {
             Algorithm::LevelArraySwapTas,
             Algorithm::ShardedLevelArray { shards: 2 },
             Algorithm::ShardedLevelArray { shards: 4 },
+            Algorithm::Elastic { max_epochs: 4 },
             Algorithm::Random,
             Algorithm::LinearProbing,
             Algorithm::LinearScan,
@@ -387,8 +465,43 @@ mod tests {
             Algorithm::ShardedLevelArray { shards: 4 }.label(),
             "ShardedLevelArray(s=4)"
         );
-        assert_eq!(Algorithm::figure2_set().len(), 4);
+        assert_eq!(
+            Algorithm::Elastic { max_epochs: 4 }.label(),
+            "Elastic(e<=4)"
+        );
+        assert_eq!(Algorithm::figure2_set().len(), 5);
         assert!(Algorithm::figure2_set().contains(&Algorithm::ShardedLevelArray { shards: 4 }));
+        assert!(Algorithm::figure2_set().contains(&Algorithm::Elastic { max_epochs: 4 }));
+    }
+
+    #[test]
+    fn elastic_build_starts_small_and_grows_under_full_load() {
+        let config = small_config();
+        let array = Algorithm::Elastic { max_epochs: 4 }.build(&config.array_config());
+        assert_eq!(array.algorithm_name(), "ElasticLevelArray");
+        // Under-provisioned on purpose: an eighth of the logical participants.
+        assert_eq!(
+            array.max_participants(),
+            (config.logical_participants() / 8).max(1)
+        );
+        // Holding the full quota — what the workload does at its peak — is
+        // beyond the initial epoch, so the chain must grow to serve it.
+        let mut rng = default_rng(9);
+        let names: Vec<_> = (0..config.logical_participants())
+            .map(|_| array.get(&mut rng).name())
+            .collect();
+        assert!(
+            names.iter().any(|n| n.epoch() > 0),
+            "growth must have tagged later names with a fresh epoch"
+        );
+        for name in names {
+            array.free(name);
+        }
+        // And the full measured workload completes without a single failed
+        // Get (get() would panic).
+        let result = run_workload(Algorithm::Elastic { max_epochs: 4 }, &config);
+        assert_eq!(result.algorithm, "Elastic(e<=4)");
+        assert!(result.total_ops >= 2 * 2_000);
     }
 
     #[test]

@@ -86,6 +86,15 @@ impl DynamicBarrier {
     pub fn join(self: &Arc<Self>, rng: &mut dyn RandomSource) -> BarrierMember {
         let acquired = self.registry.get(rng);
         let name = acquired.name();
+        // The arrival table is dense over Name::index(), so the registry must
+        // be fixed-size: an elastic registry's later epochs alias earlier
+        // indices (and outgrow the table).
+        assert_eq!(
+            name.epoch(),
+            0,
+            "the dynamic barrier needs a fixed-size (single-epoch) registry; \
+             got the epoch-tagged name {name}"
+        );
         // A fresh member has arrived at (i.e. is not owed) the current phase.
         self.arrived[name.index()].store(self.phase(), Ordering::Release);
         BarrierMember {

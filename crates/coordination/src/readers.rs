@@ -18,6 +18,11 @@ use levelarray::{ActivityArray, Name};
 ///
 /// See the crate-level example for the read side; the write side is
 /// [`ReaderRegistry::wait_for_readers`].
+///
+/// Names are only compared for identity (never used as dense indices), so
+/// any activity array works — including an elastic one, which lets the
+/// reader population outgrow its initial sizing without re-deploying the
+/// registry.
 #[derive(Debug)]
 pub struct ReaderRegistry {
     registry: Arc<dyn ActivityArray>,
@@ -173,6 +178,29 @@ mod tests {
             drop(guard);
         });
         assert!(writer_done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn elastic_registry_admits_readers_beyond_the_initial_bound() {
+        use levelarray::{ElasticLevelArray, GrowthPolicy};
+
+        let backing = Arc::new(ElasticLevelArray::new(
+            2,
+            GrowthPolicy::Doubling { max_epochs: 4 },
+        ));
+        let r = ReaderRegistry::new(Arc::clone(&backing) as Arc<dyn ActivityArray>);
+        let mut rng = default_rng(5);
+        // Register 10 readers at once against an initial bound of 2.
+        let guards: Vec<_> = (0..10).map(|_| r.enter(&mut rng)).collect();
+        assert_eq!(r.active_readers(), 10);
+        assert!(backing.num_epochs() >= 2, "the registry must have grown");
+        assert!(guards.iter().any(|g| g.name().epoch() > 0));
+        // The writer-side grace period tracks epoch-tagged names correctly.
+        drop(guards);
+        r.wait_for_readers();
+        assert!(r.is_quiescent());
+        backing.try_retire();
+        assert_eq!(backing.num_epochs(), 1);
     }
 
     #[test]

@@ -93,6 +93,12 @@ where
 {
     /// Creates a combining structure around `sequential`, using `registry` to
     /// manage publication slots and `apply` as the sequential semantics.
+    ///
+    /// The publication records are a dense array indexed by `Name::index()`,
+    /// so the registry must be a *fixed-size, single-epoch* activity array
+    /// (a plain or sharded LevelArray, or a baseline) — an elastic registry
+    /// hands out names from later epochs whose indices alias earlier ones,
+    /// and is rejected at [`FlatCombining::join`] time.
     pub fn new(
         registry: Arc<dyn ActivityArray>,
         sequential: S,
@@ -117,6 +123,13 @@ where
     /// participants than its contention bound).
     pub fn join(&self, rng: &mut dyn RandomSource) -> Session<'_, S, Op, R> {
         let acquired = self.registry.get(rng);
+        assert_eq!(
+            acquired.name().epoch(),
+            0,
+            "flat combining needs a fixed-size (single-epoch) registry; \
+             got the epoch-tagged name {}",
+            acquired.name()
+        );
         Session {
             fc: self,
             slot: acquired.name(),

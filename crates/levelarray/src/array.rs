@@ -110,6 +110,18 @@ pub trait ActivityArray: Send + Sync + std::fmt::Debug {
     /// (a double free); both indicate a bug in the caller.
     fn free(&self, name: Name);
 
+    /// Hints that subsequent operations from the calling thread act on behalf
+    /// of logical participant `participant`.
+    ///
+    /// Single-threaded drivers that emulate many participants (the
+    /// adversarial simulator, the healing experiment, benchmark harnesses)
+    /// call this before each emulated operation so that layouts with sticky
+    /// per-thread routing ([`crate::ShardedLevelArray`]) can spread the
+    /// emulated population across their shards the way a real thread
+    /// population's round-robin pinning would.  Implementations without
+    /// routing state ignore it — the default does nothing.
+    fn route_hint(&self, _participant: usize) {}
+
     /// Returns the names currently held, by scanning the array.
     ///
     /// The result is not an atomic snapshot; it satisfies the weaker validity

@@ -54,6 +54,74 @@ impl ProbePolicy {
     }
 }
 
+/// How an elastic array reacts when its newest epoch saturates (every random
+/// probe lost *and* the sequential backup region is full).
+///
+/// The policy is the knob behind [`crate::ElasticLevelArray`]: `Fixed`
+/// reproduces the paper's fixed-contention-bound model, `Doubling` opens a
+/// fresh epoch of twice the previous contention bound, migrating new
+/// registrations to it while the old epochs drain and are eventually retired.
+///
+/// # Examples
+///
+/// ```
+/// use levelarray::{ActivityArray, GrowthPolicy, LevelArrayConfig};
+/// use larng::default_rng;
+///
+/// // Start tiny (n = 4) but allow the array to double through 3 epochs.
+/// let array = LevelArrayConfig::new(4)
+///     .growth(GrowthPolicy::Doubling { max_epochs: 3 })
+///     .build_elastic()
+///     .unwrap();
+/// let mut rng = default_rng(1);
+///
+/// // Register far beyond the initial sizing: Get never fails, it opens new
+/// // epochs (4 -> 8 -> 16) as each generation saturates.
+/// let names: Vec<_> = (0..40).map(|_| array.get(&mut rng).name()).collect();
+/// assert!(array.num_epochs() >= 2, "the array must have grown");
+/// assert!(names.iter().any(|n| n.epoch() > 0), "later names carry the epoch tag");
+///
+/// // Draining an old epoch lets the chain shrink back.
+/// for name in names {
+///     array.free(name);
+/// }
+/// array.try_retire();
+/// assert_eq!(array.num_epochs(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum GrowthPolicy {
+    /// Never grow: the initial epoch is the whole structure.  An elastic
+    /// array under this policy behaves like a plain [`crate::LevelArray`]
+    /// whose names happen to carry an (always-zero) epoch tag.
+    #[default]
+    Fixed,
+    /// Open a new epoch of doubled contention bound whenever the newest
+    /// epoch saturates, keeping at most `max_epochs` epochs alive at once.
+    /// When the chain is at its bound, `Get` falls back to probing the older
+    /// epochs instead of growing.
+    Doubling {
+        /// Upper bound on simultaneously live epochs (must be at least 1).
+        max_epochs: usize,
+    },
+}
+
+impl GrowthPolicy {
+    /// The maximum number of simultaneously live epochs this policy allows.
+    pub fn max_live_epochs(&self) -> usize {
+        match self {
+            GrowthPolicy::Fixed => 1,
+            GrowthPolicy::Doubling { max_epochs } => *max_epochs,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            GrowthPolicy::Doubling { max_epochs: 0 } => Err(ConfigError::ZeroEpochs),
+            _ => Ok(()),
+        }
+    }
+}
+
 /// Builder-style configuration for a [`crate::LevelArray`].
 ///
 /// # Examples
@@ -82,6 +150,7 @@ pub struct LevelArrayConfig {
     probe_policy: ProbePolicy,
     backup: bool,
     tas_kind: TasKind,
+    growth: GrowthPolicy,
 }
 
 impl LevelArrayConfig {
@@ -95,6 +164,7 @@ impl LevelArrayConfig {
             probe_policy: ProbePolicy::default(),
             backup: true,
             tas_kind: TasKind::default(),
+            growth: GrowthPolicy::default(),
         }
     }
 
@@ -145,6 +215,20 @@ impl LevelArrayConfig {
         self
     }
 
+    /// Selects the growth policy an elastic build uses when its newest epoch
+    /// saturates (default: [`GrowthPolicy::Fixed`]).  Only
+    /// [`LevelArrayConfig::build_elastic`] consults it; the fixed-size builds
+    /// ignore it.
+    pub fn growth(mut self, policy: GrowthPolicy) -> Self {
+        self.growth = policy;
+        self
+    }
+
+    /// The growth policy this configuration carries.
+    pub fn growth_policy(&self) -> GrowthPolicy {
+        self.growth
+    }
+
     /// The contention bound `n` this configuration targets.
     pub fn max_concurrency_value(&self) -> usize {
         self.max_concurrency
@@ -183,6 +267,7 @@ impl LevelArrayConfig {
             return Err(ConfigError::InvalidSpaceFactor(self.space_factor));
         }
         self.probe_policy.validate()?;
+        self.growth.validate()?;
 
         let geometry = BatchGeometry::new(self.main_len(), self.first_batch_fraction)
             .map_err(ConfigError::Geometry)?;
@@ -216,6 +301,18 @@ impl LevelArrayConfig {
     /// configuration).
     pub fn build_sharded(&self, shards: usize) -> Result<crate::ShardedLevelArray, ConfigError> {
         crate::ShardedLevelArray::from_config(self, shards)
+    }
+
+    /// Validates the configuration and builds a [`crate::ElasticLevelArray`]
+    /// whose initial epoch has this contention bound and whose growth follows
+    /// [`LevelArrayConfig::growth_policy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroEpochs`] if the growth policy allows zero
+    /// live epochs; otherwise see [`LevelArrayConfig::validate`].
+    pub fn build_elastic(&self) -> Result<crate::ElasticLevelArray, ConfigError> {
+        crate::ElasticLevelArray::from_config(self)
     }
 }
 
@@ -258,6 +355,8 @@ pub enum ConfigError {
     Geometry(GeometryError),
     /// A sharded build was requested with zero shards.
     ZeroShards,
+    /// An elastic growth policy allowed zero live epochs.
+    ZeroEpochs,
 }
 
 impl fmt::Display for ConfigError {
@@ -273,6 +372,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::Geometry(e) => write!(f, "invalid geometry: {e}"),
             ConfigError::ZeroShards => write!(f, "a sharded array needs at least one shard"),
+            ConfigError::ZeroEpochs => {
+                write!(f, "an elastic growth policy needs at least one live epoch")
+            }
         }
     }
 }
@@ -396,5 +498,36 @@ mod tests {
         let a = config.build().unwrap();
         let b = config.build().unwrap();
         assert_eq!(a.capacity(), b.capacity());
+    }
+
+    #[test]
+    fn growth_policy_defaults_and_bounds() {
+        assert_eq!(GrowthPolicy::default(), GrowthPolicy::Fixed);
+        assert_eq!(GrowthPolicy::Fixed.max_live_epochs(), 1);
+        assert_eq!(
+            GrowthPolicy::Doubling { max_epochs: 5 }.max_live_epochs(),
+            5
+        );
+        assert_eq!(
+            LevelArrayConfig::new(8).growth_policy(),
+            GrowthPolicy::Fixed
+        );
+        let grown = LevelArrayConfig::new(8).growth(GrowthPolicy::Doubling { max_epochs: 3 });
+        assert_eq!(
+            grown.growth_policy(),
+            GrowthPolicy::Doubling { max_epochs: 3 }
+        );
+    }
+
+    #[test]
+    fn zero_epoch_growth_is_rejected() {
+        assert_eq!(
+            LevelArrayConfig::new(8)
+                .growth(GrowthPolicy::Doubling { max_epochs: 0 })
+                .validate()
+                .unwrap_err(),
+            ConfigError::ZeroEpochs
+        );
+        assert!(ConfigError::ZeroEpochs.to_string().contains("epoch"));
     }
 }

@@ -1,0 +1,747 @@
+//! The elastic LevelArray: epoch-based growth of the contention bound.
+//!
+//! The paper assumes the contention bound `n` is fixed for the lifetime of
+//! the structure.  [`ElasticLevelArray`] relaxes that: it keeps a *chain of
+//! epoch cells*, each a [`ProbeCore`]-backed array built from the same
+//! [`LevelArrayConfig`], where every cell after the first doubles the
+//! previous cell's contention bound.  The protocol is a migration in the
+//! style of epoch-based reclamation:
+//!
+//! * **`Get` routes to the newest epoch** and runs the paper's probing
+//!   strategy there.  Only when the newest epoch saturates — every random
+//!   probe lost *and* its sequential backup region is full — does the
+//!   operation consult the [`GrowthPolicy`]: under
+//!   [`GrowthPolicy::Doubling`] it opens a new epoch of twice the contention
+//!   bound and retries; once the chain is at its `max_epochs` bound (or under
+//!   [`GrowthPolicy::Fixed`]) it falls back to walking the older epochs,
+//!   newest to oldest, before giving up.
+//! * **`Free` returns the slot to the epoch named in its tag** — the
+//!   [`Name`] encoding carries `(epoch, index)`, so releases route without
+//!   any lookup table.
+//! * **`Collect` and the occupancy census union the live epochs**, reporting
+//!   per-epoch [`Region::EpochBatch`]/[`Region::EpochBackup`] entries.
+//! * **A drained old epoch is retired** once a collect snapshot proves no
+//!   name from it is live ([`ElasticLevelArray::try_retire`]): because new
+//!   registrations route to the newest epoch, old epochs only ever drain, and
+//!   a snapshot observing zero held slots — taken while the chain lock
+//!   excludes every `Get`/`Free` — proves quiescence, exactly the argument
+//!   the dynamic-collect reclamation scheme (`la-reclaim`) uses for its
+//!   grace periods.  Epoch tags are never reused, so names stay unique
+//!   across arbitrarily many growth and retirement events.
+//!
+//! The chain itself is guarded by an [`RwLock`]: operations on the hot path
+//! take the lock in read mode (probing and freeing inside an epoch stay
+//! entirely lock-free on the slots themselves), while growth and retirement
+//! — rare, state-changing transitions — take it in write mode.  This trades
+//! the paper's strict wait-freedom on the (rare) growth boundary for a
+//! dramatically simpler correctness argument; the fixed-size
+//! [`crate::LevelArray`] remains available where the original guarantees are
+//! required.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use larng::RandomSource;
+
+use crate::array::{Acquired, ActivityArray};
+use crate::config::{ConfigError, GrowthPolicy, LevelArrayConfig};
+use crate::geometry::BatchGeometry;
+use crate::name::Name;
+use crate::occupancy::{OccupancySnapshot, Region, RegionOccupancy};
+use crate::probe_core::ProbeCore;
+
+/// One generation of the elastic chain: a probing core plus its identity.
+#[derive(Debug)]
+struct EpochCell {
+    /// The epoch tag carried by every name this cell hands out.  Tags are
+    /// assigned monotonically and never reused.
+    epoch: usize,
+    /// The contention bound this cell was sized for.
+    contention: usize,
+    /// Advisory count of currently held slots (kept exactly in step with
+    /// acquisitions and releases; retirement re-verifies with a real scan).
+    held: AtomicUsize,
+    core: ProbeCore,
+}
+
+impl EpochCell {
+    fn new(epoch: usize, contention: usize, core: ProbeCore) -> Self {
+        EpochCell {
+            epoch,
+            contention,
+            held: AtomicUsize::new(0),
+            core,
+        }
+    }
+
+    /// Whether a scan observes zero held slots — the collect snapshot a
+    /// retirement decision is based on.
+    fn is_drained(&self) -> bool {
+        let mut scratch = Vec::new();
+        self.core.collect_into(0, &mut scratch);
+        scratch.is_empty()
+    }
+}
+
+/// A LevelArray whose contention bound grows at runtime through a chain of
+/// doubling epochs (see the [module documentation](self) for the protocol).
+///
+/// # Examples
+///
+/// Growth under oversubscription, epoch-tagged names, retirement:
+///
+/// ```
+/// use levelarray::{ActivityArray, ElasticLevelArray, GrowthPolicy};
+/// use larng::default_rng;
+///
+/// let array = ElasticLevelArray::new(4, GrowthPolicy::Doubling { max_epochs: 4 });
+/// let mut rng = default_rng(1);
+///
+/// // Register 10x the initial bound: the chain doubles as needed.
+/// let names: Vec<_> = (0..40).map(|_| array.get(&mut rng).name()).collect();
+/// assert!(array.num_epochs() >= 2);
+/// assert_eq!(array.collect().len(), 40);
+///
+/// // Freeing everything drains the old epochs; retirement shrinks the chain.
+/// for name in names {
+///     array.free(name);
+/// }
+/// array.try_retire();
+/// assert_eq!(array.num_epochs(), 1);
+/// assert!(array.collect().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct ElasticLevelArray {
+    /// Live epoch cells, oldest first; the last entry is the newest epoch.
+    /// Invariant: never empty.
+    cells: RwLock<Vec<Arc<EpochCell>>>,
+    /// The shared knobs (space factor, probe policy, backup, TAS) every epoch
+    /// is built from; its contention bound is the *initial* epoch's.
+    base: LevelArrayConfig,
+    growth: GrowthPolicy,
+    /// Total epochs ever opened; doubles as the next epoch tag.
+    epochs_opened: AtomicUsize,
+    epochs_retired: AtomicUsize,
+}
+
+impl ElasticLevelArray {
+    /// Creates an elastic array whose initial epoch uses the paper's default
+    /// configuration for `initial_contention`, growing per `growth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_contention == 0` or the growth policy allows zero
+    /// epochs.  Use [`LevelArrayConfig::build_elastic`] for fallible
+    /// construction and non-default parameters.
+    pub fn new(initial_contention: usize, growth: GrowthPolicy) -> Self {
+        LevelArrayConfig::new(initial_contention)
+            .growth(growth)
+            .build_elastic()
+            .expect("default configuration is valid for any non-zero contention bound")
+    }
+
+    /// Builds an elastic array from a shared configuration: the initial epoch
+    /// has the configuration's contention bound, and every later epoch reuses
+    /// the same knobs (space factor, probe policy, backup, TAS) at a doubled
+    /// bound, per [`LevelArrayConfig::growth_policy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroEpochs`] if the growth policy allows zero
+    /// live epochs; otherwise see [`LevelArrayConfig::validate`].
+    pub fn from_config(config: &LevelArrayConfig) -> Result<Self, ConfigError> {
+        let validated = config.validate()?;
+        let contention = config.max_concurrency_value();
+        let cell = EpochCell::new(0, contention, validated.into_probe_core());
+        Ok(ElasticLevelArray {
+            cells: RwLock::new(vec![Arc::new(cell)]),
+            base: config.clone(),
+            growth: config.growth_policy(),
+            epochs_opened: AtomicUsize::new(1),
+            epochs_retired: AtomicUsize::new(0),
+        })
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, Vec<Arc<EpochCell>>> {
+        self.cells.read().expect("epoch chain lock poisoned")
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Vec<Arc<EpochCell>>> {
+        self.cells.write().expect("epoch chain lock poisoned")
+    }
+
+    /// The growth policy in effect.
+    pub fn growth_policy(&self) -> GrowthPolicy {
+        self.growth
+    }
+
+    /// The contention bound of the initial epoch.
+    pub fn initial_contention(&self) -> usize {
+        self.base.max_concurrency_value()
+    }
+
+    /// Number of currently live epochs (the chain length).
+    pub fn num_epochs(&self) -> usize {
+        self.read().len()
+    }
+
+    /// The tag of the newest (actively serving) epoch.
+    pub fn newest_epoch(&self) -> usize {
+        self.read().last().expect("chain is never empty").epoch
+    }
+
+    /// The tags of the live epochs, oldest first.
+    pub fn epoch_ids(&self) -> Vec<usize> {
+        self.read().iter().map(|c| c.epoch).collect()
+    }
+
+    /// Total epochs opened over the array's lifetime (including retired
+    /// ones); growth events so far = `epochs_opened() - 1`.
+    pub fn epochs_opened(&self) -> usize {
+        self.epochs_opened.load(Ordering::Relaxed)
+    }
+
+    /// Total epochs retired over the array's lifetime.
+    pub fn epochs_retired(&self) -> usize {
+        self.epochs_retired.load(Ordering::Relaxed)
+    }
+
+    /// The contention bound epoch `epoch` was sized for, if it is live.
+    pub fn epoch_contention(&self, epoch: usize) -> Option<usize> {
+        self.read()
+            .iter()
+            .find(|c| c.epoch == epoch)
+            .map(|c| c.contention)
+    }
+
+    /// The advisory held-slot count of epoch `epoch`, if it is live.  Exact
+    /// while no operation is in flight; retirement always re-verifies with a
+    /// collect snapshot.
+    pub fn epoch_held(&self, epoch: usize) -> Option<usize> {
+        self.read()
+            .iter()
+            .find(|c| c.epoch == epoch)
+            .map(|c| c.held.load(Ordering::Relaxed))
+    }
+
+    /// The batch layout of the newest epoch's main array.
+    pub fn newest_geometry(&self) -> BatchGeometry {
+        self.read()
+            .last()
+            .expect("chain is never empty")
+            .core
+            .geometry()
+            .clone()
+    }
+
+    /// Retires every non-newest epoch whose collect snapshot observes zero
+    /// held slots, returning how many were retired.
+    ///
+    /// The snapshot is taken while the chain lock is held exclusively, so no
+    /// `Get` or `Free` is concurrently in flight: a zero census is a proof of
+    /// quiescence, not an approximation.  The newest epoch is never retired
+    /// (the chain always keeps one serving cell).  `Free` calls this
+    /// opportunistically when it drains the last name of an old epoch, so
+    /// chains typically shrink without anyone calling it explicitly.
+    pub fn try_retire(&self) -> usize {
+        let mut cells = self.write();
+        let newest = cells.last().expect("chain is never empty").epoch;
+        let before = cells.len();
+        cells.retain(|cell| cell.epoch == newest || !cell.is_drained());
+        let retired = before - cells.len();
+        self.epochs_retired.fetch_add(retired, Ordering::Relaxed);
+        retired
+    }
+
+    /// Looks up the live cell a name belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name's epoch is not live (already retired, or never
+    /// opened) — either way a caller bug, exactly like an out-of-range index
+    /// on the fixed-size arrays.
+    fn cell_for(cells: &[Arc<EpochCell>], name: Name) -> &EpochCell {
+        cells
+            .iter()
+            .find(|c| c.epoch == name.epoch())
+            .unwrap_or_else(|| {
+                panic!(
+                    "name {name} belongs to epoch {} which is not live (retired or never opened)",
+                    name.epoch()
+                )
+            })
+    }
+
+    /// Tags a core-local acquisition with its epoch and the probes charged so
+    /// far, and records it in the cell's held counter.
+    fn tag(cell: &EpochCell, local: Acquired, base_probes: u32) -> Acquired {
+        cell.held.fetch_add(1, Ordering::Relaxed);
+        Acquired::new(
+            Name::with_epoch(cell.epoch, local.name().index()),
+            base_probes + local.probes(),
+            local.batch(),
+            local.used_backup(),
+        )
+    }
+
+    /// Opens a successor epoch of doubled contention, unless another thread
+    /// already did (then the caller just retries) or the policy forbids it.
+    /// Returns `true` when the caller should retry the newest epoch.
+    fn open_epoch(&self, observed_newest: usize) -> bool {
+        let mut cells = self.write();
+        let newest = cells.last().expect("chain is never empty");
+        if newest.epoch != observed_newest {
+            // Lost the race: someone else already opened a fresh epoch.
+            return true;
+        }
+        if cells.len() >= self.growth.max_live_epochs() {
+            return false;
+        }
+        let epoch = self.epochs_opened.load(Ordering::Relaxed);
+        if epoch > Name::MAX_EPOCH {
+            // The tag space is exhausted (after ~10^3 growth events); stop
+            // growing rather than reuse a tag and break uniqueness.
+            return false;
+        }
+        let contention = newest.contention.saturating_mul(2);
+        let validated = self
+            .base
+            .clone()
+            .with_contention(contention)
+            .validate()
+            .expect("a doubled elastic configuration stays valid");
+        cells.push(Arc::new(EpochCell::new(
+            epoch,
+            contention,
+            validated.into_probe_core(),
+        )));
+        self.epochs_opened.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// The batch-aggregated census: batch `i` of every live epoch folded into
+    /// one [`Region::Batch`] entry (epochs that are too small to have batch
+    /// `i` simply contribute nothing), likewise the backups — so the paper's
+    /// balance definitions, which are predicates over batch totals, apply to
+    /// the elastic layout unchanged.  [`ActivityArray::occupancy`] reports
+    /// the finer per-epoch census instead.
+    pub fn batchwise_occupancy(&self) -> OccupancySnapshot {
+        let cells = self.read();
+        let max_batches = cells
+            .iter()
+            .map(|c| c.core.geometry().num_batches())
+            .max()
+            .unwrap_or(0);
+        let mut regions: Vec<RegionOccupancy> = (0..max_batches)
+            .map(|batch| {
+                let mut capacity = 0;
+                let mut occupied = 0;
+                for cell in cells.iter() {
+                    if batch < cell.core.geometry().num_batches() {
+                        capacity += cell.core.geometry().batch_len(batch);
+                        occupied += cell.core.batch_occupancy(batch);
+                    }
+                }
+                RegionOccupancy::new(Region::Batch(batch), capacity, occupied)
+            })
+            .collect();
+        let backup_capacity: usize = cells.iter().map(|c| c.core.backup_len()).sum();
+        if backup_capacity > 0 {
+            let occupied = cells.iter().map(|c| c.core.backup_occupancy()).sum();
+            regions.push(RegionOccupancy::new(
+                Region::Backup,
+                backup_capacity,
+                occupied,
+            ));
+        }
+        OccupancySnapshot::new(regions)
+    }
+
+    /// Directly occupies a specific slot of the epoch named in `name`'s tag,
+    /// bypassing the probing strategy (test/experiment hook, exactly like
+    /// [`crate::LevelArray::force_occupy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name's epoch is not live or its index is out of range.
+    #[must_use = "a false return means the slot was already held; ignoring it leaks the intent"]
+    pub fn force_occupy(&self, name: Name) -> bool {
+        let cells = self.read();
+        let cell = Self::cell_for(&cells, name);
+        let won = cell.core.force_occupy(Name::new(name.index()));
+        if won {
+            cell.held.fetch_add(1, Ordering::Relaxed);
+        }
+        won
+    }
+
+    /// Reads whether a specific slot is currently held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name's epoch is not live or its index is out of range.
+    pub fn is_held(&self, name: Name) -> bool {
+        let cells = self.read();
+        Self::cell_for(&cells, name)
+            .core
+            .is_held(Name::new(name.index()))
+    }
+}
+
+impl ActivityArray for ElasticLevelArray {
+    fn algorithm_name(&self) -> &'static str {
+        "ElasticLevelArray"
+    }
+
+    fn try_get(&self, rng: &mut dyn RandomSource) -> Option<Acquired> {
+        let mut probes = 0u32;
+        loop {
+            // Route to the newest epoch and run the paper's Get there.
+            let observed_newest = {
+                let cells = self.read();
+                let cell = cells.last().expect("chain is never empty");
+                match cell.core.try_get(rng) {
+                    Some(local) => return Some(Self::tag(cell, local, probes)),
+                    None => {
+                        probes += cell.core.exhausted_probe_count();
+                        cell.epoch
+                    }
+                }
+            };
+            // The newest epoch saturated (its backup region included): open a
+            // successor if the policy allows, then retry against it.
+            if self.open_epoch(observed_newest) {
+                continue;
+            }
+            // Growth unavailable: walk the older epochs, newest to oldest.
+            let cells = self.read();
+            if cells.last().expect("chain is never empty").epoch != observed_newest {
+                continue; // raced with a concurrent grower after all
+            }
+            for cell in cells.iter().rev().skip(1) {
+                match cell.core.try_get(rng) {
+                    Some(local) => return Some(Self::tag(cell, local, probes)),
+                    None => probes += cell.core.exhausted_probe_count(),
+                }
+            }
+            return None;
+        }
+    }
+
+    fn free(&self, name: Name) {
+        let drained_old_epoch = {
+            let cells = self.read();
+            let cell = Self::cell_for(&cells, name);
+            cell.core.free(Name::new(name.index()));
+            let remaining = cell.held.fetch_sub(1, Ordering::Relaxed) - 1;
+            let newest = cells.last().expect("chain is never empty").epoch;
+            cell.epoch != newest && remaining == 0
+        };
+        // Opportunistic retirement: this free drained the last name of an old
+        // epoch, so a collect snapshot can now prove it quiescent.
+        if drained_old_epoch {
+            self.try_retire();
+        }
+    }
+
+    fn collect(&self) -> Vec<Name> {
+        let cells = self.read();
+        let mut held = Vec::new();
+        let mut scratch = Vec::new();
+        for cell in cells.iter() {
+            scratch.clear();
+            cell.core.collect_into(0, &mut scratch);
+            held.extend(
+                scratch
+                    .iter()
+                    .map(|local| Name::with_epoch(cell.epoch, local.index())),
+            );
+        }
+        held
+    }
+
+    fn capacity(&self) -> usize {
+        self.read().iter().map(|c| c.core.capacity()).sum()
+    }
+
+    fn max_participants(&self) -> usize {
+        self.read().iter().map(|c| c.contention).sum()
+    }
+
+    fn occupancy(&self) -> OccupancySnapshot {
+        let cells = self.read();
+        let mut regions = Vec::new();
+        for cell in cells.iter() {
+            let epoch = cell.epoch;
+            regions.extend(cell.core.region_occupancies(|region| match region {
+                Region::Batch(batch) => Region::EpochBatch { epoch, batch },
+                Region::Backup => Region::EpochBackup(epoch),
+                other => other,
+            }));
+        }
+        OccupancySnapshot::new(regions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use larng::default_rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn initial_dimensions_match_the_plain_layout() {
+        let array = ElasticLevelArray::new(16, GrowthPolicy::Fixed);
+        let plain = crate::LevelArray::new(16);
+        assert_eq!(array.num_epochs(), 1);
+        assert_eq!(array.newest_epoch(), 0);
+        assert_eq!(array.epoch_ids(), vec![0]);
+        assert_eq!(array.capacity(), plain.capacity());
+        assert_eq!(array.max_participants(), 16);
+        assert_eq!(array.initial_contention(), 16);
+        assert_eq!(array.epochs_opened(), 1);
+        assert_eq!(array.epochs_retired(), 0);
+        assert_eq!(array.algorithm_name(), "ElasticLevelArray");
+        assert_eq!(array.newest_geometry(), *plain.geometry());
+    }
+
+    #[test]
+    fn fixed_policy_saturates_like_a_plain_array() {
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Fixed);
+        let mut rng = default_rng(1);
+        let mut held = Vec::new();
+        for _ in 0..10_000 {
+            match array.try_get(&mut rng) {
+                Some(got) => held.push(got.name()),
+                None => break,
+            }
+        }
+        assert_eq!(held.len(), array.capacity());
+        assert!(array.try_get(&mut rng).is_none());
+        assert_eq!(array.num_epochs(), 1, "Fixed must never grow");
+        let unique: HashSet<_> = held.iter().collect();
+        assert_eq!(unique.len(), held.len());
+        for name in held {
+            assert_eq!(name.epoch(), 0);
+            array.free(name);
+        }
+        assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn saturating_the_newest_epoch_opens_a_doubled_successor() {
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Doubling { max_epochs: 4 });
+        let mut rng = default_rng(2);
+        // Drain epoch 0 (capacity 3n = 12) and keep going: the next
+        // acquisitions must come from a fresh epoch of bound 8.
+        let mut names = Vec::new();
+        while names.len() < 20 {
+            names.push(array.get(&mut rng).name());
+        }
+        assert_eq!(array.num_epochs(), 2);
+        assert_eq!(array.epoch_ids(), vec![0, 1]);
+        assert_eq!(array.epoch_contention(0), Some(4));
+        assert_eq!(array.epoch_contention(1), Some(8));
+        assert_eq!(array.epoch_contention(7), None);
+        let epochs: HashSet<usize> = names.iter().map(|n| n.epoch()).collect();
+        assert_eq!(epochs, HashSet::from([0, 1]));
+        // Uniqueness holds across the growth event.
+        let unique: HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        for name in names {
+            array.free(name);
+        }
+        array.try_retire();
+        assert_eq!(array.num_epochs(), 1);
+    }
+
+    #[test]
+    fn capped_chain_falls_back_to_older_epochs() {
+        let array = ElasticLevelArray::new(2, GrowthPolicy::Doubling { max_epochs: 2 });
+        let mut rng = default_rng(3);
+        // Total capacity: 3*2 + 3*4 = 18.  Acquire everything.
+        let mut names = HashSet::new();
+        for _ in 0..200_000 {
+            if names.len() == 18 {
+                break;
+            }
+            if let Some(got) = array.try_get(&mut rng) {
+                assert!(names.insert(got.name()), "duplicate {}", got.name());
+            }
+        }
+        assert_eq!(names.len(), 18);
+        assert_eq!(array.num_epochs(), 2, "max_epochs caps the chain");
+        assert!(array.try_get(&mut rng).is_none());
+        // Free a slot in the OLD epoch: the fallback walk must find it again.
+        let old = *names.iter().find(|n| n.epoch() == 0).unwrap();
+        array.free(old);
+        names.remove(&old);
+        let regained = loop {
+            if let Some(got) = array.try_get(&mut rng) {
+                break got.name();
+            }
+        };
+        assert_eq!(regained.epoch(), 0);
+        names.insert(regained);
+        for name in names {
+            array.free(name);
+        }
+        assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn free_routes_by_the_epoch_tag_and_retires_drained_epochs() {
+        let array = ElasticLevelArray::new(2, GrowthPolicy::Doubling { max_epochs: 5 });
+        let mut rng = default_rng(4);
+        let mut names = Vec::new();
+        while names.len() < 30 {
+            names.push(array.get(&mut rng).name());
+        }
+        assert!(array.num_epochs() >= 3);
+        let epochs_before = array.num_epochs();
+        // Per-epoch censuses agree with the tags handed out.
+        let snap = array.occupancy();
+        for &epoch in &array.epoch_ids() {
+            let tagged = names.iter().filter(|n| n.epoch() == epoch).count();
+            assert_eq!(snap.epoch_occupied(epoch), tagged);
+            assert_eq!(array.epoch_held(epoch), Some(tagged));
+        }
+        // Freeing everything drains the old epochs; the opportunistic
+        // retirement in free() shrinks the chain without an explicit call.
+        for name in names {
+            array.free(name);
+        }
+        assert!(array.num_epochs() < epochs_before);
+        array.try_retire();
+        assert_eq!(array.num_epochs(), 1);
+        assert_eq!(
+            array.epochs_retired(),
+            array.epochs_opened() - 1,
+            "every epoch but the newest must have been retired"
+        );
+        // Per-epoch occupancy of the survivor is zero.
+        assert_eq!(array.occupancy().total_occupied(), 0);
+    }
+
+    #[test]
+    fn newest_epoch_is_never_retired() {
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Doubling { max_epochs: 3 });
+        assert_eq!(array.try_retire(), 0);
+        assert_eq!(array.num_epochs(), 1);
+    }
+
+    #[test]
+    fn occupancy_reports_per_epoch_regions() {
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Doubling { max_epochs: 3 });
+        let mut rng = default_rng(5);
+        let names: Vec<Name> = (0..20).map(|_| array.get(&mut rng).name()).collect();
+        let snap = array.occupancy();
+        assert_eq!(snap.epoch_ids(), array.epoch_ids());
+        assert_eq!(snap.total_occupied(), 20);
+        assert_eq!(snap.total_capacity(), array.capacity());
+        assert!(snap.epoch_batch(0, 0).is_some());
+        assert!(snap.epoch_backup(0).is_some());
+        // The aggregate view folds the epochs back into plain batches.
+        let agg = array.batchwise_occupancy();
+        assert_eq!(agg.epoch_ids(), Vec::<usize>::new());
+        assert_eq!(agg.total_capacity(), array.capacity());
+        assert_eq!(agg.total_occupied(), 20);
+        assert_eq!(agg.num_batches(), array.newest_geometry().num_batches());
+        for name in names {
+            array.free(name);
+        }
+    }
+
+    #[test]
+    fn force_occupy_and_is_held_route_by_epoch() {
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Doubling { max_epochs: 3 });
+        let mut rng = default_rng(6);
+        // Grow to two epochs (epoch 0 saturates at 12 names).
+        let names: Vec<Name> = (0..15).map(|_| array.get(&mut rng).name()).collect();
+        assert_eq!(array.num_epochs(), 2);
+        // Release one slot of the *old* epoch and re-occupy it directly.
+        let victim = names[0];
+        assert_eq!(victim.epoch(), 0);
+        array.free(victim);
+        assert!(!array.is_held(victim));
+        assert!(array.force_occupy(victim));
+        assert!(array.is_held(victim));
+        assert!(!array.force_occupy(victim));
+        array.free(victim);
+        assert!(!array.is_held(victim));
+        for name in names.iter().skip(1) {
+            array.free(*name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Fixed);
+        let mut rng = default_rng(7);
+        let got = array.get(&mut rng);
+        array.free(got.name());
+        array.free(got.name());
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn free_of_an_unknown_epoch_panics() {
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Fixed);
+        array.free(Name::with_epoch(7, 0));
+    }
+
+    #[test]
+    fn registration_guard_works_through_the_trait() {
+        use crate::array::Registration;
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Doubling { max_epochs: 2 });
+        let mut rng = default_rng(8);
+        {
+            let reg = Registration::acquire(&array, &mut rng);
+            assert!(array.collect().contains(&reg.name()));
+        }
+        assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn concurrent_growth_preserves_uniqueness() {
+        use std::sync::Mutex;
+
+        let threads = 8;
+        let per_thread = 48;
+        let array = Arc::new(ElasticLevelArray::new(
+            4,
+            GrowthPolicy::Doubling { max_epochs: 10 },
+        ));
+        let all = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let array = Arc::clone(&array);
+                let all = &all;
+                scope.spawn(move || {
+                    let mut rng = default_rng(0xE1A5 + t as u64);
+                    let mine: Vec<Name> = (0..per_thread)
+                        .map(|_| {
+                            array
+                                .try_get(&mut rng)
+                                .expect("growth must prevent failures")
+                                .name()
+                        })
+                        .collect();
+                    all.lock().unwrap().extend(mine);
+                });
+            }
+        });
+        let names = all.into_inner().unwrap();
+        assert_eq!(names.len(), threads * per_thread);
+        let unique: HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "duplicate across growth events");
+        assert!(array.num_epochs() >= 2, "the chain must have grown");
+        for name in names {
+            array.free(name);
+        }
+        array.try_retire();
+        assert_eq!(array.num_epochs(), 1);
+        assert!(array.collect().is_empty());
+    }
+}

@@ -55,8 +55,12 @@
 //!   probe policy, TAS primitive) every facade composes.
 //! * [`LevelArray`], [`LevelArrayConfig`] — the paper's algorithm: one
 //!   `ProbeCore` plus a contention bound.
-//! * [`ShardedLevelArray`] — `S` cache-padded `ProbeCore`s with RNG-routed
-//!   home shards and work stealing, for high-thread-count deployments.
+//! * [`ShardedLevelArray`] — `S` cache-padded `ProbeCore`s with sticky
+//!   per-thread home shards and work stealing, for high-thread-count
+//!   deployments.
+//! * [`ElasticLevelArray`] — a chain of doubling epoch cells that grows the
+//!   contention bound at runtime (names carry an `(epoch, index)` tag; see
+//!   [`Name`] and [`GrowthPolicy`]).
 //! * [`ActivityArray`] — the trait shared with the baseline implementations in
 //!   the `la-baselines` crate.
 //! * [`geometry`] — the batch layout (paper §4).
@@ -69,6 +73,7 @@
 pub mod array;
 pub mod balance;
 pub mod config;
+pub mod elastic;
 pub mod geometry;
 pub mod name;
 pub mod occupancy;
@@ -81,7 +86,8 @@ pub mod stats;
 mod level_array;
 
 pub use array::{Acquired, ActivityArray, Registration};
-pub use config::{ConfigError, LevelArrayConfig, ProbePolicy};
+pub use config::{ConfigError, GrowthPolicy, LevelArrayConfig, ProbePolicy};
+pub use elastic::ElasticLevelArray;
 pub use level_array::LevelArray;
 pub use name::Name;
 pub use occupancy::{OccupancySnapshot, Region, RegionOccupancy};
@@ -99,6 +105,7 @@ mod tests {
     fn public_types_are_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<LevelArray>();
+        assert_send_sync::<ElasticLevelArray>();
         assert_send_sync::<Name>();
         assert_send_sync::<Acquired>();
         assert_send_sync::<GetStats>();

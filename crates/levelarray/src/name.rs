@@ -1,59 +1,139 @@
-//! The [`Name`] type: the index a process acquires from an activity array.
+//! The [`Name`] type: the index a process acquires from an activity array,
+//! tagged with the *epoch* of the array that handed it out.
 //!
 //! In the renaming literature a "name" is a small integer drawn from a
 //! namespace whose size is proportional to the maximal contention `n`; in the
 //! activity-array formulation the name doubles as the index of the array slot
-//! the process holds.  The newtype keeps names from being confused with other
-//! integers (probe counts, batch indices, thread ids, ...).
+//! the process holds.  Elastic arrays ([`crate::ElasticLevelArray`]) relax the
+//! fixed-`n` assumption by chaining *epochs* — successively larger arrays —
+//! so a name is really a pair `(epoch, index)`: which generation of the
+//! structure the slot belongs to, and the dense slot index within it.
+//!
+//! The encoding packs the epoch into the high [`Name::EPOCH_BITS`] bits of a
+//! `usize` and the index into the remaining low bits.  Epoch-0 names are
+//! therefore bit-identical to plain slot indices, which is what keeps the
+//! fixed-size structures ([`crate::LevelArray`], [`crate::ShardedLevelArray`],
+//! the baselines) and every dense-array consumer (publication records, barrier
+//! slots) working on raw `index()` values unchanged.
 
 use std::fmt;
 
-/// A name (slot index) held by a process between a `Get` and the matching
-/// `Free`.
+/// A name held by a process between a `Get` and the matching `Free`: an
+/// `(epoch, index)` pair packed into one `usize`.
 ///
-/// Names are dense: a structure with capacity `C` only ever hands out names in
-/// `0..C`, which is what makes `Collect` proportional to the contention bound
-/// rather than to the thread-ID space.
+/// Names are dense *within an epoch*: a structure (or epoch cell) with
+/// capacity `C` only ever hands out indices in `0..C`, which is what makes
+/// `Collect` proportional to the contention bound rather than to the
+/// thread-ID space.  Fixed-size structures use epoch 0 exclusively, so for
+/// them `index()` is the full dense name, exactly as before the epoch tag
+/// existed.
+///
+/// The derived ordering is epoch-major: all names of epoch `e` sort before
+/// any name of epoch `e + 1`, and within an epoch names sort by index.
 ///
 /// # Examples
 ///
 /// ```
 /// use levelarray::Name;
+///
+/// // Fixed-size structures hand out epoch-0 names: plain slot indices.
 /// let name = Name::new(17);
 /// assert_eq!(name.index(), 17);
+/// assert_eq!(name.epoch(), 0);
 /// assert_eq!(usize::from(name), 17);
 /// assert_eq!(format!("{name}"), "17");
+///
+/// // Elastic structures tag the epoch explicitly.
+/// let grown = Name::with_epoch(3, 17);
+/// assert_eq!(grown.epoch(), 3);
+/// assert_eq!(grown.index(), 17);
+/// assert_eq!(format!("{grown}"), "e3:17");
+/// assert_ne!(grown, name);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Name(usize);
 
 impl Name {
-    /// Wraps a raw slot index as a name.
+    /// Number of high bits reserved for the epoch tag (up to
+    /// [`Name::MAX_EPOCH`]` + 1` epochs over a structure's lifetime).
+    pub const EPOCH_BITS: u32 = 10;
+
+    /// Number of low bits carrying the slot index within an epoch.
+    pub const INDEX_BITS: u32 = usize::BITS - Self::EPOCH_BITS;
+
+    /// The largest representable epoch tag.
+    pub const MAX_EPOCH: usize = (1 << Self::EPOCH_BITS) - 1;
+
+    /// The largest representable slot index within an epoch.
+    pub const MAX_INDEX: usize = (1 << Self::INDEX_BITS) - 1;
+
+    /// Wraps a raw slot index as an epoch-0 name (the encoding every
+    /// fixed-size activity array uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`Name::MAX_INDEX`].
     pub const fn new(index: usize) -> Self {
-        Name(index)
+        Self::with_epoch(0, index)
     }
 
-    /// The raw slot index.
+    /// Builds a name from an explicit `(epoch, index)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` exceeds [`Name::MAX_EPOCH`] or `index` exceeds
+    /// [`Name::MAX_INDEX`].
+    pub const fn with_epoch(epoch: usize, index: usize) -> Self {
+        assert!(epoch <= Self::MAX_EPOCH, "epoch exceeds Name::MAX_EPOCH");
+        assert!(index <= Self::MAX_INDEX, "index exceeds Name::MAX_INDEX");
+        Name((epoch << Self::INDEX_BITS) | index)
+    }
+
+    /// The epoch of the array generation this name belongs to (0 for every
+    /// name handed out by a fixed-size structure).
+    pub const fn epoch(self) -> usize {
+        self.0 >> Self::INDEX_BITS
+    }
+
+    /// The slot index within the name's epoch.
     pub const fn index(self) -> usize {
+        self.0 & Self::MAX_INDEX
+    }
+
+    /// The full packed encoding.  For epoch-0 names this equals `index()`.
+    pub const fn raw(self) -> usize {
         self.0
+    }
+
+    /// Rebuilds a name from a packed encoding previously obtained from
+    /// [`Name::raw`].
+    pub const fn from_raw(raw: usize) -> Self {
+        Name(raw)
     }
 }
 
 impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        if self.epoch() == 0 {
+            write!(f, "{}", self.index())
+        } else {
+            write!(f, "e{}:{}", self.epoch(), self.index())
+        }
     }
 }
 
 impl From<usize> for Name {
-    fn from(index: usize) -> Self {
-        Name(index)
+    /// Interprets `raw` as a packed encoding (see [`Name::from_raw`]); for
+    /// values up to [`Name::MAX_INDEX`] this is the same as [`Name::new`].
+    fn from(raw: usize) -> Self {
+        Name::from_raw(raw)
     }
 }
 
 impl From<Name> for usize {
+    /// The packed encoding (see [`Name::raw`]).
     fn from(name: Name) -> Self {
-        name.0
+        name.raw()
     }
 }
 
@@ -64,32 +144,83 @@ mod tests {
 
     #[test]
     fn round_trip_conversions() {
-        for i in [0usize, 1, 7, 1000, usize::MAX] {
-            let n = Name::from(i);
-            assert_eq!(usize::from(n), i);
+        for i in [0usize, 1, 7, 1000, Name::MAX_INDEX] {
+            let n = Name::new(i);
             assert_eq!(n.index(), i);
-            assert_eq!(Name::new(i), n);
+            assert_eq!(n.epoch(), 0);
+            assert_eq!(usize::from(n), i);
+            assert_eq!(Name::from(i), n);
+        }
+        // The raw conversions are lossless over the full usize domain.
+        for raw in [0usize, 1, Name::MAX_INDEX, Name::MAX_INDEX + 1, usize::MAX] {
+            assert_eq!(Name::from_raw(raw).raw(), raw);
+            assert_eq!(usize::from(Name::from(raw)), raw);
         }
     }
 
     #[test]
-    fn ordering_matches_index_ordering() {
-        let names: BTreeSet<Name> = [3usize, 1, 2].into_iter().map(Name::new).collect();
-        let sorted: Vec<usize> = names.into_iter().map(Name::index).collect();
-        assert_eq!(sorted, vec![1, 2, 3]);
+    fn epoch_and_index_round_trip() {
+        for epoch in [0usize, 1, 2, 63, Name::MAX_EPOCH] {
+            for index in [0usize, 1, 5000, Name::MAX_INDEX] {
+                let n = Name::with_epoch(epoch, index);
+                assert_eq!(n.epoch(), epoch);
+                assert_eq!(n.index(), index);
+                assert_eq!(Name::from_raw(n.raw()), n);
+            }
+        }
     }
 
     #[test]
-    fn display_is_the_bare_index() {
+    fn epoch_zero_names_are_bit_compatible_with_plain_indices() {
+        // The invariant every dense-index consumer (publication records,
+        // barrier slots, test claim arrays) relies on.
+        for i in [0usize, 3, 129, 100_000] {
+            assert_eq!(Name::new(i).raw(), i);
+            assert_eq!(Name::with_epoch(0, i), Name::new(i));
+        }
+    }
+
+    #[test]
+    fn ordering_is_epoch_major() {
+        let names: BTreeSet<Name> = [
+            Name::with_epoch(1, 0),
+            Name::new(3),
+            Name::new(1),
+            Name::with_epoch(1, 2),
+            Name::new(2),
+        ]
+        .into_iter()
+        .collect();
+        let sorted: Vec<(usize, usize)> =
+            names.into_iter().map(|n| (n.epoch(), n.index())).collect();
+        assert_eq!(sorted, vec![(0, 1), (0, 2), (0, 3), (1, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn display_shows_the_epoch_only_when_nonzero() {
         assert_eq!(Name::new(42).to_string(), "42");
+        assert_eq!(Name::with_epoch(2, 42).to_string(), "e2:42");
     }
 
     #[test]
     fn hashable_and_copy() {
         let mut set = std::collections::HashSet::new();
-        let n = Name::new(5);
+        let n = Name::with_epoch(1, 5);
         set.insert(n);
         set.insert(n); // Copy: still usable after insert
-        assert_eq!(set.len(), 1);
+        set.insert(Name::new(5)); // different epoch -> different name
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch exceeds Name::MAX_EPOCH")]
+    fn oversized_epoch_panics() {
+        let _ = Name::with_epoch(Name::MAX_EPOCH + 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index exceeds Name::MAX_INDEX")]
+    fn oversized_index_panics() {
+        let _ = Name::new(Name::MAX_INDEX + 1);
     }
 }

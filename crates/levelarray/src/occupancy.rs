@@ -27,6 +27,15 @@ pub enum Region {
     },
     /// The sequential backup array of shard `shard` of a sharded array.
     ShardBackup(usize),
+    /// Batch `batch` of epoch `epoch` of an elastic array.
+    EpochBatch {
+        /// Which epoch cell the batch belongs to.
+        epoch: usize,
+        /// The batch index within that epoch's main array.
+        batch: usize,
+    },
+    /// The sequential backup array of epoch `epoch` of an elastic array.
+    EpochBackup(usize),
 }
 
 impl fmt::Display for Region {
@@ -37,6 +46,8 @@ impl fmt::Display for Region {
             Region::Whole => write!(f, "whole array"),
             Region::ShardBatch { shard, batch } => write!(f, "shard {shard} batch {batch}"),
             Region::ShardBackup(shard) => write!(f, "shard {shard} backup"),
+            Region::EpochBatch { epoch, batch } => write!(f, "epoch {epoch} batch {batch}"),
+            Region::EpochBackup(epoch) => write!(f, "epoch {epoch} backup"),
         }
     }
 }
@@ -143,30 +154,32 @@ impl OccupancySnapshot {
     }
 
     /// The number of distinct batch indices present in the snapshot, counting
-    /// both plain [`Region::Batch`] entries and per-shard
-    /// [`Region::ShardBatch`] entries (batch `i` of every shard counts once),
-    /// so batch-aggregating consumers — balance reports, fill series — see
-    /// the same batch structure whether the census came from a plain or a
-    /// sharded array.
+    /// plain [`Region::Batch`] entries, per-shard [`Region::ShardBatch`]
+    /// entries and per-epoch [`Region::EpochBatch`] entries (batch `i` of
+    /// every shard/epoch counts once), so batch-aggregating consumers —
+    /// balance reports, fill series — see the same batch structure whether
+    /// the census came from a plain, sharded or elastic array.
     pub fn num_batches(&self) -> usize {
         self.regions
             .iter()
             .filter_map(|r| match r.region() {
-                Region::Batch(i) | Region::ShardBatch { batch: i, .. } => Some(i + 1),
+                Region::Batch(i)
+                | Region::ShardBatch { batch: i, .. }
+                | Region::EpochBatch { batch: i, .. } => Some(i + 1),
                 _ => None,
             })
             .max()
             .unwrap_or(0)
     }
 
-    /// Total capacity of batch `i`, summed across shards when the census has
-    /// per-shard regions.
+    /// Total capacity of batch `i`, summed across shards/epochs when the
+    /// census has per-shard or per-epoch regions.
     pub fn batch_capacity(&self, i: usize) -> usize {
         self.batch_entries(i).map(|r| r.capacity()).sum()
     }
 
-    /// Total held slots in batch `i`, summed across shards when the census
-    /// has per-shard regions.
+    /// Total held slots in batch `i`, summed across shards/epochs when the
+    /// census has per-shard or per-epoch regions.
     pub fn batch_occupied(&self, i: usize) -> usize {
         self.batch_entries(i).map(|r| r.occupied()).sum()
     }
@@ -174,7 +187,9 @@ impl OccupancySnapshot {
     fn batch_entries(&self, i: usize) -> impl Iterator<Item = &RegionOccupancy> {
         self.regions.iter().filter(move |r| {
             matches!(r.region(),
-                Region::Batch(b) | Region::ShardBatch { batch: b, .. } if b == i)
+                Region::Batch(b)
+                | Region::ShardBatch { batch: b, .. }
+                | Region::EpochBatch { batch: b, .. } if b == i)
         })
     }
 
@@ -209,6 +224,50 @@ impl OccupancySnapshot {
             })
             .max()
             .unwrap_or(0)
+    }
+
+    /// The census entry for batch `batch` of epoch `epoch`, if present (only
+    /// elastic arrays produce [`Region::EpochBatch`] entries).
+    pub fn epoch_batch(&self, epoch: usize, batch: usize) -> Option<&RegionOccupancy> {
+        self.regions
+            .iter()
+            .find(|r| r.region() == Region::EpochBatch { epoch, batch })
+    }
+
+    /// The census entry for the backup array of epoch `epoch`, if present.
+    pub fn epoch_backup(&self, epoch: usize) -> Option<&RegionOccupancy> {
+        self.regions
+            .iter()
+            .find(|r| r.region() == Region::EpochBackup(epoch))
+    }
+
+    /// The distinct epoch tags appearing in the snapshot, in ascending order
+    /// (empty for the snapshots of non-elastic structures).
+    pub fn epoch_ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .regions
+            .iter()
+            .filter_map(|r| match r.region() {
+                Region::EpochBatch { epoch, .. } | Region::EpochBackup(epoch) => Some(epoch),
+                _ => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Total held slots across every region of epoch `epoch` — the per-epoch
+    /// occupancy a retirement decision watches drain to zero.
+    pub fn epoch_occupied(&self, epoch: usize) -> usize {
+        self.regions
+            .iter()
+            .filter(|r| {
+                matches!(r.region(),
+                    Region::EpochBatch { epoch: e, .. } | Region::EpochBackup(e) if e == epoch)
+            })
+            .map(|r| r.occupied())
+            .sum()
     }
 
     /// Per-batch fill fractions, in batch order — the series plotted in the
@@ -339,5 +398,39 @@ mod tests {
         assert_eq!(Region::Batch(3).to_string(), "batch 3");
         assert_eq!(Region::Backup.to_string(), "backup");
         assert_eq!(Region::Whole.to_string(), "whole array");
+        assert_eq!(
+            Region::EpochBatch { epoch: 2, batch: 1 }.to_string(),
+            "epoch 2 batch 1"
+        );
+        assert_eq!(Region::EpochBackup(2).to_string(), "epoch 2 backup");
+    }
+
+    #[test]
+    fn epoch_regions_aggregate_in_batch_queries() {
+        // Two epochs of different geometry: epoch 1 is twice the size and has
+        // one more batch, as an elastic doubling chain produces.
+        let s = OccupancySnapshot::new(vec![
+            RegionOccupancy::new(Region::EpochBatch { epoch: 0, batch: 0 }, 12, 6),
+            RegionOccupancy::new(Region::EpochBatch { epoch: 0, batch: 1 }, 4, 1),
+            RegionOccupancy::new(Region::EpochBackup(0), 8, 0),
+            RegionOccupancy::new(Region::EpochBatch { epoch: 1, batch: 0 }, 24, 2),
+            RegionOccupancy::new(Region::EpochBatch { epoch: 1, batch: 1 }, 8, 3),
+            RegionOccupancy::new(Region::EpochBatch { epoch: 1, batch: 2 }, 4, 1),
+            RegionOccupancy::new(Region::EpochBackup(1), 16, 2),
+        ]);
+        assert_eq!(s.num_shards(), 0);
+        assert_eq!(s.num_batches(), 3);
+        assert_eq!(s.epoch_ids(), vec![0, 1]);
+        assert_eq!(s.batch_capacity(0), 36);
+        assert_eq!(s.batch_occupied(0), 8);
+        // Batch 2 exists only in the larger epoch.
+        assert_eq!(s.batch_capacity(2), 4);
+        assert_eq!(s.batch_occupied(2), 1);
+        assert_eq!(s.epoch_occupied(0), 7);
+        assert_eq!(s.epoch_occupied(1), 8);
+        assert_eq!(s.epoch_batch(1, 2).unwrap().occupied(), 1);
+        assert_eq!(s.epoch_backup(1).unwrap().occupied(), 2);
+        assert!(s.epoch_batch(2, 0).is_none());
+        assert!(s.batch(0).is_none(), "only plain entries match batch()");
     }
 }

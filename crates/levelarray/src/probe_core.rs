@@ -230,6 +230,13 @@ impl ProbeCore {
     }
 
     fn slot(&self, name: Name) -> &Slot {
+        // Local names are dense epoch-0 indices; an epoch-tagged name would
+        // silently alias a local slot if only `index()` were consulted.
+        assert_eq!(
+            name.epoch(),
+            0,
+            "a probing core handles only local (epoch-0) names, got {name}"
+        );
         let idx = name.index();
         if idx < self.main.len() {
             &self.main[idx]
@@ -338,5 +345,11 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_name_panics() {
         core(4).free(Name::new(10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch-0")]
+    fn epoch_tagged_local_name_panics() {
+        core(4).free(Name::with_epoch(1, 0));
     }
 }

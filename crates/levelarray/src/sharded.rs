@@ -3,19 +3,25 @@
 //! At high thread counts every `Get` on a single LevelArray hammers the same
 //! `2n`-slot main array, so cache-line contention — not probe complexity —
 //! becomes the throughput ceiling.  [`ShardedLevelArray`] partitions the
-//! contention bound across `S` cache-padded [`ProbeCore`]s: each `Get` draws a
-//! *home shard* from the caller's RNG and runs the paper's probing strategy
-//! inside that shard alone; only when the home shard is exhausted does it
-//! *steal*, walking the remaining shards in ring order (each with the same
-//! full probing strategy, backup included).  Shard-local slot indices map
-//! into the global dense namespace as `shard * shard_capacity + local`, so
-//! uniqueness, `free`, `collect` and `occupancy` all keep the paper's
-//! semantics over the union of the shards.
+//! contention bound across `S` cache-padded [`ProbeCore`]s: each thread is
+//! pinned to a *home shard* on its first `Get` (a sticky per-thread token,
+//! assigned round-robin so the population spreads evenly) and runs the
+//! paper's probing strategy inside that shard alone; only when the home
+//! shard is exhausted does it *steal*, walking the remaining shards in ring
+//! order (each with the same full probing strategy, backup included).  The
+//! caller's RNG still drives the probe order inside every shard, home and
+//! stolen alike — only the *routing* is sticky, which keeps a thread's hot
+//! cache lines inside one shard instead of re-rolling them on every
+//! operation.  Shard-local slot indices map into the global dense namespace
+//! as `shard * shard_capacity + local`, so uniqueness, `free`, `collect` and
+//! `occupancy` all keep the paper's semantics over the union of the shards.
 //!
 //! The per-shard contention bound is `⌈n / S⌉`, so the total backup capacity
 //! `S · ⌈n / S⌉ ≥ n` preserves the wait-freedom argument: at most `n − 1`
 //! other processes hold slots while a `Get` runs, so the steal walk always
 //! reaches a shard whose sequential backup has a free slot.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use larng::RandomSource;
 
@@ -33,6 +39,19 @@ use crate::probe_core::ProbeCore;
 #[derive(Debug)]
 #[repr(align(128))]
 struct PaddedCore(ProbeCore);
+
+/// Process-unique identity for sticky home-shard tokens: a thread's cached
+/// token is only valid for the array that minted it.
+static NEXT_ARRAY_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// The calling thread's home-shard token: `(array identity, home shard)`.
+    /// One entry suffices in the overwhelmingly common one-array-per-process
+    /// case; a thread alternating between arrays simply re-pins (round-robin)
+    /// on each switch.
+    static HOME_TOKEN: std::cell::Cell<Option<(u64, usize)>> =
+        const { std::cell::Cell::new(None) };
+}
 
 /// A LevelArray partitioned into `S` cache-padded shards with work stealing.
 ///
@@ -54,7 +73,7 @@ struct PaddedCore(ProbeCore);
 /// assert!(array.collect().is_empty());
 /// ```
 ///
-/// Shared across threads, each routing through its own RNG:
+/// Shared across threads, each pinned to a sticky home shard on first use:
 ///
 /// ```
 /// use levelarray::{ActivityArray, ShardedLevelArray};
@@ -87,6 +106,10 @@ pub struct ShardedLevelArray {
     /// The per-shard contention bound `⌈n / S⌉` the shards were sized for.
     shard_contention: usize,
     max_concurrency: usize,
+    /// Identity for the sticky-token cache.
+    array_id: u64,
+    /// Round-robin cursor handing each newly arriving thread its home shard.
+    next_home: AtomicUsize,
 }
 
 impl ShardedLevelArray {
@@ -134,7 +157,43 @@ impl ShardedLevelArray {
             shard_capacity,
             shard_contention,
             max_concurrency: n,
+            array_id: NEXT_ARRAY_ID.fetch_add(1, Ordering::Relaxed),
+            next_home: AtomicUsize::new(0),
         })
+    }
+
+    /// The calling thread's home shard, pinning it on first use: the first
+    /// thread to touch this array is pinned to shard 0, the next to shard 1,
+    /// and so on round-robin, so a population of `T` threads spreads evenly
+    /// over the shards and every thread keeps hammering the *same* shard's
+    /// cache lines across operations.
+    pub fn home_shard(&self) -> usize {
+        HOME_TOKEN.with(|token| match token.get() {
+            Some((id, home)) if id == self.array_id => home,
+            _ => {
+                let home = self.next_home.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+                token.set(Some((self.array_id, home)));
+                home
+            }
+        })
+    }
+
+    /// Explicitly pins the calling thread's home shard, overriding (or
+    /// pre-empting) the round-robin assignment.  Use this to align homes
+    /// with machine topology (e.g. one shard per NUMA node) or, as the
+    /// single-threaded simulator does, to emulate a multi-thread population
+    /// from one OS thread by re-pinning per simulated worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= num_shards()`.
+    pub fn pin_home(&self, shard: usize) {
+        assert!(
+            shard < self.shards.len(),
+            "cannot pin home shard {shard}: the array has {} shards",
+            self.shards.len()
+        );
+        HOME_TOKEN.with(|token| token.set(Some((self.array_id, shard))));
     }
 
     /// Number of shards.
@@ -173,6 +232,13 @@ impl ShardedLevelArray {
     ///
     /// Panics if `name` is out of range.
     pub fn shard_of(&self, name: Name) -> usize {
+        // Global sharded names are dense epoch-0 encodings; reject tagged
+        // names rather than alias them onto `index() mod capacity`.
+        assert_eq!(
+            name.epoch(),
+            0,
+            "a sharded array hands out only epoch-0 names, got {name}"
+        );
         let shard = name.index() / self.shard_capacity;
         assert!(
             shard < self.shards.len(),
@@ -269,9 +335,10 @@ impl ActivityArray for ShardedLevelArray {
 
     fn try_get(&self, rng: &mut dyn RandomSource) -> Option<Acquired> {
         let num_shards = self.shards.len();
-        // Route to a home shard chosen from the caller's RNG; steal from the
-        // remaining shards in ring order only on local exhaustion.
-        let home = rng.gen_index(num_shards);
+        // Route to the calling thread's sticky home shard; steal from the
+        // remaining shards in ring order only on local exhaustion.  The RNG
+        // drives the probe order inside every shard visited.
+        let home = self.home_shard();
         let mut probes = 0u32;
         for hop in 0..num_shards {
             let shard = (home + hop) % num_shards;
@@ -296,6 +363,10 @@ impl ActivityArray for ShardedLevelArray {
     fn free(&self, name: Name) {
         let (shard, local) = self.split(name);
         self.shards[shard].0.free(local);
+    }
+
+    fn route_hint(&self, participant: usize) {
+        self.pin_home(participant % self.shards.len());
     }
 
     fn collect(&self) -> Vec<Name> {
@@ -419,19 +490,21 @@ mod tests {
 
     #[test]
     fn steal_path_walks_to_the_next_shard() {
-        // Fill shard 0 completely, then script the RNG to route a Get there:
-        // the operation must steal from shard 1, charging shard 0's full
-        // deterministic probe budget on the way.
+        // Fill shard 0 completely; the calling thread is the first to touch
+        // this array so its sticky token pins it to shard 0.  The Get must
+        // steal from shard 1, charging shard 0's full deterministic probe
+        // budget on the way.
         let array = ShardedLevelArray::new(8, 2);
+        assert_eq!(array.home_shard(), 0, "first thread pins shard 0");
         let cap = array.shard_capacity();
         for local in 0..cap {
             assert!(array.force_occupy(Name::new(local)));
         }
         let core0 = array.shard_core(0);
-        // Script: home-shard draw = 0, then one raw value per randomized probe
-        // in shard 0 (each aimed at slot 0 of its batch, which is held and
-        // loses), then shard 1's first probe (slot 0 of batch 0, free, wins).
-        let mut script = vec![larng::mock::raw_for_index(0, 2)];
+        // Script: one raw value per randomized probe in shard 0 (each aimed
+        // at slot 0 of its batch, which is held and loses), then shard 1's
+        // first probe (slot 0 of batch 0, free, wins).
+        let mut script = Vec::new();
         for b in 0..core0.geometry().num_batches() {
             let len = core0.geometry().batch_len(b) as u64;
             for _ in 0..core0.probe_policy().probes_in_batch(b) {
@@ -449,6 +522,44 @@ mod tests {
         assert_eq!(got.probes(), core0.exhausted_probe_count() + 1);
         assert_eq!(got.batch(), Some(0));
         assert!(!got.used_backup());
+    }
+
+    #[test]
+    fn home_shard_is_sticky_and_assigned_round_robin() {
+        use std::sync::{Arc, Barrier};
+
+        let shards = 4;
+        let array = Arc::new(ShardedLevelArray::new(32, shards));
+        // Round-robin pinning: the first `shards` threads get distinct homes,
+        // and a thread keeps its home across operations.
+        let barrier = Arc::new(Barrier::new(shards));
+        let homes: Vec<(usize, usize, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|t| {
+                    let array = Arc::clone(&array);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        let home = array.home_shard();
+                        let again = array.home_shard();
+                        let mut rng = default_rng(40 + t as u64);
+                        // On an empty array the Get lands in the home shard.
+                        let got = array.get(&mut rng);
+                        let landed = array.shard_of(got.name());
+                        array.free(got.name());
+                        (home, again, landed)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut seen = HashSet::new();
+        for (home, again, landed) in homes {
+            assert_eq!(home, again, "the token must be sticky");
+            assert_eq!(home, landed, "an uncontended Get stays in its home");
+            assert!(seen.insert(home), "round-robin homes must be distinct");
+        }
+        assert_eq!(seen.len(), shards);
     }
 
     #[test]
@@ -539,6 +650,13 @@ mod tests {
     fn free_of_out_of_range_name_panics() {
         let array = ShardedLevelArray::new(8, 2);
         array.free(Name::new(1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch-0")]
+    fn free_of_epoch_tagged_name_panics() {
+        let array = ShardedLevelArray::new(8, 2);
+        array.free(Name::with_epoch(1, 0));
     }
 
     #[test]

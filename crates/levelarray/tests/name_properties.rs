@@ -1,0 +1,51 @@
+//! Property-based tests for the epoch-tagged [`Name`] encoding: the
+//! `(epoch, index)` pair round-trips losslessly over the full representable
+//! range, the packed ordering is epoch-major, and epoch-0 names stay
+//! bit-compatible with plain dense indices.
+
+use levelarray::Name;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode/decode is lossless over the full `(epoch, index)` domain.
+    #[test]
+    fn epoch_index_round_trip_is_lossless(
+        epoch in 0usize..=Name::MAX_EPOCH,
+        index in 0usize..=Name::MAX_INDEX,
+    ) {
+        let name = Name::with_epoch(epoch, index);
+        prop_assert_eq!(name.epoch(), epoch);
+        prop_assert_eq!(name.index(), index);
+        // The packed form round-trips through every raw conversion.
+        prop_assert_eq!(Name::from_raw(name.raw()), name);
+        prop_assert_eq!(Name::from(usize::from(name)), name);
+        // Distinct pairs encode distinctly (flipping the low index bit stays
+        // in range and must change the packed value).
+        prop_assert_ne!(Name::with_epoch(epoch, index ^ 1), name);
+    }
+
+    /// Epoch-0 names are bit-identical to their dense index — the invariant
+    /// every fixed-size structure and dense-array consumer relies on.
+    #[test]
+    fn epoch_zero_names_are_plain_indices(index in 0usize..=Name::MAX_INDEX) {
+        let name = Name::new(index);
+        prop_assert_eq!(name.raw(), index);
+        prop_assert_eq!(name.epoch(), 0);
+        prop_assert_eq!(name, Name::with_epoch(0, index));
+        prop_assert_eq!(name.to_string(), index.to_string());
+    }
+
+    /// The derived ordering is epoch-major, then index — i.e. it agrees with
+    /// the lexicographic order on the decoded pair.
+    #[test]
+    fn ordering_is_epoch_major(
+        a in (0usize..=Name::MAX_EPOCH, 0usize..=Name::MAX_INDEX),
+        b in (0usize..=Name::MAX_EPOCH, 0usize..=Name::MAX_INDEX),
+    ) {
+        let left = Name::with_epoch(a.0, a.1);
+        let right = Name::with_epoch(b.0, b.1);
+        prop_assert_eq!(left.cmp(&right), a.cmp(&b));
+    }
+}

@@ -20,6 +20,12 @@
 //!
 //! This is the "dynamic collect" reclamation scheme of the paper's reference
 //! \[17\], expressed over the activity-array API.
+//!
+//! The protocol compares names only for identity (membership in a snapshot),
+//! never as dense indices, so it works unchanged over *elastic* registries:
+//! a name from a grown epoch is simply a different [`Name`] value, and the
+//! absence proof is exactly the quiescence argument
+//! [`levelarray::ElasticLevelArray`] itself uses to retire drained epochs.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -396,6 +402,37 @@ mod tests {
             5,
             "Drop must free limbo nodes"
         );
+    }
+
+    #[test]
+    fn elastic_registry_serves_pins_beyond_the_initial_bound() {
+        use levelarray::{ElasticLevelArray, GrowthPolicy};
+
+        // A domain whose registry starts at n = 2 but doubles on demand: the
+        // contention bound is no longer a hard pin limit.
+        let registry = Arc::new(ElasticLevelArray::new(
+            2,
+            GrowthPolicy::Doubling { max_epochs: 4 },
+        ));
+        let d = ReclaimDomain::new(Arc::clone(&registry) as Arc<dyn ActivityArray>);
+        let mut rng = default_rng(6);
+        let drops = Arc::new(AtomicUsize::new(0));
+
+        // Pin 12 operations at once (initial capacity is only 6).
+        let guards: Vec<_> = (0..12).map(|_| d.pin(&mut rng)).collect();
+        assert!(registry.num_epochs() >= 2, "the registry must have grown");
+        assert!(guards.iter().any(|g| g.name().epoch() > 0));
+        assert_eq!(d.stats().pinned_now, 12);
+
+        // A bag closed under these pins waits for them, epoch tags included.
+        d.retire(Box::new(DropCounter(Arc::clone(&drops))));
+        assert_eq!(d.try_reclaim(), 0);
+        drop(guards);
+        assert_eq!(d.try_reclaim(), 1);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        // With every pin released the registry drains and retires old epochs.
+        registry.try_retire();
+        assert_eq!(registry.num_epochs(), 1);
     }
 
     #[test]

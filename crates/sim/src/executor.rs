@@ -222,6 +222,9 @@ impl<'a> Simulation<'a> {
         let schedule_steps: Vec<ProcessId> = self.schedule.steps().to_vec();
         for (time, pid) in schedule_steps.into_iter().enumerate() {
             report.steps += 1;
+            // The simulator is one OS thread emulating many processes: tell
+            // sticky-routing layouts which participant is about to operate.
+            self.array.route_hint(pid.index());
             let state = &mut self.processes[pid.index()];
             let Some(op) = state.input.ops().get(state.cursor).copied() else {
                 report.idle_steps += 1;

@@ -9,7 +9,8 @@
 
 use larng::{default_rng, DefaultRng, RandomSource};
 use levelarray::{
-    ActivityArray, LevelArray, LevelArrayConfig, Name, OccupancySnapshot, ShardedLevelArray,
+    ActivityArray, ElasticLevelArray, LevelArray, LevelArrayConfig, Name, OccupancySnapshot,
+    ShardedLevelArray,
 };
 
 use crate::analysis::{ops_until_stably_balanced, OccupancySample};
@@ -65,7 +66,7 @@ pub fn force_unbalanced(
         array.geometry(),
         0,
         rng,
-        |name| array.force_occupy(name),
+        |name| array.force_occupy(name).then_some(name),
         &mut held,
     );
     held
@@ -88,24 +89,52 @@ pub fn force_unbalanced_sharded(
             array.shard_geometry(),
             shard * array.shard_capacity(),
             rng,
-            |name| array.force_occupy(name),
+            |name| array.force_occupy(name).then_some(name),
             &mut held,
         );
     }
     held
 }
 
+/// The elastic counterpart of [`force_unbalanced`]: applies the per-batch
+/// skew to the *newest* epoch of the chain (the one `Get` traffic routes to),
+/// choosing the occupied slots uniformly at random within each batch.
+/// Returns the occupied epoch-tagged names.
+pub fn force_unbalanced_elastic(
+    array: &ElasticLevelArray,
+    spec: &UnbalanceSpec,
+    rng: &mut dyn RandomSource,
+) -> Vec<Name> {
+    let epoch = array.newest_epoch();
+    let geometry = array.newest_geometry();
+    let mut held = Vec::new();
+    install_skew(
+        spec,
+        &geometry,
+        0,
+        rng,
+        |name| {
+            let tagged = Name::with_epoch(epoch, name.index());
+            array.force_occupy(tagged).then_some(tagged)
+        },
+        &mut held,
+    );
+    held
+}
+
 /// The shared skew installer: occupies `round(len * fraction)` uniformly
 /// chosen slots of each batch of one `geometry`, with slot indices offset by
-/// `base`, recording the successfully occupied names in `held`.  Both the
-/// plain and the sharded skew route through this, so the rounding and
+/// `base`, recording the successfully occupied names in `held`.  The
+/// `occupy` closure returns the name it actually installed (plain, shard- or
+/// epoch-tagged), or `None` when the slot was already held.  The plain,
+/// sharded and elastic skews all route through this, so the rounding and
 /// slot-choice rules can never drift apart.
 fn install_skew(
     spec: &UnbalanceSpec,
     geometry: &levelarray::geometry::BatchGeometry,
     base: usize,
     rng: &mut dyn RandomSource,
-    mut occupy: impl FnMut(Name) -> bool,
+    mut occupy: impl FnMut(Name) -> Option<Name>,
     held: &mut Vec<Name>,
 ) {
     for (batch, &fraction) in spec.batch_fractions.iter().enumerate() {
@@ -116,9 +145,8 @@ fn install_skew(
         shuffle_indices(rng, &mut slots);
         let target = ((slots.len() as f64) * fraction).round() as usize;
         for &idx in slots.iter().take(target) {
-            let name = Name::new(idx);
-            if occupy(name) {
-                held.push(name);
+            if let Some(installed) = occupy(Name::new(idx)) {
+                held.push(installed);
             }
         }
     }
@@ -220,6 +248,32 @@ impl HealingExperiment {
         self.drive(&array, ghosts, &mut rng, |a| a.batchwise_occupancy())
     }
 
+    /// Runs the experiment on an [`ElasticLevelArray`] built from the
+    /// experiment's configuration (including its
+    /// [`levelarray::GrowthPolicy`]): the same protocol, with the skew
+    /// applied to the newest epoch and balance judged on the
+    /// *batch-aggregated* census
+    /// ([`ElasticLevelArray::batchwise_occupancy`]).  With traffic inside
+    /// the configured contention bound the chain never needs to grow, and
+    /// the elastic layout must heal exactly like the plain one — which is
+    /// precisely the point of this cell; growth under pressure is exercised
+    /// by the integration tests and the bench harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`HealingExperiment::run`], or if
+    /// the elastic configuration is invalid.
+    pub fn run_elastic(&self) -> HealingReport {
+        self.validate();
+        let array = self
+            .array
+            .build_elastic()
+            .expect("invalid ElasticLevelArray configuration");
+        let mut rng: DefaultRng = default_rng(self.seed);
+        let ghosts = force_unbalanced_elastic(&array, &self.spec, &mut rng);
+        self.drive(&array, ghosts, &mut rng, |a| a.batchwise_occupancy())
+    }
+
     fn validate(&self) {
         let n = self.array.max_concurrency_value();
         assert!(self.workers > 0, "need at least one worker");
@@ -241,7 +295,10 @@ impl HealingExperiment {
     /// The shared protocol: run register/deregister traffic over `array`
     /// (whose skewed initial state holds `ghosts`), sampling `snapshot` every
     /// `snapshot_every` operations and judging balance against this
-    /// experiment's contention bound.
+    /// experiment's contention bound.  Before each scheduled operation the
+    /// chosen worker's identity is passed to [`ActivityArray::route_hint`],
+    /// so sticky-routing layouts see a spread-out population despite the
+    /// simulator's single OS thread.
     fn drive<A: ActivityArray>(
         &self,
         array: &A,
@@ -263,6 +320,7 @@ impl HealingExperiment {
         let mut ops: u64 = 0;
         while ops < self.total_ops {
             let worker = rng.gen_index(self.workers);
+            array.route_hint(worker);
             // Decide what this scheduled operation does, mirroring a typical
             // register/deregister stream: a worker that holds a name frees it,
             // one that does not registers; with some probability the "free"
@@ -440,6 +498,57 @@ mod tests {
         // The aggregate view starts unbalanced for the full contention bound.
         let report = LevelArrayConfig::new(256).balance_report(&array.batchwise_occupancy());
         assert!(!report.is_fully_balanced(), "{report:?}");
+    }
+
+    #[test]
+    fn elastic_healing_restores_balance() {
+        use levelarray::GrowthPolicy;
+        let experiment = HealingExperiment {
+            array: LevelArrayConfig::new(256).growth(GrowthPolicy::Doubling { max_epochs: 4 }),
+            workers: 64,
+            total_ops: 20_000,
+            snapshot_every: 1_000,
+            spec: UnbalanceSpec::paper_figure3(),
+            seed: 42,
+            ghost_release_probability: 0.5,
+        };
+        let report = experiment.run_elastic();
+        assert!(!report.initially_balanced, "the skew must start unbalanced");
+        assert!(report.finally_balanced, "the elastic array should heal");
+        let healed_at = report
+            .ops_to_balance
+            .expect("the elastic array should stabilize within the run");
+        assert!(healed_at <= 20_000);
+        let first = &report.samples[0];
+        let last = report.samples.last().unwrap();
+        assert!(last.batch_fill[1] < first.batch_fill[1]);
+        assert_eq!(report.samples.len(), 1 + 20);
+    }
+
+    #[test]
+    fn elastic_skew_lands_in_the_newest_epoch() {
+        use levelarray::{ElasticLevelArray, GrowthPolicy};
+        let array = ElasticLevelArray::new(256, GrowthPolicy::Doubling { max_epochs: 4 });
+        let mut rng = default_rng(9);
+        let spec = UnbalanceSpec::paper_figure3();
+        let held = force_unbalanced_elastic(&array, &spec, &mut rng);
+        assert!(held.iter().all(|n| n.epoch() == array.newest_epoch()));
+        let snap = array.occupancy();
+        let b0 = snap.epoch_batch(0, 0).unwrap();
+        let b1 = snap.epoch_batch(0, 1).unwrap();
+        assert_eq!(
+            b0.occupied(),
+            (b0.capacity() as f64 * 0.25).round() as usize
+        );
+        assert_eq!(b1.occupied(), (b1.capacity() as f64 * 0.5).round() as usize);
+        assert_eq!(held.len(), snap.total_occupied());
+        // The aggregate view starts unbalanced for the contention bound.
+        let report = LevelArrayConfig::new(256).balance_report(&array.batchwise_occupancy());
+        assert!(!report.is_fully_balanced(), "{report:?}");
+        for name in held {
+            array.free(name);
+        }
+        assert!(array.collect().is_empty());
     }
 
     #[test]

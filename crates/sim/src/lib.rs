@@ -53,7 +53,8 @@ pub use executor::{
     run_uniform_workload, Simulation, SimulationConfig, SimulationReport, Violation,
 };
 pub use healing::{
-    force_unbalanced, force_unbalanced_sharded, HealingExperiment, HealingReport, UnbalanceSpec,
+    force_unbalanced, force_unbalanced_elastic, force_unbalanced_sharded, HealingExperiment,
+    HealingReport, UnbalanceSpec,
 };
 pub use process::{InputError, Op, ProcessId, ProcessInput};
 pub use schedule::Schedule;

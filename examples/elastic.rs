@@ -1,0 +1,92 @@
+//! The elastic LevelArray end to end: growth, epoch-tagged names, retirement.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example elastic
+//! ```
+//!
+//! An `ElasticLevelArray` is deliberately started far too small for the
+//! thread population that then hammers it: every `Get` routes to the newest
+//! epoch and, when that epoch saturates, the chain opens a doubled successor
+//! instead of failing.  Names carry their `(epoch, index)` tag, `Free`
+//! routes by it, and once the old epochs drain, a collect snapshot proves
+//! them quiescent and the chain shrinks back — the same grace-period
+//! argument the memory-reclamation example uses.
+
+use std::sync::Arc;
+
+use levelarray_suite::rng::{default_rng, SeedSequence};
+use levelarray_suite::{ActivityArray, ElasticLevelArray, GrowthPolicy, Name};
+
+fn main() {
+    let threads = 8;
+    let per_thread = 32;
+    // Initial bound 8 — the population will hold 8 * 32 = 256 names at once.
+    let array = Arc::new(ElasticLevelArray::new(
+        8,
+        GrowthPolicy::Doubling { max_epochs: 10 },
+    ));
+    println!(
+        "ElasticLevelArray: initial bound {}, capacity {} — about to serve {} holders",
+        array.initial_contention(),
+        array.capacity(),
+        threads * per_thread
+    );
+
+    // Phase 1: every thread registers its full quota and holds it.
+    let mut seeds = SeedSequence::new(0xE1A5);
+    let held: Vec<Vec<Name>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let array = Arc::clone(&array);
+                let seed = seeds.next_seed();
+                scope.spawn(move || {
+                    let mut rng = default_rng(seed);
+                    (0..per_thread)
+                        .map(|_| array.get(&mut rng).name())
+                        .collect::<Vec<Name>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let total: usize = held.iter().map(Vec::len).sum();
+    println!(
+        "registered {total} names with zero failures; the chain grew through \
+         {} epochs (live: {:?})",
+        array.epochs_opened(),
+        array.epoch_ids()
+    );
+    let snap = array.occupancy();
+    for &epoch in &array.epoch_ids() {
+        println!(
+            "  epoch {epoch}: bound {:>4}, holds {:>4} names",
+            array.epoch_contention(epoch).unwrap(),
+            snap.epoch_occupied(epoch)
+        );
+    }
+    assert_eq!(snap.total_occupied(), total);
+
+    // Phase 2: free everything.  Draining the last name of an old epoch
+    // triggers its retirement automatically (collect snapshot proves
+    // quiescence), so the chain shrinks back to just the newest epoch.
+    let epochs_before = array.num_epochs();
+    for names in held {
+        for name in names {
+            array.free(name);
+        }
+    }
+    array.try_retire();
+    println!(
+        "drained and retired: {} live epochs before, {} after \
+         ({} retired over the array's lifetime)",
+        epochs_before,
+        array.num_epochs(),
+        array.epochs_retired()
+    );
+    assert_eq!(array.num_epochs(), 1);
+    assert!(array.collect().is_empty());
+    println!("done: uniqueness, routing and retirement held across every growth event");
+}

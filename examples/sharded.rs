@@ -7,11 +7,13 @@
 //! ```
 //!
 //! A pool of worker threads churns register/deregister traffic against a
-//! `ShardedLevelArray`: each `Get` is routed to a home shard drawn from the
-//! caller's RNG and steals from neighbouring shards only when its home shard
-//! is exhausted.  The example prints the per-shard occupancy census mid-run,
-//! then demonstrates the steal path deterministically by filling one shard
-//! and watching a `Get` walk to the next one.
+//! `ShardedLevelArray`: each thread is pinned to a sticky home shard on its
+//! first `Get` (assigned round-robin, so the pool spreads evenly) and steals
+//! from neighbouring shards only when its home shard is exhausted; the RNG
+//! keeps driving the probe order inside every shard.  The example prints the
+//! per-shard occupancy census mid-run, then demonstrates the steal path
+//! deterministically by filling one shard and watching a `Get` walk to the
+//! next one.
 
 use std::sync::Arc;
 
@@ -78,7 +80,8 @@ fn main() {
     println!();
 
     // Steal path, deterministically: fill shard 0, then keep registering —
-    // every Get whose home draw lands on shard 0 must steal from a neighbour.
+    // a Get pinned to shard 0 (or probing it on the steal walk) can only win
+    // a slot elsewhere.
     let cap = array.shard_capacity();
     for local in 0..cap {
         assert!(array.force_occupy(Name::new(local)), "shard 0 starts empty");

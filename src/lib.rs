@@ -17,6 +17,6 @@ pub use levelarray as core;
 // own examples/tests) can `use levelarray_suite::{LevelArray, ...}` without
 // spelling out the crate path.
 pub use levelarray::{
-    ActivityArray, LevelArray, LevelArrayConfig, Name, ProbeCore, Registration, ShardedLevelArray,
-    ThreadRegistry,
+    ActivityArray, ElasticLevelArray, GrowthPolicy, LevelArray, LevelArrayConfig, Name, ProbeCore,
+    Registration, ShardedLevelArray, ThreadRegistry,
 };

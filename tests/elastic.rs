@@ -1,0 +1,171 @@
+//! Root integration tests for the `ElasticLevelArray`: the acceptance
+//! scenario of the elastic-renaming issue, driven through the umbrella crate
+//! exactly the way an application would.
+//!
+//! An array started at `n = 8` serves 16 threads × 64 emulated ids with zero
+//! `Get` failures, grows through at least two new epochs, preserves
+//! uniqueness across every growth event, and retires the fully drained
+//! epochs (observable via per-epoch occupancy reaching zero and the epoch
+//! count shrinking).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use levelarray_suite::rng::default_rng;
+use levelarray_suite::{ActivityArray, ElasticLevelArray, GrowthPolicy, Name};
+
+#[test]
+fn sixteen_threads_grow_the_bound_with_unique_names_and_retire_drained_epochs() {
+    let threads = 16;
+    let emulated_per_thread = 64; // 1024 concurrent holders vs initial n = 8
+    let array = Arc::new(ElasticLevelArray::new(
+        8,
+        GrowthPolicy::Doubling { max_epochs: 10 },
+    ));
+    assert_eq!(array.num_epochs(), 1);
+    assert_eq!(array.initial_contention(), 8);
+
+    // Phase 1: every thread registers 64 emulated ids and holds them all.
+    let failures = Arc::new(AtomicUsize::new(0));
+    let per_thread: Vec<Vec<Name>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let array = Arc::clone(&array);
+                let failures = Arc::clone(&failures);
+                scope.spawn(move || {
+                    let mut rng = default_rng(0xACCE97 + t as u64);
+                    let mut mine = Vec::with_capacity(emulated_per_thread);
+                    while mine.len() < emulated_per_thread {
+                        match array.try_get(&mut rng) {
+                            Some(got) => mine.push(got.name()),
+                            None => {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Zero Get failures: growth absorbed the whole oversubscription.
+    assert_eq!(
+        failures.load(Ordering::Relaxed),
+        0,
+        "a Get failed despite the growth policy"
+    );
+
+    // Uniqueness across every growth event: all 1024 simultaneously held
+    // names are distinct (epoch, index) pairs.
+    let all: Vec<Name> = per_thread.into_iter().flatten().collect();
+    assert_eq!(all.len(), threads * emulated_per_thread);
+    let unique: HashSet<Name> = all.iter().copied().collect();
+    assert_eq!(unique.len(), all.len(), "duplicate name handed out");
+
+    // The chain grew through at least two new epochs (8 -> 16 -> 32 ...).
+    assert!(
+        array.epochs_opened() >= 3,
+        "expected >= 2 growth events, saw {}",
+        array.epochs_opened() - 1
+    );
+    assert!(array.num_epochs() >= 3);
+    let epochs_used: HashSet<usize> = all.iter().map(|n| n.epoch()).collect();
+    assert!(epochs_used.len() >= 3, "names should span several epochs");
+
+    // The census sees every holder, per epoch, and collect() agrees.
+    let snap = array.occupancy();
+    assert_eq!(snap.total_occupied(), all.len());
+    for &epoch in &array.epoch_ids() {
+        let tagged = all.iter().filter(|n| n.epoch() == epoch).count();
+        assert_eq!(snap.epoch_occupied(epoch), tagged);
+    }
+    let collected: HashSet<Name> = array.collect().into_iter().collect();
+    assert_eq!(collected, unique);
+
+    // Phase 2: drain the *old* epochs completely while the newest keeps its
+    // holders.  Each old epoch's occupancy reaches zero and — via the
+    // collect-snapshot proof — the epoch count shrinks.
+    let epochs_before = array.num_epochs();
+    let newest = array.newest_epoch();
+    for name in all.iter().filter(|n| n.epoch() != newest) {
+        array.free(*name);
+    }
+    let _ = array.try_retire();
+    assert!(
+        array.num_epochs() < epochs_before,
+        "drained epochs must retire ({} -> {})",
+        epochs_before,
+        array.num_epochs()
+    );
+    assert_eq!(array.num_epochs(), 1, "only the newest epoch survives");
+    assert!(array.epochs_retired() >= 2);
+    // Per-epoch occupancy of the retired generations is gone from the
+    // census; the survivor still holds the newest-epoch names.
+    let snap = array.occupancy();
+    assert_eq!(snap.epoch_ids(), vec![newest]);
+    let newest_held = all.iter().filter(|n| n.epoch() == newest).count();
+    assert_eq!(snap.epoch_occupied(newest), newest_held);
+
+    // Tear down: the newest epoch's names free cleanly; the array is empty.
+    for name in all.iter().filter(|n| n.epoch() == newest) {
+        array.free(*name);
+    }
+    assert!(array.collect().is_empty());
+    assert_eq!(array.occupancy().total_occupied(), 0);
+}
+
+/// Churn across a growth boundary: names from old epochs keep freeing and
+/// re-registering (into the newest epoch) while the chain grows, and no
+/// (epoch, index) pair is ever held twice at once.
+#[test]
+fn churn_across_growth_events_never_duplicates_live_names() {
+    let threads = 8;
+    let array = Arc::new(ElasticLevelArray::new(
+        4,
+        GrowthPolicy::Doubling { max_epochs: 8 },
+    ));
+    let live: Arc<std::sync::Mutex<HashSet<Name>>> =
+        Arc::new(std::sync::Mutex::new(HashSet::new()));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let array = Arc::clone(&array);
+            let live = Arc::clone(&live);
+            scope.spawn(move || {
+                let mut rng = default_rng(0xC4A1 + t as u64);
+                let mut mine: Vec<Name> = Vec::new();
+                for round in 0..200 {
+                    // Ramp the per-thread holding up and down so the chain
+                    // grows under pressure and old epochs drain.
+                    let target = if round % 40 < 20 { 12 } else { 2 };
+                    while mine.len() < target {
+                        let name = array.get(&mut rng).name();
+                        let mut set = live.lock().unwrap();
+                        assert!(set.insert(name), "name {name} already live");
+                        mine.push(name);
+                    }
+                    while mine.len() > target {
+                        let name = mine.pop().unwrap();
+                        live.lock().unwrap().remove(&name);
+                        array.free(name);
+                    }
+                }
+                for name in mine.drain(..) {
+                    live.lock().unwrap().remove(&name);
+                    array.free(name);
+                }
+            });
+        }
+    });
+    assert!(live.lock().unwrap().is_empty());
+    assert!(array.collect().is_empty());
+    assert!(
+        array.epochs_opened() >= 2,
+        "the ramp must have forced at least one growth event"
+    );
+    // Whatever the churn left behind, retirement converges to one epoch.
+    let _ = array.try_retire();
+    assert_eq!(array.num_epochs(), 1);
+}

@@ -80,18 +80,20 @@ fn sixteen_threads_drain_every_name_exactly_once_across_shards() {
 
 /// The steal path, deterministically: a `Get` routed to an exhausted home
 /// shard walks to the neighbour and is charged the failed shard's full
-/// deterministic probe budget on the way.
+/// deterministic probe budget on the way.  The calling thread is the first
+/// to touch the array, so its sticky home token pins it to shard 0.
 #[test]
 fn exhausted_home_shard_steals_from_its_neighbour() {
     let array = ShardedLevelArray::new(8, 2);
+    assert_eq!(array.home_shard(), 0, "first thread pins shard 0");
     for local in 0..array.shard_capacity() {
         assert!(array.force_occupy(Name::new(local)));
     }
     let core0 = array.shard_core(0);
     let geometry = core0.geometry();
-    // Script the RNG: home draw = shard 0, every randomized probe there aims
-    // at (held) slot 0 of its batch, then shard 1's first probe wins slot 0.
-    let mut script = vec![levelarray_suite::rng::mock::raw_for_index(0, 2)];
+    // Script the RNG: every randomized probe in (pinned) shard 0 aims at
+    // (held) slot 0 of its batch, then shard 1's first probe wins slot 0.
+    let mut script = Vec::new();
     for b in 0..geometry.num_batches() {
         for _ in 0..core0.probe_policy().probes_in_batch(b) {
             script.push(levelarray_suite::rng::mock::raw_for_index(
