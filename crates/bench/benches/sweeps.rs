@@ -13,6 +13,10 @@
 //! 5. **Shard-count sweep** — the ShardedLevelArray against its own shard
 //!    count (1 shard degenerates to the plain layout), the knob behind the
 //!    ROADMAP's cache-line-contention item.
+//! 6. **Epoch-cap sweep** — the ElasticLevelArray against its own epoch cap.
+//! 7. **Growth-storm sweep** — zero-prefill churn on a deeply
+//!    under-provisioned elastic array, so the measured `Get`s repeatedly
+//!    cross forced growth *and* retirement on the lock-free epoch chain.
 //!
 //! Environment variables: `SWEEP_THREADS` (default: min(4, host)),
 //! `SWEEP_OPS` (default 50 000 measured ops/thread), `SWEEP_EMULATED`
@@ -235,5 +239,40 @@ fn main() {
     println!(
         "## Epoch-cap sweep (ElasticLevelArray)\n\n{}",
         elastic_table.to_markdown()
+    );
+
+    // 7. Growth-storm sweep: Get hammered *across* forced growth and
+    // retirement.  Zero pre-fill makes every churn round acquire the full
+    // quota (doubling the chain through ~log2(divisor) epochs) and then
+    // drain it completely (auto-retiring the old epochs), so the measured
+    // operations repeatedly cross the lock-free chain's growth/retirement
+    // seam instead of settling into a steady state.  Deeper divisors mean
+    // more forced doublings per storm.
+    let mut header = vec!["initial bound", "algorithm"];
+    header.extend(METRIC_COLUMNS);
+    let mut storm_table = Table::new(&header);
+    let storm_base = WorkloadConfig {
+        prefill: 0.0,
+        ..base.clone()
+    };
+    for divisor in [4usize, 16, 64] {
+        let algorithm = Algorithm::ElasticStorm { divisor };
+        let result = la_bench::workload::run_workload_repeated(algorithm, &storm_base, repeat);
+        record(
+            &mut sink,
+            &result,
+            format!("sweeps/storm={divisor}/{}", result.algorithm),
+        );
+        storm_table.push_row(result_row(
+            &result,
+            vec![
+                format!("n/{divisor}").into(),
+                result.algorithm.clone().into(),
+            ],
+        ));
+    }
+    println!(
+        "## Growth-storm sweep (ElasticLevelArray, zero pre-fill)\n\n{}",
+        storm_table.to_markdown()
     );
 }

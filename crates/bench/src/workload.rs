@@ -48,6 +48,20 @@ pub enum Algorithm {
         /// Maximum simultaneously live epochs of the doubling chain.
         max_epochs: usize,
     },
+    /// The growth-storm cell: an elastic array started at `1/divisor` of the
+    /// cell's contention bound and driven with **zero pre-fill**, so every
+    /// churn round acquires the full quota (forcing the chain to double
+    /// repeatedly) and then drains it completely (letting the deferred
+    /// retirement checks shrink the chain again).  The measured `Get`s
+    /// therefore hammer the lock-free epoch chain *across* forced growth and
+    /// retirement, not merely after a one-time warm-up — the seam the
+    /// `ElasticLevelArray` retirement protocol is built for.
+    ElasticStorm {
+        /// How deeply under-provisioned the initial epoch is (`n / divisor`).
+        /// The epoch cap is derived: `⌊log2 divisor⌋ + 1` doublings, enough
+        /// headroom that a `Get` never fails even mid-storm.
+        divisor: usize,
+    },
     /// Uniform random probing over a flat array.
     Random,
     /// Linear probing from a random start.
@@ -66,6 +80,7 @@ impl Algorithm {
             Algorithm::LevelArraySwapTas => "LevelArray(swap)".to_string(),
             Algorithm::ShardedLevelArray { shards } => format!("ShardedLevelArray(s={shards})"),
             Algorithm::Elastic { max_epochs } => format!("Elastic(e<={max_epochs})"),
+            Algorithm::ElasticStorm { divisor } => format!("ElasticStorm(n/{divisor})"),
             Algorithm::Random => "Random".to_string(),
             Algorithm::LinearProbing => "LinearProbing".to_string(),
             Algorithm::LinearScan => "LinearScan".to_string(),
@@ -132,6 +147,23 @@ impl Algorithm {
                         .growth(GrowthPolicy::Doubling {
                             max_epochs: *max_epochs,
                         })
+                        .build_elastic()
+                        .expect("valid configuration"),
+                )
+            }
+            Algorithm::ElasticStorm { divisor } => {
+                // Deep under-provisioning: the chain must double through
+                // ~log2(divisor) epochs before it covers the bound, and the
+                // zero-prefill churn drains it back between rounds.  The cap
+                // gives one doubling beyond coverage so a Get never fails
+                // even while old epochs are sealed mid-retirement.
+                let initial = (n / divisor).max(1);
+                let max_epochs = (usize::BITS - divisor.leading_zeros()) as usize + 1;
+                Arc::new(
+                    config
+                        .clone()
+                        .with_contention(initial)
+                        .growth(GrowthPolicy::Doubling { max_epochs })
                         .build_elastic()
                         .expect("valid configuration"),
                 )
@@ -404,6 +436,7 @@ mod tests {
             Algorithm::ShardedLevelArray { shards: 2 },
             Algorithm::ShardedLevelArray { shards: 4 },
             Algorithm::Elastic { max_epochs: 4 },
+            Algorithm::ElasticStorm { divisor: 8 },
             Algorithm::Random,
             Algorithm::LinearProbing,
             Algorithm::LinearScan,
@@ -469,6 +502,10 @@ mod tests {
             Algorithm::Elastic { max_epochs: 4 }.label(),
             "Elastic(e<=4)"
         );
+        assert_eq!(
+            Algorithm::ElasticStorm { divisor: 16 }.label(),
+            "ElasticStorm(n/16)"
+        );
         assert_eq!(Algorithm::figure2_set().len(), 5);
         assert!(Algorithm::figure2_set().contains(&Algorithm::ShardedLevelArray { shards: 4 }));
         assert!(Algorithm::figure2_set().contains(&Algorithm::Elastic { max_epochs: 4 }));
@@ -501,6 +538,25 @@ mod tests {
         // Get (get() would panic).
         let result = run_workload(Algorithm::Elastic { max_epochs: 4 }, &config);
         assert_eq!(result.algorithm, "Elastic(e<=4)");
+        assert!(result.total_ops >= 2 * 2_000);
+    }
+
+    #[test]
+    fn elastic_storm_builds_deeply_underprovisioned_and_survives_zero_prefill() {
+        let config = WorkloadConfig {
+            prefill: 0.0, // full-quota churn: acquire everything, drain everything
+            ..small_config()
+        };
+        let array = Algorithm::ElasticStorm { divisor: 8 }.build(&config.array_config());
+        assert_eq!(array.algorithm_name(), "ElasticLevelArray");
+        assert_eq!(
+            array.max_participants(),
+            (config.logical_participants() / 8).max(1)
+        );
+        // The measured run crosses growth and drain boundaries repeatedly and
+        // still never fails a Get (get() would panic).
+        let result = run_workload(Algorithm::ElasticStorm { divisor: 8 }, &config);
+        assert_eq!(result.algorithm, "ElasticStorm(n/8)");
         assert!(result.total_ops >= 2 * 2_000);
     }
 

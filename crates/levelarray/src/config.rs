@@ -151,6 +151,8 @@ pub struct LevelArrayConfig {
     backup: bool,
     tas_kind: TasKind,
     growth: GrowthPolicy,
+    auto_retire: bool,
+    pin_stripes: usize,
 }
 
 impl LevelArrayConfig {
@@ -165,6 +167,8 @@ impl LevelArrayConfig {
             backup: true,
             tas_kind: TasKind::default(),
             growth: GrowthPolicy::default(),
+            auto_retire: true,
+            pin_stripes: crate::epoch_chain::DEFAULT_PIN_STRIPES,
         }
     }
 
@@ -229,6 +233,39 @@ impl LevelArrayConfig {
         self.growth
     }
 
+    /// Enables or disables the deferred retirement check a draining `Free`
+    /// schedules on an elastic array (default: enabled).  With it disabled,
+    /// drained epochs are only retired by explicit
+    /// [`crate::ElasticLevelArray::try_retire`] calls — useful when the
+    /// caller wants to batch retirement onto a maintenance thread.  Only
+    /// [`LevelArrayConfig::build_elastic`] consults it.
+    pub fn auto_retire(mut self, enabled: bool) -> Self {
+        self.auto_retire = enabled;
+        self
+    }
+
+    /// Whether a draining `Free` on an elastic array schedules the deferred
+    /// retirement check.
+    pub fn auto_retire_enabled(&self) -> bool {
+        self.auto_retire
+    }
+
+    /// Sets the number of cache-padded grace-counter stripes the elastic
+    /// epoch chain uses to track in-flight operations (default:
+    /// [`crate::epoch_chain::DEFAULT_PIN_STRIPES`]).  More stripes mean less
+    /// pin/unpin contention between reader threads but a longer all-zero
+    /// observation during retirement and reclamation.  Only
+    /// [`LevelArrayConfig::build_elastic`] consults it.
+    pub fn pin_stripes(mut self, stripes: usize) -> Self {
+        self.pin_stripes = stripes;
+        self
+    }
+
+    /// The grace-counter stripe count an elastic build uses.
+    pub fn pin_stripes_value(&self) -> usize {
+        self.pin_stripes
+    }
+
     /// The contention bound `n` this configuration targets.
     pub fn max_concurrency_value(&self) -> usize {
         self.max_concurrency
@@ -268,6 +305,9 @@ impl LevelArrayConfig {
         }
         self.probe_policy.validate()?;
         self.growth.validate()?;
+        if self.pin_stripes == 0 {
+            return Err(ConfigError::ZeroPinStripes);
+        }
 
         let geometry = BatchGeometry::new(self.main_len(), self.first_batch_fraction)
             .map_err(ConfigError::Geometry)?;
@@ -357,6 +397,8 @@ pub enum ConfigError {
     ZeroShards,
     /// An elastic growth policy allowed zero live epochs.
     ZeroEpochs,
+    /// The elastic grace counter was configured with zero pin stripes.
+    ZeroPinStripes,
 }
 
 impl fmt::Display for ConfigError {
@@ -374,6 +416,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroShards => write!(f, "a sharded array needs at least one shard"),
             ConfigError::ZeroEpochs => {
                 write!(f, "an elastic growth policy needs at least one live epoch")
+            }
+            ConfigError::ZeroPinStripes => {
+                write!(f, "the elastic grace counter needs at least one pin stripe")
             }
         }
     }
@@ -517,6 +562,28 @@ mod tests {
             grown.growth_policy(),
             GrowthPolicy::Doubling { max_epochs: 3 }
         );
+    }
+
+    #[test]
+    fn retirement_knobs_default_and_validate() {
+        let config = LevelArrayConfig::new(8);
+        assert!(config.auto_retire_enabled());
+        assert_eq!(
+            config.pin_stripes_value(),
+            crate::epoch_chain::DEFAULT_PIN_STRIPES
+        );
+        let tuned = LevelArrayConfig::new(8).auto_retire(false).pin_stripes(4);
+        assert!(!tuned.auto_retire_enabled());
+        assert_eq!(tuned.pin_stripes_value(), 4);
+        assert!(tuned.validate().is_ok());
+        assert_eq!(
+            LevelArrayConfig::new(8)
+                .pin_stripes(0)
+                .validate()
+                .unwrap_err(),
+            ConfigError::ZeroPinStripes
+        );
+        assert!(ConfigError::ZeroPinStripes.to_string().contains("stripe"));
     }
 
     #[test]

@@ -21,30 +21,63 @@
 //! * **`Collect` and the occupancy census union the live epochs**, reporting
 //!   per-epoch [`Region::EpochBatch`]/[`Region::EpochBackup`] entries.
 //! * **A drained old epoch is retired** once a collect snapshot proves no
-//!   name from it is live ([`ElasticLevelArray::try_retire`]): because new
-//!   registrations route to the newest epoch, old epochs only ever drain, and
-//!   a snapshot observing zero held slots — taken while the chain lock
-//!   excludes every `Get`/`Free` — proves quiescence, exactly the argument
-//!   the dynamic-collect reclamation scheme (`la-reclaim`) uses for its
-//!   grace periods.  Epoch tags are never reused, so names stay unique
-//!   across arbitrarily many growth and retirement events.
+//!   name from it is live ([`ElasticLevelArray::try_retire`]); epoch tags
+//!   are never reused, so names stay unique across arbitrarily many growth
+//!   and retirement events.
 //!
-//! The chain itself is guarded by an [`RwLock`]: operations on the hot path
-//! take the lock in read mode (probing and freeing inside an epoch stay
-//! entirely lock-free on the slots themselves), while growth and retirement
-//! — rare, state-changing transitions — take it in write mode.  This trades
-//! the paper's strict wait-freedom on the (rare) growth boundary for a
-//! dramatically simpler correctness argument; the fixed-size
-//! [`crate::LevelArray`] remains available where the original guarantees are
-//! required.
+//! # The lock-free chain
+//!
+//! The chain itself is a lock-free [`EpochChain`]: an atomic head pointer
+//! over an immutable linked chain of cells, so `Get`, `Free` and `Collect`
+//! never block — not on each other, not on growth, not on retirement — and
+//! the paper's progress guarantee survives the scaling seam.
+//!
+//! * **Growth is a CAS.**  A `Get` that saturates the newest epoch builds a
+//!   doubled successor cell and CAS-publishes it as the new head
+//!   ([`ChainPin::try_push`]).  Losers of the publication race discard
+//!   their candidate cell and route into the winner's fresh epoch.
+//! * **Retirement is seal → grace → census → unlink**, entirely
+//!   non-blocking ([`ElasticLevelArray::try_retire`]):
+//!   1. *Seal* every drained non-newest cell (a CAS-claimed flag; sealed
+//!      cells are skipped by the capped-fallback `Get` walk, so no new
+//!      registration can target them once the seal is visible).
+//!   2. *Grace*: observe every chain pin stripe at zero **once**.  Success
+//!      proves two things at the same instant: every operation that could
+//!      still miss the seal has completed, and every slot such an operation
+//!      won is already visible.  Failure unseals and bails — a later free
+//!      retries; nobody ever waits.
+//!   3. *Census*: re-scan each sealed cell.  A zero census after a
+//!      successful grace observation is a proof of quiescence, exactly the
+//!      argument the dynamic-collect reclamation scheme (`la-reclaim`) uses
+//!      for its grace periods; a non-zero census unseals (a racer won a
+//!      slot between the drain check and the seal).
+//!   4. *Unlink*: CAS-publish a copy of the chain without the confirmed
+//!      cells ([`ChainPin::try_remove`]).  The displaced snapshot is freed
+//!      only after a later grace observation succeeds
+//!      ([`ElasticLevelArray::pending_reclamation`]), so concurrent readers
+//!      keep traversing their pinned snapshot unharmed.
+//!
+//! `Free` triggers step 1 *after* its own critical path completes (slot
+//! released, pin dropped), so the draining free never carries the
+//! retirement work itself — it only schedules a deferred check
+//! ([`LevelArrayConfig::auto_retire`] disables even that).  A pass that
+//! bails with work outstanding (drained candidates it could not confirm, or
+//! snapshots still awaiting their grace period) re-arms a maintenance flag,
+//! and *every* later free — not just a draining one — retries while the
+//! flag is set, so a drained epoch cannot be stranded by a single unlucky
+//! grace observation.  A grower that publishes over an already-drained
+//! predecessor arms the same flag (the predecessor's last free saw it as
+//! the newest epoch and scheduled nothing), closing the drain-then-grow
+//! race as well.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use larng::RandomSource;
 
 use crate::array::{Acquired, ActivityArray};
 use crate::config::{ConfigError, GrowthPolicy, LevelArrayConfig};
+use crate::epoch_chain::{ChainNode, ChainPin, EpochChain};
 use crate::geometry::BatchGeometry;
 use crate::name::Name;
 use crate::occupancy::{OccupancySnapshot, Region, RegionOccupancy};
@@ -61,6 +94,11 @@ struct EpochCell {
     /// Advisory count of currently held slots (kept exactly in step with
     /// acquisitions and releases; retirement re-verifies with a real scan).
     held: AtomicUsize,
+    /// The retirement claim: set while exactly one `try_retire` call owns
+    /// this cell's seal→grace→census protocol.  A sealed cell accepts no
+    /// new registrations (the fallback `Get` walk skips it) until it is
+    /// either unlinked or unsealed.
+    sealed: AtomicBool,
     core: ProbeCore,
 }
 
@@ -70,6 +108,7 @@ impl EpochCell {
             epoch,
             contention,
             held: AtomicUsize::new(0),
+            sealed: AtomicBool::new(false),
             core,
         }
     }
@@ -80,6 +119,22 @@ impl EpochCell {
         let mut scratch = Vec::new();
         self.core.collect_into(0, &mut scratch);
         scratch.is_empty()
+    }
+
+    /// Claims the retirement seal; `false` means another retirement attempt
+    /// already owns it.
+    fn try_seal(&self) -> bool {
+        self.sealed
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn unseal(&self) {
+        self.sealed.store(false, Ordering::SeqCst);
+    }
+
+    fn is_sealed(&self) -> bool {
+        self.sealed.load(Ordering::SeqCst)
     }
 }
 
@@ -110,16 +165,51 @@ impl EpochCell {
 /// assert_eq!(array.num_epochs(), 1);
 /// assert!(array.collect().is_empty());
 /// ```
+///
+/// `Get`, `Free` and `collect` stay non-blocking while the chain grows and
+/// retires underneath them — the growth-storm suites (`tests/growth_storm.rs`
+/// and the `sweeps` bench's storm cells) drive that seam hard; a drained
+/// chain always converges back to one epoch and zero pending reclamation:
+///
+/// ```
+/// use levelarray::{ActivityArray, ElasticLevelArray, GrowthPolicy};
+/// use larng::default_rng;
+///
+/// let array = ElasticLevelArray::new(2, GrowthPolicy::Doubling { max_epochs: 6 });
+/// let mut rng = default_rng(2);
+/// for round in 1..=3 {
+///     // Oversubscribe (forces growth on the first round; later rounds the
+///     // surviving doubled epoch absorbs the load), then drain.
+///     let names: Vec<_> = (0..30).map(|_| array.get(&mut rng).name()).collect();
+///     for name in names {
+///         array.free(name);
+///     }
+///     array.try_retire();
+///     assert_eq!(array.num_epochs(), 1);
+/// }
+/// assert!(array.epochs_opened() >= 2, "the chain grew at least once");
+/// assert_eq!(array.pending_reclamation(), 0);
+/// ```
 #[derive(Debug)]
 pub struct ElasticLevelArray {
-    /// Live epoch cells, oldest first; the last entry is the newest epoch.
-    /// Invariant: never empty.
-    cells: RwLock<Vec<Arc<EpochCell>>>,
+    /// The lock-free chain of live epoch cells, newest first.
+    chain: EpochChain<Arc<EpochCell>>,
     /// The shared knobs (space factor, probe policy, backup, TAS) every epoch
     /// is built from; its contention bound is the *initial* epoch's.
     base: LevelArrayConfig,
     growth: GrowthPolicy,
-    /// Total epochs ever opened; doubles as the next epoch tag.
+    /// Whether a draining free schedules the deferred retirement check.
+    auto_retire: bool,
+    /// Re-arm flag for the deferred maintenance: set whenever a
+    /// [`ElasticLevelArray::try_retire`] pass leaves work behind (a grace
+    /// observation failed with drained candidates outstanding, or displaced
+    /// snapshots are still awaiting reclamation), so the *next* free retries
+    /// even though it did not itself drain an epoch.  Without this, the
+    /// one-shot check a draining free schedules could fail once (a racer was
+    /// pinned) and never run again — old traffic only ever targets the
+    /// newest epoch, so the `remaining == 0` trigger never re-fires.
+    maintenance_pending: AtomicBool,
+    /// Total epochs ever opened.
     epochs_opened: AtomicUsize,
     epochs_retired: AtomicUsize,
 }
@@ -143,31 +233,28 @@ impl ElasticLevelArray {
     /// Builds an elastic array from a shared configuration: the initial epoch
     /// has the configuration's contention bound, and every later epoch reuses
     /// the same knobs (space factor, probe policy, backup, TAS) at a doubled
-    /// bound, per [`LevelArrayConfig::growth_policy`].
+    /// bound, per [`LevelArrayConfig::growth_policy`].  The retirement seam
+    /// is tuned by [`LevelArrayConfig::auto_retire`] and
+    /// [`LevelArrayConfig::pin_stripes`].
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError::ZeroEpochs`] if the growth policy allows zero
-    /// live epochs; otherwise see [`LevelArrayConfig::validate`].
+    /// live epochs and [`ConfigError::ZeroPinStripes`] if the grace counter
+    /// has no stripes; otherwise see [`LevelArrayConfig::validate`].
     pub fn from_config(config: &LevelArrayConfig) -> Result<Self, ConfigError> {
         let validated = config.validate()?;
         let contention = config.max_concurrency_value();
-        let cell = EpochCell::new(0, contention, validated.into_probe_core());
+        let cell = Arc::new(EpochCell::new(0, contention, validated.into_probe_core()));
         Ok(ElasticLevelArray {
-            cells: RwLock::new(vec![Arc::new(cell)]),
+            chain: EpochChain::with_stripes(cell, config.pin_stripes_value()),
             base: config.clone(),
             growth: config.growth_policy(),
+            auto_retire: config.auto_retire_enabled(),
+            maintenance_pending: AtomicBool::new(false),
             epochs_opened: AtomicUsize::new(1),
             epochs_retired: AtomicUsize::new(0),
         })
-    }
-
-    fn read(&self) -> RwLockReadGuard<'_, Vec<Arc<EpochCell>>> {
-        self.cells.read().expect("epoch chain lock poisoned")
-    }
-
-    fn write(&self) -> RwLockWriteGuard<'_, Vec<Arc<EpochCell>>> {
-        self.cells.write().expect("epoch chain lock poisoned")
     }
 
     /// The growth policy in effect.
@@ -182,17 +269,20 @@ impl ElasticLevelArray {
 
     /// Number of currently live epochs (the chain length).
     pub fn num_epochs(&self) -> usize {
-        self.read().len()
+        self.chain.pin().num_nodes()
     }
 
     /// The tag of the newest (actively serving) epoch.
     pub fn newest_epoch(&self) -> usize {
-        self.read().last().expect("chain is never empty").epoch
+        self.chain.pin().head().value().epoch
     }
 
     /// The tags of the live epochs, oldest first.
     pub fn epoch_ids(&self) -> Vec<usize> {
-        self.read().iter().map(|c| c.epoch).collect()
+        let pin = self.chain.pin();
+        let mut ids: Vec<usize> = pin.iter().map(|node| node.value().epoch).collect();
+        ids.reverse();
+        ids
     }
 
     /// Total epochs opened over the array's lifetime (including retired
@@ -206,10 +296,18 @@ impl ElasticLevelArray {
         self.epochs_retired.load(Ordering::Relaxed)
     }
 
+    /// Number of unlinked chain snapshots still awaiting their grace period
+    /// (0 once the structure is quiescent and a retirement or collection
+    /// pass has run — see [`EpochChain::try_collect_garbage`]).
+    pub fn pending_reclamation(&self) -> usize {
+        self.chain.pending_garbage()
+    }
+
     /// The contention bound epoch `epoch` was sized for, if it is live.
     pub fn epoch_contention(&self, epoch: usize) -> Option<usize> {
-        self.read()
-            .iter()
+        let pin = self.chain.pin();
+        pin.iter()
+            .map(|node| node.value())
             .find(|c| c.epoch == epoch)
             .map(|c| c.contention)
     }
@@ -218,51 +316,147 @@ impl ElasticLevelArray {
     /// while no operation is in flight; retirement always re-verifies with a
     /// collect snapshot.
     pub fn epoch_held(&self, epoch: usize) -> Option<usize> {
-        self.read()
-            .iter()
+        let pin = self.chain.pin();
+        pin.iter()
+            .map(|node| node.value())
             .find(|c| c.epoch == epoch)
             .map(|c| c.held.load(Ordering::Relaxed))
     }
 
     /// The batch layout of the newest epoch's main array.
     pub fn newest_geometry(&self) -> BatchGeometry {
-        self.read()
-            .last()
-            .expect("chain is never empty")
-            .core
-            .geometry()
-            .clone()
+        self.chain.pin().head().value().core.geometry().clone()
     }
 
-    /// Retires every non-newest epoch whose collect snapshot observes zero
-    /// held slots, returning how many were retired.
-    ///
-    /// The snapshot is taken while the chain lock is held exclusively, so no
-    /// `Get` or `Free` is concurrently in flight: a zero census is a proof of
-    /// quiescence, not an approximation.  The newest epoch is never retired
-    /// (the chain always keeps one serving cell).  `Free` calls this
-    /// opportunistically when it drains the last name of an old epoch, so
-    /// chains typically shrink without anyone calling it explicitly.
+    /// Retires every non-newest epoch whose collect snapshot proves it
+    /// quiescent, returning how many were retired.  Non-blocking: the call
+    /// makes *one* grace-period observation (see the [module
+    /// documentation](self) for the seal → grace → census → unlink
+    /// protocol); if concurrent operations are in flight it simply returns
+    /// `0` and re-arms the deferred maintenance flag, so the next free (or
+    /// explicit call) retries — a drained epoch is retired as soon as one
+    /// observation catches the structure between operations.  The newest
+    /// epoch is never retired (the chain always keeps one serving cell).
     pub fn try_retire(&self) -> usize {
-        let mut cells = self.write();
-        let newest = cells.last().expect("chain is never empty").epoch;
-        let before = cells.len();
-        cells.retain(|cell| cell.epoch == newest || !cell.is_drained());
-        let retired = before - cells.len();
+        // Phase 1 (pinned): seal-claim every apparently-drained old cell.
+        // The Arc clones keep the cells reachable after the pin drops.
+        // Candidates another retirement pass already owns count as
+        // outstanding work for the re-arm decision below.
+        let mut claimed: Vec<Arc<EpochCell>> = Vec::new();
+        let mut unclaimed = 0usize;
+        {
+            let pin = self.chain.pin();
+            for node in pin.iter().skip(1) {
+                let cell = node.value();
+                if cell.held.load(Ordering::SeqCst) == 0 {
+                    if cell.try_seal() {
+                        claimed.push(Arc::clone(cell));
+                    } else {
+                        unclaimed += 1;
+                    }
+                }
+            }
+        }
+        if claimed.is_empty() {
+            return self.finish_maintenance(0, unclaimed, false);
+        }
+        // Phase 2 (unpinned): one grace observation.  Success proves every
+        // operation that could still miss the seals has completed.
+        if !self.chain.no_active_pins() {
+            for cell in &claimed {
+                cell.unseal();
+            }
+            // Our candidates are still drained; a later pass must retry.
+            return self.finish_maintenance(0, unclaimed, true);
+        }
+        // Phase 3: the definitive census.  No new registration can reach a
+        // sealed cell now, so a zero scan is a proof of quiescence.
+        let mut confirmed: Vec<usize> = Vec::new();
+        for cell in &claimed {
+            if cell.is_drained() {
+                confirmed.push(cell.epoch);
+            } else {
+                // A racer won a slot between the drain check and the seal:
+                // the cell is live again, not outstanding work.
+                cell.unseal();
+            }
+        }
+        if confirmed.is_empty() {
+            return self.finish_maintenance(0, unclaimed, false);
+        }
+        // Phase 4 (pinned): unlink the confirmed cells.  A CAS race means a
+        // concurrent grower published first — rebuild against the new head
+        // (the confirmed cells stay sealed and in place until we remove
+        // them, so the loop is bounded by other threads' progress).
+        let retired = loop {
+            let pin = self.chain.pin();
+            match pin.try_remove(|cell| !confirmed.contains(&cell.epoch)) {
+                Ok(removed) => break removed,
+                Err(_race) => continue,
+            }
+        };
         self.epochs_retired.fetch_add(retired, Ordering::Relaxed);
+        self.finish_maintenance(retired, unclaimed, false)
+    }
+
+    /// The tail of every retirement pass: attempt snapshot reclamation, then
+    /// record whether deferred work remains — drained candidates this pass
+    /// could not finish (`retry_candidates`), candidates another pass owns
+    /// (`unclaimed`), or garbage still awaiting its grace period — so that
+    /// `free` re-triggers [`ElasticLevelArray::try_retire`] on later traffic
+    /// instead of the check being one-shot.
+    fn finish_maintenance(
+        &self,
+        retired: usize,
+        unclaimed: usize,
+        retry_candidates: bool,
+    ) -> usize {
+        self.chain.try_collect_garbage();
+        if retry_candidates || unclaimed > 0 || self.chain.pending_garbage() > 0 {
+            self.maintenance_pending.store(true, Ordering::SeqCst);
+            return retired;
+        }
+        // This pass saw no leftover work — but its phase-1 scan is stale by
+        // now, and a blind clear could overwrite the `true` a concurrent
+        // pass stored after failing *its* grace observation, stranding that
+        // pass's drained candidate.  Clear first, then re-verify against
+        // the current chain and re-arm if anything drained (or any garbage)
+        // surfaced in the window: the work either existed before our clear
+        // (this re-check sees it — the drain's SeqCst counter update
+        // precedes the concurrent flag store our clear overwrote) or it
+        // appears later, in which case its own pass sets the flag after us.
+        self.maintenance_pending.store(false, Ordering::SeqCst);
+        if self.has_deferred_work() {
+            self.maintenance_pending.store(true, Ordering::SeqCst);
+        }
         retired
     }
 
-    /// Looks up the live cell a name belongs to.
+    /// Whether any deferred maintenance exists right now: a drained
+    /// (held-count zero) non-newest cell, or displaced snapshots awaiting
+    /// their grace period.  Advisory — a held count of zero can be
+    /// transient — but a false positive only schedules one extra
+    /// [`ElasticLevelArray::try_retire`] pass.
+    fn has_deferred_work(&self) -> bool {
+        if self.chain.pending_garbage() > 0 {
+            return true;
+        }
+        let pin = self.chain.pin();
+        pin.iter()
+            .skip(1)
+            .any(|node| node.value().held.load(Ordering::SeqCst) == 0)
+    }
+
+    /// Looks up the live cell a name belongs to within a pinned snapshot.
     ///
     /// # Panics
     ///
     /// Panics if the name's epoch is not live (already retired, or never
     /// opened) — either way a caller bug, exactly like an out-of-range index
     /// on the fixed-size arrays.
-    fn cell_for(cells: &[Arc<EpochCell>], name: Name) -> &EpochCell {
-        cells
-            .iter()
+    fn cell_for<'p>(pin: &'p ChainPin<'_, Arc<EpochCell>>, name: Name) -> &'p EpochCell {
+        pin.iter()
+            .map(|node| node.value().as_ref())
             .find(|c| c.epoch == name.epoch())
             .unwrap_or_else(|| {
                 panic!(
@@ -275,7 +469,12 @@ impl ElasticLevelArray {
     /// Tags a core-local acquisition with its epoch and the probes charged so
     /// far, and records it in the cell's held counter.
     fn tag(cell: &EpochCell, local: Acquired, base_probes: u32) -> Acquired {
-        cell.held.fetch_add(1, Ordering::Relaxed);
+        // SeqCst: the held counter participates in the retirement liveness
+        // arguments (candidate scans, the drained-predecessor check in
+        // open_epoch, finish_maintenance's re-verify), which reason about
+        // its updates in the same total order as the head CAS and the
+        // maintenance flag.
+        cell.held.fetch_add(1, Ordering::SeqCst);
         Acquired::new(
             Name::with_epoch(cell.epoch, local.name().index()),
             base_probes + local.probes(),
@@ -284,20 +483,29 @@ impl ElasticLevelArray {
         )
     }
 
-    /// Opens a successor epoch of doubled contention, unless another thread
-    /// already did (then the caller just retries) or the policy forbids it.
-    /// Returns `true` when the caller should retry the newest epoch.
-    fn open_epoch(&self, observed_newest: usize) -> bool {
-        let mut cells = self.write();
-        let newest = cells.last().expect("chain is never empty");
-        if newest.epoch != observed_newest {
-            // Lost the race: someone else already opened a fresh epoch.
-            return true;
-        }
-        if cells.len() >= self.growth.max_live_epochs() {
+    /// Builds a doubled successor cell and attempts to CAS-publish it over
+    /// `observed`.  Returns `true` when the caller should re-read the head
+    /// and retry its `Get` (either this thread published, or a racer did and
+    /// this thread's candidate was discarded); `false` when the policy
+    /// forbids growing past `observed`.
+    fn open_epoch(
+        &self,
+        pin: &ChainPin<'_, Arc<EpochCell>>,
+        observed: &ChainNode<Arc<EpochCell>>,
+    ) -> bool {
+        let newest = observed.value();
+        if observed.depth() >= self.growth.max_live_epochs() {
             return false;
         }
-        let epoch = self.epochs_opened.load(Ordering::Relaxed);
+        if !std::ptr::eq(pin.head(), observed) {
+            // A racer already published past `observed`: retry against the
+            // fresh head without building (and discarding) a full candidate
+            // cell.  The CAS below still guards correctness — this check
+            // only shrinks the growth stampede's wasted allocations to the
+            // narrow check-to-CAS window.
+            return true;
+        }
+        let epoch = newest.epoch + 1;
         if epoch > Name::MAX_EPOCH {
             // The tag space is exhausted (after ~10^3 growth events); stop
             // growing rather than reuse a tag and break uniqueness.
@@ -310,12 +518,27 @@ impl ElasticLevelArray {
             .with_contention(contention)
             .validate()
             .expect("a doubled elastic configuration stays valid");
-        cells.push(Arc::new(EpochCell::new(
+        let cell = Arc::new(EpochCell::new(
             epoch,
             contention,
             validated.into_probe_core(),
-        )));
-        self.epochs_opened.fetch_add(1, Ordering::Relaxed);
+        ));
+        if pin.try_push(observed, cell) {
+            self.epochs_opened.fetch_add(1, Ordering::Relaxed);
+            // The predecessor may have fully drained *while it was still the
+            // newest epoch* — its last free saw `cell.epoch == newest` and
+            // scheduled nothing.  Now that it is non-newest it is
+            // retirement-eligible and no free will ever re-fire its trigger,
+            // so arm the deferred check here.  (The SeqCst held counter
+            // makes this airtight: if the draining free's head load preceded
+            // this CAS, its decrement is visible to the load below; if it
+            // followed the CAS, that free saw the new head and scheduled the
+            // check itself.)
+            if newest.held.load(Ordering::SeqCst) == 0 {
+                self.maintenance_pending.store(true, Ordering::SeqCst);
+            }
+        }
+        // Published or lost the race; either way a fresh epoch is serving.
         true
     }
 
@@ -326,7 +549,8 @@ impl ElasticLevelArray {
     /// the elastic layout unchanged.  [`ActivityArray::occupancy`] reports
     /// the finer per-epoch census instead.
     pub fn batchwise_occupancy(&self) -> OccupancySnapshot {
-        let cells = self.read();
+        let pin = self.chain.pin();
+        let cells: Vec<&EpochCell> = pin.iter().map(|node| node.value().as_ref()).collect();
         let max_batches = cells
             .iter()
             .map(|c| c.core.geometry().num_batches())
@@ -336,7 +560,7 @@ impl ElasticLevelArray {
             .map(|batch| {
                 let mut capacity = 0;
                 let mut occupied = 0;
-                for cell in cells.iter() {
+                for cell in &cells {
                     if batch < cell.core.geometry().num_batches() {
                         capacity += cell.core.geometry().batch_len(batch);
                         occupied += cell.core.batch_occupancy(batch);
@@ -359,18 +583,24 @@ impl ElasticLevelArray {
 
     /// Directly occupies a specific slot of the epoch named in `name`'s tag,
     /// bypassing the probing strategy (test/experiment hook, exactly like
-    /// [`crate::LevelArray::force_occupy`]).
+    /// [`crate::LevelArray::force_occupy`]).  A `false` return means the
+    /// slot was already held — or that the epoch is sealed by an in-flight
+    /// retirement check (it is about to be unlinked or unsealed; either way
+    /// it accepts no new occupation right now).
     ///
     /// # Panics
     ///
     /// Panics if the name's epoch is not live or its index is out of range.
     #[must_use = "a false return means the slot was already held; ignoring it leaks the intent"]
     pub fn force_occupy(&self, name: Name) -> bool {
-        let cells = self.read();
-        let cell = Self::cell_for(&cells, name);
+        let pin = self.chain.pin();
+        let cell = Self::cell_for(&pin, name);
+        if cell.is_sealed() {
+            return false;
+        }
         let won = cell.core.force_occupy(Name::new(name.index()));
         if won {
-            cell.held.fetch_add(1, Ordering::Relaxed);
+            cell.held.fetch_add(1, Ordering::SeqCst);
         }
         won
     }
@@ -381,8 +611,8 @@ impl ElasticLevelArray {
     ///
     /// Panics if the name's epoch is not live or its index is out of range.
     pub fn is_held(&self, name: Name) -> bool {
-        let cells = self.read();
-        Self::cell_for(&cells, name)
+        let pin = self.chain.pin();
+        Self::cell_for(&pin, name)
             .core
             .is_held(Name::new(name.index()))
     }
@@ -395,30 +625,36 @@ impl ActivityArray for ElasticLevelArray {
 
     fn try_get(&self, rng: &mut dyn RandomSource) -> Option<Acquired> {
         let mut probes = 0u32;
+        let pin = self.chain.pin();
         loop {
-            // Route to the newest epoch and run the paper's Get there.
-            let observed_newest = {
-                let cells = self.read();
-                let cell = cells.last().expect("chain is never empty");
-                match cell.core.try_get(rng) {
-                    Some(local) => return Some(Self::tag(cell, local, probes)),
-                    None => {
-                        probes += cell.core.exhausted_probe_count();
-                        cell.epoch
-                    }
+            // Route to the newest epoch and run the paper's Get there.  A
+            // sealed head is a transient stale view (only non-newest cells
+            // are ever sealed); skipping it routes us through the retry path
+            // to the real head.
+            let observed = pin.head();
+            let newest = observed.value();
+            if !newest.is_sealed() {
+                match newest.core.try_get(rng) {
+                    Some(local) => return Some(Self::tag(newest, local, probes)),
+                    None => probes += newest.core.exhausted_probe_count(),
                 }
-            };
+            }
             // The newest epoch saturated (its backup region included): open a
             // successor if the policy allows, then retry against it.
-            if self.open_epoch(observed_newest) {
+            if self.open_epoch(&pin, observed) {
                 continue;
             }
-            // Growth unavailable: walk the older epochs, newest to oldest.
-            let cells = self.read();
-            if cells.last().expect("chain is never empty").epoch != observed_newest {
-                continue; // raced with a concurrent grower after all
+            // Growth unavailable: walk the older epochs, newest to oldest,
+            // skipping cells sealed by an in-flight retirement check (they
+            // are drained, so there is nothing to win there anyway).
+            if !std::ptr::eq(pin.head(), observed) {
+                continue; // raced with a concurrent grower or retirer
             }
-            for cell in cells.iter().rev().skip(1) {
+            for node in observed.iter().skip(1) {
+                let cell = node.value();
+                if cell.is_sealed() {
+                    continue;
+                }
                 match cell.core.try_get(rng) {
                     Some(local) => return Some(Self::tag(cell, local, probes)),
                     None => probes += cell.core.exhausted_probe_count(),
@@ -430,25 +666,47 @@ impl ActivityArray for ElasticLevelArray {
 
     fn free(&self, name: Name) {
         let drained_old_epoch = {
-            let cells = self.read();
-            let cell = Self::cell_for(&cells, name);
+            let pin = self.chain.pin();
+            let cell = Self::cell_for(&pin, name);
             cell.core.free(Name::new(name.index()));
-            let remaining = cell.held.fetch_sub(1, Ordering::Relaxed) - 1;
-            let newest = cells.last().expect("chain is never empty").epoch;
+            // SeqCst, and *before* the head load: if this drain races a
+            // grower publishing over this very epoch, either we see the new
+            // head (and trigger below) or the grower's post-CAS check sees
+            // our decrement (and arms the maintenance flag) — see
+            // open_epoch.
+            let remaining = cell.held.fetch_sub(1, Ordering::SeqCst) - 1;
+            let newest = pin.head().value().epoch;
             cell.epoch != newest && remaining == 0
         };
-        // Opportunistic retirement: this free drained the last name of an old
-        // epoch, so a collect snapshot can now prove it quiescent.
-        if drained_old_epoch {
-            self.try_retire();
+        // Deferred retirement check: the free's own critical path (slot
+        // released, pin dropped) is already complete; try_retire is
+        // non-blocking, so this never stalls the caller behind growth or
+        // other frees.  The maintenance flag re-arms the check after a pass
+        // that bailed (grace failed, or garbage was pushed back), so a
+        // drained epoch is not stranded just because its own draining free
+        // raced with a pinned reader.  The flag is *claimed* (CAS true →
+        // false), not merely read: exactly one freeing thread runs the
+        // retry pass at a time — a stampede of concurrent passes would pin
+        // the chain and defeat each other's grace observations — and the
+        // pass itself re-arms the flag if work remains.
+        if self.auto_retire {
+            let claimed_maintenance = drained_old_epoch
+                || self
+                    .maintenance_pending
+                    .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok();
+            if claimed_maintenance {
+                self.try_retire();
+            }
         }
     }
 
     fn collect(&self) -> Vec<Name> {
-        let cells = self.read();
+        let pin = self.chain.pin();
         let mut held = Vec::new();
         let mut scratch = Vec::new();
-        for cell in cells.iter() {
+        for node in pin.iter() {
+            let cell = node.value();
             scratch.clear();
             cell.core.collect_into(0, &mut scratch);
             held.extend(
@@ -461,17 +719,21 @@ impl ActivityArray for ElasticLevelArray {
     }
 
     fn capacity(&self) -> usize {
-        self.read().iter().map(|c| c.core.capacity()).sum()
+        let pin = self.chain.pin();
+        pin.iter().map(|node| node.value().core.capacity()).sum()
     }
 
     fn max_participants(&self) -> usize {
-        self.read().iter().map(|c| c.contention).sum()
+        let pin = self.chain.pin();
+        pin.iter().map(|node| node.value().contention).sum()
     }
 
     fn occupancy(&self) -> OccupancySnapshot {
-        let cells = self.read();
+        let pin = self.chain.pin();
+        let mut cells: Vec<&EpochCell> = pin.iter().map(|node| node.value().as_ref()).collect();
+        cells.reverse(); // oldest first, matching epoch_ids()
         let mut regions = Vec::new();
-        for cell in cells.iter() {
+        for cell in cells {
             let epoch = cell.epoch;
             regions.extend(cell.core.region_occupancies(|region| match region {
                 Region::Batch(batch) => Region::EpochBatch { epoch, batch },
@@ -501,6 +763,7 @@ mod tests {
         assert_eq!(array.initial_contention(), 16);
         assert_eq!(array.epochs_opened(), 1);
         assert_eq!(array.epochs_retired(), 0);
+        assert_eq!(array.pending_reclamation(), 0);
         assert_eq!(array.algorithm_name(), "ElasticLevelArray");
         assert_eq!(array.newest_geometry(), *plain.geometry());
     }
@@ -606,8 +869,8 @@ mod tests {
             assert_eq!(snap.epoch_occupied(epoch), tagged);
             assert_eq!(array.epoch_held(epoch), Some(tagged));
         }
-        // Freeing everything drains the old epochs; the opportunistic
-        // retirement in free() shrinks the chain without an explicit call.
+        // Freeing everything drains the old epochs; the deferred retirement
+        // check in free() shrinks the chain without an explicit call.
         for name in names {
             array.free(name);
         }
@@ -619,8 +882,10 @@ mod tests {
             array.epochs_opened() - 1,
             "every epoch but the newest must have been retired"
         );
-        // Per-epoch occupancy of the survivor is zero.
+        // Per-epoch occupancy of the survivor is zero, and the quiescent
+        // structure has reclaimed every displaced chain snapshot.
         assert_eq!(array.occupancy().total_occupied(), 0);
+        assert_eq!(array.pending_reclamation(), 0);
     }
 
     #[test]
@@ -628,6 +893,103 @@ mod tests {
         let array = ElasticLevelArray::new(4, GrowthPolicy::Doubling { max_epochs: 3 });
         assert_eq!(array.try_retire(), 0);
         assert_eq!(array.num_epochs(), 1);
+    }
+
+    #[test]
+    fn auto_retire_can_be_disabled() {
+        let array = LevelArrayConfig::new(2)
+            .growth(GrowthPolicy::Doubling { max_epochs: 5 })
+            .auto_retire(false)
+            .build_elastic()
+            .unwrap();
+        let mut rng = default_rng(11);
+        let names: Vec<Name> = (0..30).map(|_| array.get(&mut rng).name()).collect();
+        let epochs_before = array.num_epochs();
+        assert!(epochs_before >= 3);
+        for name in names {
+            array.free(name);
+        }
+        // Draining frees must NOT have scheduled the deferred check.
+        assert_eq!(array.num_epochs(), epochs_before);
+        // The explicit call still works.
+        assert!(array.try_retire() >= 2);
+        assert_eq!(array.num_epochs(), 1);
+    }
+
+    #[test]
+    fn failed_deferred_retirement_rearms_on_the_next_free() {
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Doubling { max_epochs: 3 });
+        let mut rng = default_rng(12);
+        // Grow to two epochs (epoch 0 saturates at 12 names).
+        let names: Vec<Name> = (0..15).map(|_| array.get(&mut rng).name()).collect();
+        assert_eq!(array.num_epochs(), 2);
+        let (old, newest): (Vec<Name>, Vec<Name>) = names.into_iter().partition(|n| n.epoch() == 0);
+        assert!(!newest.is_empty());
+        {
+            // A stalled reader: its pin makes every grace observation fail,
+            // so the deferred check scheduled by the draining free below
+            // must bail — and re-arm instead of giving up for good.
+            let blocker = array.chain.pin();
+            for name in &old {
+                array.free(*name);
+            }
+            assert_eq!(
+                array.num_epochs(),
+                2,
+                "retirement cannot succeed while a reader is pinned"
+            );
+            assert!(
+                array.maintenance_pending.load(Ordering::Relaxed),
+                "the failed pass must re-arm the deferred check"
+            );
+            drop(blocker);
+        }
+        // A later free that does NOT itself drain an epoch (the newest epoch
+        // keeps holders) re-triggers the check via the maintenance flag.
+        array.free(newest[0]);
+        assert_eq!(array.num_epochs(), 1, "the re-armed check retires epoch 0");
+        for name in newest.iter().skip(1) {
+            array.free(*name);
+        }
+        let _ = array.try_retire();
+        assert_eq!(array.pending_reclamation(), 0);
+        assert!(!array.maintenance_pending.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn growth_over_a_drained_predecessor_arms_the_deferred_check() {
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Doubling { max_epochs: 3 });
+        let mut rng = default_rng(13);
+        // Register in epoch 0, then drain it *while it is still the newest
+        // epoch*: no free schedules a retirement check (each sees
+        // `cell.epoch == newest`), and the maintenance flag stays clear.
+        let names: Vec<Name> = (0..6).map(|_| array.get(&mut rng).name()).collect();
+        assert_eq!(array.num_epochs(), 1);
+        for name in names {
+            array.free(name);
+        }
+        assert!(!array.maintenance_pending.load(Ordering::SeqCst));
+        // A grower now publishes epoch 1 over the drained epoch 0 — the
+        // interleaving of a Get that exhausted epoch 0's core before the
+        // holders freed.  The publish must arm the deferred check, because
+        // no future free of epoch 0 will ever exist to trigger it.
+        {
+            let pin = array.chain.pin();
+            let observed = pin.head();
+            assert!(array.open_epoch(&pin, observed));
+        }
+        assert_eq!(array.num_epochs(), 2);
+        assert!(
+            array.maintenance_pending.load(Ordering::SeqCst),
+            "publishing over a drained predecessor must arm the check"
+        );
+        // The next free — of a fresh epoch-1 name, nothing to do with
+        // epoch 0 — consumes the flag and retires the stranded epoch.
+        let got = array.get(&mut rng);
+        assert_eq!(got.name().epoch(), 1);
+        array.free(got.name());
+        assert_eq!(array.num_epochs(), 1, "the stranded epoch must retire");
+        assert_eq!(array.epoch_ids(), vec![1]);
     }
 
     #[test]
@@ -743,5 +1105,6 @@ mod tests {
         array.try_retire();
         assert_eq!(array.num_epochs(), 1);
         assert!(array.collect().is_empty());
+        assert_eq!(array.pending_reclamation(), 0);
     }
 }

@@ -61,6 +61,10 @@
 //! * [`ElasticLevelArray`] — a chain of doubling epoch cells that grows the
 //!   contention bound at runtime (names carry an `(epoch, index)` tag; see
 //!   [`Name`] and [`GrowthPolicy`]).
+//! * [`epoch_chain`] — the lock-free chain under the elastic array: an
+//!   atomic head over immutable nodes, CAS-published growth and
+//!   grace-counter reclamation, so `Get`/`Free`/`collect` never block on
+//!   growth or retirement.
 //! * [`ActivityArray`] — the trait shared with the baseline implementations in
 //!   the `la-baselines` crate.
 //! * [`geometry`] — the batch layout (paper §4).
@@ -74,6 +78,7 @@ pub mod array;
 pub mod balance;
 pub mod config;
 pub mod elastic;
+pub mod epoch_chain;
 pub mod geometry;
 pub mod name;
 pub mod occupancy;
@@ -88,6 +93,7 @@ mod level_array;
 pub use array::{Acquired, ActivityArray, Registration};
 pub use config::{ConfigError, GrowthPolicy, LevelArrayConfig, ProbePolicy};
 pub use elastic::ElasticLevelArray;
+pub use epoch_chain::{ChainNode, ChainPin, ChainRace, EpochChain};
 pub use level_array::LevelArray;
 pub use name::Name;
 pub use occupancy::{OccupancySnapshot, Region, RegionOccupancy};
@@ -106,6 +112,7 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<LevelArray>();
         assert_send_sync::<ElasticLevelArray>();
+        assert_send_sync::<EpochChain<usize>>();
         assert_send_sync::<Name>();
         assert_send_sync::<Acquired>();
         assert_send_sync::<GetStats>();

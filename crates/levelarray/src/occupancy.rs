@@ -108,6 +108,15 @@ impl RegionOccupancy {
 /// Snapshots are *not* atomic: they are assembled from individual slot reads,
 /// exactly like a `Collect`.  Under concurrent modification the per-region
 /// counts are approximations; in the single-threaded simulator they are exact.
+///
+/// On an elastic array the *region set* itself is dynamic: a snapshot walks
+/// one pinned chain snapshot, so [`Region::EpochBatch`]/[`Region::EpochBackup`]
+/// entries for an epoch appear when concurrent growth publishes it and vanish
+/// once retirement unlinks it — two censuses taken around a growth or
+/// retirement event legitimately differ in shape, not just in counts.  (The
+/// one exception to "approximation" is the census inside
+/// [`crate::ElasticLevelArray::try_retire`], which the seal-and-grace protocol
+/// turns into a proof of quiescence — see the `elastic` module docs.)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OccupancySnapshot {
     regions: Vec<RegionOccupancy>,

@@ -26,10 +26,12 @@ proptest! {
     fn growth_hands_out_unique_epoch_tagged_names(
         n in 1usize..8,
         max_epochs in 2usize..5,
+        pin_stripes in 1usize..5,
         seed in any::<u64>(),
     ) {
         let array = LevelArrayConfig::new(n)
             .growth(GrowthPolicy::Doubling { max_epochs })
+            .pin_stripes(pin_stripes)
             .build_elastic()
             .unwrap();
         // Per-epoch capacity for the default config is 3 * bound, so the
@@ -65,6 +67,8 @@ proptest! {
         let _ = array.try_retire();
         prop_assert_eq!(array.num_epochs(), 1);
         prop_assert!(array.collect().is_empty());
+        // Quiescent reclamation converges for every stripe count.
+        prop_assert_eq!(array.pending_reclamation(), 0);
     }
 
     /// A Fixed-policy elastic array is behaviorally a plain LevelArray:
@@ -146,5 +150,6 @@ proptest! {
         prop_assert!(array.collect().is_empty());
         let _ = array.try_retire();
         prop_assert_eq!(array.num_epochs(), 1);
+        prop_assert_eq!(array.pending_reclamation(), 0);
     }
 }

@@ -256,8 +256,10 @@ impl HealingExperiment {
     /// ([`ElasticLevelArray::batchwise_occupancy`]).  With traffic inside
     /// the configured contention bound the chain never needs to grow, and
     /// the elastic layout must heal exactly like the plain one — which is
-    /// precisely the point of this cell; growth under pressure is exercised
-    /// by the integration tests and the bench harness.
+    /// precisely the point of this cell; growth and retirement under
+    /// pressure (the lock-free chain's seal → grace → census → unlink
+    /// seam) are exercised by the growth-storm suites instead
+    /// (`tests/growth_storm.rs` and the `sweeps` bench's storm cells).
     ///
     /// # Panics
     ///

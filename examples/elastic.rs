@@ -12,7 +12,11 @@
 //! instead of failing.  Names carry their `(epoch, index)` tag, `Free`
 //! routes by it, and once the old epochs drain, a collect snapshot proves
 //! them quiescent and the chain shrinks back — the same grace-period
-//! argument the memory-reclamation example uses.
+//! argument the memory-reclamation example uses.  The chain itself is
+//! lock-free (growth is a CAS on the epoch-chain head; retirement is the
+//! non-blocking seal → grace → census → unlink protocol), so none of the
+//! `Get`/`Free` traffic below ever blocks behind a growth or retirement
+//! event — see `docs/ARCHITECTURE.md` for the protocol diagram.
 
 use std::sync::Arc;
 
@@ -88,5 +92,12 @@ fn main() {
     );
     assert_eq!(array.num_epochs(), 1);
     assert!(array.collect().is_empty());
-    println!("done: uniqueness, routing and retirement held across every growth event");
+    assert_eq!(
+        array.pending_reclamation(),
+        0,
+        "quiescent: every displaced chain snapshot was reclaimed"
+    );
+    println!(
+        "done: uniqueness, routing, retirement and reclamation held across every growth event"
+    );
 }

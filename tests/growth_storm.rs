@@ -1,0 +1,180 @@
+//! The growth-storm stress test for the lock-free epoch chain: many threads
+//! loop `Get`/`Free` while growth and retirement are repeatedly forced, and
+//! the structure must (a) never hand out a duplicate live name, (b) never
+//! fail or panic a `Get` — the chain's total capacity always covers the
+//! demand, and nothing on the hot path can block behind a grower or retirer
+//! — and (c) converge back to a single epoch with zero pending reclamation
+//! once the storm ends.
+//!
+//! The storm shape: every thread alternates between acquiring a full batch
+//! of names (collectively oversubscribing the newest epoch, forcing the
+//! chain to double) and draining its batch completely (leaving old epochs
+//! empty, so the deferred retirement checks — both the ones draining frees
+//! schedule and the explicit `try_retire` calls the threads sprinkle in —
+//! repeatedly seal, verify and unlink epochs mid-traffic).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use levelarray_suite::rng::default_rng;
+use levelarray_suite::{ActivityArray, GrowthPolicy, LevelArrayConfig, Name};
+
+#[test]
+fn growth_storm_keeps_names_unique_and_eventually_retires() {
+    let threads = 8;
+    let rounds = 30;
+    // A single thread's holdings (100) exceed the cumulative capacity of the
+    // first three epochs (12 + 24 + 48 = 84), so every round forces at least
+    // three growth events even if the OS fully serializes the threads; the
+    // collective demand (800) drives deeper when they overlap.
+    let per_round = 100;
+    let array = Arc::new(
+        LevelArrayConfig::new(4)
+            // Bounds 4..512: even with every drained old epoch sealed
+            // mid-retirement, the newest epoch alone (capacity 3 * 512)
+            // covers the whole collective demand, so a failed Get is always
+            // a bug.
+            .growth(GrowthPolicy::Doubling { max_epochs: 8 })
+            .build_elastic()
+            .expect("valid storm configuration"),
+    );
+    let live: Arc<Mutex<HashSet<Name>>> = Arc::new(Mutex::new(HashSet::new()));
+    let failures = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let array = Arc::clone(&array);
+            let live = Arc::clone(&live);
+            let failures = Arc::clone(&failures);
+            scope.spawn(move || {
+                let mut rng = default_rng(0x5708 + t as u64);
+                for round in 0..rounds {
+                    let mut mine = Vec::with_capacity(per_round);
+                    while mine.len() < per_round {
+                        match array.try_get(&mut rng) {
+                            Some(got) => {
+                                let name = got.name();
+                                assert!(
+                                    live.lock().unwrap().insert(name),
+                                    "name {name} handed to two holders at once"
+                                );
+                                mine.push(name);
+                            }
+                            None => {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    // Full drain: old epochs empty out, draining frees
+                    // schedule deferred retirement checks.
+                    for name in mine.drain(..) {
+                        live.lock().unwrap().remove(&name);
+                        array.free(name);
+                    }
+                    // And force retirement explicitly from every thread too:
+                    // try_retire is non-blocking, so hammering it mid-storm
+                    // must never stall a Get or Free.
+                    if round % 3 == t % 3 {
+                        let _ = array.try_retire();
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        failures.load(Ordering::Relaxed),
+        0,
+        "a Get failed mid-storm despite growth headroom"
+    );
+    assert!(live.lock().unwrap().is_empty());
+    assert!(array.collect().is_empty());
+
+    // The storm forced real growth: one thread's demand alone exceeds the
+    // first three epochs, so at least three doublings happened.
+    assert!(
+        array.epochs_opened() >= 4,
+        "expected repeated forced growth, saw {} epochs",
+        array.epochs_opened()
+    );
+
+    // Eventual retirement: the quiescent structure converges to one epoch
+    // and reclaims every displaced chain snapshot.
+    let _ = array.try_retire();
+    assert_eq!(
+        array.num_epochs(),
+        1,
+        "drained chain must shrink to one epoch"
+    );
+    assert_eq!(
+        array.epochs_retired(),
+        array.epochs_opened() - 1,
+        "every epoch but the survivor must have been retired"
+    );
+    assert_eq!(
+        array.pending_reclamation(),
+        0,
+        "quiescent reclamation must drain the garbage stack"
+    );
+    assert_eq!(array.occupancy().total_occupied(), 0);
+}
+
+/// A second storm with retirement disabled on the free path
+/// ([`LevelArrayConfig::auto_retire`] off): the chain only shrinks when the
+/// dedicated maintenance calls say so, mimicking a deployment that batches
+/// retirement onto a housekeeping thread.
+#[test]
+fn growth_storm_with_explicit_maintenance_only() {
+    let threads = 4;
+    let rounds = 20;
+    let per_round = 20; // one thread's demand alone overflows epoch 0 (12 slots)
+    let array = Arc::new(
+        LevelArrayConfig::new(4)
+            .growth(GrowthPolicy::Doubling { max_epochs: 5 })
+            .auto_retire(false)
+            .pin_stripes(8)
+            .build_elastic()
+            .expect("valid storm configuration"),
+    );
+    let failures = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let array = Arc::clone(&array);
+            let failures = Arc::clone(&failures);
+            scope.spawn(move || {
+                let mut rng = default_rng(0xA1B2 + t as u64);
+                for _ in 0..rounds {
+                    let mut mine = Vec::with_capacity(per_round);
+                    while mine.len() < per_round {
+                        match array.try_get(&mut rng) {
+                            Some(got) => mine.push(got.name()),
+                            None => {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    for name in mine.drain(..) {
+                        array.free(name);
+                    }
+                    if t == 0 {
+                        // The sole maintenance caller; everyone else only
+                        // ever touches the hot path.
+                        let _ = array.try_retire();
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(failures.load(Ordering::Relaxed), 0);
+    assert!(array.collect().is_empty());
+    assert!(
+        array.epochs_opened() >= 2,
+        "the storm must have forced growth"
+    );
+    let _ = array.try_retire();
+    assert_eq!(array.num_epochs(), 1);
+    assert_eq!(array.pending_reclamation(), 0);
+}
