@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt clippy build test doc bench-check bench-smoke bench-json bench-diff examples
+.PHONY: ci fmt clippy build test doc bench-check bench-smoke bench-json bench-diff examples miri
 
 ci: fmt clippy build test doc bench-check
 
@@ -32,6 +32,7 @@ bench-smoke:
 	FIG2_THREADS=2 FIG2_OPS=2000 FIG2_EMULATED=4 FIG2_SHARDS=2 FIG2_ELASTIC_EPOCHS=4 \
 		$(CARGO) bench --bench fig2_panels
 	SWEEP_THREADS=2 SWEEP_OPS=2000 SWEEP_EMULATED=4 \
+		SWEEP_COLLECT_N=256 SWEEP_COLLECT_ITERS=50 \
 		$(CARGO) bench --bench sweeps
 	FIG3_N=64 FIG3_OPS=4000 FIG3_SNAPSHOT=1000 FIG3_SHARDS=2 FIG3_ELASTIC_EPOCHS=4 \
 		$(CARGO) bench --bench fig3_healing
@@ -60,6 +61,14 @@ bench-diff:
 	BENCH_JSON=$(CURDIR)/target/bench-current.json $(MAKE) bench-json
 	$(CARGO) run -q --release -p la_bench --bin bench_diff -- \
 		bench/baselines/smoke.json target/bench-current.json
+
+# Model-checked interleavings of the innermost slot representations and the
+# layout-conformance seam (the suites shrink their case counts under
+# cfg(miri)).  Needs the nightly toolchain with the miri component:
+#   rustup toolchain install nightly --component miri
+miri:
+	$(CARGO) +nightly miri test -p levelarray --lib -- slot:: packed:: probe_core::
+	$(CARGO) +nightly miri test -p levelarray --test layout_conformance
 
 examples:
 	$(CARGO) run -q --release --example quickstart

@@ -22,7 +22,7 @@ use la_reclaim::{ReclaimDomain, TreiberStack};
 use larng::default_rng;
 use levelarray::{
     ActivityArray, ElasticLevelArray, GrowthPolicy, LevelArray, LevelArrayConfig, Name,
-    ShardedLevelArray, TasKind,
+    ShardedLevelArray, SlotLayout, TasKind,
 };
 
 /// Warm-up and measurement windows: full-size by default, tiny under
@@ -59,6 +59,15 @@ fn bench_get_free(c: &mut Criterion) {
             Box::new(
                 LevelArrayConfig::new(n)
                     .tas_kind(TasKind::Swap)
+                    .build()
+                    .unwrap(),
+            ),
+        ),
+        (
+            "LevelArray-packed",
+            Box::new(
+                LevelArrayConfig::new(n)
+                    .slot_layout(SlotLayout::Packed)
                     .build()
                     .unwrap(),
             ),
@@ -106,6 +115,29 @@ fn bench_collect(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("LevelArray", n), &n, |b, _| {
             b.iter(|| array.collect().len())
         });
+    }
+    // The slot-layout ablation: the same scan into a reused buffer
+    // (collect_into), so the cell isolates the memory actually touched —
+    // one word per slot vs one bit per slot.
+    for (label, layout) in [
+        ("LevelArray-collect_into", SlotLayout::WordPerSlot),
+        ("LevelArray-packed-collect_into", SlotLayout::Packed),
+    ] {
+        for n in [256usize, 1024] {
+            let array = LevelArrayConfig::new(n)
+                .slot_layout(layout)
+                .build()
+                .unwrap();
+            let _held = prefill(&array, 0.5, 3);
+            let mut out = Vec::with_capacity(array.capacity());
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    out.clear();
+                    array.collect_into(&mut out);
+                    out.len()
+                })
+            });
+        }
     }
     group.finish();
 }

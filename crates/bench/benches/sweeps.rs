@@ -17,14 +17,28 @@
 //! 7. **Growth-storm sweep** — zero-prefill churn on a deeply
 //!    under-provisioned elastic array, so the measured `Get`s repeatedly
 //!    cross forced growth *and* retirement on the lock-free epoch chain.
+//! 8. **Slot-layout ablation (Get side)** — the multi-threaded workload over
+//!    the word-per-slot and the bit-packed slot representation, measuring
+//!    what the packed layout's denser false sharing costs a `Get`.
+//! 9. **Collect-latency sweep (scan side)** — single-threaded `Collect`
+//!    latency against occupancy for both layouts: the packed layout scans
+//!    1/32 of the memory, which is the whole point of the knob; the two
+//!    sections together are the §6-style both-sides measurement of the
+//!    trade.
 //!
 //! Environment variables: `SWEEP_THREADS` (default: min(4, host)),
 //! `SWEEP_OPS` (default 50 000 measured ops/thread), `SWEEP_EMULATED`
-//! (default 32), `BENCH_JSON` to append one machine-readable record per
-//! cell (see `la_bench::json`), and `BENCH_REPEAT` to keep the
-//! median-throughput run of that many repetitions per cell.
+//! (default 32), `SWEEP_COLLECT_N` / `SWEEP_COLLECT_ITERS` (collect-cell
+//! contention bound and scan count, defaults 4096 / 10 000), `BENCH_JSON` to
+//! append one machine-readable record per cell (see `la_bench::json`), and
+//! `BENCH_REPEAT` to keep the median-throughput run of that many repetitions
+//! per cell.
 
-use la_bench::{Algorithm, Cell, JsonSink, Table, WorkloadConfig, WorkloadResult};
+use std::time::Instant;
+
+use la_bench::{Algorithm, Cell, JsonRecord, JsonSink, Table, WorkloadConfig, WorkloadResult};
+use larng::default_rng;
+use levelarray::{ActivityArray, LevelArrayConfig, SlotLayout};
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
     std::env::var(key)
@@ -274,5 +288,124 @@ fn main() {
     println!(
         "## Growth-storm sweep (ElasticLevelArray, zero pre-fill)\n\n{}",
         storm_table.to_markdown()
+    );
+
+    // 8. Slot-layout ablation, Get side: the full multi-threaded workload
+    // over both slot representations.  The packed layout packs 512 slots per
+    // cache line, so this is where its denser false sharing would show.
+    let mut header = vec!["layout", "algorithm"];
+    header.extend(METRIC_COLUMNS);
+    let mut layout_table = Table::new(&header);
+    for (layout, algorithm) in [
+        ("word-per-slot", Algorithm::LevelArray),
+        ("packed", Algorithm::LevelArrayPacked),
+    ] {
+        let result = la_bench::workload::run_workload_repeated(algorithm, &base, repeat);
+        record(
+            &mut sink,
+            &result,
+            format!("sweeps/layout={layout}/{}", result.algorithm),
+        );
+        layout_table.push_row(result_row(
+            &result,
+            vec![layout.into(), result.algorithm.clone().into()],
+        ));
+    }
+    println!(
+        "## Slot-layout ablation, Get side (SlotLayout)\n\n{}",
+        layout_table.to_markdown()
+    );
+
+    // 9. Collect-latency sweep, scan side: the single-threaded latency of one
+    // Collect pass at fixed occupancies, for both layouts.  This is the
+    // paper's §1 pitch — Collect reads a small, cache-friendly region — taken
+    // to its memory floor: the packed layout snapshots one word per 64 slots.
+    // collect_into scans into a reused buffer, so the measured loop is the
+    // scan itself, not the allocator.
+    let collect_n: usize = env_or("SWEEP_COLLECT_N", 4096);
+    let collect_iters: u32 = env_or("SWEEP_COLLECT_ITERS", 10_000);
+    let mut collect_table = Table::new(&[
+        "layout",
+        "n",
+        "occupancy",
+        "collects/s",
+        "ns/collect",
+        "held seen",
+    ]);
+    for (label, layout) in [
+        ("word-per-slot", SlotLayout::WordPerSlot),
+        ("packed", SlotLayout::Packed),
+    ] {
+        for occupancy in [0.1, 0.5, 0.9] {
+            let array = LevelArrayConfig::new(collect_n)
+                .slot_layout(layout)
+                .build()
+                .expect("valid configuration");
+            let mut rng = default_rng(0xC011EC7);
+            let target = ((collect_n as f64) * occupancy) as usize;
+            let held: Vec<_> = (0..target).map(|_| array.get(&mut rng).name()).collect();
+
+            let mut out = Vec::with_capacity(collect_n);
+            // Warm the cache and the buffer capacity before timing.
+            for _ in 0..collect_iters / 10 + 1 {
+                out.clear();
+                array.collect_into(&mut out);
+            }
+            // Median-of-repeat damping, exactly like the workload cells: a
+            // single collect is a microsecond-scale measurement, far too
+            // exposed to frequency scaling for a one-shot number to diff.
+            let mut runs: Vec<(f64, usize)> = (0..repeat.max(1))
+                .map(|_| {
+                    let started = Instant::now();
+                    let mut seen = 0usize;
+                    for _ in 0..collect_iters {
+                        out.clear();
+                        array.collect_into(&mut out);
+                        seen += out.len();
+                    }
+                    (started.elapsed().as_secs_f64(), seen)
+                })
+                .collect();
+            runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (elapsed_s, seen) = runs[runs.len() / 2];
+            for name in held {
+                array.free(name);
+            }
+
+            let per_collect_ns = elapsed_s * 1e9 / f64::from(collect_iters);
+            let collects_per_s = if elapsed_s == 0.0 {
+                0.0
+            } else {
+                f64::from(collect_iters) / elapsed_s
+            };
+            if let Some(sink) = sink.as_mut() {
+                sink.write(
+                    &JsonRecord::new()
+                        .field(
+                            "key",
+                            format!("sweeps/collect/n={collect_n}/occ={occupancy}/{label}"),
+                        )
+                        .field("bench", "sweeps")
+                        .field("algorithm", format!("Collect({label})"))
+                        .field("slots", collect_n as u64)
+                        .field("occupancy", occupancy)
+                        .field("collect_iters", u64::from(collect_iters))
+                        .field("throughput", collects_per_s)
+                        .field("collect_ns", per_collect_ns),
+                );
+            }
+            collect_table.push_row(vec![
+                label.into(),
+                collect_n.into(),
+                Cell::FloatPrec(occupancy, 2),
+                Cell::FloatPrec(collects_per_s, 0),
+                Cell::FloatPrec(per_collect_ns, 0),
+                (seen as u64 / u64::from(collect_iters)).into(),
+            ]);
+        }
+    }
+    println!(
+        "## Collect-latency sweep, scan side (SlotLayout)\n\n{}",
+        collect_table.to_markdown()
     );
 }

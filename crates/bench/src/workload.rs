@@ -22,7 +22,7 @@ use la_baselines::{LinearProbingArray, LinearScanArray, RandomArray};
 use larng::{default_rng, SeedSequence};
 use levelarray::{
     ActivityArray, GetStats, GrowthPolicy, LevelArrayConfig, ProbePolicy, ShardedLevelArray,
-    TasKind,
+    SlotLayout, TasKind,
 };
 
 /// Which algorithm a workload run exercises.
@@ -34,6 +34,10 @@ pub enum Algorithm {
     LevelArrayProbes(u32),
     /// LevelArray using `swap` instead of `compare_exchange` (ablation).
     LevelArraySwapTas,
+    /// LevelArray storing its slots bit-packed, 64 per atomic word
+    /// (ablation): `Collect` scans 32× less memory, concurrent `Get`s share
+    /// denser cache lines — the layout sweep measures both sides.
+    LevelArrayPacked,
     /// The contention bound split across cache-padded shards with work
     /// stealing on local exhaustion (the ROADMAP's sharded-arrays item).
     ShardedLevelArray {
@@ -78,6 +82,7 @@ impl Algorithm {
             Algorithm::LevelArray => "LevelArray".to_string(),
             Algorithm::LevelArrayProbes(c) => format!("LevelArray(c={c})"),
             Algorithm::LevelArraySwapTas => "LevelArray(swap)".to_string(),
+            Algorithm::LevelArrayPacked => "LevelArray(packed)".to_string(),
             Algorithm::ShardedLevelArray { shards } => format!("ShardedLevelArray(s={shards})"),
             Algorithm::Elastic { max_epochs } => format!("Elastic(e<={max_epochs})"),
             Algorithm::ElasticStorm { divisor } => format!("ElasticStorm(n/{divisor})"),
@@ -124,6 +129,13 @@ impl Algorithm {
                 config
                     .clone()
                     .tas_kind(TasKind::Swap)
+                    .build()
+                    .expect("valid configuration"),
+            ),
+            Algorithm::LevelArrayPacked => Arc::new(
+                config
+                    .clone()
+                    .slot_layout(SlotLayout::Packed)
                     .build()
                     .expect("valid configuration"),
             ),
@@ -433,6 +445,7 @@ mod tests {
             Algorithm::LevelArray,
             Algorithm::LevelArrayProbes(2),
             Algorithm::LevelArraySwapTas,
+            Algorithm::LevelArrayPacked,
             Algorithm::ShardedLevelArray { shards: 2 },
             Algorithm::ShardedLevelArray { shards: 4 },
             Algorithm::Elastic { max_epochs: 4 },
@@ -494,6 +507,7 @@ mod tests {
         assert_eq!(c.logical_participants(), 8);
         assert_eq!(Algorithm::LevelArray.label(), "LevelArray");
         assert_eq!(Algorithm::LevelArrayProbes(3).label(), "LevelArray(c=3)");
+        assert_eq!(Algorithm::LevelArrayPacked.label(), "LevelArray(packed)");
         assert_eq!(
             Algorithm::ShardedLevelArray { shards: 4 }.label(),
             "ShardedLevelArray(s=4)"

@@ -129,6 +129,20 @@ pub trait ActivityArray: Send + Sync + std::fmt::Debug {
     /// during the scan.
     fn collect(&self) -> Vec<Name>;
 
+    /// Appends the names currently held to `out` — the same scan as
+    /// [`ActivityArray::collect`], but into a caller-owned buffer so that a
+    /// steady-state scan loop (the reclamation domain's grace-period passes,
+    /// the bench harness's collect cells) reuses one allocation instead of
+    /// building a fresh `Vec` per scan.  `out` is *not* cleared; the caller
+    /// decides whether to accumulate or to `clear()` between scans.
+    ///
+    /// The default delegates to [`ActivityArray::collect`]; implementations
+    /// with an internal scan visitor override it to skip the intermediate
+    /// allocation entirely.
+    fn collect_into(&self, out: &mut Vec<Name>) {
+        out.extend(self.collect());
+    }
+
     /// Total number of slots (the dense namespace size).
     fn capacity(&self) -> usize;
 

@@ -11,7 +11,7 @@ use std::fmt;
 use crate::balance::BalanceReport;
 use crate::geometry::{BatchGeometry, GeometryError};
 use crate::occupancy::OccupancySnapshot;
-use crate::slot::TasKind;
+use crate::slot::{SlotLayout, TasKind};
 
 /// How many random probes a `Get` performs in each batch before moving on.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -150,6 +150,7 @@ pub struct LevelArrayConfig {
     probe_policy: ProbePolicy,
     backup: bool,
     tas_kind: TasKind,
+    slot_layout: SlotLayout,
     growth: GrowthPolicy,
     auto_retire: bool,
     pin_stripes: usize,
@@ -166,6 +167,7 @@ impl LevelArrayConfig {
             probe_policy: ProbePolicy::default(),
             backup: true,
             tas_kind: TasKind::default(),
+            slot_layout: SlotLayout::default(),
             growth: GrowthPolicy::default(),
             auto_retire: true,
             pin_stripes: crate::epoch_chain::DEFAULT_PIN_STRIPES,
@@ -217,6 +219,23 @@ impl LevelArrayConfig {
     pub fn tas_kind(mut self, kind: TasKind) -> Self {
         self.tas_kind = kind;
         self
+    }
+
+    /// Selects the slot representation (default:
+    /// [`SlotLayout::WordPerSlot`]).  [`SlotLayout::Packed`] stores 64 slots
+    /// per atomic word so `Collect` and the occupancy censuses scan 32× less
+    /// memory, at the price of denser false sharing between concurrent
+    /// `Get`s; both layouts behave identically (see [`SlotLayout`]).  Every
+    /// build honors it — flat, sharded and elastic all thread it through the
+    /// shared probing core.
+    pub fn slot_layout(mut self, layout: SlotLayout) -> Self {
+        self.slot_layout = layout;
+        self
+    }
+
+    /// The slot representation this configuration carries.
+    pub fn slot_layout_value(&self) -> SlotLayout {
+        self.slot_layout
     }
 
     /// Selects the growth policy an elastic build uses when its newest epoch
@@ -319,6 +338,7 @@ impl LevelArrayConfig {
             backup_len,
             probe_policy: self.probe_policy.clone(),
             tas_kind: self.tas_kind,
+            slot_layout: self.slot_layout,
         })
     }
 
@@ -364,6 +384,7 @@ pub struct ValidatedConfig {
     pub(crate) backup_len: usize,
     pub(crate) probe_policy: ProbePolicy,
     pub(crate) tas_kind: TasKind,
+    pub(crate) slot_layout: SlotLayout,
 }
 
 impl ValidatedConfig {
@@ -376,6 +397,7 @@ impl ValidatedConfig {
             self.backup_len,
             self.probe_policy,
             self.tas_kind,
+            self.slot_layout,
         )
     }
 }
@@ -453,6 +475,25 @@ mod tests {
         assert_eq!(v.backup_len, 64);
         assert_eq!(v.probe_policy.probes_in_batch(0), 1);
         assert_eq!(v.tas_kind, TasKind::CompareExchange);
+        assert_eq!(v.slot_layout, SlotLayout::WordPerSlot);
+    }
+
+    #[test]
+    fn slot_layout_knob_round_trips_into_every_build() {
+        let config = LevelArrayConfig::new(8).slot_layout(SlotLayout::Packed);
+        assert_eq!(config.slot_layout_value(), SlotLayout::Packed);
+        assert_eq!(config.validate().unwrap().slot_layout, SlotLayout::Packed);
+        let flat = config.build().unwrap();
+        assert_eq!(flat.slot_layout(), SlotLayout::Packed);
+        let sharded = config.build_sharded(2).unwrap();
+        assert_eq!(sharded.slot_layout(), SlotLayout::Packed);
+        let elastic = config.build_elastic().unwrap();
+        assert_eq!(elastic.slot_layout(), SlotLayout::Packed);
+        // The default stays word-per-slot.
+        assert_eq!(
+            LevelArrayConfig::new(8).slot_layout_value(),
+            SlotLayout::WordPerSlot
+        );
     }
 
     #[test]

@@ -114,11 +114,10 @@ impl EpochCell {
     }
 
     /// Whether a scan observes zero held slots — the collect snapshot a
-    /// retirement decision is based on.
+    /// retirement decision is based on (one word-load per 64 slots under the
+    /// packed layout, no allocation under either).
     fn is_drained(&self) -> bool {
-        let mut scratch = Vec::new();
-        self.core.collect_into(0, &mut scratch);
-        scratch.is_empty()
+        !self.core.any_held()
     }
 
     /// Claims the retirement seal; `false` means another retirement attempt
@@ -326,6 +325,76 @@ impl ElasticLevelArray {
     /// The batch layout of the newest epoch's main array.
     pub fn newest_geometry(&self) -> BatchGeometry {
         self.chain.pin().head().value().core.geometry().clone()
+    }
+
+    /// The slot representation every epoch cell stores its registers in
+    /// (inherited from the shared base configuration).
+    pub fn slot_layout(&self) -> crate::slot::SlotLayout {
+        self.base.slot_layout_value()
+    }
+
+    /// The elastic `Get`, monomorphized over the caller's random source (see
+    /// [`crate::LevelArray::try_get`]): route to the newest epoch, grow on
+    /// saturation, fall back to older epochs at the cap.  This inherent
+    /// method shadows [`ActivityArray::try_get`] for callers holding the
+    /// concrete type.
+    #[must_use = "dropping the result leaks the acquired name"]
+    pub fn try_get<R: RandomSource + ?Sized>(&self, rng: &mut R) -> Option<Acquired> {
+        let mut probes = 0u32;
+        let pin = self.chain.pin();
+        loop {
+            // Route to the newest epoch and run the paper's Get there.  A
+            // sealed head is a transient stale view (only non-newest cells
+            // are ever sealed); skipping it routes us through the retry path
+            // to the real head.
+            let observed = pin.head();
+            let newest = observed.value();
+            if !newest.is_sealed() {
+                match newest.core.try_get(rng) {
+                    Some(local) => return Some(Self::tag(newest, local, probes)),
+                    None => probes += newest.core.exhausted_probe_count(),
+                }
+            }
+            // The newest epoch saturated (its backup region included): open a
+            // successor if the policy allows, then retry against it.
+            if self.open_epoch(&pin, observed) {
+                continue;
+            }
+            // Growth unavailable: walk the older epochs, newest to oldest,
+            // skipping cells sealed by an in-flight retirement check (they
+            // are drained, so there is nothing to win there anyway).
+            if !std::ptr::eq(pin.head(), observed) {
+                continue; // raced with a concurrent grower or retirer
+            }
+            for node in observed.iter().skip(1) {
+                let cell = node.value();
+                if cell.is_sealed() {
+                    continue;
+                }
+                match cell.core.try_get(rng) {
+                    Some(local) => return Some(Self::tag(cell, local, probes)),
+                    None => probes += cell.core.exhausted_probe_count(),
+                }
+            }
+            return None;
+        }
+    }
+
+    /// Registers through the monomorphized hot path, panicking if the chain
+    /// is exhausted (same contract as [`ActivityArray::get`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no free slot could be acquired, i.e. the caller violated the
+    /// (current) contention bound and the growth policy forbids growing.
+    pub fn get<R: RandomSource + ?Sized>(&self, rng: &mut R) -> Acquired {
+        self.try_get(rng).unwrap_or_else(|| {
+            panic!(
+                "{}: no free slot; the contention bound ({}) was exceeded",
+                ActivityArray::algorithm_name(self),
+                ActivityArray::max_participants(self)
+            )
+        })
     }
 
     /// Retires every non-newest epoch whose collect snapshot proves it
@@ -624,44 +693,7 @@ impl ActivityArray for ElasticLevelArray {
     }
 
     fn try_get(&self, rng: &mut dyn RandomSource) -> Option<Acquired> {
-        let mut probes = 0u32;
-        let pin = self.chain.pin();
-        loop {
-            // Route to the newest epoch and run the paper's Get there.  A
-            // sealed head is a transient stale view (only non-newest cells
-            // are ever sealed); skipping it routes us through the retry path
-            // to the real head.
-            let observed = pin.head();
-            let newest = observed.value();
-            if !newest.is_sealed() {
-                match newest.core.try_get(rng) {
-                    Some(local) => return Some(Self::tag(newest, local, probes)),
-                    None => probes += newest.core.exhausted_probe_count(),
-                }
-            }
-            // The newest epoch saturated (its backup region included): open a
-            // successor if the policy allows, then retry against it.
-            if self.open_epoch(&pin, observed) {
-                continue;
-            }
-            // Growth unavailable: walk the older epochs, newest to oldest,
-            // skipping cells sealed by an in-flight retirement check (they
-            // are drained, so there is nothing to win there anyway).
-            if !std::ptr::eq(pin.head(), observed) {
-                continue; // raced with a concurrent grower or retirer
-            }
-            for node in observed.iter().skip(1) {
-                let cell = node.value();
-                if cell.is_sealed() {
-                    continue;
-                }
-                match cell.core.try_get(rng) {
-                    Some(local) => return Some(Self::tag(cell, local, probes)),
-                    None => probes += cell.core.exhausted_probe_count(),
-                }
-            }
-            return None;
-        }
+        ElasticLevelArray::try_get(self, rng)
     }
 
     fn free(&self, name: Name) {
@@ -702,20 +734,18 @@ impl ActivityArray for ElasticLevelArray {
     }
 
     fn collect(&self) -> Vec<Name> {
-        let pin = self.chain.pin();
         let mut held = Vec::new();
-        let mut scratch = Vec::new();
+        ActivityArray::collect_into(self, &mut held);
+        held
+    }
+
+    fn collect_into(&self, out: &mut Vec<Name>) {
+        let pin = self.chain.pin();
         for node in pin.iter() {
             let cell = node.value();
-            scratch.clear();
-            cell.core.collect_into(0, &mut scratch);
-            held.extend(
-                scratch
-                    .iter()
-                    .map(|local| Name::with_epoch(cell.epoch, local.index())),
-            );
+            cell.core
+                .for_each_held(|local| out.push(Name::with_epoch(cell.epoch, local)));
         }
-        held
     }
 
     fn capacity(&self) -> usize {

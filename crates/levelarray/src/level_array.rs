@@ -15,7 +15,7 @@ use crate::geometry::BatchGeometry;
 use crate::name::Name;
 use crate::occupancy::OccupancySnapshot;
 use crate::probe_core::ProbeCore;
-use crate::slot::TasKind;
+use crate::slot::{SlotLayout, TasKind};
 
 /// The LevelArray long-lived renaming structure.
 ///
@@ -118,6 +118,39 @@ impl LevelArray {
         self.core.tas_kind()
     }
 
+    /// The slot representation this instance stores its registers in.
+    pub fn slot_layout(&self) -> SlotLayout {
+        self.core.slot_layout()
+    }
+
+    /// The paper's `Get`, monomorphized over the caller's random source so
+    /// the per-probe draw inlines into the probing loop.  This inherent
+    /// method shadows [`ActivityArray::try_get`] for callers holding the
+    /// concrete type; the trait method remains the object-safe wrapper
+    /// (`&mut dyn RandomSource` also works here, through the blanket
+    /// `impl RandomSource for &mut R`).
+    #[must_use = "dropping the result leaks the acquired name"]
+    pub fn try_get<R: RandomSource + ?Sized>(&self, rng: &mut R) -> Option<Acquired> {
+        self.core.try_get(rng)
+    }
+
+    /// Registers through the monomorphized hot path, panicking if the
+    /// structure is exhausted (same contract as [`ActivityArray::get`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no free slot could be acquired, i.e. the caller violated the
+    /// contention bound.
+    pub fn get<R: RandomSource + ?Sized>(&self, rng: &mut R) -> Acquired {
+        self.try_get(rng).unwrap_or_else(|| {
+            panic!(
+                "{}: no free slot; the contention bound ({}) was exceeded",
+                ActivityArray::algorithm_name(self),
+                self.max_concurrency
+            )
+        })
+    }
+
     /// The probe policy (`c_i`) this instance uses.
     pub fn probe_policy(&self) -> &ProbePolicy {
         self.core.probe_policy()
@@ -164,7 +197,7 @@ impl ActivityArray for LevelArray {
     }
 
     fn try_get(&self, rng: &mut dyn RandomSource) -> Option<Acquired> {
-        self.core.try_get(rng)
+        LevelArray::try_get(self, rng)
     }
 
     fn free(&self, name: Name) {
@@ -175,6 +208,10 @@ impl ActivityArray for LevelArray {
         let mut held = Vec::new();
         self.core.collect_into(0, &mut held);
         held
+    }
+
+    fn collect_into(&self, out: &mut Vec<Name>) {
+        self.core.collect_into(0, out);
     }
 
     fn capacity(&self) -> usize {

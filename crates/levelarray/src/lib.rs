@@ -52,7 +52,10 @@
 //! ## Crate layout
 //!
 //! * [`ProbeCore`] — the reusable probing machinery (slots, batch geometry,
-//!   probe policy, TAS primitive) every facade composes.
+//!   probe policy, TAS primitive, slot layout) every facade composes.
+//! * [`slot`] / [`packed`] — the two slot representations behind
+//!   [`SlotLayout`]: one atomic word per slot, or 64 slots bit-packed per
+//!   word so scans touch 32× less memory.
 //! * [`LevelArray`], [`LevelArrayConfig`] — the paper's algorithm: one
 //!   `ProbeCore` plus a contention bound.
 //! * [`ShardedLevelArray`] — `S` cache-padded `ProbeCore`s with sticky
@@ -82,6 +85,7 @@ pub mod epoch_chain;
 pub mod geometry;
 pub mod name;
 pub mod occupancy;
+pub mod packed;
 pub mod probe_core;
 pub mod registry;
 pub mod sharded;
@@ -97,10 +101,11 @@ pub use epoch_chain::{ChainNode, ChainPin, ChainRace, EpochChain};
 pub use level_array::LevelArray;
 pub use name::Name;
 pub use occupancy::{OccupancySnapshot, Region, RegionOccupancy};
+pub use packed::PackedSlots;
 pub use probe_core::ProbeCore;
 pub use registry::ThreadRegistry;
 pub use sharded::ShardedLevelArray;
-pub use slot::TasKind;
+pub use slot::{SlotLayout, TasKind};
 pub use stats::{GetStats, StatsSummary};
 
 #[cfg(test)]

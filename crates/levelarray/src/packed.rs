@@ -1,0 +1,284 @@
+//! The bit-packed slot slab: 64 test-and-set registers per atomic word.
+//!
+//! A [`PackedSlots`] stores the one-bit held/free state of `len` slots in
+//! `⌈len / 64⌉` `AtomicU64` words.  Acquire is a `fetch_or` on one bit (a
+//! single wait-free RMW that can never fail spuriously), free is a
+//! `fetch_and` clearing it, and the scan paths — `Collect`, the occupancy
+//! censuses, `batchwise_occupancy` — snapshot each word *once* and walk its
+//! set bits with `trailing_zeros`, so a scan touches 1/32 of the memory the
+//! word-per-slot layout ([`crate::slot::Slot`]) reads for the same
+//! information.  That is exactly the paper's pitch for the activity array
+//! (§1: `Collect` reads a small, cache-friendly region) taken to its memory
+//! floor.
+//!
+//! The trade-off is write-side density: 512 slots share each cache line, so
+//! concurrent `Get`s invalidate each other's lines more often than under the
+//! word-per-slot layout.  [`crate::slot::SlotLayout`] exposes the choice as a
+//! configuration knob, and the layout sweep in the `sweeps` bench measures
+//! both sides of the trade.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::slot::TasKind;
+
+/// Number of slots stored per atomic word.
+const BITS: usize = u64::BITS as usize;
+
+/// A slab of one-bit test-and-set registers packed 64-per-word.
+///
+/// Indices are dense `0..len()`; all operations panic (in debug builds) or
+/// touch an in-range word (in release builds) only for valid indices — the
+/// callers in [`crate::probe_core`] validate names before indexing, exactly
+/// as they do for the word-per-slot slab.
+///
+/// # Examples
+///
+/// ```
+/// use levelarray::packed::PackedSlots;
+/// use levelarray::TasKind;
+///
+/// let slab = PackedSlots::new(100);
+/// assert!(slab.try_acquire(42, TasKind::CompareExchange));
+/// assert!(!slab.try_acquire(42, TasKind::Swap), "second acquire must lose");
+/// assert!(slab.is_held(42));
+/// assert_eq!(slab.count_held(0..100), 1);
+/// assert!(slab.release(42));
+/// assert!(!slab.is_held(42));
+/// ```
+#[derive(Debug)]
+pub struct PackedSlots {
+    words: Box<[AtomicU64]>,
+    len: usize,
+}
+
+impl PackedSlots {
+    /// Creates a slab of `len` free slots.
+    pub fn new(len: usize) -> Self {
+        let words = (0..len.div_ceil(BITS)).map(|_| AtomicU64::new(0)).collect();
+        PackedSlots { words, len }
+    }
+
+    /// Number of slots (not words) in the slab.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn split(idx: usize) -> (usize, u64) {
+        (idx / BITS, 1u64 << (idx % BITS))
+    }
+
+    /// Attempts to win slot `idx` with the requested primitive.  Returns
+    /// `true` if this call transitioned the slot from free to held.
+    ///
+    /// Both kinds resolve the race with a single `fetch_or`, which — unlike a
+    /// word-per-slot compare-exchange retry loop would be — is wait-free even
+    /// when neighbouring bits of the word churn concurrently.  The [`TasKind`]
+    /// distinction maps onto the bit representation as *test-then-set*
+    /// ([`TasKind::CompareExchange`]: skip the RMW when the bit is visibly
+    /// held, mirroring a failed compare-exchange performing no write) versus
+    /// unconditional RMW ([`TasKind::Swap`]: always write, like `swap`).
+    #[inline]
+    pub fn try_acquire(&self, idx: usize, kind: TasKind) -> bool {
+        debug_assert!(idx < self.len, "slot index {idx} out of range {}", self.len);
+        let (word, bit) = Self::split(idx);
+        if kind == TasKind::CompareExchange && self.words[word].load(Ordering::Acquire) & bit != 0 {
+            return false;
+        }
+        self.words[word].fetch_or(bit, Ordering::AcqRel) & bit == 0
+    }
+
+    /// Releases slot `idx`.  Returns `true` if the slot was held (the normal
+    /// case); `false` means the caller released a free slot — a protocol
+    /// violation the caller should treat as a bug.
+    #[inline]
+    pub fn release(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len, "slot index {idx} out of range {}", self.len);
+        let (word, bit) = Self::split(idx);
+        self.words[word].fetch_and(!bit, Ordering::AcqRel) & bit != 0
+    }
+
+    /// Reads whether slot `idx` is currently held (an acquire load, not a
+    /// snapshot — the same validity contract as [`crate::slot::Slot::is_held`]).
+    #[inline]
+    pub fn is_held(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len, "slot index {idx} out of range {}", self.len);
+        let (word, bit) = Self::split(idx);
+        self.words[word].load(Ordering::Acquire) & bit != 0
+    }
+
+    /// Visits every word overlapping `range`, passing the index of the word's
+    /// first slot and the word's snapshot masked down to the slots inside the
+    /// range.  One acquire load per word — this is the whole point of the
+    /// packed layout.
+    #[inline]
+    fn for_each_word(&self, range: Range<usize>, mut f: impl FnMut(usize, u64)) {
+        debug_assert!(range.end <= self.len, "range {range:?} out of {}", self.len);
+        if range.start >= range.end {
+            return;
+        }
+        let first = range.start / BITS;
+        let last = (range.end - 1) / BITS;
+        for word in first..=last {
+            let mut mask = u64::MAX;
+            if word == first {
+                mask &= u64::MAX << (range.start % BITS);
+            }
+            if word == last {
+                let tail = range.end - word * BITS;
+                if tail < BITS {
+                    mask &= (1u64 << tail) - 1;
+                }
+            }
+            f(word * BITS, self.words[word].load(Ordering::Acquire) & mask);
+        }
+    }
+
+    /// The number of held slots in `range`: one load plus a `count_ones` per
+    /// word.
+    pub fn count_held(&self, range: Range<usize>) -> usize {
+        let mut count = 0usize;
+        self.for_each_word(range, |_, bits| count += bits.count_ones() as usize);
+        count
+    }
+
+    /// Calls `f` with the index of every held slot in `range`, in increasing
+    /// order.  Each word is snapshotted once and its set bits are walked with
+    /// `trailing_zeros`.
+    pub fn for_each_held(&self, range: Range<usize>, mut f: impl FnMut(usize)) {
+        self.for_each_word(range, |base, mut bits| {
+            while bits != 0 {
+                f(base + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        });
+    }
+
+    /// Whether any slot in the slab is held — the drained check of the
+    /// elastic retirement protocol, at one load per word.
+    pub fn any_held(&self) -> bool {
+        self.words.iter().any(|w| w.load(Ordering::Acquire) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn new_slab_is_all_free() {
+        let s = PackedSlots::new(130);
+        assert_eq!(s.len(), 130);
+        assert!(!s.is_empty());
+        assert!(PackedSlots::new(0).is_empty());
+        for idx in 0..130 {
+            assert!(!s.is_held(idx));
+        }
+        assert_eq!(s.count_held(0..130), 0);
+        assert!(!s.any_held());
+    }
+
+    #[test]
+    fn acquire_release_cycle_both_kinds() {
+        for kind in [TasKind::CompareExchange, TasKind::Swap] {
+            let s = PackedSlots::new(70);
+            // Cross a word boundary on purpose.
+            for idx in [0usize, 63, 64, 69] {
+                assert!(s.try_acquire(idx, kind), "{kind:?} idx {idx}");
+                assert!(s.is_held(idx));
+                assert!(!s.try_acquire(idx, kind), "second acquire must lose");
+                assert!(s.release(idx));
+                assert!(!s.is_held(idx));
+                assert!(s.try_acquire(idx, kind), "slot is reusable");
+                assert!(s.release(idx));
+            }
+        }
+    }
+
+    #[test]
+    fn release_of_free_slot_reports_false() {
+        let s = PackedSlots::new(8);
+        assert!(!s.release(3));
+    }
+
+    #[test]
+    fn neighbours_do_not_interfere() {
+        let s = PackedSlots::new(128);
+        assert!(s.try_acquire(7, TasKind::CompareExchange));
+        assert!(s.try_acquire(8, TasKind::Swap));
+        assert!(s.release(7));
+        assert!(s.is_held(8), "releasing 7 must not clear 8");
+        assert!(!s.is_held(7));
+        assert!(s.release(8));
+    }
+
+    #[test]
+    fn count_and_iterate_respect_range_edges() {
+        let s = PackedSlots::new(200);
+        for idx in [0usize, 5, 63, 64, 100, 150, 199] {
+            assert!(s.try_acquire(idx, TasKind::CompareExchange));
+        }
+        assert_eq!(s.count_held(0..200), 7);
+        assert_eq!(s.count_held(0..64), 3);
+        assert_eq!(s.count_held(64..200), 4);
+        assert_eq!(s.count_held(5..6), 1);
+        assert_eq!(s.count_held(6..63), 0);
+        assert_eq!(s.count_held(63..65), 2);
+        assert_eq!(s.count_held(10..10), 0);
+
+        let mut seen = Vec::new();
+        s.for_each_held(60..151, |idx| seen.push(idx));
+        assert_eq!(seen, vec![63, 64, 100, 150]);
+        assert!(s.any_held());
+    }
+
+    #[test]
+    fn full_word_boundary_lengths() {
+        // len == multiple of 64: the tail mask must not shift by 64.
+        let s = PackedSlots::new(128);
+        assert!(s.try_acquire(127, TasKind::Swap));
+        assert_eq!(s.count_held(0..128), 1);
+        let mut seen = Vec::new();
+        s.for_each_held(64..128, |idx| seen.push(idx));
+        assert_eq!(seen, vec![127]);
+    }
+
+    /// Exactly one of many concurrent acquirers can win a free slot, for both
+    /// primitives, including when racers hammer neighbouring bits of the same
+    /// word.
+    #[test]
+    fn concurrent_acquire_has_a_unique_winner() {
+        for kind in [TasKind::CompareExchange, TasKind::Swap] {
+            let slab = Arc::new(PackedSlots::new(64));
+            let winners = Arc::new(AtomicUsize::new(0));
+            std::thread::scope(|scope| {
+                for t in 0..8 {
+                    let slab = Arc::clone(&slab);
+                    let winners = Arc::clone(&winners);
+                    scope.spawn(move || {
+                        // Everyone fights for bit 5 while also churning a
+                        // private neighbour bit in the same word.
+                        let private = 10 + t;
+                        for _ in 0..100 {
+                            assert!(slab.try_acquire(private, kind));
+                            assert!(slab.release(private));
+                        }
+                        if slab.try_acquire(5, kind) {
+                            winners.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(winners.load(Ordering::Relaxed), 1, "{kind:?}");
+            assert_eq!(slab.count_held(0..64), 1, "{kind:?}");
+        }
+    }
+}

@@ -31,6 +31,7 @@ use crate::geometry::BatchGeometry;
 use crate::name::Name;
 use crate::occupancy::{OccupancySnapshot, Region, RegionOccupancy};
 use crate::probe_core::ProbeCore;
+use crate::slot::SlotLayout;
 
 /// One shard, padded to two cache lines so that the hot atomic traffic of
 /// neighbouring shards' slots never shares a line with this shard's metadata.
@@ -217,6 +218,59 @@ impl ShardedLevelArray {
         self.shards[0].0.geometry()
     }
 
+    /// The slot representation shared by every shard.
+    pub fn slot_layout(&self) -> SlotLayout {
+        self.shards[0].0.slot_layout()
+    }
+
+    /// The sharded `Get`, monomorphized over the caller's random source (see
+    /// [`crate::LevelArray::try_get`]): route to the sticky home shard, steal
+    /// from the remaining shards in ring order only on local exhaustion.  The
+    /// RNG drives the probe order inside every shard visited.  This inherent
+    /// method shadows [`ActivityArray::try_get`] for callers holding the
+    /// concrete type.
+    #[must_use = "dropping the result leaks the acquired name"]
+    pub fn try_get<R: RandomSource + ?Sized>(&self, rng: &mut R) -> Option<Acquired> {
+        let num_shards = self.shards.len();
+        let home = self.home_shard();
+        let mut probes = 0u32;
+        for hop in 0..num_shards {
+            let shard = (home + hop) % num_shards;
+            let core = &self.shards[shard].0;
+            match core.try_get(rng) {
+                Some(local) => {
+                    let name = self.global_name(shard, local.name());
+                    return Some(Acquired::new(
+                        name,
+                        probes + local.probes(),
+                        local.batch(),
+                        local.used_backup(),
+                    ));
+                }
+                // A failed shard performs its full deterministic budget.
+                None => probes += core.exhausted_probe_count(),
+            }
+        }
+        None
+    }
+
+    /// Registers through the monomorphized hot path, panicking if every
+    /// shard is exhausted (same contract as [`ActivityArray::get`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no free slot could be acquired, i.e. the caller violated the
+    /// contention bound.
+    pub fn get<R: RandomSource + ?Sized>(&self, rng: &mut R) -> Acquired {
+        self.try_get(rng).unwrap_or_else(|| {
+            panic!(
+                "{}: no free slot; the contention bound ({}) was exceeded",
+                ActivityArray::algorithm_name(self),
+                self.max_concurrency
+            )
+        })
+    }
+
     /// The probing core of shard `shard` (local names only).
     ///
     /// # Panics
@@ -334,30 +388,7 @@ impl ActivityArray for ShardedLevelArray {
     }
 
     fn try_get(&self, rng: &mut dyn RandomSource) -> Option<Acquired> {
-        let num_shards = self.shards.len();
-        // Route to the calling thread's sticky home shard; steal from the
-        // remaining shards in ring order only on local exhaustion.  The RNG
-        // drives the probe order inside every shard visited.
-        let home = self.home_shard();
-        let mut probes = 0u32;
-        for hop in 0..num_shards {
-            let shard = (home + hop) % num_shards;
-            let core = &self.shards[shard].0;
-            match core.try_get(rng) {
-                Some(local) => {
-                    let name = self.global_name(shard, local.name());
-                    return Some(Acquired::new(
-                        name,
-                        probes + local.probes(),
-                        local.batch(),
-                        local.used_backup(),
-                    ));
-                }
-                // A failed shard performs its full deterministic budget.
-                None => probes += core.exhausted_probe_count(),
-            }
-        }
-        None
+        ShardedLevelArray::try_get(self, rng)
     }
 
     fn free(&self, name: Name) {
@@ -371,10 +402,14 @@ impl ActivityArray for ShardedLevelArray {
 
     fn collect(&self) -> Vec<Name> {
         let mut held = Vec::new();
-        for (shard, core) in self.shards.iter().enumerate() {
-            core.0.collect_into(shard * self.shard_capacity, &mut held);
-        }
+        ActivityArray::collect_into(self, &mut held);
         held
+    }
+
+    fn collect_into(&self, out: &mut Vec<Name>) {
+        for (shard, core) in self.shards.iter().enumerate() {
+            core.0.collect_into(shard * self.shard_capacity, out);
+        }
     }
 
     fn capacity(&self) -> usize {

@@ -6,8 +6,40 @@
 //! [`TasKind`] selects which primitive a structure uses (an ablation knob for
 //! the benchmark harness — on most hardware `swap` and `compare_exchange`
 //! behave identically for this workload).
+//!
+//! [`Slot`] is the *word-per-slot* representation: one `AtomicU32` per one-bit
+//! held/free state.  [`SlotLayout`] selects between it and the bit-packed
+//! representation of [`crate::packed::PackedSlots`], which stores 64 slots per
+//! atomic word so that `Collect` and the occupancy censuses scan 32× less
+//! memory (at the price of denser false sharing between concurrent `Get`s).
 
 use std::sync::atomic::{AtomicU32, Ordering};
+
+/// How the one-bit held/free state of the slots is laid out in memory.
+///
+/// This is an implementation ablation of the paper's TAS register (in the
+/// same spirit as [`TasKind`]): both layouts expose the identical
+/// test-and-set / reset / read semantics, so every probing facade behaves
+/// the same under either — the conformance suite
+/// (`tests/layout_conformance.rs`) drives both with identical seeds and
+/// asserts identical results.  The trade-off is purely architectural:
+///
+/// * [`SlotLayout::WordPerSlot`] — one `AtomicU32` per slot.  Concurrent
+///   `Get`s contend on a cache line only when their slots are within 16
+///   indices of each other.
+/// * [`SlotLayout::Packed`] — one *bit* per slot in a slab of `AtomicU64`
+///   words.  `Collect` and the censuses snapshot each word once and walk set
+///   bits with `trailing_zeros`, touching 1/32 of the memory; in exchange,
+///   512 slots share each cache line, so the randomized probing spreads
+///   writers over fewer lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SlotLayout {
+    /// One `AtomicU32` word per slot (the seed representation).
+    #[default]
+    WordPerSlot,
+    /// One bit per slot, 64 slots per `AtomicU64` word.
+    Packed,
+}
 
 /// Which hardware primitive `Get` uses to win a slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]

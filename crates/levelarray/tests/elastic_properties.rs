@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use larng::default_rng;
-use levelarray::{ActivityArray, GrowthPolicy, LevelArrayConfig, Name};
+use levelarray::{ActivityArray, GrowthPolicy, LevelArrayConfig, Name, SlotLayout};
 
 use proptest::prelude::*;
 
@@ -21,17 +21,19 @@ proptest! {
 
     /// Acquiring far beyond the initial bound grows the chain, every name is
     /// a fresh (epoch, index) pair, frees route back by tag, and draining
-    /// retires everything but the newest epoch.
+    /// retires everything but the newest epoch — under both slot layouts.
     #[test]
     fn growth_hands_out_unique_epoch_tagged_names(
         n in 1usize..8,
         max_epochs in 2usize..5,
         pin_stripes in 1usize..5,
+        packed in any::<bool>(),
         seed in any::<u64>(),
     ) {
         let array = LevelArrayConfig::new(n)
             .growth(GrowthPolicy::Doubling { max_epochs })
             .pin_stripes(pin_stripes)
+            .slot_layout(if packed { SlotLayout::Packed } else { SlotLayout::WordPerSlot })
             .build_elastic()
             .unwrap();
         // Per-epoch capacity for the default config is 3 * bound, so the

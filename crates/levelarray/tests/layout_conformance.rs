@@ -1,0 +1,180 @@
+//! Differential layout conformance: the bit-packed slot representation must
+//! be observationally identical to the word-per-slot representation.
+//!
+//! Every probing decision depends only on the RNG stream and on the held/free
+//! state of the slots — never on how that state is stored — so driving a
+//! `WordPerSlot` and a `Packed` instance of the *same* variant with the same
+//! seeded operation sequence must produce identical acquired names (with
+//! identical probe counts, batches and backup flags), identical occupancy
+//! censuses after every step, and identical `collect` sets.  This holds for
+//! all three facades: flat, sharded and elastic.
+
+use std::collections::HashSet;
+
+use larng::{default_rng, RandomSource};
+use levelarray::{ActivityArray, GrowthPolicy, LevelArrayConfig, Name, SlotLayout};
+
+fn ops() -> usize {
+    if cfg!(miri) {
+        60
+    } else {
+        2_000
+    }
+}
+
+/// Drives `word` and `packed` with the same seeded schedule and asserts they
+/// agree after every single operation.  `participants` exercises
+/// `route_hint`, so the sharded facade's sticky routing takes the same path
+/// on both sides; `quota` bounds how many names the schedule holds at once
+/// (for the elastic facade it deliberately exceeds the initial bound so both
+/// chains grow in step).
+fn assert_lockstep(
+    word: &dyn ActivityArray,
+    packed: &dyn ActivityArray,
+    seed: u64,
+    participants: usize,
+    quota: usize,
+) {
+    assert_eq!(word.capacity(), packed.capacity());
+    assert_eq!(word.max_participants(), packed.max_participants());
+
+    // Two identical streams: one per instance, so the probe draws match.
+    let mut rng_w = default_rng(seed);
+    let mut rng_p = default_rng(seed);
+    // One shared stream for the schedule itself (op choice, free victim).
+    let mut script = default_rng(seed ^ 0xD1FF);
+
+    let mut held: Vec<Name> = Vec::new();
+    for step in 0..ops() {
+        let participant = script.gen_index(participants.max(1));
+        word.route_hint(participant);
+        packed.route_hint(participant);
+
+        let register = held.is_empty() || (script.gen_bool(0.6) && held.len() < quota);
+        if register {
+            let a = word.try_get(&mut rng_w);
+            let b = packed.try_get(&mut rng_p);
+            assert_eq!(a, b, "step {step}: acquisitions diverged");
+            if let Some(got) = a {
+                assert!(
+                    !held.contains(&got.name()),
+                    "step {step}: duplicate live name {}",
+                    got.name()
+                );
+                held.push(got.name());
+            }
+        } else {
+            let victim = held.swap_remove(script.gen_index(held.len()));
+            word.free(victim);
+            packed.free(victim);
+        }
+
+        // Sequential drive, so the censuses are exact — and must be equal.
+        let mut cw = word.collect();
+        let mut cp = packed.collect();
+        cw.sort();
+        cp.sort();
+        assert_eq!(cw, cp, "step {step}: collect sets diverged");
+        let mut expected: Vec<Name> = held.clone();
+        expected.sort();
+        assert_eq!(cw, expected, "step {step}: collect drifted from the model");
+
+        let ow = word.occupancy();
+        let op = packed.occupancy();
+        assert_eq!(
+            ow.regions(),
+            op.regions(),
+            "step {step}: occupancy censuses diverged"
+        );
+    }
+
+    // Drain through both and confirm they empty together.
+    for name in held.drain(..) {
+        word.free(name);
+        packed.free(name);
+    }
+    assert!(word.collect().is_empty());
+    assert!(packed.collect().is_empty());
+}
+
+fn pair(config: &LevelArrayConfig) -> (LevelArrayConfig, LevelArrayConfig) {
+    (
+        config.clone().slot_layout(SlotLayout::WordPerSlot),
+        config.clone().slot_layout(SlotLayout::Packed),
+    )
+}
+
+#[test]
+fn flat_layouts_conform() {
+    for (n, seed) in [(5usize, 11u64), (33, 12), (170, 13)] {
+        let (w, p) = pair(&LevelArrayConfig::new(n));
+        assert_lockstep(&w.build().unwrap(), &p.build().unwrap(), seed, 1, n);
+    }
+}
+
+#[test]
+fn flat_layouts_conform_without_backup_and_with_swap_tas() {
+    let base = LevelArrayConfig::new(24)
+        .backup(false)
+        .tas_kind(levelarray::TasKind::Swap)
+        .probes_per_batch(2);
+    let (w, p) = pair(&base);
+    assert_lockstep(&w.build().unwrap(), &p.build().unwrap(), 21, 1, 24);
+}
+
+#[test]
+fn sharded_layouts_conform() {
+    for (n, shards, seed) in [(16usize, 2usize, 31u64), (40, 4, 32), (70, 3, 33)] {
+        let (w, p) = pair(&LevelArrayConfig::new(n));
+        assert_lockstep(
+            &w.build_sharded(shards).unwrap(),
+            &p.build_sharded(shards).unwrap(),
+            seed,
+            shards * 2,
+            n,
+        );
+    }
+}
+
+#[test]
+fn elastic_layouts_conform_across_growth_and_retirement() {
+    for (n, max_epochs, seed) in [(2usize, 4usize, 41u64), (5, 3, 42)] {
+        let (w, p) = pair(&LevelArrayConfig::new(n).growth(GrowthPolicy::Doubling { max_epochs }));
+        let word = w.build_elastic().unwrap();
+        let packed = p.build_elastic().unwrap();
+        // An elastic chain's live bound is the chain total; oversubscribe the
+        // initial epoch hard so both sides grow (and later retire) in step.
+        assert_lockstep(&word, &packed, seed, 1, n * 10);
+        assert_eq!(word.num_epochs(), packed.num_epochs());
+        assert_eq!(word.epoch_ids(), packed.epoch_ids());
+        let _ = word.try_retire();
+        let _ = packed.try_retire();
+        assert_eq!(word.num_epochs(), packed.num_epochs());
+    }
+}
+
+/// The packed layout alone also satisfies the core renaming contract under a
+/// fill-to-capacity drive (uniqueness up to exhaustion, exact refill).
+#[test]
+fn packed_flat_fills_to_capacity_with_unique_names() {
+    let array = LevelArrayConfig::new(12)
+        .slot_layout(SlotLayout::Packed)
+        .build()
+        .unwrap();
+    let mut rng = default_rng(5);
+    let mut held = HashSet::new();
+    for _ in 0..(if cfg!(miri) { 2_000 } else { 50_000 }) {
+        if held.len() == array.capacity() {
+            break;
+        }
+        if let Some(got) = array.try_get(&mut rng) {
+            assert!(held.insert(got.name()), "duplicate {}", got.name());
+        }
+    }
+    assert_eq!(held.len(), array.capacity());
+    assert!(array.try_get(&mut rng).is_none());
+    for name in held {
+        array.free(name);
+    }
+    assert!(array.collect().is_empty());
+}

@@ -6,7 +6,7 @@ use larng::{default_rng, RandomSource};
 use levelarray::balance::{is_overcrowded, overcrowding_threshold, tracked_batches};
 use levelarray::geometry::BatchGeometry;
 use levelarray::{
-    ActivityArray, GetStats, LevelArray, LevelArrayConfig, Name, ProbePolicy, TasKind,
+    ActivityArray, GetStats, LevelArray, LevelArrayConfig, Name, ProbePolicy, SlotLayout, TasKind,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -83,14 +83,19 @@ proptest! {
 
     /// Long-lived renaming correctness under an arbitrary sequential schedule:
     /// no duplicate names while held, frees always succeed, collect returns
-    /// exactly the held set, and probe counts stay within the wait-free bound.
+    /// exactly the held set, and probe counts stay within the wait-free bound
+    /// — for both slot layouts.
     #[test]
     fn sequential_schedule_correctness(
         seed in any::<u64>(),
         n in 1usize..64,
+        packed in any::<bool>(),
         ops in proptest::collection::vec(any::<u16>(), 1..400),
     ) {
-        let array = LevelArray::new(n);
+        let array = LevelArrayConfig::new(n)
+            .slot_layout(if packed { SlotLayout::Packed } else { SlotLayout::WordPerSlot })
+            .build()
+            .unwrap();
         let mut rng = default_rng(seed);
         let mut held: Vec<Name> = Vec::new();
 
@@ -120,17 +125,20 @@ proptest! {
     }
 
     /// The array never hands out more names than its capacity and recovers the
-    /// full capacity after mass frees, regardless of probe policy and TAS kind.
+    /// full capacity after mass frees, regardless of probe policy, TAS kind
+    /// and slot layout.
     #[test]
     fn fill_then_drain_restores_capacity(
         seed in any::<u64>(),
         n in 1usize..48,
         probes in 1u32..4,
         swap_tas in any::<bool>(),
+        packed in any::<bool>(),
     ) {
         let array = LevelArrayConfig::new(n)
             .probes_per_batch(probes)
             .tas_kind(if swap_tas { TasKind::Swap } else { TasKind::CompareExchange })
+            .slot_layout(if packed { SlotLayout::Packed } else { SlotLayout::WordPerSlot })
             .build()
             .unwrap();
         let mut rng = default_rng(seed);

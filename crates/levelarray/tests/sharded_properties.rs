@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use larng::default_rng;
-use levelarray::{ActivityArray, LevelArrayConfig, Name, ShardedLevelArray};
+use levelarray::{ActivityArray, LevelArrayConfig, Name, ShardedLevelArray, SlotLayout};
 use proptest::prelude::*;
 
 fn cases(n: u32) -> ProptestConfig {
@@ -19,15 +19,20 @@ proptest! {
     #![proptest_config(cases(48))]
 
     /// Draining the array hands out every global name exactly once, for every
-    /// (shards, n) combination: the tail of the drain can only complete by
-    /// stealing from non-home shards, so the steal path is always exercised.
+    /// (shards, n, layout) combination: the tail of the drain can only
+    /// complete by stealing from non-home shards, so the steal path is always
+    /// exercised — under both slot layouts.
     #[test]
     fn every_shards_n_combination_drains_to_unique_names(
         shards in 1usize..6,
         n in 1usize..40,
+        packed in any::<bool>(),
         seed in any::<u64>(),
     ) {
-        let array = LevelArrayConfig::new(n).build_sharded(shards).unwrap();
+        let array = LevelArrayConfig::new(n)
+            .slot_layout(if packed { SlotLayout::Packed } else { SlotLayout::WordPerSlot })
+            .build_sharded(shards)
+            .unwrap();
         prop_assert_eq!(array.num_shards(), shards);
         prop_assert_eq!(array.shard_contention(), n.div_ceil(shards));
         let mut rng = default_rng(seed);

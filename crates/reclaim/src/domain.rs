@@ -83,6 +83,10 @@ struct ClosedBag {
 struct LimboState {
     open: Vec<Retired>,
     closed: Vec<ClosedBag>,
+    /// Reusable `Collect` buffer: the steady-state reclamation pass scans the
+    /// registry through [`ActivityArray::collect_into`], so it stops paying a
+    /// fresh `Vec` allocation per grace-period scan.
+    scan: Vec<Name>,
 }
 
 /// Counters describing the state of a domain (for tests, benchmarks, and
@@ -166,7 +170,9 @@ impl ReclaimDomain {
     /// the snapshot, and (3) frees the bags whose waiting sets have emptied.
     pub fn try_reclaim(&self) -> u64 {
         let mut limbo = self.limbo.lock().expect("limbo lock poisoned");
-        let snapshot: HashSet<Name> = self.registry.collect().into_iter().collect();
+        limbo.scan.clear();
+        self.registry.collect_into(&mut limbo.scan);
+        let snapshot: HashSet<Name> = limbo.scan.iter().copied().collect();
 
         // (1) Close the open bag, if it has anything in it.
         if !limbo.open.is_empty() {
