@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt clippy build test doc bench-check bench-smoke bench-json bench-diff examples miri
+.PHONY: ci fmt clippy build test doc bench-check bench-smoke bench-json bench-diff bench-layout examples miri
 
 ci: fmt clippy build test doc bench-check
 
@@ -50,6 +50,16 @@ bench-json:
 	FIG3_N=256 FIG3_OPS=32000 FIG3_SNAPSHOT=4000 FIG3_SHARDS=2 FIG3_ELASTIC_EPOCHS=4 \
 		$(CARGO) bench --bench fig3_healing
 
+# The slot-layout ablation in isolation: the sweeps bench at reference-cell
+# sizes, which prints the Get-side layout table (word-per-slot / packed /
+# hybrid at the sweep thread count and at >=8 threads), the Collect-latency
+# table with the scalar-walk reference row, and the Free->Get hint micro.
+# This is the recipe behind the committed crossover default for
+# `hybrid_layout()`; set BENCH_JSON to capture records.
+bench-layout:
+	BENCH_REPEAT=5 SWEEP_THREADS=2 SWEEP_OPS=50000 SWEEP_EMULATED=8 \
+		$(CARGO) bench --bench sweeps
+
 # Regression check: rerun the reference cells with JSON output and diff them
 # against the committed table, flagging >20% throughput or worst-case drift
 # (exit 1 on drift; CI runs this as a non-blocking step so elastic-path
@@ -67,8 +77,9 @@ bench-diff:
 # cfg(miri)).  Needs the nightly toolchain with the miri component:
 #   rustup toolchain install nightly --component miri
 miri:
-	$(CARGO) +nightly miri test -p levelarray --lib -- slot:: packed:: probe_core::
+	$(CARGO) +nightly miri test -p levelarray --lib -- slot:: packed:: probe_core:: hint::
 	$(CARGO) +nightly miri test -p levelarray --test layout_conformance
+	$(CARGO) +nightly miri test -p levelarray --test free_hint
 
 examples:
 	$(CARGO) run -q --release --example quickstart

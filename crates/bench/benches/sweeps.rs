@@ -18,19 +18,30 @@
 //!    under-provisioned elastic array, so the measured `Get`s repeatedly
 //!    cross forced growth *and* retirement on the lock-free epoch chain.
 //! 8. **Slot-layout ablation (Get side)** — the multi-threaded workload over
-//!    the word-per-slot and the bit-packed slot representation, measuring
-//!    what the packed layout's denser false sharing costs a `Get`.
+//!    the word-per-slot, bit-packed and hybrid slot representations,
+//!    measuring what the packed layout's denser false sharing costs a `Get`
+//!    — at the base thread count and again at ≥8 threads, where the
+//!    contended batch-0 cache lines separate the layouts (the hybrid
+//!    layout's whole argument).
 //! 9. **Collect-latency sweep (scan side)** — single-threaded `Collect`
-//!    latency against occupancy for both layouts: the packed layout scans
-//!    1/32 of the memory, which is the whole point of the knob; the two
-//!    sections together are the §6-style both-sides measurement of the
-//!    trade.
+//!    latency against occupancy for all three layouts: the packed layout
+//!    scans 1/32 of the memory, which is the whole point of the knob; the
+//!    two sections together are the §6-style both-sides measurement of the
+//!    trade.  A `packed-scalar` reference cell walks the same bit pattern
+//!    with the pre-batching word-at-a-time loop, so the committed table
+//!    always carries the batched-vs-scalar ratio the vectorised scans claim.
+//! 10. **Free→Get hint micro** — the same-thread free-then-get churn pair on
+//!     a nearly full, tightly sized array, hint cache off vs on: off pays
+//!     the full probe sequence per Get, on retries the just-freed slot with
+//!     one cache-hot CAS.
 //!
 //! Environment variables: `SWEEP_THREADS` (default: min(4, host)),
 //! `SWEEP_OPS` (default 50 000 measured ops/thread), `SWEEP_EMULATED`
 //! (default 32), `SWEEP_COLLECT_N` / `SWEEP_COLLECT_ITERS` (collect-cell
-//! contention bound and scan count, defaults 4096 / 10 000), `BENCH_JSON` to
-//! append one machine-readable record per cell (see `la_bench::json`), and
+//! contention bound and scan count, defaults 4096 / 10 000),
+//! `SWEEP_HINT_N` / `SWEEP_HINT_PAIRS` (hint-cell contention bound and
+//! measured pair count, defaults 256 / 200 000), `BENCH_JSON` to append one
+//! machine-readable record per cell (see `la_bench::json`), and
 //! `BENCH_REPEAT` to keep the median-throughput run of that many repetitions
 //! per cell.
 
@@ -38,7 +49,7 @@ use std::time::Instant;
 
 use la_bench::{Algorithm, Cell, JsonRecord, JsonSink, Table, WorkloadConfig, WorkloadResult};
 use larng::default_rng;
-use levelarray::{ActivityArray, LevelArrayConfig, SlotLayout};
+use levelarray::{ActivityArray, LevelArrayConfig, Name, PackedSlots, SlotLayout, TasKind};
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
     std::env::var(key)
@@ -291,15 +302,19 @@ fn main() {
     );
 
     // 8. Slot-layout ablation, Get side: the full multi-threaded workload
-    // over both slot representations.  The packed layout packs 512 slots per
-    // cache line, so this is where its denser false sharing would show.
-    let mut header = vec!["layout", "algorithm"];
-    header.extend(METRIC_COLUMNS);
-    let mut layout_table = Table::new(&header);
-    for (layout, algorithm) in [
+    // over the three slot representations.  The packed layout packs 512
+    // slots per cache line, so this is where its denser false sharing would
+    // show; the hybrid layout keeps the contended batch-0 head word-per-slot
+    // and packs only the tail and backup.
+    const LAYOUT_ABLATION: [(&str, Algorithm); 3] = [
         ("word-per-slot", Algorithm::LevelArray),
         ("packed", Algorithm::LevelArrayPacked),
-    ] {
+        ("hybrid", Algorithm::LevelArrayHybrid),
+    ];
+    let mut header = vec!["layout", "threads", "algorithm"];
+    header.extend(METRIC_COLUMNS);
+    let mut layout_table = Table::new(&header);
+    for (layout, algorithm) in LAYOUT_ABLATION {
         let result = la_bench::workload::run_workload_repeated(algorithm, &base, repeat);
         record(
             &mut sink,
@@ -308,7 +323,38 @@ fn main() {
         );
         layout_table.push_row(result_row(
             &result,
-            vec![layout.into(), result.algorithm.clone().into()],
+            vec![
+                layout.into(),
+                threads.into(),
+                result.algorithm.clone().into(),
+            ],
+        ));
+    }
+    // The contended cell: the same ablation at >= 8 threads, where the
+    // cache-line traffic of concurrent Gets — the trade the hybrid layout is
+    // built around — actually bites.
+    let contended_threads = threads.max(8);
+    let contended = WorkloadConfig {
+        threads: contended_threads,
+        ..base.clone()
+    };
+    for (layout, algorithm) in LAYOUT_ABLATION {
+        let result = la_bench::workload::run_workload_repeated(algorithm, &contended, repeat);
+        record(
+            &mut sink,
+            &result,
+            format!(
+                "sweeps/layout={layout}/threads={contended_threads}/{}",
+                result.algorithm
+            ),
+        );
+        layout_table.push_row(result_row(
+            &result,
+            vec![
+                layout.into(),
+                contended_threads.into(),
+                result.algorithm.clone().into(),
+            ],
         ));
     }
     println!(
@@ -332,80 +378,211 @@ fn main() {
         "ns/collect",
         "held seen",
     ]);
-    for (label, layout) in [
-        ("word-per-slot", SlotLayout::WordPerSlot),
-        ("packed", SlotLayout::Packed),
-    ] {
+    // Warm, then median-of-repeat damping, exactly like the workload cells:
+    // a single collect is a microsecond-scale measurement, far too exposed
+    // to frequency scaling for a one-shot number to diff.
+    let median_scan = |out: &mut Vec<Name>, pass: &mut dyn FnMut(&mut Vec<Name>)| {
+        for _ in 0..collect_iters / 10 + 1 {
+            out.clear();
+            pass(out);
+        }
+        let mut runs: Vec<(f64, usize)> = (0..repeat.max(1))
+            .map(|_| {
+                let started = Instant::now();
+                let mut seen = 0usize;
+                for _ in 0..collect_iters {
+                    out.clear();
+                    pass(out);
+                    seen += out.len();
+                }
+                (started.elapsed().as_secs_f64(), seen)
+            })
+            .collect();
+        runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        runs[runs.len() / 2]
+    };
+    let emit_collect = |sink: &mut Option<JsonSink>,
+                        table: &mut Table,
+                        label: &str,
+                        occupancy: f64,
+                        elapsed_s: f64,
+                        seen: usize| {
+        let per_collect_ns = elapsed_s * 1e9 / f64::from(collect_iters);
+        let collects_per_s = if elapsed_s == 0.0 {
+            0.0
+        } else {
+            f64::from(collect_iters) / elapsed_s
+        };
+        if let Some(sink) = sink.as_mut() {
+            sink.write(
+                &JsonRecord::new()
+                    .field(
+                        "key",
+                        format!("sweeps/collect/n={collect_n}/occ={occupancy}/{label}"),
+                    )
+                    .field("bench", "sweeps")
+                    .field("algorithm", format!("Collect({label})"))
+                    .field("slots", collect_n as u64)
+                    .field("occupancy", occupancy)
+                    .field("collect_iters", u64::from(collect_iters))
+                    .field("throughput", collects_per_s)
+                    .field("collect_ns", per_collect_ns),
+            );
+        }
+        table.push_row(vec![
+            label.into(),
+            collect_n.into(),
+            Cell::FloatPrec(occupancy, 2),
+            Cell::FloatPrec(collects_per_s, 0),
+            Cell::FloatPrec(per_collect_ns, 0),
+            (seen as u64 / u64::from(collect_iters)).into(),
+        ]);
+    };
+    let layout_configs: [(&str, LevelArrayConfig); 3] = [
+        (
+            "word-per-slot",
+            LevelArrayConfig::new(collect_n).slot_layout(SlotLayout::WordPerSlot),
+        ),
+        (
+            "packed",
+            LevelArrayConfig::new(collect_n).slot_layout(SlotLayout::Packed),
+        ),
+        ("hybrid", LevelArrayConfig::new(collect_n).hybrid_layout()),
+    ];
+    for (label, config) in &layout_configs {
         for occupancy in [0.1, 0.5, 0.9] {
-            let array = LevelArrayConfig::new(collect_n)
-                .slot_layout(layout)
-                .build()
-                .expect("valid configuration");
+            let array = config.clone().build().expect("valid configuration");
             let mut rng = default_rng(0xC011EC7);
             let target = ((collect_n as f64) * occupancy) as usize;
             let held: Vec<_> = (0..target).map(|_| array.get(&mut rng).name()).collect();
 
             let mut out = Vec::with_capacity(collect_n);
-            // Warm the cache and the buffer capacity before timing.
-            for _ in 0..collect_iters / 10 + 1 {
-                out.clear();
-                array.collect_into(&mut out);
-            }
-            // Median-of-repeat damping, exactly like the workload cells: a
-            // single collect is a microsecond-scale measurement, far too
-            // exposed to frequency scaling for a one-shot number to diff.
-            let mut runs: Vec<(f64, usize)> = (0..repeat.max(1))
-                .map(|_| {
-                    let started = Instant::now();
-                    let mut seen = 0usize;
-                    for _ in 0..collect_iters {
-                        out.clear();
-                        array.collect_into(&mut out);
-                        seen += out.len();
-                    }
-                    (started.elapsed().as_secs_f64(), seen)
-                })
-                .collect();
-            runs.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let (elapsed_s, seen) = runs[runs.len() / 2];
+            let (elapsed_s, seen) = median_scan(&mut out, &mut |out| array.collect_into(out));
             for name in held {
                 array.free(name);
             }
-
-            let per_collect_ns = elapsed_s * 1e9 / f64::from(collect_iters);
-            let collects_per_s = if elapsed_s == 0.0 {
-                0.0
-            } else {
-                f64::from(collect_iters) / elapsed_s
-            };
-            if let Some(sink) = sink.as_mut() {
-                sink.write(
-                    &JsonRecord::new()
-                        .field(
-                            "key",
-                            format!("sweeps/collect/n={collect_n}/occ={occupancy}/{label}"),
-                        )
-                        .field("bench", "sweeps")
-                        .field("algorithm", format!("Collect({label})"))
-                        .field("slots", collect_n as u64)
-                        .field("occupancy", occupancy)
-                        .field("collect_iters", u64::from(collect_iters))
-                        .field("throughput", collects_per_s)
-                        .field("collect_ns", per_collect_ns),
-                );
-            }
-            collect_table.push_row(vec![
-                label.into(),
-                collect_n.into(),
-                Cell::FloatPrec(occupancy, 2),
-                Cell::FloatPrec(collects_per_s, 0),
-                Cell::FloatPrec(per_collect_ns, 0),
-                (seen as u64 / u64::from(collect_iters)).into(),
-            ]);
+            emit_collect(
+                &mut sink,
+                &mut collect_table,
+                label,
+                occupancy,
+                elapsed_s,
+                seen,
+            );
         }
+    }
+    // The scalar reference: the pre-batching word-at-a-time walk over the
+    // exact bit pattern of the packed cell, so the committed table always
+    // carries the batched-vs-scalar ratio the vectorised scans claim.
+    for occupancy in [0.1, 0.5, 0.9] {
+        let array = LevelArrayConfig::new(collect_n)
+            .slot_layout(SlotLayout::Packed)
+            .build()
+            .expect("valid configuration");
+        let mut rng = default_rng(0xC011EC7);
+        let target = ((collect_n as f64) * occupancy) as usize;
+        let held: Vec<_> = (0..target).map(|_| array.get(&mut rng).name()).collect();
+        let reference = PackedSlots::new(array.capacity());
+        for name in &held {
+            assert!(reference.try_acquire(name.index(), TasKind::CompareExchange));
+        }
+
+        let mut out = Vec::with_capacity(collect_n);
+        let len = reference.len();
+        let (elapsed_s, seen) = median_scan(&mut out, &mut |out| {
+            reference.for_each_held_scalar(0..len, |idx| out.push(Name::new(idx)));
+        });
+        for name in held {
+            array.free(name);
+        }
+        emit_collect(
+            &mut sink,
+            &mut collect_table,
+            "packed-scalar",
+            occupancy,
+            elapsed_s,
+            seen,
+        );
     }
     println!(
         "## Collect-latency sweep, scan side (SlotLayout)\n\n{}",
         collect_table.to_markdown()
+    );
+
+    // 10. Free→Get hint micro: the same-thread free-then-get churn pair on a
+    // nearly full array sized with almost no slack, so the probe sequence a
+    // hint-less Get has to run is expensive — the shape a thread pool's
+    // register/deregister churn takes under peak load.  The hint-on cell
+    // retries the just-freed slot with one cache-hot CAS instead.
+    let hint_n: usize = env_or("SWEEP_HINT_N", 256).max(2);
+    let hint_pairs: u32 = env_or("SWEEP_HINT_PAIRS", 200_000);
+    let mut hint_table = Table::new(&["hint", "n", "pairs/s", "ns/pair", "avg probes"]);
+    for (label, enabled) in [("off", false), ("on", true)] {
+        let array = LevelArrayConfig::new(hint_n)
+            .space_factor(1.15)
+            .free_hint(enabled)
+            .build()
+            .expect("valid configuration");
+        let mut rng = default_rng(0xF1EE7);
+        // Hold all but one slot of the bound: every measured Get probes a
+        // nearly full array unless the hint short-circuits it.
+        let held: Vec<_> = (0..hint_n - 1)
+            .map(|_| array.get(&mut rng).name())
+            .collect();
+        // Warm.
+        for _ in 0..1_000 {
+            let got = array.get(&mut rng);
+            array.free(got.name());
+        }
+        let mut probe_sum = 0u64;
+        let mut runs: Vec<f64> = (0..repeat.max(1))
+            .map(|_| {
+                let started = Instant::now();
+                for _ in 0..hint_pairs {
+                    let got = array.get(&mut rng);
+                    probe_sum += u64::from(got.probes());
+                    array.free(got.name());
+                }
+                started.elapsed().as_secs_f64()
+            })
+            .collect();
+        runs.sort_by(f64::total_cmp);
+        let elapsed_s = runs[runs.len() / 2];
+        let total_pairs = u64::from(hint_pairs) * repeat.max(1) as u64;
+        let mean_probes = probe_sum as f64 / total_pairs as f64;
+        for name in held {
+            array.free(name);
+        }
+
+        let pair_ns = elapsed_s * 1e9 / f64::from(hint_pairs);
+        let pairs_per_s = if elapsed_s == 0.0 {
+            0.0
+        } else {
+            f64::from(hint_pairs) / elapsed_s
+        };
+        if let Some(sink) = sink.as_mut() {
+            sink.write(
+                &JsonRecord::new()
+                    .field("key", format!("sweeps/hint/n={hint_n}/{label}"))
+                    .field("bench", "sweeps")
+                    .field("algorithm", format!("FreeGetPair(hint={label})"))
+                    .field("contention", hint_n as u64)
+                    .field("pairs", u64::from(hint_pairs))
+                    .field("throughput", pairs_per_s)
+                    .field("pair_ns", pair_ns)
+                    .field("mean_probes", mean_probes),
+            );
+        }
+        hint_table.push_row(vec![
+            label.into(),
+            hint_n.into(),
+            Cell::FloatPrec(pairs_per_s, 0),
+            Cell::FloatPrec(pair_ns, 1),
+            Cell::FloatPrec(mean_probes, 3),
+        ]);
+    }
+    println!(
+        "## Free→Get hint micro (free_hint)\n\n{}",
+        hint_table.to_markdown()
     );
 }

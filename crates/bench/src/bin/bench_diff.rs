@@ -9,9 +9,12 @@
 //! (skipping fields absent on either side, so healing records — which carry
 //! `ops_to_balance` instead — are joined but only compared on what they
 //! have).  A drift beyond the tolerance (default 20%, override with
-//! `BENCH_DIFF_TOLERANCE=<fraction>`) is flagged, and the process exits
-//! non-zero if anything was flagged — `make bench-diff` runs the reference
-//! cells against the committed table in `bench/baselines/`.
+//! `BENCH_DIFF_TOLERANCE=<fraction>`) **in the regressing direction** — a
+//! throughput drop, a worst-case rise — is flagged, and the process exits
+//! non-zero if anything was flagged; drift in the improving direction is
+//! printed (`IMPROVED`) so a stale baseline is visible, but an optimisation
+//! must not fail its own diff.  `make bench-diff` runs the reference cells
+//! against the committed table in `bench/baselines/`.
 //!
 //! The worst-case metric compared is `worst_avg` — the per-thread maxima
 //! averaged over threads, exactly the damping the paper applies to its
@@ -100,13 +103,24 @@ fn main() -> ExitCode {
             } else {
                 (c - b) / b
             };
+            // Direction-aware: only throughput *drops* and worst-case
+            // *rises* regress; the improving direction is informational.
+            let regressing = match metric {
+                "throughput" => drift < -tolerance,
+                _ => drift > tolerance,
+            };
             let within_slack = metric == "worst_avg" && (c - b).abs() <= worst_slack;
-            if drift.abs() > tolerance && !within_slack {
+            if regressing && !within_slack {
                 flagged += 1;
                 println!(
                     "DRIFT    {key}: {metric} {b:.2} -> {c:.2} ({:+.1}%, tolerance {:.0}%)",
                     drift * 100.0,
                     tolerance * 100.0
+                );
+            } else if drift.abs() > tolerance && !within_slack {
+                println!(
+                    "IMPROVED {key}: {metric} {b:.2} -> {c:.2} ({:+.1}%)",
+                    drift * 100.0
                 );
             }
         }

@@ -38,6 +38,15 @@ pub enum Algorithm {
     /// (ablation): `Collect` scans 32× less memory, concurrent `Get`s share
     /// denser cache lines — the layout sweep measures both sides.
     LevelArrayPacked,
+    /// LevelArray with the hybrid slot layout (ablation): the contended
+    /// batch-0 head stays word-per-slot, the tail and backup are bit-packed,
+    /// so concurrent `Get`s keep uncrowded cache lines where the traffic is
+    /// while `Collect` still scans most of the array 64 slots per word.
+    LevelArrayHybrid,
+    /// LevelArray with the Free→Get hint cache enabled (ablation): `free`
+    /// arms a per-thread hint and the next same-thread `Get` retries that
+    /// slot with one cache-hot CAS before probing.
+    LevelArrayHinted,
     /// The contention bound split across cache-padded shards with work
     /// stealing on local exhaustion (the ROADMAP's sharded-arrays item).
     ShardedLevelArray {
@@ -83,6 +92,8 @@ impl Algorithm {
             Algorithm::LevelArrayProbes(c) => format!("LevelArray(c={c})"),
             Algorithm::LevelArraySwapTas => "LevelArray(swap)".to_string(),
             Algorithm::LevelArrayPacked => "LevelArray(packed)".to_string(),
+            Algorithm::LevelArrayHybrid => "LevelArray(hybrid)".to_string(),
+            Algorithm::LevelArrayHinted => "LevelArray(hint)".to_string(),
             Algorithm::ShardedLevelArray { shards } => format!("ShardedLevelArray(s={shards})"),
             Algorithm::Elastic { max_epochs } => format!("Elastic(e<={max_epochs})"),
             Algorithm::ElasticStorm { divisor } => format!("ElasticStorm(n/{divisor})"),
@@ -136,6 +147,20 @@ impl Algorithm {
                 config
                     .clone()
                     .slot_layout(SlotLayout::Packed)
+                    .build()
+                    .expect("valid configuration"),
+            ),
+            Algorithm::LevelArrayHybrid => Arc::new(
+                config
+                    .clone()
+                    .hybrid_layout()
+                    .build()
+                    .expect("valid configuration"),
+            ),
+            Algorithm::LevelArrayHinted => Arc::new(
+                config
+                    .clone()
+                    .free_hint(true)
                     .build()
                     .expect("valid configuration"),
             ),
@@ -446,6 +471,8 @@ mod tests {
             Algorithm::LevelArrayProbes(2),
             Algorithm::LevelArraySwapTas,
             Algorithm::LevelArrayPacked,
+            Algorithm::LevelArrayHybrid,
+            Algorithm::LevelArrayHinted,
             Algorithm::ShardedLevelArray { shards: 2 },
             Algorithm::ShardedLevelArray { shards: 4 },
             Algorithm::Elastic { max_epochs: 4 },
@@ -508,6 +535,8 @@ mod tests {
         assert_eq!(Algorithm::LevelArray.label(), "LevelArray");
         assert_eq!(Algorithm::LevelArrayProbes(3).label(), "LevelArray(c=3)");
         assert_eq!(Algorithm::LevelArrayPacked.label(), "LevelArray(packed)");
+        assert_eq!(Algorithm::LevelArrayHybrid.label(), "LevelArray(hybrid)");
+        assert_eq!(Algorithm::LevelArrayHinted.label(), "LevelArray(hint)");
         assert_eq!(
             Algorithm::ShardedLevelArray { shards: 4 }.label(),
             "ShardedLevelArray(s=4)"

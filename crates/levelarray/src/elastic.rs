@@ -199,6 +199,12 @@ pub struct ElasticLevelArray {
     growth: GrowthPolicy,
     /// Whether a draining free schedules the deferred retirement check.
     auto_retire: bool,
+    /// Process-unique identity for the per-thread Free→Get hint cache
+    /// (see [`crate::hint`]).
+    array_id: u64,
+    /// Whether `free` arms the per-thread Free→Get hint cache
+    /// ([`LevelArrayConfig::free_hint`]).
+    free_hint: bool,
     /// Re-arm flag for the deferred maintenance: set whenever a
     /// [`ElasticLevelArray::try_retire`] pass leaves work behind (a grace
     /// observation failed with drained candidates outstanding, or displaced
@@ -250,6 +256,8 @@ impl ElasticLevelArray {
             base: config.clone(),
             growth: config.growth_policy(),
             auto_retire: config.auto_retire_enabled(),
+            array_id: crate::hint::next_array_id(),
+            free_hint: config.free_hint_enabled(),
             maintenance_pending: AtomicBool::new(false),
             epochs_opened: AtomicUsize::new(1),
             epochs_retired: AtomicUsize::new(0),
@@ -342,6 +350,13 @@ impl ElasticLevelArray {
     pub fn try_get<R: RandomSource + ?Sized>(&self, rng: &mut R) -> Option<Acquired> {
         let mut probes = 0u32;
         let pin = self.chain.pin();
+        if self.free_hint {
+            if let Some(hinted) = crate::hint::take(self.array_id) {
+                if let Some(got) = Self::hint_acquire(&pin, hinted) {
+                    return Some(got);
+                }
+            }
+        }
         loop {
             // Route to the newest epoch and run the paper's Get there.  A
             // sealed head is a transient stale view (only non-newest cells
@@ -535,6 +550,32 @@ impl ElasticLevelArray {
             })
     }
 
+    /// Retries the hinted epoch-tagged slot with one test-and-set.  The
+    /// hinted epoch may have been retired (or sealed by an in-flight
+    /// retirement check) since the free that recorded it — both reject the
+    /// hint instead of panicking, and the caller falls through to the probe
+    /// path.  Seal-race safety mirrors [`ElasticLevelArray::force_occupy`]:
+    /// the caller's pin blocks the retirement grace period, so a win taken
+    /// on an unsealed cell is always visible to the retirement census.  The
+    /// hint attempt is not counted as a probe, matching
+    /// [`ProbeCore::hint_acquire`].
+    fn hint_acquire(pin: &ChainPin<'_, Arc<EpochCell>>, hinted: Name) -> Option<Acquired> {
+        let cell = pin
+            .iter()
+            .map(|node| node.value().as_ref())
+            .find(|c| c.epoch == hinted.epoch())?;
+        if cell.is_sealed() {
+            return None;
+        }
+        let local = cell.core.hint_acquire(Name::new(hinted.index()))?;
+        Some(Self::tag(cell, local, 0))
+    }
+
+    /// Whether `free` arms the per-thread Free→Get hint cache.
+    pub fn free_hint_enabled(&self) -> bool {
+        self.free_hint
+    }
+
     /// Tags a core-local acquisition with its epoch and the probes charged so
     /// far, and records it in the cell's held counter.
     fn tag(cell: &EpochCell, local: Acquired, base_probes: u32) -> Acquired {
@@ -710,6 +751,12 @@ impl ActivityArray for ElasticLevelArray {
             let newest = pin.head().value().epoch;
             cell.epoch != newest && remaining == 0
         };
+        // Arm the Free→Get hint with the epoch-tagged name.  If the deferred
+        // retirement below unlinks the hinted epoch, the stale hint is
+        // rejected by the liveness lookup in hint_acquire — never panics.
+        if self.free_hint {
+            crate::hint::record(self.array_id, name);
+        }
         // Deferred retirement check: the free's own critical path (slot
         // released, pin dropped) is already complete; try_retire is
         // non-blocking, so this never stalls the caller behind growth or
@@ -1064,6 +1111,40 @@ mod tests {
         for name in names.iter().skip(1) {
             array.free(*name);
         }
+    }
+
+    #[test]
+    fn free_hint_rewins_the_freed_epoch_tagged_slot() {
+        let off = ElasticLevelArray::new(4, GrowthPolicy::Fixed);
+        assert!(!off.free_hint_enabled(), "the hint defaults off");
+
+        let array = LevelArrayConfig::new(4)
+            .growth(GrowthPolicy::Doubling { max_epochs: 4 })
+            .free_hint(true)
+            .build_elastic()
+            .unwrap();
+        assert!(array.free_hint_enabled());
+        let mut rng = default_rng(21);
+        // Grow to two epochs, then free an OLD-epoch name: the hint must
+        // re-win exactly that slot in one probe even though routing normally
+        // targets the newest epoch.
+        let names: Vec<Name> = (0..15).map(|_| array.get(&mut rng).name()).collect();
+        assert_eq!(array.num_epochs(), 2);
+        let old = *names.iter().find(|n| n.epoch() == 0).unwrap();
+        array.free(old);
+        let again = array.get(&mut rng);
+        assert_eq!(again.name(), old, "the hint re-wins the freed slot");
+        assert_eq!(again.probes(), 1);
+        assert_eq!(
+            array.epoch_held(0),
+            Some(names.iter().filter(|n| n.epoch() == 0).count()),
+            "the hint win must keep the held counter in step"
+        );
+        // A stolen hint falls through to the probe path without duplicating.
+        array.free(old);
+        assert!(array.force_occupy(old));
+        let other = array.get(&mut rng);
+        assert_ne!(other.name(), old);
     }
 
     #[test]

@@ -65,6 +65,11 @@ use crate::slot::{SlotLayout, TasKind};
 pub struct LevelArray {
     core: ProbeCore,
     max_concurrency: usize,
+    /// Process-unique identity keying this instance's per-thread Free→Get
+    /// hints (see [`crate::hint`]).
+    array_id: u64,
+    /// Whether `free` records — and `try_get` consults — the hint cache.
+    free_hint: bool,
 }
 
 impl LevelArray {
@@ -85,10 +90,19 @@ impl LevelArray {
 
     pub(crate) fn from_validated(config: ValidatedConfig) -> Self {
         let max_concurrency = config.max_concurrency;
+        let free_hint = config.free_hint;
         LevelArray {
             core: config.into_probe_core(),
             max_concurrency,
+            array_id: crate::hint::next_array_id(),
+            free_hint,
         }
+    }
+
+    /// Whether the Free→Get hint cache is enabled on this instance (the
+    /// [`LevelArrayConfig::free_hint`] knob).
+    pub fn free_hint_enabled(&self) -> bool {
+        self.free_hint
     }
 
     /// The probing core this facade wraps: the slots, geometry, probe policy
@@ -129,8 +143,19 @@ impl LevelArray {
     /// concrete type; the trait method remains the object-safe wrapper
     /// (`&mut dyn RandomSource` also works here, through the blanket
     /// `impl RandomSource for &mut R`).
+    ///
+    /// With the [`LevelArrayConfig::free_hint`] knob enabled, the slot this
+    /// thread most recently freed here is retried with one test-and-set
+    /// before the probe sequence; a miss falls through unchanged.
     #[must_use = "dropping the result leaks the acquired name"]
     pub fn try_get<R: RandomSource + ?Sized>(&self, rng: &mut R) -> Option<Acquired> {
+        if self.free_hint {
+            if let Some(name) = crate::hint::take(self.array_id) {
+                if let Some(got) = self.core.hint_acquire(name) {
+                    return Some(got);
+                }
+            }
+        }
         self.core.try_get(rng)
     }
 
@@ -202,6 +227,9 @@ impl ActivityArray for LevelArray {
 
     fn free(&self, name: Name) {
         self.core.free(name);
+        if self.free_hint {
+            crate::hint::record(self.array_id, name);
+        }
     }
 
     fn collect(&self) -> Vec<Name> {
@@ -433,6 +461,21 @@ mod tests {
         assert_eq!(array.capacity(), array.main_len());
         // occupancy() must not report a backup region.
         assert!(array.occupancy().backup().is_none());
+    }
+
+    #[test]
+    fn free_hint_returns_the_just_freed_slot_in_one_probe() {
+        let array = LevelArrayConfig::new(8).free_hint(true).build().unwrap();
+        assert!(array.free_hint_enabled());
+        assert!(!LevelArray::new(8).free_hint_enabled(), "default stays off");
+        let mut rng = default_rng(13);
+        let got = array.get(&mut rng);
+        array.free(got.name());
+        let again = array.get(&mut rng);
+        assert_eq!(again.name(), got.name(), "the hint re-wins the freed slot");
+        assert_eq!(again.probes(), 1);
+        assert_eq!(again.used_backup(), array.is_backup_name(again.name()));
+        array.free(again.name());
     }
 
     #[test]

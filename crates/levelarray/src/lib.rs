@@ -76,6 +76,7 @@
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 pub mod array;
 pub mod balance;
@@ -92,6 +93,7 @@ pub mod sharded;
 pub mod slot;
 pub mod stats;
 
+mod hint;
 mod level_array;
 
 pub use array::{Acquired, ActivityArray, Registration};

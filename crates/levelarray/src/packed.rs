@@ -14,16 +14,85 @@
 //! The trade-off is write-side density: 512 slots share each cache line, so
 //! concurrent `Get`s invalidate each other's lines more often than under the
 //! word-per-slot layout.  [`crate::slot::SlotLayout`] exposes the choice as a
-//! configuration knob, and the layout sweep in the `sweeps` bench measures
+//! configuration knob (including the hybrid split that keeps the contended
+//! head word-per-slot), and the layout sweep in the `sweeps` bench measures
 //! both sides of the trade.
+//!
+//! ## Batched scans
+//!
+//! The scan paths process `LANES` words per iteration: each chunk is
+//! snapshotted with one acquire load per word, whole chunks of zeros are
+//! skipped with a single OR-reduction, and popcounts are accumulated across
+//! the chunk before touching any individual bit.  With the `simd` cargo
+//! feature (nightly, `portable_simd`) the per-chunk popcount and
+//! any-bit-set reductions use `std::simd` `u64xN` vectors; the scalar
+//! fallback has identical semantics, and the one-word-at-a-time PR 5 walk is
+//! kept as `*_scalar` oracles that the differential tests (and the
+//! `collect-scalar` bench reference cell) run against.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::name::Name;
 use crate::slot::TasKind;
 
 /// Number of slots stored per atomic word.
 const BITS: usize = u64::BITS as usize;
+
+/// Words snapshotted per batched scan step; also the `std::simd` lane count.
+const LANES: usize = 8;
+
+/// A precomputed word-aligned view of a slot range: the inclusive word
+/// bounds plus the partial-word masks at both ends.  [`crate::probe_core`]
+/// caches one per census region (batch and backup) so repeated censuses skip
+/// the boundary arithmetic a fresh [`Range`] scan would re-derive per call.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WordSpan {
+    /// First overlapped word.
+    first: usize,
+    /// Last overlapped word (inclusive).
+    last: usize,
+    /// Mask selecting the in-range bits of the first word.
+    head_mask: u64,
+    /// Mask selecting the in-range bits of the last word.
+    tail_mask: u64,
+    /// Whether the source range was empty (the bounds are then meaningless).
+    empty: bool,
+}
+
+impl WordSpan {
+    /// Computes the word bounds and edge masks of `range`.
+    pub(crate) fn new(range: Range<usize>) -> Self {
+        if range.start >= range.end {
+            return WordSpan {
+                first: 0,
+                last: 0,
+                head_mask: 0,
+                tail_mask: 0,
+                empty: true,
+            };
+        }
+        let first = range.start / BITS;
+        let last = (range.end - 1) / BITS;
+        let tail = range.end - last * BITS;
+        WordSpan {
+            first,
+            last,
+            head_mask: u64::MAX << (range.start % BITS),
+            tail_mask: if tail < BITS {
+                (1u64 << tail) - 1
+            } else {
+                u64::MAX
+            },
+            empty: false,
+        }
+    }
+
+    /// Whether the span covers no slots.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.empty
+    }
+}
 
 /// A slab of one-bit test-and-set registers packed 64-per-word.
 ///
@@ -115,8 +184,9 @@ impl PackedSlots {
 
     /// Visits every word overlapping `range`, passing the index of the word's
     /// first slot and the word's snapshot masked down to the slots inside the
-    /// range.  One acquire load per word — this is the whole point of the
-    /// packed layout.
+    /// range.  One acquire load per word.  This is the one-word-at-a-time
+    /// reference walk; the public scan API batches `LANES` words per step
+    /// and is checked against this walk by the differential tests.
     #[inline]
     fn for_each_word(&self, range: Range<usize>, mut f: impl FnMut(usize, u64)) {
         debug_assert!(range.end <= self.len, "range {range:?} out of {}", self.len);
@@ -140,30 +210,204 @@ impl PackedSlots {
         }
     }
 
+    /// Precomputes the word-aligned view of `range` for repeated scans over
+    /// the same region (the census table in [`crate::probe_core`]).
+    pub(crate) fn span(&self, range: Range<usize>) -> WordSpan {
+        debug_assert!(range.end <= self.len, "range {range:?} out of {}", self.len);
+        WordSpan::new(range)
+    }
+
+    /// Snapshots `LANES` consecutive words, one acquire load each.
+    #[inline]
+    fn load_chunk(chunk: &[AtomicU64]) -> [u64; LANES] {
+        debug_assert_eq!(chunk.len(), LANES);
+        let mut snap = [0u64; LANES];
+        for (dst, word) in snap.iter_mut().zip(chunk) {
+            *dst = word.load(Ordering::Acquire);
+        }
+        snap
+    }
+
+    /// Popcount of one snapshot chunk (scalar fallback).
+    #[cfg(not(feature = "simd"))]
+    #[inline]
+    fn chunk_popcount(snap: [u64; LANES]) -> usize {
+        snap.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Popcount of one snapshot chunk via `std::simd` vector popcount.
+    #[cfg(feature = "simd")]
+    #[inline]
+    fn chunk_popcount(snap: [u64; LANES]) -> usize {
+        use std::simd::num::SimdUint;
+        std::simd::Simd::<u64, LANES>::from_array(snap)
+            .count_ones()
+            .reduce_sum() as usize
+    }
+
+    /// Whether any bit of one snapshot chunk is set (scalar OR-reduction).
+    #[cfg(not(feature = "simd"))]
+    #[inline]
+    fn chunk_any(snap: [u64; LANES]) -> bool {
+        snap.iter().fold(0u64, |acc, w| acc | w) != 0
+    }
+
+    /// Whether any bit of one snapshot chunk is set (`std::simd` mask test).
+    #[cfg(feature = "simd")]
+    #[inline]
+    fn chunk_any(snap: [u64; LANES]) -> bool {
+        use std::simd::cmp::SimdPartialEq;
+        let v = std::simd::Simd::<u64, LANES>::from_array(snap);
+        v.simd_ne(std::simd::Simd::splat(0)).any()
+    }
+
+    /// Walks the set bits of one masked word snapshot in increasing order.
+    #[inline]
+    fn walk_bits(base: usize, mut bits: u64, f: &mut impl FnMut(usize)) {
+        while bits != 0 {
+            f(base + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+
     /// The number of held slots in `range`: one load plus a `count_ones` per
-    /// word.
+    /// word, accumulated `LANES` words at a time (vectorised under the
+    /// `simd` feature).
     pub fn count_held(&self, range: Range<usize>) -> usize {
+        let span = self.span(range);
+        self.count_span(span)
+    }
+
+    /// [`Self::count_held`] over a precomputed [`WordSpan`].
+    pub(crate) fn count_span(&self, span: WordSpan) -> usize {
+        if span.is_empty() {
+            return 0;
+        }
+        if span.first == span.last {
+            let bits =
+                self.words[span.first].load(Ordering::Acquire) & span.head_mask & span.tail_mask;
+            return bits.count_ones() as usize;
+        }
+        let head = self.words[span.first].load(Ordering::Acquire) & span.head_mask;
+        let tail = self.words[span.last].load(Ordering::Acquire) & span.tail_mask;
+        let mut total = (head.count_ones() + tail.count_ones()) as usize;
+        let mut interior = self.words[span.first + 1..span.last].chunks_exact(LANES);
+        for chunk in interior.by_ref() {
+            total += Self::chunk_popcount(Self::load_chunk(chunk));
+        }
+        for word in interior.remainder() {
+            total += word.load(Ordering::Acquire).count_ones() as usize;
+        }
+        total
+    }
+
+    /// Calls `f` with the index of every held slot in `range`, in increasing
+    /// order.  Words are snapshotted `LANES` at a time; all-free chunks are
+    /// skipped with one OR-reduction before any bit is walked.
+    pub fn for_each_held(&self, range: Range<usize>, mut f: impl FnMut(usize)) {
+        let span = self.span(range);
+        if span.is_empty() {
+            return;
+        }
+        if span.first == span.last {
+            let bits =
+                self.words[span.first].load(Ordering::Acquire) & span.head_mask & span.tail_mask;
+            Self::walk_bits(span.first * BITS, bits, &mut f);
+            return;
+        }
+        Self::walk_bits(
+            span.first * BITS,
+            self.words[span.first].load(Ordering::Acquire) & span.head_mask,
+            &mut f,
+        );
+        let mut base = (span.first + 1) * BITS;
+        let mut interior = self.words[span.first + 1..span.last].chunks_exact(LANES);
+        for chunk in interior.by_ref() {
+            let snap = Self::load_chunk(chunk);
+            if Self::chunk_any(snap) {
+                for bits in snap {
+                    Self::walk_bits(base, bits, &mut f);
+                    base += BITS;
+                }
+            } else {
+                base += LANES * BITS;
+            }
+        }
+        for word in interior.remainder() {
+            Self::walk_bits(base, word.load(Ordering::Acquire), &mut f);
+            base += BITS;
+        }
+        Self::walk_bits(
+            span.last * BITS,
+            self.words[span.last].load(Ordering::Acquire) & span.tail_mask,
+            &mut f,
+        );
+    }
+
+    /// Appends a [`Name`] for every held slot in `range` (offset by
+    /// `name_base`) to `out`, in increasing order — the `Collect` hot path.
+    ///
+    /// Beyond the batched walk of [`Self::for_each_held`], this reserves the
+    /// exact output size with a popcount pre-pass and writes names straight
+    /// into the vector's spare capacity, so the per-name cost is one store
+    /// instead of a length/capacity bookkeeping round-trip per `push`.
+    pub fn collect_into(&self, range: Range<usize>, name_base: usize, out: &mut Vec<Name>) {
+        let held = self.count_held(range.clone());
+        if held == 0 {
+            return;
+        }
+        out.reserve(held);
+        let spare = out.spare_capacity_mut();
+        let mut written = 0usize;
+        // A concurrent acquire between the popcount pre-pass and the walk can
+        // surface more held slots than were reserved; those spill here.
+        let mut overflow = Vec::new();
+        self.for_each_held(range, |idx| {
+            let name = Name::new(name_base + idx);
+            if written < held {
+                spare[written].write(name);
+                written += 1;
+            } else {
+                overflow.push(name);
+            }
+        });
+        // SAFETY: the first `written` spare slots were initialised above and
+        // `written <= held <=` the reserved spare capacity.
+        unsafe { out.set_len(out.len() + written) };
+        out.extend(overflow);
+    }
+
+    /// One-word-at-a-time variant of [`Self::count_held`]: the PR 5 reference
+    /// implementation, kept as the oracle for the differential tests and for
+    /// the `collect-scalar` bench reference cell.
+    #[doc(hidden)]
+    pub fn count_held_scalar(&self, range: Range<usize>) -> usize {
         let mut count = 0usize;
         self.for_each_word(range, |_, bits| count += bits.count_ones() as usize);
         count
     }
 
-    /// Calls `f` with the index of every held slot in `range`, in increasing
-    /// order.  Each word is snapshotted once and its set bits are walked with
-    /// `trailing_zeros`.
-    pub fn for_each_held(&self, range: Range<usize>, mut f: impl FnMut(usize)) {
-        self.for_each_word(range, |base, mut bits| {
-            while bits != 0 {
-                f(base + bits.trailing_zeros() as usize);
-                bits &= bits - 1;
-            }
-        });
+    /// One-word-at-a-time variant of [`Self::for_each_held`] — see
+    /// [`Self::count_held_scalar`].
+    #[doc(hidden)]
+    pub fn for_each_held_scalar(&self, range: Range<usize>, mut f: impl FnMut(usize)) {
+        self.for_each_word(range, |base, bits| Self::walk_bits(base, bits, &mut f));
     }
 
     /// Whether any slot in the slab is held — the drained check of the
-    /// elastic retirement protocol, at one load per word.
+    /// elastic retirement protocol, at one load per word, reduced `LANES`
+    /// words at a time.
     pub fn any_held(&self) -> bool {
-        self.words.iter().any(|w| w.load(Ordering::Acquire) != 0)
+        let mut chunks = self.words.chunks_exact(LANES);
+        for chunk in chunks.by_ref() {
+            if Self::chunk_any(Self::load_chunk(chunk)) {
+                return true;
+            }
+        }
+        chunks
+            .remainder()
+            .iter()
+            .any(|w| w.load(Ordering::Acquire) != 0)
     }
 }
 
@@ -280,5 +524,73 @@ mod tests {
             assert_eq!(winners.load(Ordering::Relaxed), 1, "{kind:?}");
             assert_eq!(slab.count_held(0..64), 1, "{kind:?}");
         }
+    }
+
+    /// The batched scans (and the `simd` versions, when the feature is on)
+    /// must agree exactly with the one-word-at-a-time reference walk on
+    /// random occupancy patterns and random subranges, including all the
+    /// word-boundary edge cases.
+    #[test]
+    fn batched_scans_match_scalar_reference() {
+        use larng::RandomSource;
+        let lens: &[usize] = if cfg!(miri) {
+            &[1, 64, 65, 129, 700]
+        } else {
+            &[1, 63, 64, 65, 127, 128, 129, 512, 700, 1000, 4096]
+        };
+        let mut rng = larng::default_rng(0xBA7C);
+        for &len in lens {
+            for density in [0.02, 0.3, 0.95] {
+                let s = PackedSlots::new(len);
+                for idx in 0..len {
+                    if rng.gen_bool(density) {
+                        assert!(s.try_acquire(idx, TasKind::CompareExchange));
+                    }
+                }
+                let mut ranges = vec![0..len, 0..0, len..len];
+                for _ in 0..(if cfg!(miri) { 4 } else { 24 }) {
+                    let a = rng.gen_index(len + 1);
+                    let b = rng.gen_index(len + 1);
+                    ranges.push(a.min(b)..a.max(b));
+                }
+                for range in ranges {
+                    assert_eq!(
+                        s.count_held(range.clone()),
+                        s.count_held_scalar(range.clone()),
+                        "count len {len} range {range:?}"
+                    );
+                    let mut batched = Vec::new();
+                    let mut scalar = Vec::new();
+                    s.for_each_held(range.clone(), |i| batched.push(i));
+                    s.for_each_held_scalar(range.clone(), |i| scalar.push(i));
+                    assert_eq!(batched, scalar, "walk len {len} range {range:?}");
+                    assert_eq!(
+                        s.any_held(),
+                        s.count_held_scalar(0..len) != 0,
+                        "any_held len {len}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `collect_into` appends exactly the held names (offset by the base), in
+    /// increasing order, preserving whatever the vector already holds.
+    #[test]
+    fn collect_into_matches_the_walk_and_appends() {
+        use crate::name::Name;
+        let len = if cfg!(miri) { 300 } else { 5000 };
+        let s = PackedSlots::new(len);
+        for idx in (0..len).step_by(3) {
+            assert!(s.try_acquire(idx, TasKind::Swap));
+        }
+        let mut expected = vec![Name::new(7)];
+        s.for_each_held(1..len - 1, |i| expected.push(Name::new(1000 + i)));
+        let mut out = vec![Name::new(7)];
+        s.collect_into(1..len - 1, 1000, &mut out);
+        assert_eq!(out, expected);
+        // An empty range appends nothing.
+        s.collect_into(4..4, 0, &mut out);
+        assert_eq!(out, expected);
     }
 }

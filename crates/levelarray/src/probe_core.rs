@@ -19,6 +19,8 @@
 //! a thin object-safe wrapper for callers that need dynamic dispatch (the
 //! simulator, the bench harness's algorithm registry).
 
+use std::ops::Range;
+
 use larng::RandomSource;
 
 use crate::array::Acquired;
@@ -26,10 +28,10 @@ use crate::config::ProbePolicy;
 use crate::geometry::BatchGeometry;
 use crate::name::Name;
 use crate::occupancy::{Region, RegionOccupancy};
-use crate::packed::PackedSlots;
+use crate::packed::{PackedSlots, WordSpan};
 use crate::slot::{Slot, SlotLayout, TasKind};
 
-/// One slab of test-and-set registers in either representation.
+/// One slab of test-and-set registers in any of the three representations.
 ///
 /// The variants expose identical semantics (see [`SlotLayout`]); the enum
 /// match in each accessor compiles to a perfectly predicted branch on a
@@ -41,6 +43,31 @@ enum SlotSlab {
     WordPerSlot(Box<[Slot]>),
     /// One bit per slot, 64 per `AtomicU64` word.
     Packed(PackedSlots),
+    /// Word-per-slot head (`0..word.len()`), bit-packed tail
+    /// (`word.len()..len()`).  The split is `word.len()` — there is no
+    /// separate field to drift out of sync.
+    Hybrid {
+        /// The contended head, one `AtomicU32` per slot.
+        word: Box<[Slot]>,
+        /// The scan-dominated tail, one bit per slot.
+        packed: PackedSlots,
+    },
+}
+
+/// Precomputed census geometry for one region (a main-array batch or the
+/// backup): the slot subrange falling on the word-per-slot side of the slab's
+/// layout split, and the packed side's word bounds and edge masks resolved
+/// once at construction — so repeated censuses (`batch_occupancy`, the
+/// facades' `batchwise_occupancy` aggregates) don't re-derive region
+/// boundaries per call.
+#[derive(Debug, Clone)]
+struct CensusRegion {
+    /// Word-per-slot subrange, in slab-local slot indices (empty unless the
+    /// slab has a word-per-slot head overlapping the region).
+    word: Range<usize>,
+    /// Packed subrange, in packed-local indices (empty when the region lies
+    /// entirely in a word-per-slot head).
+    packed: WordSpan,
 }
 
 impl SlotSlab {
@@ -50,6 +77,13 @@ impl SlotSlab {
                 SlotSlab::WordPerSlot((0..len).map(|_| Slot::new()).collect())
             }
             SlotLayout::Packed => SlotSlab::Packed(PackedSlots::new(len)),
+            SlotLayout::Hybrid { packed_from } => {
+                let split = packed_from.min(len);
+                SlotSlab::Hybrid {
+                    word: (0..split).map(|_| Slot::new()).collect(),
+                    packed: PackedSlots::new(len - split),
+                }
+            }
         }
     }
 
@@ -57,6 +91,7 @@ impl SlotSlab {
         match self {
             SlotSlab::WordPerSlot(slots) => slots.len(),
             SlotSlab::Packed(slab) => slab.len(),
+            SlotSlab::Hybrid { word, packed } => word.len() + packed.len(),
         }
     }
 
@@ -69,6 +104,13 @@ impl SlotSlab {
         match self {
             SlotSlab::WordPerSlot(slots) => slots[idx].try_acquire(kind),
             SlotSlab::Packed(slab) => slab.try_acquire(idx, kind),
+            SlotSlab::Hybrid { word, packed } => {
+                if idx < word.len() {
+                    word[idx].try_acquire(kind)
+                } else {
+                    packed.try_acquire(idx - word.len(), kind)
+                }
+            }
         }
     }
 
@@ -77,6 +119,13 @@ impl SlotSlab {
         match self {
             SlotSlab::WordPerSlot(slots) => slots[idx].release(),
             SlotSlab::Packed(slab) => slab.release(idx),
+            SlotSlab::Hybrid { word, packed } => {
+                if idx < word.len() {
+                    word[idx].release()
+                } else {
+                    packed.release(idx - word.len())
+                }
+            }
         }
     }
 
@@ -85,17 +134,77 @@ impl SlotSlab {
         match self {
             SlotSlab::WordPerSlot(slots) => slots[idx].is_held(),
             SlotSlab::Packed(slab) => slab.is_held(idx),
+            SlotSlab::Hybrid { word, packed } => {
+                if idx < word.len() {
+                    word[idx].is_held()
+                } else {
+                    packed.is_held(idx - word.len())
+                }
+            }
         }
     }
 
-    fn count_held(&self, range: std::ops::Range<usize>) -> usize {
+    /// Splits `range` at the hybrid boundary `split` into the word-side part
+    /// (slab-local indices) and the packed-side part (packed-local indices).
+    fn split_range(range: &Range<usize>, split: usize) -> (Range<usize>, Range<usize>) {
+        let word = range.start.min(split)..range.end.min(split);
+        let packed = range.start.max(split) - split..range.end.max(split) - split;
+        (word, packed)
+    }
+
+    /// Resolves `range` into a [`CensusRegion`] for this slab's layout.
+    fn census_region(&self, range: Range<usize>) -> CensusRegion {
+        match self {
+            SlotSlab::WordPerSlot(_) => CensusRegion {
+                word: range,
+                packed: WordSpan::new(0..0),
+            },
+            SlotSlab::Packed(slab) => CensusRegion {
+                word: 0..0,
+                packed: slab.span(range),
+            },
+            SlotSlab::Hybrid { word, packed } => {
+                let (word_part, packed_part) = Self::split_range(&range, word.len());
+                CensusRegion {
+                    word: word_part,
+                    packed: packed.span(packed_part),
+                }
+            }
+        }
+    }
+
+    /// The number of held slots in a precomputed [`CensusRegion`].
+    fn count_region(&self, region: &CensusRegion) -> usize {
+        let word_side = |slots: &[Slot]| {
+            slots[region.word.clone()]
+                .iter()
+                .filter(|s| s.is_held())
+                .count()
+        };
+        match self {
+            SlotSlab::WordPerSlot(slots) => word_side(slots),
+            SlotSlab::Packed(slab) => slab.count_span(region.packed),
+            SlotSlab::Hybrid { word, packed } => word_side(word) + packed.count_span(region.packed),
+        }
+    }
+
+    /// Direct recount over a raw range — the oracle the census-table test
+    /// checks [`SlotSlab::count_region`] against (production counting goes
+    /// through the precomputed [`CensusRegion`]s).
+    #[cfg(test)]
+    fn count_held(&self, range: Range<usize>) -> usize {
         match self {
             SlotSlab::WordPerSlot(slots) => slots[range].iter().filter(|s| s.is_held()).count(),
             SlotSlab::Packed(slab) => slab.count_held(range),
+            SlotSlab::Hybrid { word, packed } => {
+                let (word_part, packed_part) = Self::split_range(&range, word.len());
+                word[word_part].iter().filter(|s| s.is_held()).count()
+                    + packed.count_held(packed_part)
+            }
         }
     }
 
-    fn for_each_held(&self, range: std::ops::Range<usize>, mut f: impl FnMut(usize)) {
+    fn for_each_held(&self, range: Range<usize>, mut f: impl FnMut(usize)) {
         match self {
             SlotSlab::WordPerSlot(slots) => {
                 for idx in range {
@@ -105,6 +214,40 @@ impl SlotSlab {
                 }
             }
             SlotSlab::Packed(slab) => slab.for_each_held(range, f),
+            SlotSlab::Hybrid { word, packed } => {
+                let (word_part, packed_part) = Self::split_range(&range, word.len());
+                for idx in word_part {
+                    if word[idx].is_held() {
+                        f(idx);
+                    }
+                }
+                let split = word.len();
+                packed.for_each_held(packed_part, |idx| f(split + idx));
+            }
+        }
+    }
+
+    /// Appends a [`Name`] (offset by `name_base`) for every held slot, in
+    /// increasing order, taking the allocation-free packed fast path
+    /// ([`PackedSlots::collect_into`]) wherever the slab stores bits.
+    fn collect_all_into(&self, name_base: usize, out: &mut Vec<Name>) {
+        match self {
+            SlotSlab::WordPerSlot(slots) => {
+                for (idx, slot) in slots.iter().enumerate() {
+                    if slot.is_held() {
+                        out.push(Name::new(name_base + idx));
+                    }
+                }
+            }
+            SlotSlab::Packed(slab) => slab.collect_into(0..slab.len(), name_base, out),
+            SlotSlab::Hybrid { word, packed } => {
+                for (idx, slot) in word.iter().enumerate() {
+                    if slot.is_held() {
+                        out.push(Name::new(name_base + idx));
+                    }
+                }
+                packed.collect_into(0..packed.len(), name_base + word.len(), out);
+            }
         }
     }
 
@@ -112,6 +255,9 @@ impl SlotSlab {
         match self {
             SlotSlab::WordPerSlot(slots) => slots.iter().any(|s| s.is_held()),
             SlotSlab::Packed(slab) => slab.any_held(),
+            SlotSlab::Hybrid { word, packed } => {
+                word.iter().any(|s| s.is_held()) || packed.any_held()
+            }
         }
     }
 }
@@ -137,11 +283,20 @@ pub struct ProbeCore {
     /// exhausted core they walk, so recomputing the per-batch sum there was a
     /// per-operation tax.
     exhausted_probes: u32,
+    /// Precomputed census geometry: one [`CensusRegion`] per main batch, plus
+    /// a final entry for the backup array when it exists.  Region boundaries
+    /// and packed word masks are immutable, so the censuses resolve them once
+    /// here instead of per `batch_occupancy` call.
+    census: Box<[CensusRegion]>,
 }
 
 impl ProbeCore {
     /// Creates a core with `geometry.main_len()` main slots and `backup_len`
     /// backup slots, all free, stored in the requested [`SlotLayout`].
+    ///
+    /// Under [`SlotLayout::Hybrid`] the split applies to the *main* array;
+    /// the backup array — where sequential scans dominate and random CAS
+    /// storms never land — is stored fully packed.
     pub fn new(
         geometry: BatchGeometry,
         backup_len: usize,
@@ -150,11 +305,22 @@ impl ProbeCore {
         slot_layout: SlotLayout,
     ) -> Self {
         let main = SlotSlab::new(geometry.main_len(), slot_layout);
-        let backup = SlotSlab::new(backup_len, slot_layout);
+        let backup_layout = match slot_layout {
+            SlotLayout::Hybrid { .. } => SlotLayout::Packed,
+            other => other,
+        };
+        let backup = SlotSlab::new(backup_len, backup_layout);
         let exhausted_probes = (0..geometry.num_batches())
             .map(|b| probe_policy.probes_in_batch(b))
             .sum::<u32>()
             + backup_len as u32;
+        let mut census: Vec<CensusRegion> = geometry
+            .batches()
+            .map(|range| main.census_region(range))
+            .collect();
+        if backup_len > 0 {
+            census.push(backup.census_region(0..backup_len));
+        }
         ProbeCore {
             main,
             backup,
@@ -163,6 +329,7 @@ impl ProbeCore {
             tas_kind,
             slot_layout,
             exhausted_probes,
+            census: census.into_boxed_slice(),
         }
     }
 
@@ -279,6 +446,38 @@ impl ProbeCore {
         slab.try_acquire(idx, self.tas_kind)
     }
 
+    /// Attempts to re-occupy the specific slot a Free→Get hint points at with
+    /// one test-and-set, without touching the probe sequence or the caller's
+    /// random stream.
+    ///
+    /// On a win it returns the same [`Acquired`] the probe path would report
+    /// for that slot — batch tag for a main slot, backup flag for a backup
+    /// slot — with a probe count of 1.  `None` means the slot was already
+    /// held again (stolen between the Free and this Get) or the name is not a
+    /// valid local name (a stale hint); the caller falls through to the
+    /// unchanged probe path either way, so uniqueness and the self-healing
+    /// analysis are untouched.
+    #[must_use = "dropping the result leaks the acquired slot"]
+    pub fn hint_acquire(&self, name: Name) -> Option<Acquired> {
+        if name.epoch() != 0 {
+            return None;
+        }
+        let idx = name.index();
+        if idx < self.main.len() {
+            if self.main.try_acquire(idx, self.tas_kind) {
+                let batch = self.geometry.batch_of(idx);
+                return Some(Acquired::new(name, 1, Some(batch), false));
+            }
+        } else if idx - self.main.len() < self.backup.len()
+            && self
+                .backup
+                .try_acquire(idx - self.main.len(), self.tas_kind)
+        {
+            return Some(Acquired::new(name, 1, None, true));
+        }
+        None
+    }
+
     /// Reads whether a specific (local) slot is currently held.
     ///
     /// # Panics
@@ -303,9 +502,11 @@ impl ProbeCore {
 
     /// Appends every held local name, offset by `base`, to `out` — the scan a
     /// `Collect` performs, reusable by facades that map local names into a
-    /// larger namespace.
+    /// larger namespace.  Packed slabs take the reserved spare-capacity fast
+    /// path of [`PackedSlots::collect_into`] instead of a push per name.
     pub fn collect_into(&self, base: usize, out: &mut Vec<Name>) {
-        self.for_each_held(|idx| out.push(Name::new(base + idx)));
+        self.main.collect_all_into(base, out);
+        self.backup.collect_all_into(base + self.main.len(), out);
     }
 
     /// Whether any slot (main or backup) is currently held — the quiescence
@@ -319,14 +520,19 @@ impl ProbeCore {
     ///
     /// This is the *single* batch-scanning helper: the occupancy census
     /// ([`ProbeCore::region_occupancies`]) and the facades' `batch_occupancy`
-    /// accessors all route through it.
+    /// accessors all route through it — and it routes through the census
+    /// table precomputed at construction, so no region boundary or packed
+    /// word mask is re-derived per call.
     pub fn batch_occupancy(&self, i: usize) -> usize {
-        self.main.count_held(self.geometry.batch_range(i))
+        self.main.count_region(&self.census[i])
     }
 
     /// The number of occupied slots in the backup array.
     pub fn backup_occupancy(&self) -> usize {
-        self.backup.count_held(0..self.backup.len())
+        match self.census.get(self.geometry.num_batches()) {
+            Some(region) => self.backup.count_region(region),
+            None => 0,
+        }
     }
 
     /// The per-region census of this core: one [`Region::Batch`] entry per
@@ -340,7 +546,7 @@ impl ProbeCore {
             .batches()
             .enumerate()
             .map(|(i, range)| {
-                let occupied = self.main.count_held(range.clone());
+                let occupied = self.batch_occupancy(i);
                 RegionOccupancy::new(label(Region::Batch(i)), range.len(), occupied)
             })
             .collect();
@@ -395,9 +601,22 @@ mod tests {
         core_with_layout(n, SlotLayout::WordPerSlot)
     }
 
+    /// Every representation, including hybrid splits at both edges and in
+    /// the middle of a word (the split is clamped to the main length, so the
+    /// same list works for any `n`).
+    fn layouts() -> [SlotLayout; 5] {
+        [
+            SlotLayout::WordPerSlot,
+            SlotLayout::Packed,
+            SlotLayout::Hybrid { packed_from: 0 },
+            SlotLayout::Hybrid { packed_from: 5 },
+            SlotLayout::Hybrid { packed_from: 96 },
+        ]
+    }
+
     #[test]
     fn dimensions_follow_the_inputs() {
-        for layout in [SlotLayout::WordPerSlot, SlotLayout::Packed] {
+        for layout in layouts() {
             let c = core_with_layout(64, layout);
             assert_eq!(c.main_len(), 128);
             assert_eq!(c.backup_len(), 64);
@@ -430,7 +649,7 @@ mod tests {
 
     #[test]
     fn exhausted_core_charges_exactly_the_predicted_probes() {
-        for layout in [SlotLayout::WordPerSlot, SlotLayout::Packed] {
+        for layout in layouts() {
             let n = 4;
             let c = core_with_layout(n, layout);
             let mut rng = default_rng(1);
@@ -449,7 +668,7 @@ mod tests {
 
     #[test]
     fn census_and_batch_occupancy_agree() {
-        for layout in [SlotLayout::WordPerSlot, SlotLayout::Packed] {
+        for layout in layouts() {
             let c = core_with_layout(32, layout);
             let mut rng = default_rng(2);
             for _ in 0..20 {
@@ -471,7 +690,7 @@ mod tests {
 
     #[test]
     fn collect_into_applies_the_base_offset() {
-        for layout in [SlotLayout::WordPerSlot, SlotLayout::Packed] {
+        for layout in layouts() {
             let c = core_with_layout(8, layout);
             assert!(c.force_occupy(Name::new(3)));
             assert!(c.force_occupy(Name::new(16))); // first backup slot
@@ -483,7 +702,7 @@ mod tests {
 
     #[test]
     fn any_held_sees_main_and_backup() {
-        for layout in [SlotLayout::WordPerSlot, SlotLayout::Packed] {
+        for layout in layouts() {
             let c = core_with_layout(8, layout);
             assert!(!c.any_held());
             assert!(c.force_occupy(Name::new(16))); // backup only
@@ -498,20 +717,24 @@ mod tests {
     #[test]
     fn layouts_acquire_identical_names_for_identical_seeds() {
         // The probing decisions depend only on the RNG stream and on the
-        // held/free state — never on the representation — so two cores in
+        // held/free state — never on the representation — so cores in
         // different layouts driven by the same seed must agree step for step.
         let word = core_with_layout(16, SlotLayout::WordPerSlot);
         let packed = core_with_layout(16, SlotLayout::Packed);
+        let hybrid = core_with_layout(16, SlotLayout::Hybrid { packed_from: 24 });
         let mut rng_w = default_rng(42);
         let mut rng_p = default_rng(42);
+        let mut rng_h = default_rng(42);
         let mut acquired = 0usize;
         // A try_get may legitimately miss (None) once the backup is full and
-        // every random probe lands on a held slot; both layouts must miss and
+        // every random probe lands on a held slot; all layouts must miss and
         // win in lockstep.
         for step in 0..10_000 {
             let a = word.try_get(&mut rng_w);
             let b = packed.try_get(&mut rng_p);
-            assert_eq!(a, b, "diverged at step {step}");
+            let c = hybrid.try_get(&mut rng_h);
+            assert_eq!(a, b, "packed diverged at step {step}");
+            assert_eq!(a, c, "hybrid diverged at step {step}");
             if a.is_some() {
                 acquired += 1;
             }
@@ -522,6 +745,66 @@ mod tests {
         assert_eq!(acquired, word.capacity());
         assert!(word.try_get(&mut rng_w).is_none());
         assert!(packed.try_get(&mut rng_p).is_none());
+        assert!(hybrid.try_get(&mut rng_h).is_none());
+    }
+
+    #[test]
+    fn hint_acquire_wins_free_slots_and_rejects_stale_hints() {
+        for layout in layouts() {
+            let c = core_with_layout(8, layout);
+            let mut rng = default_rng(7);
+            let got = c.try_get(&mut rng).unwrap();
+            let name = got.name();
+            // Held slot: the hint CAS must lose.
+            assert!(c.hint_acquire(name).is_none());
+            c.free(name);
+            // Freed slot: one CAS wins it back with the probe-path metadata.
+            let hit = c.hint_acquire(name).expect("freed slot should be hintable");
+            assert_eq!(hit.name(), name);
+            assert_eq!(hit.probes(), 1);
+            assert_eq!(hit.used_backup(), c.is_backup_name(name));
+            if !c.is_backup_name(name) {
+                assert_eq!(hit.batch(), Some(c.geometry().batch_of(name.index())));
+            }
+            c.free(name);
+            // Backup slot hints carry the backup flag.
+            let backup_name = Name::new(c.main_len());
+            assert!(c.force_occupy(backup_name));
+            c.free(backup_name);
+            let hit = c.hint_acquire(backup_name).unwrap();
+            assert!(hit.used_backup());
+            assert_eq!(hit.batch(), None);
+            c.free(backup_name);
+            // Stale hints — epoch-tagged or out-of-range names — miss without
+            // panicking.
+            assert!(c.hint_acquire(Name::with_epoch(1, 0)).is_none());
+            assert!(c.hint_acquire(Name::new(c.capacity() + 100)).is_none());
+        }
+    }
+
+    /// The census table must agree with a straight recount for every layout,
+    /// including hybrid splits that land inside a batch.
+    #[test]
+    fn census_table_matches_direct_recount() {
+        for layout in layouts() {
+            let c = core_with_layout(48, layout);
+            let mut rng = default_rng(9);
+            for _ in 0..40 {
+                let _ = c.try_get(&mut rng);
+            }
+            for i in 0..c.geometry().num_batches() {
+                assert_eq!(
+                    c.batch_occupancy(i),
+                    c.main.count_held(c.geometry().batch_range(i)),
+                    "batch {i} under {layout:?}"
+                );
+            }
+            assert_eq!(
+                c.backup_occupancy(),
+                c.backup.count_held(0..c.backup_len()),
+                "backup under {layout:?}"
+            );
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! other processes hold slots while a `Get` runs, so the steal walk always
 //! reaches a shard whose sequential backup has a free slot.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use larng::RandomSource;
 
@@ -40,10 +40,6 @@ use crate::slot::SlotLayout;
 #[derive(Debug)]
 #[repr(align(128))]
 struct PaddedCore(ProbeCore);
-
-/// Process-unique identity for sticky home-shard tokens: a thread's cached
-/// token is only valid for the array that minted it.
-static NEXT_ARRAY_ID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     /// The calling thread's home-shard token: `(array identity, home shard)`.
@@ -107,8 +103,13 @@ pub struct ShardedLevelArray {
     /// The per-shard contention bound `⌈n / S⌉` the shards were sized for.
     shard_contention: usize,
     max_concurrency: usize,
-    /// Identity for the sticky-token cache.
+    /// Process-unique identity for the sticky-token cache and the Free→Get
+    /// hint cache (see [`crate::hint`]); a thread's cached token or hint is
+    /// only valid for the array that minted it.
     array_id: u64,
+    /// Whether `free` arms the per-thread Free→Get hint cache
+    /// ([`LevelArrayConfig::free_hint`]).
+    free_hint: bool,
     /// Round-robin cursor handing each newly arriving thread its home shard.
     next_home: AtomicUsize,
 }
@@ -148,7 +149,14 @@ impl ShardedLevelArray {
             return Err(ConfigError::ZeroConcurrency);
         }
         let shard_contention = n.div_ceil(shards);
-        let per_shard = config.clone().with_contention(shard_contention);
+        let mut per_shard = config.clone().with_contention(shard_contention);
+        // A hybrid split was chosen against the *full* main array; divide it
+        // across the shards so the word-per-slot head keeps the same share
+        // of each (smaller) per-shard main array.
+        if let SlotLayout::Hybrid { packed_from } = per_shard.slot_layout_value() {
+            let split = packed_from.div_ceil(shards).min(per_shard.main_len());
+            per_shard = per_shard.slot_layout(SlotLayout::Hybrid { packed_from: split });
+        }
         let cores: Vec<PaddedCore> = (0..shards)
             .map(|_| Ok(PaddedCore(per_shard.validate()?.into_probe_core())))
             .collect::<Result<_, ConfigError>>()?;
@@ -158,7 +166,8 @@ impl ShardedLevelArray {
             shard_capacity,
             shard_contention,
             max_concurrency: n,
-            array_id: NEXT_ARRAY_ID.fetch_add(1, Ordering::Relaxed),
+            array_id: crate::hint::next_array_id(),
+            free_hint: config.free_hint_enabled(),
             next_home: AtomicUsize::new(0),
         })
     }
@@ -231,6 +240,13 @@ impl ShardedLevelArray {
     /// concrete type.
     #[must_use = "dropping the result leaks the acquired name"]
     pub fn try_get<R: RandomSource + ?Sized>(&self, rng: &mut R) -> Option<Acquired> {
+        if self.free_hint {
+            if let Some(hinted) = crate::hint::take(self.array_id) {
+                if let Some(got) = self.hint_acquire(hinted) {
+                    return Some(got);
+                }
+            }
+        }
         let num_shards = self.shards.len();
         let home = self.home_shard();
         let mut probes = 0u32;
@@ -325,6 +341,34 @@ impl ShardedLevelArray {
         (shard, Name::new(name.index() % self.shard_capacity))
     }
 
+    /// Retries the hinted global slot with one test-and-set, remapping the
+    /// shard-local win back into the global namespace.  Stale hints (wrong
+    /// epoch, out of range) are rejected without panicking — the caller falls
+    /// through to the probe path.  The hint attempt is not counted as a
+    /// probe, matching [`ProbeCore::hint_acquire`].
+    fn hint_acquire(&self, hinted: Name) -> Option<Acquired> {
+        if hinted.epoch() != 0 {
+            return None;
+        }
+        let shard = hinted.index() / self.shard_capacity;
+        if shard >= self.shards.len() {
+            return None;
+        }
+        let local = Name::new(hinted.index() % self.shard_capacity);
+        let got = self.shards[shard].0.hint_acquire(local)?;
+        Some(Acquired::new(
+            self.global_name(shard, got.name()),
+            got.probes(),
+            got.batch(),
+            got.used_backup(),
+        ))
+    }
+
+    /// Whether `free` arms the per-thread Free→Get hint cache.
+    pub fn free_hint_enabled(&self) -> bool {
+        self.free_hint
+    }
+
     /// Directly occupies a specific slot of the global namespace, bypassing
     /// the probing strategy (test/experiment hook, exactly like
     /// [`crate::LevelArray::force_occupy`]).
@@ -394,6 +438,9 @@ impl ActivityArray for ShardedLevelArray {
     fn free(&self, name: Name) {
         let (shard, local) = self.split(name);
         self.shards[shard].0.free(local);
+        if self.free_hint {
+            crate::hint::record(self.array_id, name);
+        }
     }
 
     fn route_hint(&self, participant: usize) {
@@ -692,6 +739,28 @@ mod tests {
     fn free_of_epoch_tagged_name_panics() {
         let array = ShardedLevelArray::new(8, 2);
         array.free(Name::with_epoch(1, 0));
+    }
+
+    #[test]
+    fn free_hint_rewins_the_freed_global_slot_in_one_probe() {
+        let off = ShardedLevelArray::new(8, 2);
+        assert!(!off.free_hint_enabled(), "the hint defaults off");
+
+        let array =
+            ShardedLevelArray::from_config(&LevelArrayConfig::new(8).free_hint(true), 2).unwrap();
+        assert!(array.free_hint_enabled());
+        let mut rng = default_rng(77);
+        let got = array.get(&mut rng);
+        let name = got.name();
+        array.free(name);
+        let again = array.get(&mut rng);
+        assert_eq!(again.name(), name, "the hint re-wins the freed slot");
+        assert_eq!(again.probes(), 1);
+        // A stolen hint falls through to the probe path without duplicating.
+        array.free(name);
+        assert!(array.force_occupy(name));
+        let other = array.get(&mut rng);
+        assert_ne!(other.name(), name);
     }
 
     #[test]

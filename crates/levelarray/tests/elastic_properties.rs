@@ -16,24 +16,36 @@ fn cases(n: u32) -> ProptestConfig {
     ProptestConfig::with_cases(if cfg!(miri) { 2 } else { n })
 }
 
+/// Decodes a proptest draw into one of the three slot layouts; hybrid splits
+/// are chosen against the initial epoch's main array (doubled epochs keep
+/// the same split, so their word-per-slot head shrinks proportionally).
+fn layout_axis(draw: u16, main_len: usize) -> SlotLayout {
+    match draw % 3 {
+        0 => SlotLayout::WordPerSlot,
+        1 => SlotLayout::Packed,
+        _ => SlotLayout::hybrid((draw as usize / 3) % (main_len + 1)),
+    }
+}
+
 proptest! {
     #![proptest_config(cases(32))]
 
     /// Acquiring far beyond the initial bound grows the chain, every name is
     /// a fresh (epoch, index) pair, frees route back by tag, and draining
-    /// retires everything but the newest epoch — under both slot layouts.
+    /// retires everything but the newest epoch — under all three slot
+    /// layouts.
     #[test]
     fn growth_hands_out_unique_epoch_tagged_names(
         n in 1usize..8,
         max_epochs in 2usize..5,
         pin_stripes in 1usize..5,
-        packed in any::<bool>(),
+        layout in any::<u16>(),
         seed in any::<u64>(),
     ) {
         let array = LevelArrayConfig::new(n)
             .growth(GrowthPolicy::Doubling { max_epochs })
             .pin_stripes(pin_stripes)
-            .slot_layout(if packed { SlotLayout::Packed } else { SlotLayout::WordPerSlot })
+            .slot_layout(layout_axis(layout, 2 * n))
             .build_elastic()
             .unwrap();
         // Per-epoch capacity for the default config is 3 * bound, so the

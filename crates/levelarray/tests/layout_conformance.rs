@@ -1,13 +1,15 @@
-//! Differential layout conformance: the bit-packed slot representation must
-//! be observationally identical to the word-per-slot representation.
+//! Differential layout conformance: every slot representation must be
+//! observationally identical to the word-per-slot representation.
 //!
 //! Every probing decision depends only on the RNG stream and on the held/free
 //! state of the slots — never on how that state is stored — so driving a
-//! `WordPerSlot` and a `Packed` instance of the *same* variant with the same
-//! seeded operation sequence must produce identical acquired names (with
-//! identical probe counts, batches and backup flags), identical occupancy
-//! censuses after every step, and identical `collect` sets.  This holds for
-//! all three facades: flat, sharded and elastic.
+//! `WordPerSlot` and a `Packed` (or `Hybrid`) instance of the *same* variant
+//! with the same seeded operation sequence must produce identical acquired
+//! names (with identical probe counts, batches and backup flags), identical
+//! occupancy censuses after every step, and identical `collect` sets.  This
+//! holds for all three facades: flat, sharded and elastic — and with the
+//! Free→Get hint cache enabled, because hints are keyed per facade instance
+//! (each side of the pair consumes only its own hint).
 
 use std::collections::HashSet;
 
@@ -151,6 +153,86 @@ fn elastic_layouts_conform_across_growth_and_retirement() {
         let _ = packed.try_retire();
         assert_eq!(word.num_epochs(), packed.num_epochs());
     }
+}
+
+#[test]
+fn flat_hybrid_layout_conforms() {
+    // Explicit splits bracketing the interesting shapes: inside batch 0, at
+    // a word boundary, and the degenerate all-packed split.
+    for (n, packed_from, seed) in [(5usize, 3usize, 14u64), (33, 24, 15), (170, 0, 16)] {
+        let w = LevelArrayConfig::new(n).slot_layout(SlotLayout::WordPerSlot);
+        let h = LevelArrayConfig::new(n).slot_layout(SlotLayout::hybrid(packed_from));
+        assert_lockstep(&w.build().unwrap(), &h.build().unwrap(), seed, 1, n);
+    }
+    // The auto-picked batch-0 boundary.
+    let w = LevelArrayConfig::new(48).slot_layout(SlotLayout::WordPerSlot);
+    let h = LevelArrayConfig::new(48).hybrid_layout();
+    assert_lockstep(&w.build().unwrap(), &h.build().unwrap(), 17, 1, 48);
+}
+
+#[test]
+fn sharded_hybrid_layout_conforms() {
+    // hybrid_layout() picks a split against the full main array; the sharded
+    // constructor divides it across the shards rather than rejecting it.
+    let w = LevelArrayConfig::new(40).slot_layout(SlotLayout::WordPerSlot);
+    let h = LevelArrayConfig::new(40).hybrid_layout();
+    assert_lockstep(
+        &w.build_sharded(4).unwrap(),
+        &h.build_sharded(4).unwrap(),
+        34,
+        8,
+        40,
+    );
+}
+
+#[test]
+fn elastic_hybrid_layout_conforms_across_growth() {
+    let base = LevelArrayConfig::new(4).growth(GrowthPolicy::Doubling { max_epochs: 3 });
+    let word = base
+        .clone()
+        .slot_layout(SlotLayout::WordPerSlot)
+        .build_elastic()
+        .unwrap();
+    let hybrid = base.clone().hybrid_layout().build_elastic().unwrap();
+    assert_lockstep(&word, &hybrid, 43, 1, 30);
+    assert_eq!(word.epoch_ids(), hybrid.epoch_ids());
+}
+
+#[test]
+fn hint_enabled_facades_stay_in_lockstep() {
+    // The hint cache is keyed per facade instance: the word and packed sides
+    // each record and consume their *own* hint, so the hint wins (one probe,
+    // no RNG draw) land on the same steps and the schedules never diverge.
+    let (w, p) = pair(&LevelArrayConfig::new(24).free_hint(true));
+    assert_lockstep(&w.build().unwrap(), &p.build().unwrap(), 51, 1, 24);
+
+    let (w, p) = pair(&LevelArrayConfig::new(16).free_hint(true));
+    assert_lockstep(
+        &w.build_sharded(2).unwrap(),
+        &p.build_sharded(2).unwrap(),
+        52,
+        4,
+        16,
+    );
+
+    let (w, p) = pair(
+        &LevelArrayConfig::new(4)
+            .free_hint(true)
+            .growth(GrowthPolicy::Doubling { max_epochs: 3 }),
+    );
+    assert_lockstep(
+        &w.build_elastic().unwrap(),
+        &p.build_elastic().unwrap(),
+        53,
+        1,
+        30,
+    );
+
+    // Hint-enabled hybrid against the word-per-slot reference as well.
+    let base = LevelArrayConfig::new(24).free_hint(true);
+    let w = base.clone().slot_layout(SlotLayout::WordPerSlot);
+    let h = base.clone().hybrid_layout();
+    assert_lockstep(&w.build().unwrap(), &h.build().unwrap(), 54, 1, 24);
 }
 
 /// The packed layout alone also satisfies the core renaming contract under a

@@ -11,6 +11,17 @@ use levelarray::{
 use proptest::prelude::*;
 use std::collections::HashSet;
 
+/// Decodes a proptest draw into one of the three slot layouts.  Hybrid
+/// splits cover the whole `0..=main_len` range, so the word boundaries and
+/// both degenerate ends (all-word, all-packed) all get exercised.
+fn layout_axis(draw: u16, main_len: usize) -> SlotLayout {
+    match draw % 3 {
+        0 => SlotLayout::WordPerSlot,
+        1 => SlotLayout::Packed,
+        _ => SlotLayout::hybrid((draw as usize / 3) % (main_len + 1)),
+    }
+}
+
 proptest! {
     /// The batch geometry always partitions the main array exactly, with
     /// non-empty batches in increasing index order, for arbitrary n, space
@@ -84,16 +95,16 @@ proptest! {
     /// Long-lived renaming correctness under an arbitrary sequential schedule:
     /// no duplicate names while held, frees always succeed, collect returns
     /// exactly the held set, and probe counts stay within the wait-free bound
-    /// — for both slot layouts.
+    /// — for all three slot layouts.
     #[test]
     fn sequential_schedule_correctness(
         seed in any::<u64>(),
         n in 1usize..64,
-        packed in any::<bool>(),
+        layout in any::<u16>(),
         ops in proptest::collection::vec(any::<u16>(), 1..400),
     ) {
         let array = LevelArrayConfig::new(n)
-            .slot_layout(if packed { SlotLayout::Packed } else { SlotLayout::WordPerSlot })
+            .slot_layout(layout_axis(layout, 2 * n))
             .build()
             .unwrap();
         let mut rng = default_rng(seed);
@@ -133,12 +144,12 @@ proptest! {
         n in 1usize..48,
         probes in 1u32..4,
         swap_tas in any::<bool>(),
-        packed in any::<bool>(),
+        layout in any::<u16>(),
     ) {
         let array = LevelArrayConfig::new(n)
             .probes_per_batch(probes)
             .tas_kind(if swap_tas { TasKind::Swap } else { TasKind::CompareExchange })
-            .slot_layout(if packed { SlotLayout::Packed } else { SlotLayout::WordPerSlot })
+            .slot_layout(layout_axis(layout, 2 * n))
             .build()
             .unwrap();
         let mut rng = default_rng(seed);

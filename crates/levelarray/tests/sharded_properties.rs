@@ -15,22 +15,33 @@ fn cases(n: u32) -> ProptestConfig {
     ProptestConfig::with_cases(if cfg!(miri) { 2 } else { n })
 }
 
+/// Decodes a proptest draw into one of the three slot layouts; hybrid splits
+/// are chosen against the *full* main array (the sharded constructor divides
+/// them across the shards).
+fn layout_axis(draw: u16, main_len: usize) -> SlotLayout {
+    match draw % 3 {
+        0 => SlotLayout::WordPerSlot,
+        1 => SlotLayout::Packed,
+        _ => SlotLayout::hybrid((draw as usize / 3) % (main_len + 1)),
+    }
+}
+
 proptest! {
     #![proptest_config(cases(48))]
 
     /// Draining the array hands out every global name exactly once, for every
     /// (shards, n, layout) combination: the tail of the drain can only
     /// complete by stealing from non-home shards, so the steal path is always
-    /// exercised — under both slot layouts.
+    /// exercised — under all three slot layouts.
     #[test]
     fn every_shards_n_combination_drains_to_unique_names(
         shards in 1usize..6,
         n in 1usize..40,
-        packed in any::<bool>(),
+        layout in any::<u16>(),
         seed in any::<u64>(),
     ) {
         let array = LevelArrayConfig::new(n)
-            .slot_layout(if packed { SlotLayout::Packed } else { SlotLayout::WordPerSlot })
+            .slot_layout(layout_axis(layout, 2 * n))
             .build_sharded(shards)
             .unwrap();
         prop_assert_eq!(array.num_shards(), shards);
