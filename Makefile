@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt clippy build test doc bench-check bench-smoke bench-json bench-diff bench-layout examples miri
+.PHONY: ci fmt clippy build test doc bench-check bench-smoke bench-json bench-diff bench-layout bench-topology examples miri
 
 ci: fmt clippy build test doc bench-check
 
@@ -42,10 +42,21 @@ bench-smoke:
 # bench-smoke but with enough operations per cell that throughput is stable
 # enough to diff (the smoke cells are far too small for that).  The caller
 # sets BENCH_JSON; micro is skipped (its criterion stand-in has no JSON).
+# The topology storm runs as its own sweeps invocation because it needs a
+# different shape from the core sweeps: a >=8-thread contended Get storm at
+# 90% prefill and space factor 1.5, with enough ops per thread that every
+# thread is descheduled mid-run and the threads genuinely overlap (shorter
+# runs complete within one timeslice on a loaded box and flatter the flat
+# layout).  g=16 is omitted: 1024 shards of 16 names runs the storm an order
+# of magnitude slower, and the small-group end is covered at smoke size by
+# bench-topology.
 bench-json:
 	BENCH_REPEAT=5 FIG2_THREADS=2 FIG2_OPS=50000 FIG2_EMULATED=8 FIG2_SHARDS=2 FIG2_ELASTIC_EPOCHS=4 \
 		$(CARGO) bench --bench fig2_panels
-	BENCH_REPEAT=5 SWEEP_THREADS=2 SWEEP_OPS=50000 SWEEP_EMULATED=8 \
+	BENCH_REPEAT=5 SWEEP_ONLY=core SWEEP_THREADS=2 SWEEP_OPS=50000 SWEEP_EMULATED=8 \
+		$(CARGO) bench --bench sweeps
+	BENCH_REPEAT=3 SWEEP_ONLY=topology SWEEP_THREADS=256 SWEEP_TOPOLOGY_EMULATED=64 \
+		SWEEP_TOPOLOGY_OPS=400000 SWEEP_TOPOLOGY_GROUPS=0,64,256 \
 		$(CARGO) bench --bench sweeps
 	FIG3_N=256 FIG3_OPS=32000 FIG3_SNAPSHOT=4000 FIG3_SHARDS=2 FIG3_ELASTIC_EPOCHS=4 \
 		$(CARGO) bench --bench fig3_healing
@@ -57,8 +68,18 @@ bench-json:
 # This is the recipe behind the committed crossover default for
 # `hybrid_layout()`; set BENCH_JSON to capture records.
 bench-layout:
-	BENCH_REPEAT=5 SWEEP_THREADS=2 SWEEP_OPS=50000 SWEEP_EMULATED=8 \
+	BENCH_REPEAT=5 SWEEP_ONLY=core SWEEP_THREADS=2 SWEEP_OPS=50000 SWEEP_EMULATED=8 \
 		$(CARGO) bench --bench sweeps
+
+# The hierarchical-composition storm in isolation: shard-group scaling of the
+# elastic-of-sharded array and the packed-vs-word false-sharing tax under a
+# >=8-thread contended Get storm.  This is the recipe behind the committed
+# DEFAULT_SHARD_GROUP and shrink-watermark defaults (at the bench-json shape
+# above); `MICRO_QUICK=1 make bench-topology` shrinks it to smoke size for
+# CI.  Shape knobs: SWEEP_TOPOLOGY_EMULATED / _OPS / _PREFILL / _SPACE /
+# _GROUPS (see benches/sweeps.rs).
+bench-topology:
+	SWEEP_ONLY=topology $(CARGO) bench --bench sweeps
 
 # Regression check: rerun the reference cells with JSON output and diff them
 # against the committed table, flagging >20% throughput or worst-case drift
@@ -70,14 +91,14 @@ bench-diff:
 	rm -f target/bench-current.json
 	BENCH_JSON=$(CURDIR)/target/bench-current.json $(MAKE) bench-json
 	$(CARGO) run -q --release -p la_bench --bin bench_diff -- \
-		bench/baselines/smoke.json target/bench-current.json
+		bench/baselines target/bench-current.json
 
 # Model-checked interleavings of the innermost slot representations and the
 # layout-conformance seam (the suites shrink their case counts under
 # cfg(miri)).  Needs the nightly toolchain with the miri component:
 #   rustup toolchain install nightly --component miri
 miri:
-	$(CARGO) +nightly miri test -p levelarray --lib -- slot:: packed:: probe_core:: hint::
+	$(CARGO) +nightly miri test -p levelarray --lib -- slot:: packed:: probe_core:: hint:: shrink
 	$(CARGO) +nightly miri test -p levelarray --test layout_conformance
 	$(CARGO) +nightly miri test -p levelarray --test free_hint
 
@@ -86,6 +107,7 @@ examples:
 	$(CARGO) run -q --release --example healing
 	$(CARGO) run -q --release --example sharded
 	$(CARGO) run -q --release --example elastic
+	$(CARGO) run -q --release --example hierarchical
 	$(CARGO) run -q --release --example coordination
 	$(CARGO) run -q --release --example flat_combining
 	$(CARGO) run -q --release --example memory_reclamation

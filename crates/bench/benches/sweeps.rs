@@ -34,16 +34,25 @@
 //!     a nearly full, tightly sized array, hint cache off vs on: off pays
 //!     the full probe sequence per Get, on retries the just-freed slot with
 //!     one cache-hot CAS.
+//! 11. **Topology sweeps** (`make bench-topology`) — shard-group scaling of
+//!     the hierarchical (elastic-of-sharded) array against its flat-epoch
+//!     baseline, and the packed-vs-word false-sharing tax, both under a
+//!     ≥8-thread contended `Get` storm over a bound large enough that the
+//!     flat epoch's probe working set outgrows cache while a shard stays
+//!     hot.  The committed records behind the `shard_group` default.
 //!
 //! Environment variables: `SWEEP_THREADS` (default: min(4, host)),
 //! `SWEEP_OPS` (default 50 000 measured ops/thread), `SWEEP_EMULATED`
 //! (default 32), `SWEEP_COLLECT_N` / `SWEEP_COLLECT_ITERS` (collect-cell
 //! contention bound and scan count, defaults 4096 / 10 000),
 //! `SWEEP_HINT_N` / `SWEEP_HINT_PAIRS` (hint-cell contention bound and
-//! measured pair count, defaults 256 / 200 000), `BENCH_JSON` to append one
-//! machine-readable record per cell (see `la_bench::json`), and
-//! `BENCH_REPEAT` to keep the median-throughput run of that many repetitions
-//! per cell.
+//! measured pair count, defaults 256 / 200 000),
+//! `SWEEP_TOPOLOGY_EMULATED` / `SWEEP_TOPOLOGY_OPS` (topology-storm quota
+//! and measured ops; `MICRO_QUICK=1` shrinks both to smoke size),
+//! `SWEEP_ONLY` to run a single section group (`core` = sections 1–10,
+//! `topology` = section 11), `BENCH_JSON` to append one machine-readable
+//! record per cell (see `la_bench::json`), and `BENCH_REPEAT` to keep the
+//! median-throughput run of that many repetitions per cell.
 
 use std::time::Instant;
 
@@ -72,16 +81,20 @@ fn result_row(result: &la_bench::WorkloadResult, extra: Vec<Cell>) -> Vec<Cell> 
         Cell::FloatPrec(result.stats.stddev_probes(), 3),
         Cell::FloatPrec(result.mean_worst_case(), 2),
         u64::from(result.absolute_worst_case()).into(),
+        result.get_latency.quantile_ns(0.99).into(),
+        result.get_latency.quantile_ns(0.999).into(),
     ]);
     row
 }
 
-const METRIC_COLUMNS: [&str; 5] = [
+const METRIC_COLUMNS: [&str; 7] = [
     "ops/s",
     "avg trials",
     "stddev",
     "worst (avg)",
     "worst (abs)",
+    "p99 ns",
+    "p99.9 ns",
 ];
 
 fn main() {
@@ -92,6 +105,11 @@ fn main() {
     let ops: u64 = env_or("SWEEP_OPS", 50_000);
     let emulated: usize = env_or("SWEEP_EMULATED", 32);
     let repeat: usize = env_or("BENCH_REPEAT", 1);
+    let only: Option<String> = std::env::var("SWEEP_ONLY").ok().filter(|s| !s.is_empty());
+    let enabled = |tag: &str| match only.as_deref() {
+        Some(o) => o == tag,
+        None => true,
+    };
     let mut sink = JsonSink::from_env();
 
     let base = WorkloadConfig {
@@ -106,6 +124,19 @@ fn main() {
     println!("# §6 sweeps and ablations (threads = {threads}, N/n = {emulated}, {ops} ops/thread)");
     println!();
 
+    if enabled("core") {
+        core_sweeps(&base, repeat, &mut sink);
+    }
+    if enabled("topology") {
+        topology_sweeps(&base, repeat, &mut sink);
+    }
+}
+
+/// Sections 1–10: the classic §6 sweeps and ablations.
+fn core_sweeps(base: &WorkloadConfig, repeat: usize, sink: &mut Option<JsonSink>) {
+    let threads = base.threads;
+    let ops = base.target_ops_per_thread;
+
     // 1. Pre-fill sweep.
     let mut header = vec!["prefill %", "algorithm"];
     header.extend(METRIC_COLUMNS);
@@ -118,7 +149,7 @@ fn main() {
             };
             let result = la_bench::workload::run_workload_repeated(algorithm, &config, repeat);
             record(
-                &mut sink,
+                sink,
                 &result,
                 format!("sweeps/prefill={prefill}/{}", result.algorithm),
             );
@@ -148,7 +179,7 @@ fn main() {
             };
             let result = la_bench::workload::run_workload_repeated(algorithm, &config, repeat);
             record(
-                &mut sink,
+                sink,
                 &result,
                 format!("sweeps/space={space_factor}/{}", result.algorithm),
             );
@@ -184,7 +215,7 @@ fn main() {
     ] {
         let result = la_bench::workload::run_workload_repeated(algorithm, &det_config, repeat);
         record(
-            &mut sink,
+            sink,
             &result,
             format!("sweeps/deterministic/{}", result.algorithm),
         );
@@ -206,9 +237,9 @@ fn main() {
         Algorithm::LevelArrayProbes(16),
         Algorithm::LevelArraySwapTas,
     ] {
-        let result = la_bench::workload::run_workload_repeated(algorithm, &base, repeat);
+        let result = la_bench::workload::run_workload_repeated(algorithm, base, repeat);
         record(
-            &mut sink,
+            sink,
             &result,
             format!("sweeps/ablation/{}", result.algorithm),
         );
@@ -225,9 +256,9 @@ fn main() {
     let mut shard_table = Table::new(&header);
     for shards in [1usize, 2, 4, 8] {
         let algorithm = Algorithm::ShardedLevelArray { shards };
-        let result = la_bench::workload::run_workload_repeated(algorithm, &base, repeat);
+        let result = la_bench::workload::run_workload_repeated(algorithm, base, repeat);
         record(
-            &mut sink,
+            sink,
             &result,
             format!("sweeps/shards={shards}/{}", result.algorithm),
         );
@@ -250,9 +281,9 @@ fn main() {
     let mut elastic_table = Table::new(&header);
     for max_epochs in [3usize, 4, 6, 8] {
         let algorithm = Algorithm::Elastic { max_epochs };
-        let result = la_bench::workload::run_workload_repeated(algorithm, &base, repeat);
+        let result = la_bench::workload::run_workload_repeated(algorithm, base, repeat);
         record(
-            &mut sink,
+            sink,
             &result,
             format!("sweeps/epochs={max_epochs}/{}", result.algorithm),
         );
@@ -284,7 +315,7 @@ fn main() {
         let algorithm = Algorithm::ElasticStorm { divisor };
         let result = la_bench::workload::run_workload_repeated(algorithm, &storm_base, repeat);
         record(
-            &mut sink,
+            sink,
             &result,
             format!("sweeps/storm={divisor}/{}", result.algorithm),
         );
@@ -315,9 +346,9 @@ fn main() {
     header.extend(METRIC_COLUMNS);
     let mut layout_table = Table::new(&header);
     for (layout, algorithm) in LAYOUT_ABLATION {
-        let result = la_bench::workload::run_workload_repeated(algorithm, &base, repeat);
+        let result = la_bench::workload::run_workload_repeated(algorithm, base, repeat);
         record(
-            &mut sink,
+            sink,
             &result,
             format!("sweeps/layout={layout}/{}", result.algorithm),
         );
@@ -341,7 +372,7 @@ fn main() {
     for (layout, algorithm) in LAYOUT_ABLATION {
         let result = la_bench::workload::run_workload_repeated(algorithm, &contended, repeat);
         record(
-            &mut sink,
+            sink,
             &result,
             format!(
                 "sweeps/layout={layout}/threads={contended_threads}/{}",
@@ -461,14 +492,7 @@ fn main() {
             for name in held {
                 array.free(name);
             }
-            emit_collect(
-                &mut sink,
-                &mut collect_table,
-                label,
-                occupancy,
-                elapsed_s,
-                seen,
-            );
+            emit_collect(sink, &mut collect_table, label, occupancy, elapsed_s, seen);
         }
     }
     // The scalar reference: the pre-batching word-at-a-time walk over the
@@ -496,7 +520,7 @@ fn main() {
             array.free(name);
         }
         emit_collect(
-            &mut sink,
+            sink,
             &mut collect_table,
             "packed-scalar",
             occupancy,
@@ -584,5 +608,108 @@ fn main() {
     println!(
         "## Free→Get hint micro (free_hint)\n\n{}",
         hint_table.to_markdown()
+    );
+}
+
+/// Section 11: the topology sweeps behind `make bench-topology`.
+///
+/// Both cells run a ≥8-thread contended `Get` storm (75% pre-fill) over a
+/// bound large enough that a flat epoch's random-probe working set outgrows
+/// the fast cache levels while one shard group stays hot under the sticky
+/// home routing — the locality the hierarchical composition buys even when
+/// the threads time-share cores:
+///
+/// * **Shard-group scaling** — the hierarchical array against its own
+///   `shard_group` knob, with the flat elastic array (`shard_group = 0`) as
+///   the baseline the ISSUE's acceptance compares against.
+/// * **False-sharing tax** — word-per-slot vs bit-packed slots for both the
+///   hierarchical and the flat composition: packing 64 slots per atomic
+///   word makes concurrent `Get`s collide on cache lines, and the storm
+///   prices that.
+fn topology_sweeps(base: &WorkloadConfig, repeat: usize, sink: &mut Option<JsonSink>) {
+    let quick = std::env::var("MICRO_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let threads = base.threads.max(8);
+    let emulated: usize = env_or("SWEEP_TOPOLOGY_EMULATED", if quick { 64 } else { 512 });
+    let ops: u64 = env_or(
+        "SWEEP_TOPOLOGY_OPS",
+        if quick {
+            2_000
+        } else {
+            base.target_ops_per_thread
+        },
+    );
+    let prefill: f64 = env_or("SWEEP_TOPOLOGY_PREFILL", 0.9);
+    // Tighter than the paper's L/N ∈ [2, 4] on purpose: at 90% pre-fill and
+    // 1.5 slots per participant the probe sequence does real work per Get,
+    // so the storm prices *where* those probes land (a flat epoch's
+    // 100-KB-scale working set vs one cache-resident shard) instead of the
+    // fixed per-op overhead around a single lucky probe.
+    let space_factor: f64 = env_or("SWEEP_TOPOLOGY_SPACE", 1.5);
+    let storm = WorkloadConfig {
+        threads,
+        emulated_per_thread: emulated,
+        prefill,
+        space_factor,
+        target_ops_per_thread: ops,
+        ..base.clone()
+    };
+    let n = storm.logical_participants();
+
+    // Shard-group scaling: 0 (flat epochs) is the comparison baseline.
+    let groups: Vec<usize> = std::env::var("SWEEP_TOPOLOGY_GROUPS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|g| g.trim().parse().ok()).collect())
+        .filter(|g: &Vec<usize>| !g.is_empty())
+        .unwrap_or_else(|| vec![0, 16, 64, 256]);
+    let mut header = vec!["shard group", "epoch shards", "algorithm"];
+    header.extend(METRIC_COLUMNS);
+    let mut scaling_table = Table::new(&header);
+    for group in groups {
+        let algorithm = Algorithm::Hierarchical { shard_group: group };
+        let result = la_bench::workload::run_workload_repeated(algorithm, &storm, repeat);
+        record(
+            sink,
+            &result,
+            format!("sweeps/topology/group={group}/{}", result.algorithm),
+        );
+        let shards = if group == 0 {
+            1
+        } else {
+            n.div_ceil(group).max(1)
+        };
+        scaling_table.push_row(result_row(
+            &result,
+            vec![group.into(), shards.into(), result.algorithm.clone().into()],
+        ));
+    }
+    println!(
+        "## Hierarchical shard-group scaling (threads = {threads}, N = {n}, prefill {prefill})\n\n{}",
+        scaling_table.to_markdown()
+    );
+
+    // False-sharing tax: packed vs word slots under the same storm.
+    let mut header = vec!["layout", "algorithm"];
+    header.extend(METRIC_COLUMNS);
+    let mut tax_table = Table::new(&header);
+    for (layout, algorithm) in [
+        ("word-per-slot", Algorithm::Hierarchical { shard_group: 64 }),
+        ("packed", Algorithm::HierarchicalPacked { shard_group: 64 }),
+        ("word-per-slot", Algorithm::Hierarchical { shard_group: 0 }),
+        ("packed", Algorithm::HierarchicalPacked { shard_group: 0 }),
+    ] {
+        let result = la_bench::workload::run_workload_repeated(algorithm, &storm, repeat);
+        record(
+            sink,
+            &result,
+            format!("sweeps/topology/layout={layout}/{}", result.algorithm),
+        );
+        tax_table.push_row(result_row(
+            &result,
+            vec![layout.into(), result.algorithm.clone().into()],
+        ));
+    }
+    println!(
+        "## Packed-vs-word false-sharing tax (threads = {threads}, N = {n})\n\n{}",
+        tax_table.to_markdown()
     );
 }

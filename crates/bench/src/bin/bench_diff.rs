@@ -1,8 +1,17 @@
 //! Compares two `BENCH_JSON` result files and flags regressions.
 //!
 //! ```text
-//! bench_diff <baseline.jsonl> <current.jsonl>
+//! bench_diff <baseline.jsonl | baseline-dir> <current.jsonl>
 //! ```
+//!
+//! When the baseline argument is a *directory*, the baseline file is
+//! resolved per machine: `<dir>/<hostname>.json` if it exists (hostname from
+//! `/proc/sys/kernel/hostname`, then `$HOSTNAME`), else `<dir>/smoke.json`
+//! — so each reference machine can commit its own table under
+//! `bench/baselines/` and `make bench-diff` picks the right one without any
+//! configuration, while machines without a dedicated table still diff
+//! against the shared smoke baseline (noisily, hence the non-blocking CI
+//! step).
 //!
 //! Records are joined on their `key` field; for every key present in both
 //! files the relative drift of `throughput` and `worst_avg` is computed
@@ -49,12 +58,45 @@ fn index_by_key(records: Vec<JsonRecord>) -> BTreeMap<String, JsonRecord> {
         .collect()
 }
 
+/// The machine name baselines are keyed by: `/proc/sys/kernel/hostname`
+/// (authoritative on Linux), then `$HOSTNAME`, then `"unknown"`.
+fn hostname() -> String {
+    std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok().filter(|s| !s.is_empty()))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Resolves the baseline argument: a file is used as-is; a directory is
+/// resolved to its per-machine table (`<dir>/<hostname>.json`), falling back
+/// to the shared `<dir>/smoke.json`.
+fn resolve_baseline(arg: &str) -> String {
+    if !std::fs::metadata(arg).map(|m| m.is_dir()).unwrap_or(false) {
+        return arg.to_string();
+    }
+    let per_host = format!("{arg}/{}.json", hostname());
+    if std::fs::metadata(&per_host).is_ok() {
+        println!("bench_diff: using per-machine baseline {per_host}");
+        per_host
+    } else {
+        let shared = format!("{arg}/smoke.json");
+        println!(
+            "bench_diff: no {per_host}, falling back to shared baseline {shared} \
+             (regenerate per-machine with BENCH_JSON={per_host} make bench-json)"
+        );
+        shared
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [baseline_path, current_path] = args.as_slice() else {
-        eprintln!("usage: bench_diff <baseline.jsonl> <current.jsonl>");
+    let [baseline_arg, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.jsonl | baseline-dir> <current.jsonl>");
         return ExitCode::from(2);
     };
+    let baseline_path = &resolve_baseline(baseline_arg);
     let tolerance: f64 = std::env::var("BENCH_DIFF_TOLERANCE")
         .ok()
         .and_then(|v| v.parse().ok())

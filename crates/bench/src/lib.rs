@@ -19,10 +19,12 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod histogram;
 pub mod json;
 pub mod report;
 pub mod workload;
 
+pub use histogram::LatencyHistogram;
 pub use json::{JsonRecord, JsonSink, JsonValue};
 pub use report::{format_markdown_table, Cell, Table};
 pub use workload::{Algorithm, WorkloadConfig, WorkloadResult};

@@ -61,6 +61,25 @@ pub enum Algorithm {
         /// Maximum simultaneously live epochs of the doubling chain.
         max_epochs: usize,
     },
+    /// The hierarchical composition: an `ElasticLevelArray` whose epochs are
+    /// groups of cache-padded shard cores, `shard_group` participants per
+    /// shard (`0` keeps the epochs flat — the comparison baseline).  Built
+    /// at the *full* contention bound with growth headroom, so the measured
+    /// `Get`s exercise steady-state contended routing through sticky
+    /// topology homes rather than forced growth.
+    Hierarchical {
+        /// Participants per shard within each epoch (0 = flat epochs).
+        shard_group: usize,
+    },
+    /// [`Algorithm::Hierarchical`] with bit-packed slots: the false-sharing
+    /// tax cell.  64 slots share one atomic word, so concurrent `Get`s
+    /// collide on cache lines the word-per-slot layout keeps separate; under
+    /// a ≥8-thread `Get` storm the gap between this cell and the
+    /// word-per-slot hierarchical cell *is* the tax.
+    HierarchicalPacked {
+        /// Participants per shard within each epoch (0 = flat epochs).
+        shard_group: usize,
+    },
     /// The growth-storm cell: an elastic array started at `1/divisor` of the
     /// cell's contention bound and driven with **zero pre-fill**, so every
     /// churn round acquires the full quota (forcing the chain to double
@@ -96,6 +115,14 @@ impl Algorithm {
             Algorithm::LevelArrayHinted => "LevelArray(hint)".to_string(),
             Algorithm::ShardedLevelArray { shards } => format!("ShardedLevelArray(s={shards})"),
             Algorithm::Elastic { max_epochs } => format!("Elastic(e<={max_epochs})"),
+            Algorithm::Hierarchical { shard_group: 0 } => "Hierarchical(flat)".to_string(),
+            Algorithm::Hierarchical { shard_group } => format!("Hierarchical(g={shard_group})"),
+            Algorithm::HierarchicalPacked { shard_group: 0 } => {
+                "Hierarchical(packed,flat)".to_string()
+            }
+            Algorithm::HierarchicalPacked { shard_group } => {
+                format!("Hierarchical(packed,g={shard_group})")
+            }
             Algorithm::ElasticStorm { divisor } => format!("ElasticStorm(n/{divisor})"),
             Algorithm::Random => "Random".to_string(),
             Algorithm::LinearProbing => "LinearProbing".to_string(),
@@ -188,6 +215,30 @@ impl Algorithm {
                         .expect("valid configuration"),
                 )
             }
+            Algorithm::Hierarchical { shard_group } => Arc::new(
+                // Full bound, fixed growth: this cell measures steady-state
+                // contended routing at *pinned* space.  Under a doubling
+                // policy the flat composition quietly buys itself a roomier
+                // epoch the first time a Get exhausts the cell — the sharded
+                // backend's steal walk absorbs the same pressure without
+                // growing — and the comparison stops being one of routing.
+                // The Elastic/ElasticStorm cells own the growth axis.
+                config
+                    .clone()
+                    .shard_group(*shard_group)
+                    .growth(GrowthPolicy::Fixed)
+                    .build_elastic()
+                    .expect("valid configuration"),
+            ),
+            Algorithm::HierarchicalPacked { shard_group } => Arc::new(
+                config
+                    .clone()
+                    .shard_group(*shard_group)
+                    .slot_layout(SlotLayout::Packed)
+                    .growth(GrowthPolicy::Fixed)
+                    .build_elastic()
+                    .expect("valid configuration"),
+            ),
             Algorithm::ElasticStorm { divisor } => {
                 // Deep under-provisioning: the chain must double through
                 // ~log2(divisor) epochs before it covers the bound, and the
@@ -298,6 +349,9 @@ pub struct WorkloadResult {
     /// Per-thread worst-case probe counts (the paper averages these for the
     /// "worst case" panel to damp outlier executions).
     pub per_thread_max: Vec<u32>,
+    /// Log-bucketed latency of every measured `Get`, merged over threads;
+    /// the JSON record reports its p99 / p99.9 / max tail.
+    pub get_latency: crate::histogram::LatencyHistogram,
 }
 
 impl WorkloadResult {
@@ -346,8 +400,15 @@ impl WorkloadResult {
             .field("stddev_probes", self.stats.stddev_probes())
             .field("worst_avg", self.mean_worst_case())
             .field("worst_abs", u64::from(self.absolute_worst_case()))
+            .field("get_p99_ns", self.get_latency.quantile_ns(0.99))
+            .field("get_p999_ns", self.get_latency.quantile_ns(0.999))
+            .field("get_max_ns", self.get_latency.max_ns())
     }
 }
+
+/// One measured `Get` in this many has its latency recorded (see the
+/// comment in the runner's main loop).
+pub const LATENCY_SAMPLE_STRIDE: u64 = 16;
 
 /// Runs one workload cell: `config.threads` threads hammering one shared
 /// instance of `algorithm`.
@@ -364,7 +425,8 @@ pub fn run_workload(algorithm: Algorithm, config: &WorkloadConfig) -> WorkloadRe
     let prefill_count = ((quota as f64) * config.prefill).floor() as usize;
     let churn = (quota - prefill_count).max(1);
 
-    let mut per_thread_stats: Vec<GetStats> = Vec::with_capacity(config.threads);
+    let mut per_thread_stats: Vec<(GetStats, crate::histogram::LatencyHistogram)> =
+        Vec::with_capacity(config.threads);
     let started = Instant::now();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(config.threads);
@@ -375,18 +437,33 @@ pub fn run_workload(algorithm: Algorithm, config: &WorkloadConfig) -> WorkloadRe
             handles.push(scope.spawn(move || {
                 let mut rng = default_rng(seed);
                 let mut stats = GetStats::new();
+                let mut latency = crate::histogram::LatencyHistogram::new();
 
                 // Pre-fill: register and hold (not measured).
                 let held: Vec<_> = (0..prefill_count)
                     .map(|_| array.get(&mut rng).name())
                     .collect();
 
-                // Main loop: churn the remaining quota.
+                // Main loop: churn the remaining quota.  Latency is sampled
+                // one Get in LATENCY_SAMPLE_STRIDE: timing every operation
+                // would put two clock reads (~40-60 ns on Linux) inside a
+                // ~100 ns critical path and drown the differences the cells
+                // exist to measure, while 1-in-16 keeps tens of thousands of
+                // samples per cell — plenty for a p99.9.
                 let mut ops = 0u64;
+                let mut gets = 0u64;
                 let mut churned = Vec::with_capacity(churn);
                 while ops < target {
                     for _ in 0..churn {
-                        let got = array.get(&mut rng);
+                        let got = if gets % LATENCY_SAMPLE_STRIDE == 0 {
+                            let get_started = Instant::now();
+                            let got = array.get(&mut rng);
+                            latency.record_duration(get_started.elapsed());
+                            got
+                        } else {
+                            array.get(&mut rng)
+                        };
+                        gets += 1;
                         stats.record(&got);
                         churned.push(got.name());
                         ops += 1;
@@ -401,7 +478,7 @@ pub fn run_workload(algorithm: Algorithm, config: &WorkloadConfig) -> WorkloadRe
                 for name in held {
                     array.free(name);
                 }
-                stats
+                (stats, latency)
             }));
         }
         for handle in handles {
@@ -411,9 +488,11 @@ pub fn run_workload(algorithm: Algorithm, config: &WorkloadConfig) -> WorkloadRe
     let elapsed = started.elapsed();
 
     let mut merged = GetStats::new();
+    let mut get_latency = crate::histogram::LatencyHistogram::new();
     let mut per_thread_max = Vec::with_capacity(per_thread_stats.len());
-    for stats in &per_thread_stats {
+    for (stats, latency) in &per_thread_stats {
         merged.merge(stats);
+        get_latency.merge(latency);
         per_thread_max.push(stats.max_probes());
     }
     let total_ops = merged.operations() * 2; // every measured Get has a Free
@@ -425,6 +504,7 @@ pub fn run_workload(algorithm: Algorithm, config: &WorkloadConfig) -> WorkloadRe
         total_ops,
         stats: merged,
         per_thread_max,
+        get_latency,
     }
 }
 
@@ -476,6 +556,9 @@ mod tests {
             Algorithm::ShardedLevelArray { shards: 2 },
             Algorithm::ShardedLevelArray { shards: 4 },
             Algorithm::Elastic { max_epochs: 4 },
+            Algorithm::Hierarchical { shard_group: 0 },
+            Algorithm::Hierarchical { shard_group: 4 },
+            Algorithm::HierarchicalPacked { shard_group: 4 },
             Algorithm::ElasticStorm { divisor: 8 },
             Algorithm::Random,
             Algorithm::LinearProbing,
@@ -488,6 +571,18 @@ mod tests {
             assert_eq!(result.per_thread_max.len(), 2);
             assert!(result.mean_worst_case() >= 1.0);
             assert!(result.absolute_worst_case() >= 1);
+            // Latency is sampled 1-in-LATENCY_SAMPLE_STRIDE with a coherent
+            // tail.
+            assert!(
+                result.get_latency.count() >= result.stats.operations() / LATENCY_SAMPLE_STRIDE
+                    && result.get_latency.count() <= result.stats.operations(),
+                "{}: {} samples for {} gets",
+                result.algorithm,
+                result.get_latency.count(),
+                result.stats.operations()
+            );
+            let (p99, p999, max) = result.get_latency.tail_ns();
+            assert!(p99 <= p999 && p999 <= max, "{}", result.algorithm);
         }
     }
 
@@ -549,6 +644,18 @@ mod tests {
             Algorithm::ElasticStorm { divisor: 16 }.label(),
             "ElasticStorm(n/16)"
         );
+        assert_eq!(
+            Algorithm::Hierarchical { shard_group: 0 }.label(),
+            "Hierarchical(flat)"
+        );
+        assert_eq!(
+            Algorithm::Hierarchical { shard_group: 64 }.label(),
+            "Hierarchical(g=64)"
+        );
+        assert_eq!(
+            Algorithm::HierarchicalPacked { shard_group: 64 }.label(),
+            "Hierarchical(packed,g=64)"
+        );
         assert_eq!(Algorithm::figure2_set().len(), 5);
         assert!(Algorithm::figure2_set().contains(&Algorithm::ShardedLevelArray { shards: 4 }));
         assert!(Algorithm::figure2_set().contains(&Algorithm::Elastic { max_epochs: 4 }));
@@ -600,6 +707,18 @@ mod tests {
         // still never fails a Get (get() would panic).
         let result = run_workload(Algorithm::ElasticStorm { divisor: 8 }, &config);
         assert_eq!(result.algorithm, "ElasticStorm(n/8)");
+        assert!(result.total_ops >= 2 * 2_000);
+    }
+
+    #[test]
+    fn hierarchical_builds_at_full_bound_with_sharded_epochs() {
+        let config = small_config();
+        let array = Algorithm::Hierarchical { shard_group: 4 }.build(&config.array_config());
+        assert_eq!(array.algorithm_name(), "ElasticLevelArray");
+        // Full bound: steady-state cell, no forced growth.
+        assert_eq!(array.max_participants(), config.logical_participants());
+        let result = run_workload(Algorithm::Hierarchical { shard_group: 4 }, &config);
+        assert_eq!(result.algorithm, "Hierarchical(g=4)");
         assert!(result.total_ops >= 2 * 2_000);
     }
 

@@ -1,0 +1,483 @@
+//! The storage backend of one elastic epoch cell: flat or sharded.
+//!
+//! [`crate::ElasticLevelArray`] composes the repo's two scaling mechanisms
+//! one level deep each: the epoch chain grows the *contention bound*, and —
+//! with [`crate::LevelArrayConfig::shard_group`] set — every epoch's storage
+//! is itself split into cache-padded shard cores so the *memory traffic* of
+//! a big epoch stays spread out.  [`CellBackend`] is that seam: the epoch
+//! cell talks to one backend, which is either a single [`ProbeCore`] (flat,
+//! the PR 4 layout) or a [`ShardGroup`] of `⌈C / g⌉` padded cores for group
+//! size `g` and cell contention `C`.  Doubling the chain therefore *adds
+//! shard groups* instead of doubling one contended slab.
+//!
+//! Within a backend the slot namespace is dense —
+//! `shard · shard_capacity + local` — exactly the mapping
+//! [`crate::ShardedLevelArray`] uses, so the epoch tag plus the dense index
+//! (`Name::with_epoch(epoch, dense)`) routes every `Free`/`is_held`/hint
+//! unambiguously through both levels without a lookup table.
+
+use crate::array::Acquired;
+use crate::config::{ConfigError, LevelArrayConfig};
+use crate::geometry::BatchGeometry;
+use crate::name::Name;
+use crate::occupancy::{Region, RegionOccupancy};
+use crate::probe_core::ProbeCore;
+use crate::slot::SlotLayout;
+use larng::RandomSource;
+
+/// One shard core, padded to two cache lines (same rationale as the sharded
+/// facade: neighbouring shards' hot atomics must not share a line).
+#[derive(Debug)]
+#[repr(align(128))]
+struct PaddedCore(ProbeCore);
+
+/// A group of cache-padded shard cores backing one epoch cell.
+#[derive(Debug)]
+pub(crate) struct ShardGroup {
+    shards: Box<[PaddedCore]>,
+    /// Capacity of each shard — the stride of the dense in-cell namespace.
+    shard_capacity: usize,
+    /// Cached cost of exhausting *every* shard (the steal walk's full
+    /// deterministic probe budget).
+    exhausted_probes: u32,
+}
+
+/// The storage behind one epoch cell.
+#[derive(Debug)]
+pub(crate) enum CellBackend {
+    /// One flat probing core (the default, `shard_group == 0`).
+    Flat(ProbeCore),
+    /// `⌈C / g⌉` cache-padded cores with sticky home routing and stealing.
+    Sharded(ShardGroup),
+}
+
+impl CellBackend {
+    /// Materializes the backend for an epoch of bound `contention`, built
+    /// from the shared base configuration.  `shard_group == 0` yields a
+    /// flat core; otherwise the contention is split over `⌈C / g⌉` shards
+    /// of bound `⌈C / shards⌉` each (a hybrid slot split chosen against the
+    /// full main array is rescaled per shard, mirroring
+    /// [`crate::ShardedLevelArray::from_config`]).
+    pub(crate) fn build(base: &LevelArrayConfig, contention: usize) -> Result<Self, ConfigError> {
+        let sized = base.clone().with_contention(contention);
+        let group = base.shard_group_value();
+        if group == 0 {
+            return Ok(CellBackend::Flat(sized.validate()?.into_probe_core()));
+        }
+        let shards = contention.div_ceil(group).max(1);
+        let shard_contention = contention.div_ceil(shards);
+        let mut per_shard = sized.with_contention(shard_contention);
+        if let SlotLayout::Hybrid { packed_from } = per_shard.slot_layout_value() {
+            let split = packed_from.div_ceil(shards).min(per_shard.main_len());
+            per_shard = per_shard.slot_layout(SlotLayout::Hybrid { packed_from: split });
+        }
+        let cores: Vec<PaddedCore> = (0..shards)
+            .map(|_| Ok(PaddedCore(per_shard.validate()?.into_probe_core())))
+            .collect::<Result<_, ConfigError>>()?;
+        let shard_capacity = cores[0].0.capacity();
+        let exhausted_probes = cores.iter().map(|c| c.0.exhausted_probe_count()).sum();
+        Ok(CellBackend::Sharded(ShardGroup {
+            shards: cores.into_boxed_slice(),
+            shard_capacity,
+            exhausted_probes,
+        }))
+    }
+
+    /// Number of shard cores (1 for a flat backend).
+    pub(crate) fn num_shards(&self) -> usize {
+        match self {
+            CellBackend::Flat(_) => 1,
+            CellBackend::Sharded(g) => g.shards.len(),
+        }
+    }
+
+    /// The stride of the dense in-cell namespace (a flat backend's full
+    /// capacity).
+    pub(crate) fn shard_capacity(&self) -> usize {
+        match self {
+            CellBackend::Flat(core) => core.capacity(),
+            CellBackend::Sharded(g) => g.shard_capacity,
+        }
+    }
+
+    /// Total slots across all shards.
+    pub(crate) fn capacity(&self) -> usize {
+        match self {
+            CellBackend::Flat(core) => core.capacity(),
+            CellBackend::Sharded(g) => g.shard_capacity * g.shards.len(),
+        }
+    }
+
+    /// The per-shard batch layout (a flat backend's own geometry).
+    pub(crate) fn geometry(&self) -> &BatchGeometry {
+        match self {
+            CellBackend::Flat(core) => core.geometry(),
+            CellBackend::Sharded(g) => g.shards[0].0.geometry(),
+        }
+    }
+
+    /// The full deterministic probe budget of a failed `Get` (every shard
+    /// exhausted, backups included).
+    pub(crate) fn exhausted_probe_count(&self) -> u32 {
+        match self {
+            CellBackend::Flat(core) => core.exhausted_probe_count(),
+            CellBackend::Sharded(g) => g.exhausted_probes,
+        }
+    }
+
+    /// The paper's `Get` over this backend: flat runs it directly; sharded
+    /// routes to `home` (already reduced modulo the shard count by the
+    /// caller's topology mapping) and steals ring-order on exhaustion.
+    /// Returns an acquisition whose name is dense in the cell's namespace.
+    pub(crate) fn try_get<R: RandomSource + ?Sized>(
+        &self,
+        rng: &mut R,
+        home: usize,
+    ) -> Option<Acquired> {
+        match self {
+            CellBackend::Flat(core) => core.try_get(rng),
+            CellBackend::Sharded(g) => {
+                let num_shards = g.shards.len();
+                debug_assert!(home < num_shards);
+                let mut probes = 0u32;
+                for hop in 0..num_shards {
+                    let shard = (home + hop) % num_shards;
+                    let core = &g.shards[shard].0;
+                    match core.try_get(rng) {
+                        Some(local) => {
+                            return Some(Acquired::new(
+                                Name::new(shard * g.shard_capacity + local.name().index()),
+                                probes + local.probes(),
+                                local.batch(),
+                                local.used_backup(),
+                            ));
+                        }
+                        None => probes += core.exhausted_probe_count(),
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Splits a dense in-cell index into `(shard core, local name)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range (the shard core's own checks
+    /// reject out-of-range locals; this rejects out-of-range shards).
+    fn locate(&self, dense: Name) -> (&ProbeCore, Name) {
+        match self {
+            CellBackend::Flat(core) => (core, dense),
+            CellBackend::Sharded(g) => {
+                let shard = dense.index() / g.shard_capacity;
+                assert!(
+                    shard < g.shards.len(),
+                    "index {} out of range for a {}-shard cell of capacity {}",
+                    dense.index(),
+                    g.shards.len(),
+                    self.capacity()
+                );
+                (
+                    &g.shards[shard].0,
+                    Name::new(dense.index() % g.shard_capacity),
+                )
+            }
+        }
+    }
+
+    /// Releases a dense in-cell slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index or a double free.
+    pub(crate) fn free(&self, dense: Name) {
+        let (core, local) = self.locate(dense);
+        core.free(local);
+    }
+
+    /// One test-and-set on the hinted dense slot (see
+    /// [`ProbeCore::hint_acquire`]); stale hints are rejected, never panic.
+    pub(crate) fn hint_acquire(&self, dense: Name) -> Option<Acquired> {
+        match self {
+            CellBackend::Flat(core) => core.hint_acquire(dense),
+            CellBackend::Sharded(g) => {
+                let shard = dense.index() / g.shard_capacity;
+                if shard >= g.shards.len() {
+                    return None;
+                }
+                let local = Name::new(dense.index() % g.shard_capacity);
+                let got = g.shards[shard].0.hint_acquire(local)?;
+                Some(Acquired::new(
+                    Name::new(shard * g.shard_capacity + got.name().index()),
+                    got.probes(),
+                    got.batch(),
+                    got.used_backup(),
+                ))
+            }
+        }
+    }
+
+    /// Directly occupies a dense in-cell slot (test/experiment hook).
+    pub(crate) fn force_occupy(&self, dense: Name) -> bool {
+        let (core, local) = self.locate(dense);
+        core.force_occupy(local)
+    }
+
+    /// Whether a dense in-cell slot is currently held.
+    pub(crate) fn is_held(&self, dense: Name) -> bool {
+        let (core, local) = self.locate(dense);
+        core.is_held(local)
+    }
+
+    /// Whether any slot of any shard is held (the drained check).
+    pub(crate) fn any_held(&self) -> bool {
+        match self {
+            CellBackend::Flat(core) => core.any_held(),
+            CellBackend::Sharded(g) => g.shards.iter().any(|s| s.0.any_held()),
+        }
+    }
+
+    /// Visits every held slot's dense in-cell index.
+    pub(crate) fn for_each_held(&self, mut f: impl FnMut(usize)) {
+        match self {
+            CellBackend::Flat(core) => core.for_each_held(f),
+            CellBackend::Sharded(g) => {
+                for (shard, core) in g.shards.iter().enumerate() {
+                    let base = shard * g.shard_capacity;
+                    core.0.for_each_held(|local| f(base + local));
+                }
+            }
+        }
+    }
+
+    /// Held slots in batch `i`, summed across shards.
+    pub(crate) fn batch_occupancy(&self, i: usize) -> usize {
+        match self {
+            CellBackend::Flat(core) => core.batch_occupancy(i),
+            CellBackend::Sharded(g) => g.shards.iter().map(|s| s.0.batch_occupancy(i)).sum(),
+        }
+    }
+
+    /// Capacity of batch `i`, summed across shards.
+    pub(crate) fn batch_capacity(&self, i: usize) -> usize {
+        self.geometry().batch_len(i) * self.num_shards()
+    }
+
+    /// Total backup slots across shards.
+    pub(crate) fn backup_capacity(&self) -> usize {
+        match self {
+            CellBackend::Flat(core) => core.backup_len(),
+            CellBackend::Sharded(g) => g.shards.iter().map(|s| s.0.backup_len()).sum(),
+        }
+    }
+
+    /// Held backup slots, summed across shards.
+    pub(crate) fn backup_occupancy(&self) -> usize {
+        match self {
+            CellBackend::Flat(core) => core.backup_occupancy(),
+            CellBackend::Sharded(g) => g.shards.iter().map(|s| s.0.backup_occupancy()).sum(),
+        }
+    }
+
+    /// The cell's census as labelled regions: per-batch totals aggregated
+    /// across the shard group (so one epoch reports one region per batch
+    /// plus one backup region, whatever its shard count), then relabelled
+    /// through `label` — the hook the elastic census uses to tag regions
+    /// with the epoch id.
+    pub(crate) fn region_occupancies(
+        &self,
+        label: impl Fn(Region) -> Region,
+    ) -> Vec<RegionOccupancy> {
+        match self {
+            CellBackend::Flat(core) => core.region_occupancies(label),
+            CellBackend::Sharded(_) => {
+                let geometry = self.geometry();
+                let mut regions: Vec<RegionOccupancy> = (0..geometry.num_batches())
+                    .map(|batch| {
+                        RegionOccupancy::new(
+                            label(Region::Batch(batch)),
+                            self.batch_capacity(batch),
+                            self.batch_occupancy(batch),
+                        )
+                    })
+                    .collect();
+                let backup_capacity = self.backup_capacity();
+                if backup_capacity > 0 {
+                    regions.push(RegionOccupancy::new(
+                        label(Region::Backup),
+                        backup_capacity,
+                        self.backup_occupancy(),
+                    ));
+                }
+                regions
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use larng::default_rng;
+    use std::collections::HashSet;
+
+    fn sharded_backend(n: usize, group: usize) -> CellBackend {
+        CellBackend::build(&LevelArrayConfig::new(n).shard_group(group), n).unwrap()
+    }
+
+    #[test]
+    fn zero_group_builds_flat() {
+        let backend = CellBackend::build(&LevelArrayConfig::new(16), 16).unwrap();
+        assert!(matches!(backend, CellBackend::Flat(_)));
+        assert_eq!(backend.num_shards(), 1);
+        assert_eq!(backend.capacity(), 16 * 2 + 16);
+        assert_eq!(backend.shard_capacity(), backend.capacity());
+    }
+
+    #[test]
+    fn group_size_sets_the_shard_count() {
+        // Contention 64, groups of 16: 4 shards of bound 16 each.
+        let backend = sharded_backend(64, 16);
+        assert_eq!(backend.num_shards(), 4);
+        assert_eq!(backend.shard_capacity(), 16 * 2 + 16);
+        assert_eq!(backend.capacity(), 4 * 48);
+        // A contention no bigger than the group stays single-shard (but
+        // still cache-padded — the sharded representation is kept so a
+        // doubled successor's layout is the same shape).
+        let small = sharded_backend(8, 16);
+        assert_eq!(small.num_shards(), 1);
+        // Uneven splits round the shard bound up.
+        let uneven = sharded_backend(40, 16);
+        assert_eq!(uneven.num_shards(), 3);
+        assert_eq!(uneven.geometry().main_len(), 14 * 2);
+    }
+
+    #[test]
+    fn dense_namespace_round_trips_across_shards() {
+        let backend = sharded_backend(32, 8);
+        assert_eq!(backend.num_shards(), 4);
+        let mut rng = default_rng(5);
+        let mut held = HashSet::new();
+        // Fill everything through every home shard; names must be unique
+        // and dense.
+        for home in 0..backend.num_shards() {
+            for _ in 0..backend.capacity() {
+                if let Some(got) = backend.try_get(&mut rng, home) {
+                    assert!(got.name().index() < backend.capacity());
+                    assert!(held.insert(got.name()), "duplicate {}", got.name());
+                }
+            }
+        }
+        assert_eq!(held.len(), backend.capacity());
+        assert!(backend.try_get(&mut rng, 0).is_none());
+        assert!(backend.any_held());
+        // for_each_held visits exactly the dense indices handed out.
+        let mut seen = HashSet::new();
+        backend.for_each_held(|dense| {
+            assert!(seen.insert(dense));
+        });
+        let expected: HashSet<usize> = held.iter().map(|n| n.index()).collect();
+        assert_eq!(seen, expected);
+        // Free them all back through the dense namespace.
+        for name in held {
+            backend.free(name);
+        }
+        assert!(!backend.any_held());
+    }
+
+    #[test]
+    fn frees_and_hints_route_to_the_owning_shard() {
+        let backend = sharded_backend(32, 8);
+        let mut rng = default_rng(6);
+        let got = backend.try_get(&mut rng, 2).expect("empty backend");
+        let name = got.name();
+        assert!(backend.is_held(name));
+        backend.free(name);
+        assert!(!backend.is_held(name));
+        // The hint re-wins exactly the freed dense slot.
+        let again = backend.hint_acquire(name).expect("free slot");
+        assert_eq!(again.name(), name);
+        // A held slot rejects the hint; an out-of-range dense index is
+        // rejected, not a panic.
+        assert!(backend.hint_acquire(name).is_none());
+        assert!(backend
+            .hint_acquire(Name::new(backend.capacity() * 4))
+            .is_none());
+        backend.free(name);
+    }
+
+    #[test]
+    fn occupancy_aggregates_across_the_group() {
+        let backend = sharded_backend(64, 16);
+        // Occupy slot 0 of every shard: batch 0 of the aggregate census
+        // holds 4.
+        for shard in 0..backend.num_shards() {
+            assert!(backend.force_occupy(Name::new(shard * backend.shard_capacity())));
+        }
+        assert_eq!(backend.batch_occupancy(0), 4);
+        assert_eq!(
+            backend.batch_capacity(0),
+            backend.geometry().batch_len(0) * 4
+        );
+        assert_eq!(backend.backup_capacity(), 4 * 16);
+        assert_eq!(backend.backup_occupancy(), 0);
+        let regions = backend.region_occupancies(|r| r);
+        assert_eq!(
+            regions.len(),
+            backend.geometry().num_batches() + 1,
+            "one region per batch plus the backup, whatever the shard count"
+        );
+        assert_eq!(regions[0].occupied(), 4);
+        let total: usize = regions.iter().map(|r| r.capacity()).sum();
+        assert_eq!(total, backend.capacity());
+    }
+
+    #[test]
+    fn steal_walk_charges_the_full_budget_of_skipped_shards() {
+        let backend = sharded_backend(16, 8);
+        assert_eq!(backend.num_shards(), 2);
+        // Fill shard 0 completely.
+        for local in 0..backend.shard_capacity() {
+            assert!(backend.force_occupy(Name::new(local)));
+        }
+        let mut rng = default_rng(9);
+        let got = backend.try_get(&mut rng, 0).expect("shard 1 is empty");
+        assert!(
+            got.name().index() >= backend.shard_capacity(),
+            "must have stolen from shard 1"
+        );
+        let shard0_budget = match &backend {
+            CellBackend::Sharded(g) => g.shards[0].0.exhausted_probe_count(),
+            CellBackend::Flat(_) => unreachable!(),
+        };
+        assert!(got.probes() > shard0_budget);
+        // And the whole-backend exhausted budget is the sum over shards.
+        assert_eq!(
+            backend.exhausted_probe_count(),
+            shard0_budget * 2,
+            "both shards share one sizing, so the budget doubles"
+        );
+    }
+
+    #[test]
+    fn hybrid_split_rescales_per_shard() {
+        // n = 64 → main 128, batch-0 boundary 96.  With groups of 16 (4
+        // shards of main 32) the per-shard split must shrink to ≤ 32.
+        let config = LevelArrayConfig::new(64).hybrid_layout().shard_group(16);
+        let backend = CellBackend::build(&config, 64).unwrap();
+        match &backend {
+            CellBackend::Sharded(g) => {
+                let layout = g.shards[0].0.slot_layout();
+                match layout {
+                    SlotLayout::Hybrid { packed_from } => {
+                        assert!(packed_from <= g.shards[0].0.main_len());
+                        assert_eq!(packed_from, 24, "96 split 4 ways");
+                    }
+                    other => panic!("expected a hybrid shard layout, got {other:?}"),
+                }
+            }
+            CellBackend::Flat(_) => panic!("expected a sharded backend"),
+        }
+    }
+}

@@ -155,7 +155,28 @@ pub struct LevelArrayConfig {
     auto_retire: bool,
     pin_stripes: usize,
     free_hint: bool,
+    shard_group: usize,
+    shrink_watermark: Option<f64>,
 }
+
+/// The committed default shard-group size for
+/// [`LevelArrayConfig::hierarchical`]: the per-group contention bound at
+/// which an elastic epoch splits into one more cache-padded shard.  Picked
+/// from the `bench-topology` shard-scaling sweep (see
+/// `bench/baselines/smoke.json`, the `sweeps/hier/*` cells): groups of 64
+/// keep each shard's hot batch-0 lines private to a handful of threads
+/// while leaving the per-shard arrays large enough that the paper's O(1)
+/// expected probing is undisturbed.
+pub const DEFAULT_SHARD_GROUP: usize = 64;
+
+/// The committed default shrink watermark for
+/// [`LevelArrayConfig::hierarchical`]: the long-term fill fraction of the
+/// newest epoch below which the chain opens a *smaller* epoch and retires
+/// the large one.  1/4 sits well under the self-healing balance thresholds
+/// (paper §5), so a shrink never fires on an epoch the workload still
+/// meaningfully uses, and a freshly halved epoch (fill ≈ 2× the old one's)
+/// does not immediately re-trigger.
+pub const DEFAULT_SHRINK_WATERMARK: f64 = 0.25;
 
 impl LevelArrayConfig {
     /// Starts a configuration for at most `max_concurrency` simultaneously
@@ -173,6 +194,8 @@ impl LevelArrayConfig {
             auto_retire: true,
             pin_stripes: crate::epoch_chain::DEFAULT_PIN_STRIPES,
             free_hint: false,
+            shard_group: 0,
+            shrink_watermark: None,
         }
     }
 
@@ -292,6 +315,59 @@ impl LevelArrayConfig {
         self.free_hint
     }
 
+    /// Sets the shard-group size of an elastic build's epoch cells
+    /// (default: 0 = flat epochs).  With a non-zero group size `g`, an epoch
+    /// sized for contention bound `C` is materialized as
+    /// `⌈C / g⌉` cache-padded shard cores instead of one flat core — so a
+    /// [`GrowthPolicy::Doubling`] chain grows by *adding shard groups*
+    /// (each doubling doubles the group count) rather than doubling one
+    /// contended slab.  Threads keep sticky, topology-aware home shards
+    /// within every epoch (see [`crate::topology::Topology`]); epoch-tagged
+    /// names route through the shard split unambiguously (the index part is
+    /// `shard · shard_capacity + local`).  Only
+    /// [`LevelArrayConfig::build_elastic`] consults it.
+    #[must_use = "builder methods return the updated configuration"]
+    pub fn shard_group(mut self, group_size: usize) -> Self {
+        self.shard_group = group_size;
+        self
+    }
+
+    /// The shard-group size an elastic build uses (0 = flat epochs).
+    pub fn shard_group_value(&self) -> usize {
+        self.shard_group
+    }
+
+    /// Enables elastic shrink: when the newest epoch's occupancy stays at or
+    /// below `watermark` (a fill fraction of its contention bound) for a
+    /// sustained stretch of `free` traffic, the chain opens a *smaller*
+    /// epoch (half the bound, never below the initial one) and retires the
+    /// large epoch through the same seal→grace→census→unlink protocol that
+    /// retires drained predecessors after growth — run in reverse: the big
+    /// cell drains while the small successor serves.  Disabled by default;
+    /// only meaningful under [`GrowthPolicy::Doubling`].  Only
+    /// [`LevelArrayConfig::build_elastic`] consults it.
+    #[must_use = "builder methods return the updated configuration"]
+    pub fn shrink_watermark(mut self, watermark: f64) -> Self {
+        self.shrink_watermark = Some(watermark);
+        self
+    }
+
+    /// The shrink watermark, if elastic shrink is enabled.
+    pub fn shrink_watermark_value(&self) -> Option<f64> {
+        self.shrink_watermark
+    }
+
+    /// The hierarchical preset: elastic epochs sharded into groups of
+    /// [`DEFAULT_SHARD_GROUP`] and shrink at [`DEFAULT_SHRINK_WATERMARK`] —
+    /// the defaults the `bench-topology` sweeps committed.  Combine with
+    /// [`LevelArrayConfig::growth`] and build with
+    /// [`LevelArrayConfig::build_elastic`].
+    #[must_use = "builder methods return the updated configuration"]
+    pub fn hierarchical(self) -> Self {
+        self.shard_group(DEFAULT_SHARD_GROUP)
+            .shrink_watermark(DEFAULT_SHRINK_WATERMARK)
+    }
+
     /// Selects the growth policy an elastic build uses when its newest epoch
     /// saturates (default: [`GrowthPolicy::Fixed`]).  Only
     /// [`LevelArrayConfig::build_elastic`] consults it; the fixed-size builds
@@ -380,6 +456,11 @@ impl LevelArrayConfig {
         self.growth.validate()?;
         if self.pin_stripes == 0 {
             return Err(ConfigError::ZeroPinStripes);
+        }
+        if let Some(w) = self.shrink_watermark {
+            if !w.is_finite() || w <= 0.0 || w >= 1.0 {
+                return Err(ConfigError::InvalidShrinkWatermark(w));
+            }
         }
         if let SlotLayout::Hybrid { packed_from } = self.slot_layout {
             if packed_from > self.main_len() {
@@ -492,6 +573,8 @@ pub enum ConfigError {
     ZeroEpochs,
     /// The elastic grace counter was configured with zero pin stripes.
     ZeroPinStripes,
+    /// A shrink watermark was outside the open interval `(0, 1)`.
+    InvalidShrinkWatermark(f64),
 }
 
 impl fmt::Display for ConfigError {
@@ -519,6 +602,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroPinStripes => {
                 write!(f, "the elastic grace counter needs at least one pin stripe")
+            }
+            ConfigError::InvalidShrinkWatermark(w) => {
+                write!(
+                    f,
+                    "a shrink watermark must be a fill fraction strictly between 0 and 1, got {w}"
+                )
             }
         }
     }

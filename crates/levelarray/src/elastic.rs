@@ -2,10 +2,10 @@
 //!
 //! The paper assumes the contention bound `n` is fixed for the lifetime of
 //! the structure.  [`ElasticLevelArray`] relaxes that: it keeps a *chain of
-//! epoch cells*, each a [`ProbeCore`]-backed array built from the same
-//! [`LevelArrayConfig`], where every cell after the first doubles the
-//! previous cell's contention bound.  The protocol is a migration in the
-//! style of epoch-based reclamation:
+//! epoch cells*, each an array built from the same [`LevelArrayConfig`],
+//! where every cell after the first doubles the previous cell's contention
+//! bound.  The protocol is a migration in the style of epoch-based
+//! reclamation:
 //!
 //! * **`Get` routes to the newest epoch** and runs the paper's probing
 //!   strategy there.  Only when the newest epoch saturates — every random
@@ -69,6 +69,37 @@
 //! predecessor arms the same flag (the predecessor's last free saw it as
 //! the newest epoch and scheduled nothing), closing the drain-then-grow
 //! race as well.
+//!
+//! # Hierarchical epochs: elastic-of-sharded
+//!
+//! With [`LevelArrayConfig::shard_group`] set to a group size `g`, every
+//! epoch cell's storage is itself *sharded*: a cell of contention bound `C`
+//! is backed by `⌈C / g⌉` cache-padded probing cores instead of one flat
+//! slab, so doubling the chain grows the structure by **adding shard
+//! groups** rather than doubling a single contended memory region.  Inside a
+//! cell, slots live in a dense namespace (`shard · shard_capacity + local`)
+//! and the epoch tag rides on top exactly as before —
+//! `Name::with_epoch(epoch, dense)` — so every `Free`, hint and census
+//! routes through both levels without a lookup table.  Threads are routed to
+//! a sticky home shard by the same churn-stable, NUMA-interleaved token pool
+//! the sharded facade uses (see [`crate::topology`]), and steal ring-order
+//! within the cell on home exhaustion, which preserves the wait-freedom
+//! argument per epoch.
+//!
+//! # Elastic shrink
+//!
+//! Growth has an inverse: with [`LevelArrayConfig::shrink_watermark`] set,
+//! every free samples the newest epoch's advisory occupancy, and once it
+//! stays at or below the watermark for a full patience window (a streak of
+//! `max(C, 16)` consecutive low samples, so one transient dip never
+//! triggers), the array opens a **smaller** successor epoch — half the
+//! newest bound, never below the initial — and lets the oversized epoch
+//! drain behind it.  From there the existing retirement machinery runs
+//! unchanged, just in reverse: the big epoch is now non-newest, so the
+//! seal → grace → census → unlink protocol retires it as soon as its last
+//! holder frees, returning the memory the growth burst borrowed.  `Get`,
+//! `Free` and `Collect` never block on a shrink any more than on a grow —
+//! both are one CAS on the chain head.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -76,14 +107,15 @@ use std::sync::Arc;
 use larng::RandomSource;
 
 use crate::array::{Acquired, ActivityArray};
+use crate::backend::CellBackend;
 use crate::config::{ConfigError, GrowthPolicy, LevelArrayConfig};
 use crate::epoch_chain::{ChainNode, ChainPin, EpochChain};
 use crate::geometry::BatchGeometry;
 use crate::name::Name;
 use crate::occupancy::{OccupancySnapshot, Region, RegionOccupancy};
-use crate::probe_core::ProbeCore;
+use crate::topology::{HomePool, Topology};
 
-/// One generation of the elastic chain: a probing core plus its identity.
+/// One generation of the elastic chain: a storage backend plus its identity.
 #[derive(Debug)]
 struct EpochCell {
     /// The epoch tag carried by every name this cell hands out.  Tags are
@@ -99,17 +131,20 @@ struct EpochCell {
     /// new registrations (the fallback `Get` walk skips it) until it is
     /// either unlinked or unsealed.
     sealed: AtomicBool,
-    core: ProbeCore,
+    /// The cell's storage: one flat probing core, or — under
+    /// [`LevelArrayConfig::shard_group`] — a group of cache-padded shard
+    /// cores with a dense in-cell namespace (see [`CellBackend`]).
+    backend: CellBackend,
 }
 
 impl EpochCell {
-    fn new(epoch: usize, contention: usize, core: ProbeCore) -> Self {
+    fn new(epoch: usize, contention: usize, backend: CellBackend) -> Self {
         EpochCell {
             epoch,
             contention,
             held: AtomicUsize::new(0),
             sealed: AtomicBool::new(false),
-            core,
+            backend,
         }
     }
 
@@ -117,7 +152,7 @@ impl EpochCell {
     /// retirement decision is based on (one word-load per 64 slots under the
     /// packed layout, no allocation under either).
     fn is_drained(&self) -> bool {
-        !self.core.any_held()
+        !self.backend.any_held()
     }
 
     /// Claims the retirement seal; `false` means another retirement attempt
@@ -217,6 +252,18 @@ pub struct ElasticLevelArray {
     /// Total epochs ever opened.
     epochs_opened: AtomicUsize,
     epochs_retired: AtomicUsize,
+    /// The churn-stable home-token pool routing threads to shard cores of
+    /// hierarchical (sharded-backend) epochs; unused while every cell is
+    /// flat.  Shared semantics with [`crate::ShardedLevelArray`].
+    home_pool: Arc<HomePool>,
+    /// The shrink trigger ([`LevelArrayConfig::shrink_watermark`]): `None`
+    /// disables shrinking.
+    shrink_watermark: Option<f64>,
+    /// Consecutive free-side samples that observed the newest epoch at or
+    /// below the watermark; reset by any sample above it.  Reaching the
+    /// patience window opens a smaller epoch (see
+    /// [`ElasticLevelArray::try_shrink`]).
+    low_streak: AtomicUsize,
 }
 
 impl ElasticLevelArray {
@@ -248,9 +295,27 @@ impl ElasticLevelArray {
     /// live epochs and [`ConfigError::ZeroPinStripes`] if the grace counter
     /// has no stripes; otherwise see [`LevelArrayConfig::validate`].
     pub fn from_config(config: &LevelArrayConfig) -> Result<Self, ConfigError> {
-        let validated = config.validate()?;
+        Self::from_config_with_topology(config, Topology::current().clone())
+    }
+
+    /// Like [`ElasticLevelArray::from_config`], but routing hierarchical
+    /// epochs' home tokens through an explicit [`Topology`] instead of the
+    /// discovered machine layout — the injection point for the simulator and
+    /// for tests that study placement on machines they are not running on.
+    /// (With [`LevelArrayConfig::shard_group`] unset every epoch is flat and
+    /// the topology is never consulted.)
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ElasticLevelArray::from_config`].
+    pub fn from_config_with_topology(
+        config: &LevelArrayConfig,
+        topology: Topology,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
         let contention = config.max_concurrency_value();
-        let cell = Arc::new(EpochCell::new(0, contention, validated.into_probe_core()));
+        let backend = CellBackend::build(config, contention)?;
+        let cell = Arc::new(EpochCell::new(0, contention, backend));
         Ok(ElasticLevelArray {
             chain: EpochChain::with_stripes(cell, config.pin_stripes_value()),
             base: config.clone(),
@@ -261,6 +326,9 @@ impl ElasticLevelArray {
             maintenance_pending: AtomicBool::new(false),
             epochs_opened: AtomicUsize::new(1),
             epochs_retired: AtomicUsize::new(0),
+            home_pool: Arc::new(HomePool::new(topology)),
+            shrink_watermark: config.shrink_watermark_value(),
+            low_streak: AtomicUsize::new(0),
         })
     }
 
@@ -330,9 +398,47 @@ impl ElasticLevelArray {
             .map(|c| c.held.load(Ordering::Relaxed))
     }
 
-    /// The batch layout of the newest epoch's main array.
+    /// The batch layout of the newest epoch's main array (per shard core,
+    /// for a hierarchical epoch — every shard of a cell shares one layout).
     pub fn newest_geometry(&self) -> BatchGeometry {
-        self.chain.pin().head().value().core.geometry().clone()
+        self.chain.pin().head().value().backend.geometry().clone()
+    }
+
+    /// Number of shard cores backing the newest epoch (1 for a flat epoch).
+    pub fn newest_epoch_shards(&self) -> usize {
+        self.chain.pin().head().value().backend.num_shards()
+    }
+
+    /// Capacity of each shard core of the newest epoch — the stride of the
+    /// dense in-cell namespace (the full cell capacity for a flat epoch).
+    pub fn newest_shard_capacity(&self) -> usize {
+        self.chain.pin().head().value().backend.shard_capacity()
+    }
+
+    /// Number of shard cores backing epoch `epoch`, if it is live.
+    pub fn epoch_shards(&self, epoch: usize) -> Option<usize> {
+        let pin = self.chain.pin();
+        pin.iter()
+            .map(|node| node.value())
+            .find(|c| c.epoch == epoch)
+            .map(|c| c.backend.num_shards())
+    }
+
+    /// The shard-group size hierarchical epochs are built with (0 = flat
+    /// epochs; see [`LevelArrayConfig::shard_group`]).
+    pub fn shard_group(&self) -> usize {
+        self.base.shard_group_value()
+    }
+
+    /// The shrink watermark in effect (`None` = shrinking disabled; see
+    /// [`LevelArrayConfig::shrink_watermark`]).
+    pub fn shrink_watermark(&self) -> Option<f64> {
+        self.shrink_watermark
+    }
+
+    /// The topology hierarchical epochs route home tokens through.
+    pub fn topology(&self) -> &Topology {
+        self.home_pool.topology()
     }
 
     /// The slot representation every epoch cell stores its registers in
@@ -365,9 +471,9 @@ impl ElasticLevelArray {
             let observed = pin.head();
             let newest = observed.value();
             if !newest.is_sealed() {
-                match newest.core.try_get(rng) {
+                match newest.backend.try_get(rng, self.home_for(newest)) {
                     Some(local) => return Some(Self::tag(newest, local, probes)),
-                    None => probes += newest.core.exhausted_probe_count(),
+                    None => probes += newest.backend.exhausted_probe_count(),
                 }
             }
             // The newest epoch saturated (its backup region included): open a
@@ -386,9 +492,9 @@ impl ElasticLevelArray {
                 if cell.is_sealed() {
                     continue;
                 }
-                match cell.core.try_get(rng) {
+                match cell.backend.try_get(rng, self.home_for(cell)) {
                     Some(local) => return Some(Self::tag(cell, local, probes)),
-                    None => probes += cell.core.exhausted_probe_count(),
+                    None => probes += cell.backend.exhausted_probe_count(),
                 }
             }
             return None;
@@ -567,8 +673,20 @@ impl ElasticLevelArray {
         if cell.is_sealed() {
             return None;
         }
-        let local = cell.core.hint_acquire(Name::new(hinted.index()))?;
+        let local = cell.backend.hint_acquire(Name::new(hinted.index()))?;
         Some(Self::tag(cell, local, 0))
+    }
+
+    /// The calling thread's home shard within `cell`: flat cells (the
+    /// overwhelmingly common case) short-circuit to 0 without touching the
+    /// thread-local token; sharded cells resolve the sticky token through
+    /// the pool's topology, reduced modulo the cell's shard count.
+    fn home_for(&self, cell: &EpochCell) -> usize {
+        let shards = cell.backend.num_shards();
+        if shards <= 1 {
+            return 0;
+        }
+        crate::topology::home_shard(self.array_id, &self.home_pool, shards)
     }
 
     /// Whether `free` arms the per-thread Free→Get hint cache.
@@ -615,25 +733,37 @@ impl ElasticLevelArray {
             // narrow check-to-CAS window.
             return true;
         }
+        let contention = newest.contention.saturating_mul(2);
+        // Published or lost the race: either way a fresh epoch is serving.
+        // `None` (tag space exhausted) is the only way growth stops here.
+        self.publish_epoch(pin, observed, contention).is_some()
+    }
+
+    /// Builds a successor cell of bound `contention` and attempts to
+    /// CAS-publish it over `observed` — the shared tail of growth
+    /// ([`ElasticLevelArray::open_epoch`] doubles) and shrink
+    /// ([`ElasticLevelArray::try_shrink`] halves).  Returns `Some(true)`
+    /// when this thread published, `Some(false)` when a racer moved the
+    /// head first (the candidate is discarded; a fresh epoch is serving
+    /// either way), and `None` when the epoch tag space is exhausted
+    /// (after ~10^3 publications) — the caller must stop rather than reuse
+    /// a tag and break uniqueness.
+    fn publish_epoch(
+        &self,
+        pin: &ChainPin<'_, Arc<EpochCell>>,
+        observed: &ChainNode<Arc<EpochCell>>,
+        contention: usize,
+    ) -> Option<bool> {
+        let newest = observed.value();
         let epoch = newest.epoch + 1;
         if epoch > Name::MAX_EPOCH {
-            // The tag space is exhausted (after ~10^3 growth events); stop
-            // growing rather than reuse a tag and break uniqueness.
-            return false;
+            return None;
         }
-        let contention = newest.contention.saturating_mul(2);
-        let validated = self
-            .base
-            .clone()
-            .with_contention(contention)
-            .validate()
-            .expect("a doubled elastic configuration stays valid");
-        let cell = Arc::new(EpochCell::new(
-            epoch,
-            contention,
-            validated.into_probe_core(),
-        ));
-        if pin.try_push(observed, cell) {
+        let backend = CellBackend::build(&self.base, contention)
+            .expect("a resized elastic configuration stays valid");
+        let cell = Arc::new(EpochCell::new(epoch, contention, backend));
+        let pushed = pin.try_push(observed, cell);
+        if pushed {
             self.epochs_opened.fetch_add(1, Ordering::Relaxed);
             // The predecessor may have fully drained *while it was still the
             // newest epoch* — its last free saw `cell.epoch == newest` and
@@ -648,8 +778,70 @@ impl ElasticLevelArray {
                 self.maintenance_pending.store(true, Ordering::SeqCst);
             }
         }
-        // Published or lost the race; either way a fresh epoch is serving.
-        true
+        Some(pushed)
+    }
+
+    /// Opens a **smaller** epoch — half the newest bound, never below the
+    /// initial — so an oversized epoch left behind by a growth burst can
+    /// drain and retire (the inverse of the doubling a saturated `Get`
+    /// triggers; see the [module documentation](self)).  Returns `true` if
+    /// this call
+    /// published the smaller epoch.  Non-blocking: one chain-head CAS, no
+    /// waiting on holders — the big epoch retires later through the normal
+    /// seal → grace → census → unlink protocol once its last name is freed.
+    ///
+    /// Usually triggered automatically by the watermark streak
+    /// ([`LevelArrayConfig::shrink_watermark`]); callable explicitly for
+    /// tests and for deployments that prefer manual scaling.  A no-op
+    /// (returning `false`) under [`GrowthPolicy::Fixed`], at the chain's
+    /// `max_epochs` depth, or when the newest epoch is already at the
+    /// initial bound.
+    pub fn try_shrink(&self) -> bool {
+        if !matches!(self.growth, GrowthPolicy::Doubling { .. }) {
+            return false;
+        }
+        let initial = self.base.max_concurrency_value();
+        let pin = self.chain.pin();
+        let observed = pin.head();
+        let newest = observed.value();
+        if newest.contention <= initial || observed.depth() >= self.growth.max_live_epochs() {
+            return false;
+        }
+        let target = (newest.contention / 2).max(initial);
+        self.publish_epoch(&pin, observed, target) == Some(true)
+    }
+
+    /// The free-side shrink sampler: records whether the newest epoch's
+    /// advisory occupancy sits at or below the watermark and reports `true`
+    /// once the low streak has filled the patience window.  Advisory by
+    /// design — the held counter can be mid-flight — but a false sample
+    /// only shifts the streak by one, and the window is sized so that
+    /// sustained real load always resets it.
+    fn note_shrink_sample(&self, pin: &ChainPin<'_, Arc<EpochCell>>) -> bool {
+        let Some(watermark) = self.shrink_watermark else {
+            return false;
+        };
+        let newest = pin.head().value();
+        if newest.contention <= self.base.max_concurrency_value() {
+            return false;
+        }
+        let held = newest.held.load(Ordering::SeqCst);
+        if (held as f64) <= watermark * (newest.contention as f64) {
+            let streak = self.low_streak.fetch_add(1, Ordering::Relaxed) + 1;
+            streak >= Self::shrink_patience(newest.contention)
+        } else {
+            self.low_streak.store(0, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// How many consecutive low samples the watermark must see before a
+    /// shrink fires: one per unit of the newest bound, floored at 16 so
+    /// tiny epochs still get hysteresis.  Scaling with the bound means a
+    /// big epoch — the expensive kind to reopen — demands proportionally
+    /// longer evidence of sustained low occupancy.
+    fn shrink_patience(contention: usize) -> usize {
+        contention.max(16)
     }
 
     /// The batch-aggregated census: batch `i` of every live epoch folded into
@@ -663,7 +855,7 @@ impl ElasticLevelArray {
         let cells: Vec<&EpochCell> = pin.iter().map(|node| node.value().as_ref()).collect();
         let max_batches = cells
             .iter()
-            .map(|c| c.core.geometry().num_batches())
+            .map(|c| c.backend.geometry().num_batches())
             .max()
             .unwrap_or(0);
         let mut regions: Vec<RegionOccupancy> = (0..max_batches)
@@ -671,17 +863,17 @@ impl ElasticLevelArray {
                 let mut capacity = 0;
                 let mut occupied = 0;
                 for cell in &cells {
-                    if batch < cell.core.geometry().num_batches() {
-                        capacity += cell.core.geometry().batch_len(batch);
-                        occupied += cell.core.batch_occupancy(batch);
+                    if batch < cell.backend.geometry().num_batches() {
+                        capacity += cell.backend.batch_capacity(batch);
+                        occupied += cell.backend.batch_occupancy(batch);
                     }
                 }
                 RegionOccupancy::new(Region::Batch(batch), capacity, occupied)
             })
             .collect();
-        let backup_capacity: usize = cells.iter().map(|c| c.core.backup_len()).sum();
+        let backup_capacity: usize = cells.iter().map(|c| c.backend.backup_capacity()).sum();
         if backup_capacity > 0 {
-            let occupied = cells.iter().map(|c| c.core.backup_occupancy()).sum();
+            let occupied = cells.iter().map(|c| c.backend.backup_occupancy()).sum();
             regions.push(RegionOccupancy::new(
                 Region::Backup,
                 backup_capacity,
@@ -708,7 +900,7 @@ impl ElasticLevelArray {
         if cell.is_sealed() {
             return false;
         }
-        let won = cell.core.force_occupy(Name::new(name.index()));
+        let won = cell.backend.force_occupy(Name::new(name.index()));
         if won {
             cell.held.fetch_add(1, Ordering::SeqCst);
         }
@@ -723,7 +915,7 @@ impl ElasticLevelArray {
     pub fn is_held(&self, name: Name) -> bool {
         let pin = self.chain.pin();
         Self::cell_for(&pin, name)
-            .core
+            .backend
             .is_held(Name::new(name.index()))
     }
 }
@@ -738,10 +930,10 @@ impl ActivityArray for ElasticLevelArray {
     }
 
     fn free(&self, name: Name) {
-        let drained_old_epoch = {
+        let (drained_old_epoch, shrink_ready) = {
             let pin = self.chain.pin();
             let cell = Self::cell_for(&pin, name);
-            cell.core.free(Name::new(name.index()));
+            cell.backend.free(Name::new(name.index()));
             // SeqCst, and *before* the head load: if this drain races a
             // grower publishing over this very epoch, either we see the new
             // head (and trigger below) or the grower's post-CAS check sees
@@ -749,7 +941,10 @@ impl ActivityArray for ElasticLevelArray {
             // open_epoch.
             let remaining = cell.held.fetch_sub(1, Ordering::SeqCst) - 1;
             let newest = pin.head().value().epoch;
-            cell.epoch != newest && remaining == 0
+            (
+                cell.epoch != newest && remaining == 0,
+                self.note_shrink_sample(&pin),
+            )
         };
         // Arm the Free→Get hint with the epoch-tagged name.  If the deferred
         // retirement below unlinks the hinted epoch, the stale hint is
@@ -768,6 +963,16 @@ impl ActivityArray for ElasticLevelArray {
         // retry pass at a time — a stampede of concurrent passes would pin
         // the chain and defeat each other's grace observations — and the
         // pass itself re-arms the flag if work remains.
+        // The watermark streak filled its patience window: open the smaller
+        // epoch.  Outside the pinned block (try_shrink takes its own pin)
+        // and *before* the retirement check below, so an already-drained
+        // oversized epoch — now non-newest — can retire in this same call.
+        // The streak restarts either way; on a lost race the winner already
+        // restarted the clock by publishing.
+        if shrink_ready {
+            self.try_shrink();
+            self.low_streak.store(0, Ordering::Relaxed);
+        }
         if self.auto_retire {
             let claimed_maintenance = drained_old_epoch
                 || self
@@ -780,6 +985,13 @@ impl ActivityArray for ElasticLevelArray {
         }
     }
 
+    fn route_hint(&self, participant: usize) {
+        // Pin the thread's home token to the participant id; each (possibly
+        // sharded) epoch cell reduces it modulo its own shard count at Get
+        // time.  A no-op for flat cells, which never consult the token.
+        crate::topology::pin_home(self.array_id, participant);
+    }
+
     fn collect(&self) -> Vec<Name> {
         let mut held = Vec::new();
         ActivityArray::collect_into(self, &mut held);
@@ -790,14 +1002,14 @@ impl ActivityArray for ElasticLevelArray {
         let pin = self.chain.pin();
         for node in pin.iter() {
             let cell = node.value();
-            cell.core
+            cell.backend
                 .for_each_held(|local| out.push(Name::with_epoch(cell.epoch, local)));
         }
     }
 
     fn capacity(&self) -> usize {
         let pin = self.chain.pin();
-        pin.iter().map(|node| node.value().core.capacity()).sum()
+        pin.iter().map(|node| node.value().backend.capacity()).sum()
     }
 
     fn max_participants(&self) -> usize {
@@ -812,7 +1024,7 @@ impl ActivityArray for ElasticLevelArray {
         let mut regions = Vec::new();
         for cell in cells {
             let epoch = cell.epoch;
-            regions.extend(cell.core.region_occupancies(|region| match region {
+            regions.extend(cell.backend.region_occupancies(|region| match region {
                 Region::Batch(batch) => Region::EpochBatch { epoch, batch },
                 Region::Backup => Region::EpochBackup(epoch),
                 other => other,
@@ -1174,6 +1386,183 @@ mod tests {
             assert!(array.collect().contains(&reg.name()));
         }
         assert!(array.collect().is_empty());
+    }
+
+    #[test]
+    fn hierarchical_epochs_are_sharded_and_keep_dimensions() {
+        // shard_group(4) with initial contention 8: the initial epoch is
+        // backed by ⌈8/4⌉ = 2 shard cores of bound 4 each.
+        let array = LevelArrayConfig::new(8)
+            .shard_group(4)
+            .growth(GrowthPolicy::Doubling { max_epochs: 4 })
+            .build_elastic()
+            .unwrap();
+        assert_eq!(array.shard_group(), 4);
+        assert_eq!(array.newest_epoch_shards(), 2);
+        assert_eq!(array.newest_shard_capacity(), 4 * 2 + 4);
+        assert_eq!(array.epoch_shards(0), Some(2));
+        assert_eq!(array.epoch_shards(9), None);
+        assert_eq!(array.capacity(), 2 * 12);
+        // Saturate: the doubled successor (bound 16) gets 4 shards — growth
+        // by adding shard groups, per-shard sizing unchanged.
+        let mut rng = default_rng(31);
+        let names: Vec<Name> = (0..30).map(|_| array.get(&mut rng).name()).collect();
+        assert!(array.num_epochs() >= 2);
+        assert_eq!(array.newest_epoch_shards(), 4);
+        assert_eq!(array.newest_shard_capacity(), 12);
+        let unique: HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "dense names must stay unique");
+        // Epoch-tagged names carry through the shard split: frees route to
+        // the owning shard of the owning epoch, and retirement converges.
+        for name in names {
+            array.free(name);
+        }
+        array.try_retire();
+        assert_eq!(array.num_epochs(), 1);
+        assert!(array.collect().is_empty());
+        assert_eq!(array.pending_reclamation(), 0);
+    }
+
+    #[test]
+    fn hierarchical_census_aggregates_shards_per_epoch() {
+        let array = LevelArrayConfig::new(8)
+            .shard_group(4)
+            .growth(GrowthPolicy::Doubling { max_epochs: 4 })
+            .build_elastic()
+            .unwrap();
+        let mut rng = default_rng(32);
+        let names: Vec<Name> = (0..8).map(|_| array.get(&mut rng).name()).collect();
+        let snap = array.occupancy();
+        // One region set per epoch, shards folded: the per-epoch region
+        // count matches a flat epoch's (batches + backup).
+        let per_epoch = array.newest_geometry().num_batches() + 1;
+        assert_eq!(snap.regions().len(), per_epoch);
+        assert_eq!(snap.total_occupied(), 8);
+        assert_eq!(snap.total_capacity(), array.capacity());
+        assert_eq!(snap.epoch_occupied(0), 8);
+        let agg = array.batchwise_occupancy();
+        assert_eq!(agg.total_occupied(), 8);
+        assert_eq!(agg.total_capacity(), array.capacity());
+        for name in names {
+            array.free(name);
+        }
+    }
+
+    #[test]
+    fn explicit_shrink_opens_a_smaller_epoch_and_retires_the_large_one() {
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Doubling { max_epochs: 4 });
+        let mut rng = default_rng(33);
+        // Grow to a doubled epoch, then drain everything.
+        let names: Vec<Name> = (0..20).map(|_| array.get(&mut rng).name()).collect();
+        assert!(array.num_epochs() >= 2);
+        for name in names {
+            array.free(name);
+        }
+        array.try_retire();
+        assert_eq!(array.num_epochs(), 1);
+        let big = array.newest_epoch();
+        assert!(array.epoch_contention(big).unwrap() > 4, "survivor is big");
+        // Shrink: a smaller epoch opens (half the bound, ≥ initial) and the
+        // drained big epoch retires through the normal protocol.
+        assert!(array.try_shrink());
+        let small = array.newest_epoch();
+        assert_eq!(small, big + 1, "tags stay monotonic through a shrink");
+        assert_eq!(
+            array.epoch_contention(small),
+            Some(array.epoch_contention(big).unwrap_or(8) / 2)
+        );
+        assert!(array.try_retire() >= 1, "the drained big epoch retires");
+        assert_eq!(array.num_epochs(), 1);
+        assert_eq!(array.newest_epoch(), small);
+        // At the initial bound the shrink refuses to go lower.
+        let mut floor = array.epoch_contention(array.newest_epoch()).unwrap();
+        while floor > 4 {
+            assert!(array.try_shrink());
+            array.try_retire();
+            floor = array.epoch_contention(array.newest_epoch()).unwrap();
+        }
+        assert_eq!(floor, 4);
+        assert!(!array.try_shrink(), "never shrinks below the initial bound");
+    }
+
+    #[test]
+    fn shrink_is_refused_under_fixed_growth() {
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Fixed);
+        assert!(!array.try_shrink());
+        assert_eq!(array.num_epochs(), 1);
+    }
+
+    #[test]
+    fn watermark_streak_triggers_automatic_shrink() {
+        let array = LevelArrayConfig::new(4)
+            .growth(GrowthPolicy::Doubling { max_epochs: 4 })
+            .shrink_watermark(0.25)
+            .build_elastic()
+            .unwrap();
+        assert_eq!(array.shrink_watermark(), Some(0.25));
+        let mut rng = default_rng(34);
+        // Grow to a doubled epoch (bound 8) and converge onto it.
+        let names: Vec<Name> = (0..20).map(|_| array.get(&mut rng).name()).collect();
+        for name in names {
+            array.free(name);
+        }
+        array.try_retire();
+        assert_eq!(array.num_epochs(), 1);
+        let big = array.newest_epoch();
+        let big_bound = array.epoch_contention(big).unwrap();
+        assert!(big_bound > 4);
+        // Churn one name at a time: occupancy stays ≤ 1/8 ≤ watermark, so
+        // every free is a low sample.  After the patience window
+        // (max(bound, 16) samples) the array must have opened a smaller
+        // epoch on its own and retired the big one.
+        for _ in 0..(big_bound.max(16) + 2) {
+            let got = array.get(&mut rng);
+            array.free(got.name());
+        }
+        let newest = array.newest_epoch();
+        assert!(newest > big, "the watermark must have opened a new epoch");
+        assert_eq!(
+            array.epoch_contention(newest),
+            Some(big_bound / 2),
+            "the new epoch is the smaller one"
+        );
+        array.try_retire();
+        assert_eq!(array.num_epochs(), 1, "the big epoch fully retires");
+        assert_eq!(array.pending_reclamation(), 0);
+    }
+
+    #[test]
+    fn sustained_load_resets_the_shrink_streak() {
+        let array = LevelArrayConfig::new(2)
+            .growth(GrowthPolicy::Doubling { max_epochs: 4 })
+            .shrink_watermark(0.25)
+            .build_elastic()
+            .unwrap();
+        let mut rng = default_rng(35);
+        // Grow to a bound-4 epoch and make it the sole survivor with two
+        // persistent holders: occupancy stays at 2/4 > watermark while the
+        // churn below cycles a third slot, so no shrink may fire.
+        let names: Vec<Name> = (0..8).map(|_| array.get(&mut rng).name()).collect();
+        let (old, kept): (Vec<Name>, Vec<Name>) = names.into_iter().partition(|n| n.epoch() == 0);
+        for name in old {
+            array.free(name);
+        }
+        array.try_retire();
+        assert_eq!(array.num_epochs(), 1);
+        assert!(kept.len() >= 2, "holders must live in the newest epoch");
+        let epochs_before = array.epochs_opened();
+        for _ in 0..100 {
+            let got = array.get(&mut rng);
+            array.free(got.name());
+        }
+        assert_eq!(
+            array.epochs_opened(),
+            epochs_before,
+            "high occupancy must keep resetting the streak"
+        );
+        for name in kept {
+            array.free(name);
+        }
     }
 
     #[test]

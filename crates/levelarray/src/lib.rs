@@ -68,6 +68,9 @@
 //!   atomic head over immutable nodes, CAS-published growth and
 //!   grace-counter reclamation, so `Get`/`Free`/`collect` never block on
 //!   growth or retirement.
+//! * [`topology`] — NUMA topology discovery (`/sys` cpulists with a
+//!   round-robin fallback) and the churn-stable home-token pool behind the
+//!   sharded facades' sticky thread→shard routing.
 //! * [`ActivityArray`] — the trait shared with the baseline implementations in
 //!   the `la-baselines` crate.
 //! * [`geometry`] — the batch layout (paper §4).
@@ -92,7 +95,9 @@ pub mod registry;
 pub mod sharded;
 pub mod slot;
 pub mod stats;
+pub mod topology;
 
+mod backend;
 mod hint;
 mod level_array;
 
@@ -109,6 +114,7 @@ pub use registry::ThreadRegistry;
 pub use sharded::ShardedLevelArray;
 pub use slot::{SlotLayout, TasKind};
 pub use stats::{GetStats, StatsSummary};
+pub use topology::Topology;
 
 #[cfg(test)]
 mod tests {

@@ -4,8 +4,11 @@
 //! `2n`-slot main array, so cache-line contention — not probe complexity —
 //! becomes the throughput ceiling.  [`ShardedLevelArray`] partitions the
 //! contention bound across `S` cache-padded [`ProbeCore`]s: each thread is
-//! pinned to a *home shard* on its first `Get` (a sticky per-thread token,
-//! assigned round-robin so the population spreads evenly) and runs the
+//! pinned to a *home shard* on its first `Get` (a sticky per-thread token
+//! leased from the array's [`crate::topology`] pool, assigned
+//! node-interleaved across the machine topology — plain round-robin on a
+//! single-node box — and *recycled on thread exit*, so the assignment stays
+//! stable under thread churn) and runs the
 //! paper's probing strategy inside that shard alone; only when the home
 //! shard is exhausted does it *steal*, walking the remaining shards in ring
 //! order (each with the same full probing strategy, backup included).  The
@@ -21,7 +24,7 @@
 //! other processes hold slots while a `Get` runs, so the steal walk always
 //! reaches a shard whose sequential backup has a free slot.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use larng::RandomSource;
 
@@ -32,6 +35,7 @@ use crate::name::Name;
 use crate::occupancy::{OccupancySnapshot, Region, RegionOccupancy};
 use crate::probe_core::ProbeCore;
 use crate::slot::SlotLayout;
+use crate::topology::{HomePool, Topology};
 
 /// One shard, padded to two cache lines so that the hot atomic traffic of
 /// neighbouring shards' slots never shares a line with this shard's metadata.
@@ -40,15 +44,6 @@ use crate::slot::SlotLayout;
 #[derive(Debug)]
 #[repr(align(128))]
 struct PaddedCore(ProbeCore);
-
-thread_local! {
-    /// The calling thread's home-shard token: `(array identity, home shard)`.
-    /// One entry suffices in the overwhelmingly common one-array-per-process
-    /// case; a thread alternating between arrays simply re-pins (round-robin)
-    /// on each switch.
-    static HOME_TOKEN: std::cell::Cell<Option<(u64, usize)>> =
-        const { std::cell::Cell::new(None) };
-}
 
 /// A LevelArray partitioned into `S` cache-padded shards with work stealing.
 ///
@@ -110,8 +105,10 @@ pub struct ShardedLevelArray {
     /// Whether `free` arms the per-thread Free→Get hint cache
     /// ([`LevelArrayConfig::free_hint`]).
     free_hint: bool,
-    /// Round-robin cursor handing each newly arriving thread its home shard.
-    next_home: AtomicUsize,
+    /// The churn-stable home-token pool: each newly arriving thread leases
+    /// the smallest free token (recycled from departed threads before fresh
+    /// ones) and the pool's topology maps tokens to shards node-interleaved.
+    home_pool: Arc<HomePool>,
 }
 
 impl ShardedLevelArray {
@@ -141,6 +138,22 @@ impl ShardedLevelArray {
     /// whatever [`LevelArrayConfig::validate`] reports for the per-shard
     /// configuration.
     pub fn from_config(config: &LevelArrayConfig, shards: usize) -> Result<Self, ConfigError> {
+        Self::from_config_with_topology(config, shards, Topology::current().clone())
+    }
+
+    /// Like [`ShardedLevelArray::from_config`], but routing home tokens
+    /// through an explicit [`Topology`] instead of the discovered machine
+    /// layout — the injection point for the simulator and for tests that
+    /// study placement on machines they are not running on.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedLevelArray::from_config`].
+    pub fn from_config_with_topology(
+        config: &LevelArrayConfig,
+        shards: usize,
+        topology: Topology,
+    ) -> Result<Self, ConfigError> {
         if shards == 0 {
             return Err(ConfigError::ZeroShards);
         }
@@ -168,24 +181,32 @@ impl ShardedLevelArray {
             max_concurrency: n,
             array_id: crate::hint::next_array_id(),
             free_hint: config.free_hint_enabled(),
-            next_home: AtomicUsize::new(0),
+            home_pool: Arc::new(HomePool::new(topology)),
         })
     }
 
-    /// The calling thread's home shard, pinning it on first use: the first
-    /// thread to touch this array is pinned to shard 0, the next to shard 1,
-    /// and so on round-robin, so a population of `T` threads spreads evenly
-    /// over the shards and every thread keeps hammering the *same* shard's
-    /// cache lines across operations.
+    /// The calling thread's home shard, pinning it on first use by leasing a
+    /// token from the array's home pool: the first thread to touch this
+    /// array gets token 0, the next token 1, and so on, with tokens mapped
+    /// to shards node-interleaved across the pool's topology (plain
+    /// round-robin on a single-node machine) so a population of `T` threads
+    /// spreads evenly over the shards — and across the NUMA nodes — while
+    /// every thread keeps hammering the *same* shard's cache lines across
+    /// operations.
+    ///
+    /// The assignment is **stable under thread churn**: a departing thread's
+    /// token returns to the pool and the next arriving thread recycles it
+    /// (most recently vacated first), so a population of at most `T`
+    /// concurrent threads only ever occupies tokens `0..T` — short-lived
+    /// threads inherit their predecessors' homes instead of marching a
+    /// round-robin cursor forward and skewing the long-run placement.
     pub fn home_shard(&self) -> usize {
-        HOME_TOKEN.with(|token| match token.get() {
-            Some((id, home)) if id == self.array_id => home,
-            _ => {
-                let home = self.next_home.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-                token.set(Some((self.array_id, home)));
-                home
-            }
-        })
+        crate::topology::home_shard(self.array_id, &self.home_pool, self.shards.len())
+    }
+
+    /// The topology the home pool routes through.
+    pub fn topology(&self) -> &Topology {
+        self.home_pool.topology()
     }
 
     /// Explicitly pins the calling thread's home shard, overriding (or
@@ -203,7 +224,7 @@ impl ShardedLevelArray {
             "cannot pin home shard {shard}: the array has {} shards",
             self.shards.len()
         );
-        HOME_TOKEN.with(|token| token.set(Some((self.array_id, shard))));
+        crate::topology::pin_home(self.array_id, shard);
     }
 
     /// Number of shards.
@@ -624,6 +645,11 @@ mod tests {
                         barrier.wait();
                         let home = array.home_shard();
                         let again = array.home_shard();
+                        // Hold every lease until all threads have theirs: a
+                        // thread that exited early would return its token
+                        // for a later arrival to recycle (the churn
+                        // invariant), collapsing the distinct-homes check.
+                        barrier.wait();
                         let mut rng = default_rng(40 + t as u64);
                         // On an empty array the Get lands in the home shard.
                         let got = array.get(&mut rng);
@@ -642,6 +668,75 @@ mod tests {
             assert!(seen.insert(home), "round-robin homes must be distinct");
         }
         assert_eq!(seen.len(), shards);
+    }
+
+    #[test]
+    fn home_assignment_is_stable_under_thread_churn() {
+        use std::sync::Arc;
+
+        // A sequence of short-lived threads (arrive, Get/Free, depart) must
+        // all inherit the same home: each departing thread's token returns
+        // to the pool, so the successor recycles it instead of advancing to
+        // a fresh token and drifting across the shards.
+        let array = Arc::new(ShardedLevelArray::new(32, 4));
+        let homes: Vec<usize> = (0..8)
+            .map(|t| {
+                let array = Arc::clone(&array);
+                std::thread::spawn(move || {
+                    let mut rng = default_rng(300 + t as u64);
+                    let home = array.home_shard();
+                    let got = array.get(&mut rng);
+                    array.free(got.name());
+                    home
+                })
+                .join()
+                .unwrap()
+            })
+            .collect();
+        assert!(
+            homes.windows(2).all(|w| w[0] == w[1]),
+            "churned threads must recycle the vacated home token, got {homes:?}"
+        );
+    }
+
+    #[test]
+    fn injected_topology_interleaves_homes_across_nodes() {
+        use crate::topology::Topology;
+        use std::sync::{Arc, Barrier};
+
+        // A synthetic two-node box with 4 shards: shards {0, 2} belong to
+        // node 0 and {1, 3} to node 1, so the first two concurrent threads
+        // must land on different nodes (one even home, one odd).
+        let topo = Topology::synthetic(vec![vec![0, 1], vec![2, 3]]);
+        let array = Arc::new(
+            ShardedLevelArray::from_config_with_topology(&LevelArrayConfig::new(32), 4, topo)
+                .unwrap(),
+        );
+        assert_eq!(array.topology().num_nodes(), 2);
+        let barrier = Arc::new(Barrier::new(2));
+        let homes: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let array = Arc::clone(&array);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        let home = array.home_shard();
+                        // Keep both leases alive until each thread has one,
+                        // so an early exit cannot recycle its token to the
+                        // other thread.
+                        barrier.wait();
+                        home
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_ne!(
+            homes[0] % 2,
+            homes[1] % 2,
+            "tokens 0 and 1 must interleave across the two nodes, got {homes:?}"
+        );
     }
 
     #[test]

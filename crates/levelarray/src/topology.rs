@@ -1,0 +1,496 @@
+//! Machine topology discovery and topology-aware home-shard routing.
+//!
+//! The sharded layouts ([`crate::ShardedLevelArray`] and the sharded epoch
+//! backends of a hierarchical [`crate::ElasticLevelArray`]) pin each thread
+//! to a sticky *home shard*.  Which shard a thread should call home is a
+//! placement question: on a multi-socket machine the shards' cache lines
+//! live on specific NUMA nodes, so homes should first spread across nodes
+//! and only then fill within a node.  [`Topology`] answers that question:
+//!
+//! * [`Topology::discover`] parses the kernel's view of the machine from
+//!   `/sys/devices/system/node/node*/cpulist` (each file a cpulist like
+//!   `0-3,8,10-11`).  On machines without that tree — non-Linux, containers
+//!   with `/sys` masked — it falls back to a single synthetic node holding
+//!   every available CPU, which degrades the node-interleaved assignment to
+//!   plain round-robin.
+//! * [`Topology::synthetic`] builds an explicit layout, so the simulator and
+//!   the tests can study placement on machines they are not running on.
+//! * [`Topology::assign_home`] maps a dense *home token* to a shard,
+//!   node-interleaved: consecutive tokens land on shards of *different*
+//!   nodes first (token 0 → a node-0 shard, token 1 → a node-1 shard, …),
+//!   then wrap around within each node's shard group.  Over tokens
+//!   `0..shards` the assignment is a bijection, so a full population covers
+//!   every shard exactly once — the same guarantee plain round-robin gives,
+//!   plus the cross-node spreading.
+//!
+//! # Home tokens are leased, not burned
+//!
+//! The pool behind the sticky assignment (`HomePool`, crate-internal)
+//! hands each newly arriving thread the smallest free token: freshly `0, 1,
+//! 2, …` while threads only arrive, and *recycled* tokens once threads
+//! leave — a thread's token is returned to the pool when the thread exits
+//! (or re-pins to a different array).  This is the invariant that keeps the
+//! assignment stable under churn: **a population of at most `T` concurrent
+//! threads only ever occupies tokens `0..T`**, so short-lived threads reuse
+//! the home (and the warm cache lines) their predecessors vacated instead
+//! of marching the round-robin cursor ever forward and piling every
+//! long-run workload onto whatever shards the cursor happens to pass.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The machine's CPU topology: which logical CPUs belong to which NUMA node.
+///
+/// # Examples
+///
+/// ```
+/// use levelarray::topology::Topology;
+///
+/// // A synthetic two-socket box with four CPUs per socket.
+/// let topo = Topology::synthetic(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
+/// assert_eq!(topo.num_nodes(), 2);
+/// assert_eq!(topo.node_of_cpu(5), Some(1));
+///
+/// // Home tokens interleave across the nodes first: with 4 shards the
+/// // even shards belong to node 0, the odd ones to node 1, and the first
+/// // two tokens land on different nodes.
+/// assert_eq!(topo.assign_home(0, 4), 0); // node 0
+/// assert_eq!(topo.assign_home(1, 4), 1); // node 1
+/// assert_eq!(topo.assign_home(2, 4), 2); // node 0 again
+/// assert_eq!(topo.assign_home(3, 4), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// CPUs per node, in node order.  Never empty; every node list is
+    /// non-empty.
+    nodes: Vec<Vec<usize>>,
+}
+
+impl fmt::Debug for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Topology")
+            .field("num_nodes", &self.num_nodes())
+            .field("num_cpus", &self.num_cpus())
+            .finish()
+    }
+}
+
+impl Topology {
+    /// Discovers the machine topology from
+    /// `/sys/devices/system/node/node*/cpulist`, falling back to a single
+    /// node holding every available CPU when the sysfs tree is absent or
+    /// unparsable (non-Linux platforms, masked `/sys` in containers).  The
+    /// fallback makes [`Topology::assign_home`] plain round-robin.
+    pub fn discover() -> Self {
+        // Miri isolates the interpreted program from the host filesystem, so
+        // the sysfs probe would abort the interpreter rather than fail the
+        // read; go straight to the fallback there.
+        #[cfg(miri)]
+        return Self::fallback();
+        #[cfg(not(miri))]
+        Self::from_sysfs("/sys/devices/system/node").unwrap_or_else(Self::fallback)
+    }
+
+    /// The process-wide discovered topology, computed once and cached.  The
+    /// sharded facades route through this unless an explicit topology was
+    /// injected at construction.
+    pub fn current() -> &'static Topology {
+        static CURRENT: OnceLock<Topology> = OnceLock::new();
+        CURRENT.get_or_init(Topology::discover)
+    }
+
+    /// Builds an explicit topology: `nodes[i]` is the CPU list of node `i`.
+    /// Empty node lists are dropped; an entirely empty layout collapses to
+    /// the single-node fallback.  This is the injection point for the
+    /// simulator and the tests.
+    pub fn synthetic(nodes: Vec<Vec<usize>>) -> Self {
+        let nodes: Vec<Vec<usize>> = nodes.into_iter().filter(|n| !n.is_empty()).collect();
+        if nodes.is_empty() {
+            return Self::fallback();
+        }
+        Topology { nodes }
+    }
+
+    /// Parses one sysfs node directory tree.  `None` when the tree is
+    /// missing, holds no `node*` entries, or none of them parse.
+    fn from_sysfs(root: &str) -> Option<Self> {
+        let entries = std::fs::read_dir(root).ok()?;
+        let mut nodes: Vec<(usize, Vec<usize>)> = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(id) = name
+                .strip_prefix("node")
+                .and_then(|s| s.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            let path = entry.path().join("cpulist");
+            let Ok(contents) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let cpus = parse_cpulist(contents.trim());
+            if !cpus.is_empty() {
+                nodes.push((id, cpus));
+            }
+        }
+        if nodes.is_empty() {
+            return None;
+        }
+        nodes.sort_by_key(|(id, _)| *id);
+        Some(Topology {
+            nodes: nodes.into_iter().map(|(_, cpus)| cpus).collect(),
+        })
+    }
+
+    /// The round-robin fallback: one node holding every available CPU.
+    fn fallback() -> Self {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Topology {
+            nodes: vec![(0..cpus).collect()],
+        }
+    }
+
+    /// Number of NUMA nodes (at least 1).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of logical CPUs across all nodes.
+    pub fn num_cpus(&self) -> usize {
+        self.nodes.iter().map(|n| n.len()).sum()
+    }
+
+    /// The CPU list of node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= num_nodes()`.
+    pub fn node_cpus(&self, node: usize) -> &[usize] {
+        &self.nodes[node]
+    }
+
+    /// The node owning logical CPU `cpu`, if any.
+    pub fn node_of_cpu(&self, cpu: usize) -> Option<usize> {
+        self.nodes.iter().position(|cpus| cpus.contains(&cpu))
+    }
+
+    /// Maps a dense home token to one of `shards` shards, node-interleaved:
+    /// shard `s` belongs to node `s % K` (with `K = min(num_nodes, shards)`
+    /// so every group is non-empty), and token `t` picks node `t % K`, then
+    /// walks that node's shard group round-robin.  Consecutive tokens
+    /// therefore land on different nodes first; over tokens `0..shards` the
+    /// map is a bijection onto `0..shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn assign_home(&self, token: usize, shards: usize) -> usize {
+        assert!(shards > 0, "cannot assign a home among zero shards");
+        let groups = self.num_nodes().min(shards);
+        let node = token % groups;
+        let within = token / groups;
+        // Node `node` owns shards {node, node + groups, node + 2*groups, …}.
+        let group_len = (shards - node).div_ceil(groups);
+        node + (within % group_len) * groups
+    }
+}
+
+/// Parses a kernel cpulist such as `0-3,8,10-11` into the listed CPU ids.
+/// Malformed fragments are skipped rather than failing the whole list.
+fn parse_cpulist(list: &str) -> Vec<usize> {
+    let mut cpus = Vec::new();
+    for part in list.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = part.split_once('-') {
+            if let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) {
+                if lo <= hi {
+                    cpus.extend(lo..=hi);
+                }
+            }
+        } else if let Ok(cpu) = part.parse::<usize>() {
+            cpus.push(cpu);
+        }
+    }
+    cpus.sort_unstable();
+    cpus.dedup();
+    cpus
+}
+
+/// The token pool behind sticky home assignment: hands each arriving thread
+/// the smallest free token and takes tokens back when threads leave, so the
+/// population of live tokens is always a dense prefix `0..T` (see the
+/// module docs for why that matters under churn).
+#[derive(Debug)]
+pub(crate) struct HomePool {
+    topology: Topology,
+    /// High-water mark: the next never-used token.
+    next: AtomicUsize,
+    /// Tokens returned by departed (or re-pinned) threads, reused LIFO so a
+    /// successor inherits the most recently vacated — warmest — home.
+    freed: Mutex<Vec<usize>>,
+}
+
+impl HomePool {
+    pub(crate) fn new(topology: Topology) -> Self {
+        HomePool {
+            topology,
+            next: AtomicUsize::new(0),
+            freed: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Leases a token: a recycled one if any thread has departed, else the
+    /// next fresh one.  The lease returns the token on drop.
+    pub(crate) fn lease(self: &Arc<Self>) -> HomeLease {
+        let recycled = self
+            .freed
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .pop();
+        let token = recycled.unwrap_or_else(|| self.next.fetch_add(1, Ordering::Relaxed));
+        HomeLease {
+            pool: Arc::clone(self),
+            token,
+        }
+    }
+
+    fn release(&self, token: usize) {
+        self.freed
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(token);
+    }
+}
+
+/// A leased home token; returns itself to the pool on drop (thread exit, or
+/// the thread re-pinning to a different array).
+#[derive(Debug)]
+pub(crate) struct HomeLease {
+    pool: Arc<HomePool>,
+    token: usize,
+}
+
+impl HomeLease {
+    #[cfg(test)]
+    pub(crate) fn token(&self) -> usize {
+        self.token
+    }
+
+    /// The shard this lease maps to for a layout of `shards` shards, via the
+    /// pool's topology.
+    pub(crate) fn shard(&self, shards: usize) -> usize {
+        self.pool.topology.assign_home(self.token, shards)
+    }
+}
+
+impl Drop for HomeLease {
+    fn drop(&mut self) {
+        self.pool.release(self.token);
+    }
+}
+
+/// How the calling thread's home was decided for one array.
+#[derive(Debug)]
+pub(crate) enum ThreadHome {
+    /// An explicit `pin_home`/`route_hint` assignment: interpreted as a raw
+    /// token, mapped onto a shard count by plain modulo (no topology
+    /// indirection, so `pin_home(s)` on an `S`-shard array with `s < S`
+    /// pins shard `s` exactly).
+    Pinned(usize),
+    /// A pool-leased token, mapped through the pool's topology.
+    Leased(HomeLease),
+}
+
+impl ThreadHome {
+    /// The shard this home resolves to among `shards` shards.
+    pub(crate) fn shard(&self, shards: usize) -> usize {
+        match self {
+            ThreadHome::Pinned(token) => token % shards,
+            ThreadHome::Leased(lease) => lease.shard(shards),
+        }
+    }
+}
+
+thread_local! {
+    /// The calling thread's home for the sharded facade it touched most
+    /// recently: `(array identity, home)`.  One entry suffices in the
+    /// overwhelmingly common one-array-per-process case; a thread
+    /// alternating between arrays re-pins on each switch, and the dropped
+    /// entry's lease returns its token to the *previous* array's pool.
+    static THREAD_HOME: std::cell::RefCell<Option<(u64, ThreadHome)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The calling thread's home shard for array `array_id` with `shards`
+/// shards, leasing a token from `pool` on first touch.
+pub(crate) fn home_shard(array_id: u64, pool: &Arc<HomePool>, shards: usize) -> usize {
+    THREAD_HOME.with(|cell| {
+        let mut entry = cell.borrow_mut();
+        match entry.as_ref() {
+            Some((id, home)) if *id == array_id => home.shard(shards),
+            _ => {
+                let home = ThreadHome::Leased(pool.lease());
+                let shard = home.shard(shards);
+                *entry = Some((array_id, home));
+                shard
+            }
+        }
+    })
+}
+
+/// Explicitly pins the calling thread's home token for array `array_id`
+/// (replacing any lease, whose token returns to its pool).
+pub(crate) fn pin_home(array_id: u64, token: usize) {
+    THREAD_HOME.with(|cell| {
+        *cell.borrow_mut() = Some((array_id, ThreadHome::Pinned(token)));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_cpulist_handles_ranges_and_singles() {
+        assert_eq!(parse_cpulist("0-3,8,10-11"), vec![0, 1, 2, 3, 8, 10, 11]);
+        assert_eq!(parse_cpulist("5"), vec![5]);
+        assert_eq!(parse_cpulist(""), Vec::<usize>::new());
+        assert_eq!(parse_cpulist("2-2"), vec![2]);
+        // Malformed fragments are skipped, valid ones kept.
+        assert_eq!(parse_cpulist("x,1,3-z,4-2,7"), vec![1, 7]);
+        // Overlaps deduplicate.
+        assert_eq!(parse_cpulist("0-2,1-3"), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn discover_never_panics_and_has_at_least_one_node() {
+        let topo = Topology::discover();
+        assert!(topo.num_nodes() >= 1);
+        assert!(topo.num_cpus() >= 1);
+        // Every CPU maps back to its node.
+        for node in 0..topo.num_nodes() {
+            for &cpu in topo.node_cpus(node) {
+                assert_eq!(topo.node_of_cpu(cpu), Some(node));
+            }
+        }
+        // current() is cached and stable.
+        assert_eq!(Topology::current(), Topology::current());
+    }
+
+    #[test]
+    fn synthetic_drops_empty_nodes_and_falls_back_when_empty() {
+        let topo = Topology::synthetic(vec![vec![0, 1], vec![], vec![2]]);
+        assert_eq!(topo.num_nodes(), 2);
+        let empty = Topology::synthetic(vec![]);
+        assert_eq!(empty.num_nodes(), 1);
+        assert!(empty.num_cpus() >= 1);
+    }
+
+    #[test]
+    fn assign_home_is_a_bijection_over_one_round() {
+        for nodes in 1..=5usize {
+            let topo = Topology::synthetic((0..nodes).map(|n| vec![n]).collect());
+            for shards in 1..=9usize {
+                let mut seen = vec![false; shards];
+                for token in 0..shards {
+                    let shard = topo.assign_home(token, shards);
+                    assert!(shard < shards);
+                    assert!(
+                        !seen[shard],
+                        "token {token} collided on shard {shard} ({nodes} nodes, {shards} shards)"
+                    );
+                    seen[shard] = true;
+                }
+                assert!(seen.iter().all(|&s| s), "{nodes} nodes, {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn assign_home_interleaves_across_nodes_first() {
+        let topo = Topology::synthetic(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
+        // 4 shards over 2 nodes: shards {0, 2} are node 0, {1, 3} node 1.
+        // The first two tokens must land on different nodes.
+        let s0 = topo.assign_home(0, 4);
+        let s1 = topo.assign_home(1, 4);
+        assert_eq!(s0 % 2, 0, "token 0 belongs to node 0");
+        assert_eq!(s1 % 2, 1, "token 1 belongs to node 1");
+        // Tokens beyond one full round wrap deterministically.
+        assert_eq!(topo.assign_home(4, 4), topo.assign_home(0, 4));
+        // More nodes than shards: the extra nodes fold away.
+        let wide = Topology::synthetic((0..8).map(|n| vec![n]).collect());
+        for token in 0..6 {
+            assert!(wide.assign_home(token, 3) < 3);
+        }
+    }
+
+    #[test]
+    fn home_pool_reuses_freed_tokens() {
+        let pool = Arc::new(HomePool::new(Topology::synthetic(vec![vec![0]])));
+        let a = pool.lease();
+        let b = pool.lease();
+        assert_eq!(a.token(), 0);
+        assert_eq!(b.token(), 1);
+        drop(a);
+        // The departed thread's token is recycled before any fresh one.
+        let c = pool.lease();
+        assert_eq!(c.token(), 0);
+        let d = pool.lease();
+        assert_eq!(d.token(), 2);
+        drop(d);
+        drop(b);
+        drop(c);
+        // All returned: the dense prefix is fully available again.
+        let mut tokens: Vec<usize> = (0..3).map(|_| pool.lease().token()).collect();
+        // (Leases dropped immediately, so each lease re-recycles; collect the
+        // set of tokens seen instead of asserting order.)
+        tokens.sort_unstable();
+        assert!(tokens.iter().all(|&t| t <= 2));
+    }
+
+    #[test]
+    fn thread_home_resolution_is_sticky_and_churn_stable() {
+        let pool = Arc::new(HomePool::new(Topology::synthetic(vec![vec![0]])));
+        let id = crate::hint::next_array_id();
+        let first = home_shard(id, &pool, 4);
+        assert_eq!(first, home_shard(id, &pool, 4), "sticky");
+        // A sequence of short-lived threads all inherit the same home:
+        // each thread's lease returns its token on exit, so the next
+        // thread's lease recycles it instead of advancing the cursor.
+        let homes: Vec<usize> = (0..5)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || home_shard(id, &pool, 4))
+                    .join()
+                    .unwrap()
+            })
+            .collect();
+        assert!(
+            homes.windows(2).all(|w| w[0] == w[1]),
+            "churned threads must reuse the vacated home token, got {homes:?}"
+        );
+        assert_ne!(
+            homes[0], first,
+            "the live main thread keeps its own distinct token"
+        );
+        // Explicit pinning overrides the lease (and modulo-maps).
+        pin_home(id, 7);
+        THREAD_HOME.with(|cell| {
+            let entry = cell.borrow();
+            let (got_id, home) = entry.as_ref().expect("pinned");
+            assert_eq!(*got_id, id);
+            assert_eq!(home.shard(4), 3);
+        });
+    }
+}

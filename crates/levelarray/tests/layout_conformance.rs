@@ -156,6 +156,46 @@ fn elastic_layouts_conform_across_growth_and_retirement() {
 }
 
 #[test]
+fn hierarchical_layouts_conform_across_growth_and_retirement() {
+    // The hierarchical composition: elastic chain whose epochs are sharded
+    // cores (`shard_group` below the bound).  Routing is participant-pinned
+    // (`route_hint` → home token, reduced modulo each epoch's shard count),
+    // and the steal walk visits shards in a deterministic order, so the
+    // word-per-slot and packed instances must stay in lockstep through
+    // growth — where the epoch's shard *count* changes — and retirement.
+    for (n, group, max_epochs, seed) in [(8usize, 4usize, 3usize, 61u64), (6, 2, 4, 62)] {
+        let (w, p) = pair(
+            &LevelArrayConfig::new(n)
+                .shard_group(group)
+                .growth(GrowthPolicy::Doubling { max_epochs }),
+        );
+        let word = w.build_elastic().unwrap();
+        let packed = p.build_elastic().unwrap();
+        assert_lockstep(&word, &packed, seed, group * 2, n * 5);
+        assert_eq!(word.epoch_ids(), packed.epoch_ids());
+        assert_eq!(word.newest_epoch_shards(), packed.newest_epoch_shards());
+        let _ = word.try_retire();
+        let _ = packed.try_retire();
+        assert_eq!(word.num_epochs(), packed.num_epochs());
+    }
+}
+
+#[test]
+fn hierarchical_hybrid_layout_conforms() {
+    let base = LevelArrayConfig::new(8)
+        .shard_group(4)
+        .growth(GrowthPolicy::Doubling { max_epochs: 3 });
+    let word = base
+        .clone()
+        .slot_layout(SlotLayout::WordPerSlot)
+        .build_elastic()
+        .unwrap();
+    let hybrid = base.clone().hybrid_layout().build_elastic().unwrap();
+    assert_lockstep(&word, &hybrid, 63, 8, 40);
+    assert_eq!(word.epoch_ids(), hybrid.epoch_ids());
+}
+
+#[test]
 fn flat_hybrid_layout_conforms() {
     // Explicit splits bracketing the interesting shapes: inside batch 0, at
     // a word boundary, and the degenerate all-packed split.

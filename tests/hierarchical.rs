@@ -1,0 +1,318 @@
+//! Integration tests of the hierarchical composition: an elastic epoch chain
+//! whose epochs are *sharded* cores ([`LevelArrayConfig::shard_group`]), so
+//! the structure grows — and, with a shrink watermark, contracts — by whole
+//! cache-padded shard groups.
+//!
+//! Three properties are exercised end to end through the umbrella facade:
+//!
+//! 1. **Growth by shard group**: an oversubscription storm forces the chain
+//!    to double, and every opened epoch carries `ceil(bound / group)` shard
+//!    cores; names stay unique across epochs and shards throughout, and the
+//!    drained chain converges back to a single epoch with nothing left on
+//!    the reclamation stack.
+//! 2. **Non-blocking shrink**: `try_shrink` publishes a half-bound epoch
+//!    over a drained oversized one *while* other threads keep running
+//!    `Get`/`Free`/`Collect` against the chain — no operation fails or
+//!    stalls behind the retirement protocol (seal → grace → census →
+//!    unlink), and the big epoch is gone once its last name is freed.
+//! 3. **Watermark-driven shrink under traffic**: with
+//!    [`LevelArrayConfig::shrink_watermark`] set, sustained low occupancy
+//!    observed by concurrent freeing threads opens the smaller epoch with no
+//!    explicit call.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use levelarray_suite::rng::default_rng;
+use levelarray_suite::{ActivityArray, GrowthPolicy, LevelArrayConfig, Name};
+
+#[test]
+fn growth_storm_adds_whole_shard_groups_with_unique_names() {
+    let threads = 8;
+    let rounds = 20;
+    // One thread's holdings (100) exceed the cumulative capacity of the
+    // initial and first doubled epoch (3·16 + 3·32 = 144 is reached only
+    // with the doubling), so growth happens even if the OS fully serializes
+    // the threads; the collective demand (800) outruns 48 + 96 + 192 + 384
+    // and drives deeper when they overlap.
+    let per_round = 100;
+    let group = 16;
+    let array = Arc::new(
+        LevelArrayConfig::new(16)
+            .shard_group(group)
+            .growth(GrowthPolicy::Doubling { max_epochs: 8 })
+            .build_elastic()
+            .expect("valid hierarchical storm configuration"),
+    );
+    assert_eq!(array.newest_epoch_shards(), 1, "initial epoch = one group");
+
+    let live: Arc<Mutex<HashSet<Name>>> = Arc::new(Mutex::new(HashSet::new()));
+    let failures = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let array = Arc::clone(&array);
+            let live = Arc::clone(&live);
+            let failures = Arc::clone(&failures);
+            scope.spawn(move || {
+                let mut rng = default_rng(0x71E4 + t as u64);
+                array.route_hint(t);
+                for round in 0..rounds {
+                    let mut mine = Vec::with_capacity(per_round);
+                    while mine.len() < per_round {
+                        match array.try_get(&mut rng) {
+                            Some(got) => {
+                                let name = got.name();
+                                assert!(
+                                    live.lock().unwrap().insert(name),
+                                    "name {name} handed to two holders at once"
+                                );
+                                mine.push(name);
+                            }
+                            None => {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    // Mid-storm, every live epoch must be built from whole
+                    // shard groups of its own bound.
+                    if round % 5 == 0 {
+                        for epoch in array.epoch_ids() {
+                            if let (Some(bound), Some(shards)) =
+                                (array.epoch_contention(epoch), array.epoch_shards(epoch))
+                            {
+                                assert_eq!(
+                                    shards,
+                                    bound.div_ceil(group).max(1),
+                                    "epoch {epoch} (bound {bound}) not whole groups"
+                                );
+                            }
+                        }
+                    }
+                    for name in mine.drain(..) {
+                        live.lock().unwrap().remove(&name);
+                        array.free(name);
+                    }
+                    if round % 3 == t % 3 {
+                        let _ = array.try_retire();
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        failures.load(Ordering::Relaxed),
+        0,
+        "a Get failed mid-storm despite growth headroom"
+    );
+    assert!(live.lock().unwrap().is_empty());
+    assert!(array.collect().is_empty());
+    assert!(
+        array.epochs_opened() >= 2,
+        "the storm must force at least one shard-group doubling, saw {}",
+        array.epochs_opened()
+    );
+    // The newest epoch's bound doubled at least once, so its shard count is
+    // a whole multiple of groups beyond the seed's single group.
+    let newest_bound = array.epoch_contention(array.newest_epoch()).unwrap();
+    assert_eq!(array.newest_epoch_shards(), newest_bound.div_ceil(group));
+    assert!(array.newest_epoch_shards() >= 2);
+
+    let _ = array.try_retire();
+    assert_eq!(array.num_epochs(), 1, "drained chain converges");
+    assert_eq!(array.epochs_retired(), array.epochs_opened() - 1);
+    assert_eq!(array.pending_reclamation(), 0);
+    assert_eq!(array.occupancy().total_occupied(), 0);
+}
+
+#[test]
+fn shrink_retires_drained_large_epoch_without_blocking_traffic() {
+    let group = 8;
+    let initial = 16;
+    let array = Arc::new(
+        LevelArrayConfig::new(initial)
+            .shard_group(group)
+            .growth(GrowthPolicy::Doubling { max_epochs: 6 })
+            .build_elastic()
+            .expect("valid hierarchical configuration"),
+    );
+    let mut rng = default_rng(0x5318);
+
+    // Phase 1: a growth burst leaves an oversized newest epoch.  400 names
+    // exceed the cumulative capacity through bound 64 (48 + 96 + 192 = 336),
+    // so the chain opens a bound-128 epoch.
+    let names: Vec<Name> = (0..400).map(|_| array.get(&mut rng).name()).collect();
+    let big = array.newest_epoch();
+    let big_bound = array.epoch_contention(big).unwrap();
+    assert!(
+        big_bound > initial,
+        "the burst must leave an oversized epoch"
+    );
+    assert_eq!(array.newest_epoch_shards(), big_bound.div_ceil(group));
+
+    // Phase 2: the burst subsides.  Drain the old epochs completely and all
+    // but a handful of the big epoch's names, so the big epoch is the lone,
+    // nearly-empty survivor.
+    let (in_big, in_old): (Vec<Name>, Vec<Name>) =
+        names.into_iter().partition(|n| n.epoch() == big);
+    for name in in_old {
+        array.free(name);
+    }
+    let _ = array.try_retire();
+    assert_eq!(array.num_epochs(), 1, "old epochs retire once drained");
+    let mut holdouts = in_big;
+    for name in holdouts.split_off(6) {
+        array.free(name);
+    }
+    let retired_before = array.epochs_retired();
+
+    // Phase 3: shrink opens the half-bound epoch; the big one (still holding
+    // 6 names) stays live behind it.
+    assert!(array.try_shrink(), "an oversized drained epoch must shrink");
+    assert_eq!(
+        array.epoch_contention(array.newest_epoch()),
+        Some(big_bound / 2)
+    );
+    assert_eq!(array.num_epochs(), 2);
+
+    // Phase 4: free the holdouts *while* worker threads storm the chain with
+    // Get/Free/Collect.  Retirement of the big epoch (seal → grace → census
+    // → unlink) runs concurrently with all three operations; none may fail.
+    let failures = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let live: Arc<Mutex<HashSet<Name>>> = Arc::new(Mutex::new(HashSet::new()));
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let array = Arc::clone(&array);
+            let failures = Arc::clone(&failures);
+            let stop = Arc::clone(&stop);
+            let live = Arc::clone(&live);
+            scope.spawn(move || {
+                let mut rng = default_rng(0xBEE5 + t as u64);
+                array.route_hint(t);
+                let mut held: Vec<Name> = Vec::new();
+                let mut step = 0usize;
+                while !stop.load(Ordering::Relaxed) || !held.is_empty() {
+                    let acquire = held.len() < 8
+                        && (held.is_empty() || step % 3 != 0)
+                        && !stop.load(Ordering::Relaxed);
+                    if acquire {
+                        match array.try_get(&mut rng) {
+                            Some(got) => {
+                                assert!(
+                                    live.lock().unwrap().insert(got.name()),
+                                    "duplicate live name {} mid-shrink",
+                                    got.name()
+                                );
+                                held.push(got.name());
+                            }
+                            None => {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    } else if let Some(name) = held.pop() {
+                        live.lock().unwrap().remove(&name);
+                        array.free(name);
+                    }
+                    if step % 64 == 0 {
+                        // Collect must stay wait-free against the retirement
+                        // machinery: it snapshots whatever epochs are live.
+                        let snapshot = array.collect();
+                        assert!(snapshot.len() <= array.capacity());
+                    }
+                    step += 1;
+                }
+            });
+        }
+
+        // Main thread: drip the big epoch's last names out mid-storm, then
+        // nudge retirement until the big epoch unlinks.
+        for name in holdouts {
+            array.free(name);
+            std::thread::yield_now();
+        }
+        let mut spins = 0usize;
+        while array.epoch_ids().contains(&big) {
+            let _ = array.try_retire();
+            std::thread::yield_now();
+            spins += 1;
+            assert!(
+                spins < 100_000,
+                "big epoch failed to retire while traffic kept flowing"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(
+        failures.load(Ordering::Relaxed),
+        0,
+        "a Get failed mid-shrink despite headroom in the small epoch"
+    );
+    assert!(
+        !array.epoch_ids().contains(&big),
+        "the drained big epoch must be unlinked"
+    );
+    assert!(array.epochs_retired() > retired_before);
+    let _ = array.try_retire();
+    assert_eq!(array.pending_reclamation(), 0);
+    assert!(array.collect().is_empty());
+    assert!(live.lock().unwrap().is_empty());
+}
+
+#[test]
+fn watermark_shrinks_the_chain_under_concurrent_churn() {
+    let group = 8;
+    let array = Arc::new(
+        LevelArrayConfig::new(16)
+            .shard_group(group)
+            .shrink_watermark(0.25)
+            .growth(GrowthPolicy::Doubling { max_epochs: 6 })
+            .build_elastic()
+            .expect("valid hierarchical configuration"),
+    );
+    let mut rng = default_rng(0xACED);
+
+    // Grow to an oversized epoch and converge onto it, fully drained.
+    let names: Vec<Name> = (0..200).map(|_| array.get(&mut rng).name()).collect();
+    let big = array.newest_epoch();
+    let big_bound = array.epoch_contention(big).unwrap();
+    assert!(big_bound > 16);
+    for name in names {
+        array.free(name);
+    }
+    let _ = array.try_retire();
+    assert_eq!(array.num_epochs(), 1);
+
+    // Four churning threads each hold at most one name: occupancy never
+    // exceeds 4 ≤ 0.25 · big_bound, so every free is a low watermark sample
+    // and the streak fills the patience window (big_bound samples) fast.
+    // No thread ever calls try_shrink — the free path must do it alone.
+    let iters = big_bound.max(16) * 8;
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let array = Arc::clone(&array);
+            scope.spawn(move || {
+                let mut rng = default_rng(0xF00D + t as u64);
+                array.route_hint(t);
+                for _ in 0..iters {
+                    let got = array.get(&mut rng);
+                    array.free(got.name());
+                }
+            });
+        }
+    });
+
+    let newest = array.newest_epoch();
+    assert!(
+        newest > big,
+        "the watermark streak must have opened a smaller epoch on its own"
+    );
+    assert!(array.epoch_contention(newest).unwrap() < big_bound);
+    let _ = array.try_retire();
+    assert_eq!(array.num_epochs(), 1, "the drained big epoch retires");
+    assert_eq!(array.pending_reclamation(), 0);
+    assert!(array.collect().is_empty());
+}
