@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt clippy build test doc bench-check bench-smoke bench-json bench-diff bench-layout bench-topology examples miri
+.PHONY: ci fmt clippy build test doc bench-check bench-smoke bench-json bench-diff bench-layout bench-topology bench-batch examples miri
 
 ci: fmt clippy build test doc bench-check
 
@@ -60,6 +60,8 @@ bench-json:
 		$(CARGO) bench --bench sweeps
 	FIG3_N=256 FIG3_OPS=32000 FIG3_SNAPSHOT=4000 FIG3_SHARDS=2 FIG3_ELASTIC_EPOCHS=4 \
 		$(CARGO) bench --bench fig3_healing
+	BENCH_REPEAT=5 SWEEP_ONLY=batch SWEEP_BATCH_K=16 \
+		$(CARGO) bench --bench sweeps
 
 # The slot-layout ablation in isolation: the sweeps bench at reference-cell
 # sizes, which prints the Get-side layout table (word-per-slot / packed /
@@ -70,6 +72,15 @@ bench-json:
 bench-layout:
 	BENCH_REPEAT=5 SWEEP_ONLY=core SWEEP_THREADS=2 SWEEP_OPS=50000 SWEEP_EMULATED=8 \
 		$(CARGO) bench --bench sweeps
+
+# The batched-ops micro in isolation: get_many/free_many at SWEEP_BATCH_K
+# (default 16) against the equivalent k-singleton loops, per slot layout.
+# This is the recipe behind the committed batched-vs-singleton records
+# (sweeps/batch/... keys, emitted by bench-json at BENCH_REPEAT=5); set
+# BENCH_JSON to capture records.  Shape knobs: SWEEP_BATCH_K / _N / _ROUNDS
+# (see benches/sweeps.rs).
+bench-batch:
+	BENCH_REPEAT=5 SWEEP_ONLY=batch $(CARGO) bench --bench sweeps
 
 # The hierarchical-composition storm in isolation: shard-group scaling of the
 # elastic-of-sharded array and the packed-vs-word false-sharing tax under a
@@ -101,6 +112,7 @@ miri:
 	$(CARGO) +nightly miri test -p levelarray --lib -- slot:: packed:: probe_core:: hint:: shrink
 	$(CARGO) +nightly miri test -p levelarray --test layout_conformance
 	$(CARGO) +nightly miri test -p levelarray --test free_hint
+	$(CARGO) +nightly miri test -p la_flatcombine --lib -- engine::
 
 examples:
 	$(CARGO) run -q --release --example quickstart

@@ -113,6 +113,77 @@ fn bench_get_free(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batched(c: &mut Criterion) {
+    let n = 256;
+    let k = 16;
+    let mut group = c.benchmark_group("batched_k16_50pct");
+    let (warm_up, measurement) = windows();
+    group.measurement_time(measurement);
+    group.warm_up_time(warm_up);
+    group.sample_size(30);
+
+    // One iteration = a k-name acquire + release round.  The batched rows go
+    // through get_many/free_many (one multi-claim RMW per probed word on the
+    // packed layout, one fetch_and per released word); the singleton rows run
+    // the same round as k independent get/free pairs.
+    let arrays: Vec<(&str, Box<dyn ActivityArray>)> = vec![
+        ("LevelArray", Box::new(LevelArray::new(n))),
+        (
+            "LevelArray-packed",
+            Box::new(
+                LevelArrayConfig::new(n)
+                    .slot_layout(SlotLayout::Packed)
+                    .build()
+                    .unwrap(),
+            ),
+        ),
+        (
+            "LevelArray-hybrid",
+            Box::new(LevelArrayConfig::new(n).hybrid_layout().build().unwrap()),
+        ),
+        (
+            "ShardedLevelArray-s4",
+            Box::new(ShardedLevelArray::new(n, 4)),
+        ),
+        (
+            "ElasticLevelArray-e4",
+            Box::new(ElasticLevelArray::new(
+                n,
+                GrowthPolicy::Doubling { max_epochs: 4 },
+            )),
+        ),
+    ];
+    for (label, array) in &arrays {
+        let _held = prefill(array.as_ref(), 0.5, 7);
+        let mut rng = default_rng(8);
+        let mut out = Vec::with_capacity(k);
+        let mut names: Vec<Name> = Vec::with_capacity(k);
+        group.bench_function(BenchmarkId::new("batched", label), |b| {
+            b.iter(|| {
+                out.clear();
+                names.clear();
+                array.get_many(&mut rng, k, &mut out);
+                names.extend(out.iter().map(|got| got.name()));
+                array.free_many(&names);
+                names.len()
+            })
+        });
+        group.bench_function(BenchmarkId::new("singleton", label), |b| {
+            b.iter(|| {
+                names.clear();
+                for _ in 0..k {
+                    names.push(array.get(&mut rng).name());
+                }
+                for &name in &names {
+                    array.free(name);
+                }
+                names.len()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_collect(c: &mut Criterion) {
     let mut group = c.benchmark_group("collect");
     let (warm_up, measurement) = windows();
@@ -207,5 +278,11 @@ fn bench_applications(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_get_free, bench_collect, bench_applications);
+criterion_group!(
+    benches,
+    bench_get_free,
+    bench_batched,
+    bench_collect,
+    bench_applications
+);
 criterion_main!(benches);

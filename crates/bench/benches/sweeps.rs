@@ -40,6 +40,13 @@
 //!     ≥8-thread contended `Get` storm over a bound large enough that the
 //!     flat epoch's probe working set outgrows cache while a shard stays
 //!     hot.  The committed records behind the `shard_group` default.
+//! 12. **Batched-ops micro** (`make bench-batch`) — `get_many`/`free_many`
+//!     at batch size `k` against the equivalent `k`-singleton loops, per
+//!     slot layout.  The batched kernels claim up to `k` free bits of one
+//!     probed word with ONE compare-exchange and release a sorted batch
+//!     with one `fetch_and` per word, so the packed layout is where the
+//!     word-level batching pays; the word-per-slot rows price the
+//!     loop-based equivalent.
 //!
 //! Environment variables: `SWEEP_THREADS` (default: min(4, host)),
 //! `SWEEP_OPS` (default 50 000 measured ops/thread), `SWEEP_EMULATED`
@@ -49,10 +56,13 @@
 //! measured pair count, defaults 256 / 200 000),
 //! `SWEEP_TOPOLOGY_EMULATED` / `SWEEP_TOPOLOGY_OPS` (topology-storm quota
 //! and measured ops; `MICRO_QUICK=1` shrinks both to smoke size),
-//! `SWEEP_ONLY` to run a single section group (`core` = sections 1–10,
-//! `topology` = section 11), `BENCH_JSON` to append one machine-readable
-//! record per cell (see `la_bench::json`), and `BENCH_REPEAT` to keep the
-//! median-throughput run of that many repetitions per cell.
+//! `SWEEP_BATCH_K` / `SWEEP_BATCH_N` / `SWEEP_BATCH_ROUNDS` (batched-ops
+//! batch size, contention bound and measured rounds, defaults 16 / 256 /
+//! 20 000), `SWEEP_ONLY` to run a single section group (`core` = sections
+//! 1–10, `topology` = section 11, `batch` = section 12), `BENCH_JSON` to
+//! append one machine-readable record per cell (see `la_bench::json`), and
+//! `BENCH_REPEAT` to keep the median-throughput run of that many
+//! repetitions per cell.
 
 use std::time::Instant;
 
@@ -129,6 +139,9 @@ fn main() {
     }
     if enabled("topology") {
         topology_sweeps(&base, repeat, &mut sink);
+    }
+    if enabled("batch") {
+        batch_sweeps(repeat, &mut sink);
     }
 }
 
@@ -711,5 +724,115 @@ fn topology_sweeps(base: &WorkloadConfig, repeat: usize, sink: &mut Option<JsonS
     println!(
         "## Packed-vs-word false-sharing tax (threads = {threads}, N = {n})\n\n{}",
         tax_table.to_markdown()
+    );
+}
+
+/// Section 12: the batched-ops micro behind `make bench-batch`.
+///
+/// Single-threaded churn at 50% background occupancy: each round acquires a
+/// batch of `k` names and releases it again, either through the batched
+/// kernels (`get_many` + `free_many` — one multi-claim CAS per probed word,
+/// one `fetch_and` per released word) or through the equivalent
+/// `k`-singleton loops.  Per slot layout, because the batching argument is a
+/// *word-level* one: packed words carry 64 slots per RMW, word-per-slot
+/// falls back to the per-index loop and prices the pure call-overhead
+/// saving.
+fn batch_sweeps(repeat: usize, sink: &mut Option<JsonSink>) {
+    let quick = std::env::var("MICRO_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let k: usize = env_or("SWEEP_BATCH_K", 16).max(1);
+    let n: usize = env_or("SWEEP_BATCH_N", 256).max(2 * k);
+    let rounds: u32 = env_or("SWEEP_BATCH_ROUNDS", if quick { 500 } else { 20_000 });
+
+    let layout_configs: [(&str, LevelArrayConfig); 3] = [
+        (
+            "word-per-slot",
+            LevelArrayConfig::new(n).slot_layout(SlotLayout::WordPerSlot),
+        ),
+        (
+            "packed",
+            LevelArrayConfig::new(n).slot_layout(SlotLayout::Packed),
+        ),
+        ("hybrid", LevelArrayConfig::new(n).hybrid_layout()),
+    ];
+    let mut batch_table = Table::new(&["layout", "variant", "k", "ops/s", "ns/op"]);
+    for (layout, config) in &layout_configs {
+        for (variant, batched) in [("singleton", false), ("batched", true)] {
+            let array = config.clone().build().expect("valid configuration");
+            let mut rng = default_rng(0xBA7C4);
+            // Half the bound stays held as background load, so every round's
+            // probes land in a realistically mixed bit pattern.
+            let held: Vec<Name> = (0..n / 2).map(|_| array.get(&mut rng).name()).collect();
+            let mut out = Vec::with_capacity(k);
+            let mut names: Vec<Name> = Vec::with_capacity(k);
+            let mut round = |rng: &mut larng::DefaultRng| {
+                if batched {
+                    out.clear();
+                    let won = array.get_many(rng, k, &mut out);
+                    debug_assert_eq!(won, k);
+                    names.clear();
+                    names.extend(out.iter().map(|got| got.name()));
+                    array.free_many(&names);
+                } else {
+                    names.clear();
+                    for _ in 0..k {
+                        names.push(array.get(rng).name());
+                    }
+                    for &name in &names {
+                        array.free(name);
+                    }
+                }
+            };
+            // Warm, then keep the median run, like every other cell here.
+            for _ in 0..(rounds / 10 + 1) {
+                round(&mut rng);
+            }
+            let mut runs: Vec<f64> = (0..repeat.max(1))
+                .map(|_| {
+                    let started = Instant::now();
+                    for _ in 0..rounds {
+                        round(&mut rng);
+                    }
+                    started.elapsed().as_secs_f64()
+                })
+                .collect();
+            runs.sort_by(f64::total_cmp);
+            let elapsed_s = runs[runs.len() / 2];
+            for name in held {
+                array.free(name);
+            }
+
+            // One round = k acquisitions + k releases.
+            let ops = 2 * k as u64 * u64::from(rounds);
+            let ops_per_s = if elapsed_s == 0.0 {
+                0.0
+            } else {
+                ops as f64 / elapsed_s
+            };
+            let op_ns = elapsed_s * 1e9 / ops as f64;
+            if let Some(sink) = sink.as_mut() {
+                sink.write(
+                    &JsonRecord::new()
+                        .field("key", format!("sweeps/batch/k={k}/{layout}/{variant}"))
+                        .field("bench", "sweeps")
+                        .field("algorithm", format!("BatchChurn({layout}, {variant})"))
+                        .field("contention", n as u64)
+                        .field("batch_k", k as u64)
+                        .field("rounds", u64::from(rounds))
+                        .field("throughput", ops_per_s)
+                        .field("op_ns", op_ns),
+                );
+            }
+            batch_table.push_row(vec![
+                (*layout).into(),
+                variant.into(),
+                k.into(),
+                Cell::FloatPrec(ops_per_s, 0),
+                Cell::FloatPrec(op_ns, 1),
+            ]);
+        }
+    }
+    println!(
+        "## Batched get_many/free_many vs k-singleton loops (n = {n}, k = {k})\n\n{}",
+        batch_table.to_markdown()
     );
 }

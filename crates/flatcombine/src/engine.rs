@@ -291,7 +291,7 @@ mod tests {
             .map(|p| p.get())
             .unwrap_or(2)
             .clamp(2, 4);
-        let per_thread = 20_000u64;
+        let per_thread = if cfg!(miri) { 200u64 } else { 20_000u64 };
         let fc = Arc::new(engine(threads));
 
         std::thread::scope(|scope| {
@@ -317,7 +317,7 @@ mod tests {
         // and the final sum must equal the total.
         let threads = 3;
         let fc = Arc::new(engine(threads));
-        let per_thread = 2_000u64;
+        let per_thread = if cfg!(miri) { 100u64 } else { 2_000u64 };
         let sums: Vec<u64> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {

@@ -102,6 +102,30 @@ pub trait ActivityArray: Send + Sync + std::fmt::Debug {
         })
     }
 
+    /// Acquires up to `k` names in one batched operation, appending an
+    /// [`Acquired`] per win to `out`, and returns the number acquired — fewer
+    /// than `k` only when the structure ran out of reachable free capacity
+    /// mid-batch.
+    ///
+    /// The batch is semantically `k` consecutive [`ActivityArray::try_get`]s
+    /// — same uniqueness, validity and wait-freedom guarantees, same
+    /// batch-order probing dynamics — but implementations amortize the
+    /// per-name overhead across the batch: the LevelArray facades claim up to
+    /// 64 slots per atomic RMW on the bit-packed layout, route one hint/home
+    /// lookup per batch, and (on the elastic facade) pin the epoch chain once
+    /// instead of once per name.  The default is the literal singleton loop.
+    ///
+    /// `out` is *not* cleared; wins are appended.
+    fn get_many(&self, rng: &mut dyn RandomSource, k: usize, out: &mut Vec<Acquired>) -> usize {
+        for acquired in 0..k {
+            match self.try_get(rng) {
+                Some(got) => out.push(got),
+                None => return acquired,
+            }
+        }
+        k
+    }
+
     /// Releases a name previously returned by `try_get`/`get`.
     ///
     /// # Panics
@@ -109,6 +133,26 @@ pub trait ActivityArray: Send + Sync + std::fmt::Debug {
     /// Implementations panic if `name` is out of range or not currently held
     /// (a double free); both indicate a bug in the caller.
     fn free(&self, name: Name);
+
+    /// Releases a batch of names previously returned by acquisition calls on
+    /// this array, in one operation.
+    ///
+    /// Implementations sort and group the batch so bit-packed regions are
+    /// cleared with one atomic RMW per 64-slot word, the sharded facade
+    /// releases shard-by-shard, and the elastic facade decodes epoch tags and
+    /// pins the chain once per batch; a batch that drains an old epoch
+    /// schedules a single deferred retirement check.  The default is the
+    /// literal singleton loop.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if any name is out of range, duplicated within
+    /// the batch, or not currently held (a double free).
+    fn free_many(&self, names: &[Name]) {
+        for &name in names {
+            self.free(name);
+        }
+    }
 
     /// Hints that subsequent operations from the calling thread act on behalf
     /// of logical participant `participant`.

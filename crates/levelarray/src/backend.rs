@@ -160,6 +160,83 @@ impl CellBackend {
         }
     }
 
+    /// The batched `Get` over this backend (see [`ProbeCore::try_get_many`]):
+    /// flat runs the batched kernel directly; sharded routes the whole batch
+    /// through the `home` shard first and spills the unfilled remainder into
+    /// the ring-order steal walk, threading the probe accumulator through
+    /// every core walked.  Appended names are dense in the cell's namespace.
+    pub(crate) fn try_get_many<R: RandomSource + ?Sized>(
+        &self,
+        rng: &mut R,
+        home: usize,
+        k: usize,
+        probes: &mut u32,
+        out: &mut Vec<Acquired>,
+    ) -> usize {
+        match self {
+            CellBackend::Flat(core) => core.try_get_many(rng, k, probes, out),
+            CellBackend::Sharded(g) => {
+                let num_shards = g.shards.len();
+                debug_assert!(home < num_shards);
+                let mut remaining = k;
+                for hop in 0..num_shards {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let shard = (home + hop) % num_shards;
+                    let before = out.len();
+                    let won = g.shards[shard].0.try_get_many(rng, remaining, probes, out);
+                    let base = shard * g.shard_capacity;
+                    for got in &mut out[before..] {
+                        *got = Acquired::new(
+                            Name::new(base + got.name().index()),
+                            got.probes(),
+                            got.batch(),
+                            got.used_backup(),
+                        );
+                    }
+                    remaining -= won;
+                }
+                k - remaining
+            }
+        }
+    }
+
+    /// The batched `Free` over this backend: dense in-cell names are sorted
+    /// once, split into per-shard runs, and each run is released through the
+    /// owning core's bulk kernel ([`ProbeCore::free_many`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index or a double free.
+    pub(crate) fn free_many(&self, names: &[Name]) {
+        match self {
+            CellBackend::Flat(core) => core.free_many(names),
+            CellBackend::Sharded(g) => {
+                let mut sorted = names.to_vec();
+                sorted.sort_unstable();
+                let mut start = 0;
+                while start < sorted.len() {
+                    let shard = sorted[start].index() / g.shard_capacity;
+                    assert!(
+                        shard < g.shards.len(),
+                        "index {} out of range for a {}-shard cell of capacity {}",
+                        sorted[start].index(),
+                        g.shards.len(),
+                        self.capacity()
+                    );
+                    let base = shard * g.shard_capacity;
+                    let end = sorted.partition_point(|n| n.index() < base + g.shard_capacity);
+                    for name in &mut sorted[start..end] {
+                        *name = Name::new(name.index() - base);
+                    }
+                    g.shards[shard].0.free_many(&sorted[start..end]);
+                    start = end;
+                }
+            }
+        }
+    }
+
     /// Splits a dense in-cell index into `(shard core, local name)`.
     ///
     /// # Panics

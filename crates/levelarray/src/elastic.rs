@@ -501,6 +501,99 @@ impl ElasticLevelArray {
         }
     }
 
+    /// The elastic batched `Get` (see [`ActivityArray::get_many`]),
+    /// monomorphized over the caller's random source.  The whole batch runs
+    /// under ONE chain pin with one hint consult and one epoch-routing pass
+    /// per cell visited: the newest epoch serves the batch through its
+    /// batched kernel (`CellBackend::try_get_many`), saturation opens a
+    /// successor exactly like the singleton path, and at the growth cap the
+    /// remainder spills into the older epochs newest-to-oldest.  Every win
+    /// is epoch-tagged and recorded in its cell's held counter, and the
+    /// probe accumulator threads through every cell walked, so the reported
+    /// per-win probe counts are cumulative across the routing — the same
+    /// convention as [`ElasticLevelArray::try_get`]'s exhausted-probe
+    /// carry-over.
+    ///
+    /// Appends up to `k` wins to `out` (which is not cleared) and returns
+    /// how many were appended.
+    pub fn get_many<R: RandomSource + ?Sized>(
+        &self,
+        rng: &mut R,
+        k: usize,
+        out: &mut Vec<Acquired>,
+    ) -> usize {
+        if k == 0 {
+            return 0;
+        }
+        let mut acquired = 0usize;
+        let mut probes = 0u32;
+        let pin = self.chain.pin();
+        if self.free_hint {
+            if let Some(hinted) = crate::hint::take(self.array_id) {
+                if let Some(got) = Self::hint_acquire(&pin, hinted) {
+                    out.push(got);
+                    acquired = 1;
+                }
+            }
+        }
+        loop {
+            if acquired == k {
+                return k;
+            }
+            let observed = pin.head();
+            let newest = observed.value();
+            if !newest.is_sealed() {
+                let before = out.len();
+                let won = newest.backend.try_get_many(
+                    rng,
+                    self.home_for(newest),
+                    k - acquired,
+                    &mut probes,
+                    out,
+                );
+                // The core already threads the shared accumulator through
+                // every win's probe count, so the tag adds no base probes.
+                for got in &mut out[before..] {
+                    *got = Self::tag(newest, *got, 0);
+                }
+                acquired += won;
+                if acquired == k {
+                    return k;
+                }
+            }
+            // The newest epoch saturated with part of the batch unserved:
+            // grow and retry against the successor, mirroring try_get.
+            if self.open_epoch(&pin, observed) {
+                continue;
+            }
+            if !std::ptr::eq(pin.head(), observed) {
+                continue; // raced with a concurrent grower or retirer
+            }
+            for node in observed.iter().skip(1) {
+                let cell = node.value();
+                if cell.is_sealed() {
+                    continue;
+                }
+                let before = out.len();
+                let won = cell.backend.try_get_many(
+                    rng,
+                    self.home_for(cell),
+                    k - acquired,
+                    &mut probes,
+                    out,
+                );
+                for got in &mut out[before..] {
+                    *got = Self::tag(cell, *got, 0);
+                }
+                acquired += won;
+                if acquired == k {
+                    return k;
+                }
+            }
+            return acquired;
+        }
+    }
+
     /// Registers through the monomorphized hot path, panicking if the chain
     /// is exhausted (same contract as [`ActivityArray::get`]).
     ///
@@ -929,6 +1022,10 @@ impl ActivityArray for ElasticLevelArray {
         ElasticLevelArray::try_get(self, rng)
     }
 
+    fn get_many(&self, rng: &mut dyn RandomSource, k: usize, out: &mut Vec<Acquired>) -> usize {
+        ElasticLevelArray::get_many(self, rng, k, out)
+    }
+
     fn free(&self, name: Name) {
         let (drained_old_epoch, shrink_ready) = {
             let pin = self.chain.pin();
@@ -973,6 +1070,74 @@ impl ActivityArray for ElasticLevelArray {
             self.try_shrink();
             self.low_streak.store(0, Ordering::Relaxed);
         }
+        if self.auto_retire {
+            let claimed_maintenance = drained_old_epoch
+                || self
+                    .maintenance_pending
+                    .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok();
+            if claimed_maintenance {
+                self.try_retire();
+            }
+        }
+    }
+
+    /// The batched `Free`: ONE chain pin and one epoch-tag decode (cell
+    /// lookup) per epoch *run* cover the whole batch.  [`Name`]'s derived
+    /// ordering is epoch-major, so a single sort groups the names into
+    /// per-epoch runs; each run strips its tags and releases through the
+    /// owning cell's bulk kernel (`CellBackend::free_many`), with one held
+    /// counter decrement per run.  A draining batch schedules a single
+    /// deferred retirement check after the pin drops, exactly like the
+    /// singleton [`ActivityArray::free`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name's epoch is not live, any index is out of range, or
+    /// any slot is not currently held (double free) — duplicates within the
+    /// batch included.
+    fn free_many(&self, names: &[Name]) {
+        if names.is_empty() {
+            return;
+        }
+        let (drained_old_epoch, shrink_ready) = {
+            let pin = self.chain.pin();
+            let mut sorted = names.to_vec();
+            sorted.sort_unstable();
+            let mut drained_old_epoch = false;
+            let mut start = 0;
+            while start < sorted.len() {
+                let epoch = sorted[start].epoch();
+                let cell = Self::cell_for(&pin, sorted[start]);
+                let end = sorted.partition_point(|n| n.epoch() <= epoch);
+                for name in &mut sorted[start..end] {
+                    *name = Name::new(name.index());
+                }
+                cell.backend.free_many(&sorted[start..end]);
+                // One decrement per run, SeqCst and *before* the head load —
+                // the same drain/grow race argument as the singleton free.
+                let run = end - start;
+                let remaining = cell.held.fetch_sub(run, Ordering::SeqCst) - run;
+                let newest = pin.head().value().epoch;
+                drained_old_epoch |= cell.epoch != newest && remaining == 0;
+                start = end;
+            }
+            (drained_old_epoch, self.note_shrink_sample(&pin))
+        };
+        // Re-arm the Free→Get hint with the batch's last name (caller
+        // order), matching the singleton free's epoch-tagged hint.
+        if self.free_hint {
+            if let Some(&last) = names.last() {
+                crate::hint::record(self.array_id, last);
+            }
+        }
+        if shrink_ready {
+            self.try_shrink();
+            self.low_streak.store(0, Ordering::Relaxed);
+        }
+        // ONE deferred retirement claim for the whole batch: a batch that
+        // drained any old epoch (or claims the pending flag) runs a single
+        // try_retire pass, not one per name.
         if self.auto_retire {
             let claimed_maintenance = drained_old_epoch
                 || self
@@ -1563,6 +1728,140 @@ mod tests {
         for name in kept {
             array.free(name);
         }
+    }
+
+    #[test]
+    fn get_many_spans_epochs_and_free_many_retires_them() {
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Doubling { max_epochs: 5 });
+        let mut rng = default_rng(40);
+        let mut out = Vec::new();
+        // One batch larger than the initial epoch: the batch must grow the
+        // chain mid-flight and fill completely.
+        assert_eq!(array.get_many(&mut rng, 30, &mut out), 30);
+        assert_eq!(out.len(), 30);
+        assert!(array.num_epochs() >= 2, "the batch must have grown");
+        let unique: HashSet<Name> = out.iter().map(|a| a.name()).collect();
+        assert_eq!(unique.len(), 30, "batched names must stay unique");
+        assert!(
+            out.iter().any(|a| a.name().epoch() > 0),
+            "part of the batch must land in a grown epoch"
+        );
+        // Held counters stayed exact across the batch tagging.
+        for &epoch in &array.epoch_ids() {
+            assert_eq!(
+                array.epoch_held(epoch),
+                Some(out.iter().filter(|a| a.name().epoch() == epoch).count())
+            );
+        }
+        // One bulk free drains every epoch run and the single deferred
+        // retirement check converges the chain.
+        let names: Vec<Name> = out.iter().map(|a| a.name()).collect();
+        ActivityArray::free_many(&array, &names);
+        assert!(array.collect().is_empty());
+        array.try_retire();
+        assert_eq!(array.num_epochs(), 1);
+        assert_eq!(array.pending_reclamation(), 0);
+    }
+
+    #[test]
+    fn get_many_tags_and_counts_like_singletons() {
+        // Fixed policy: the batch saturates instead of growing, reporting a
+        // partial fill exactly like k failing singleton gets would.
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Fixed);
+        let mut rng = default_rng(41);
+        let mut out = Vec::new();
+        let capacity = array.capacity();
+        let won = array.get_many(&mut rng, capacity + 5, &mut out);
+        assert_eq!(won, capacity, "a fixed chain fills to capacity and stops");
+        assert!(out.iter().all(|a| a.name().epoch() == 0));
+        assert_eq!(array.epoch_held(0), Some(capacity));
+        assert!(array.try_get(&mut rng).is_none());
+        let names: Vec<Name> = out.iter().map(|a| a.name()).collect();
+        ActivityArray::free_many(&array, &names);
+        assert!(array.collect().is_empty());
+        assert_eq!(array.epoch_held(0), Some(0));
+    }
+
+    #[test]
+    fn free_many_rearms_the_hint_with_the_last_name() {
+        let array = LevelArrayConfig::new(4)
+            .growth(GrowthPolicy::Doubling { max_epochs: 4 })
+            .free_hint(true)
+            .build_elastic()
+            .unwrap();
+        let mut rng = default_rng(42);
+        let mut out = Vec::new();
+        assert_eq!(array.get_many(&mut rng, 6, &mut out), 6);
+        let names: Vec<Name> = out.iter().map(|a| a.name()).collect();
+        ActivityArray::free_many(&array, &names);
+        // The hint holds the batch's last name: the next get re-wins it in
+        // zero probes.
+        let again = array.get(&mut rng);
+        assert_eq!(again.name(), *names.last().unwrap());
+        array.free(again.name());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn free_many_panics_on_a_duplicate_in_the_batch() {
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Fixed);
+        let mut rng = default_rng(43);
+        let got = array.get(&mut rng);
+        ActivityArray::free_many(&array, &[got.name(), got.name()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn free_many_panics_on_an_unknown_epoch() {
+        let array = ElasticLevelArray::new(4, GrowthPolicy::Fixed);
+        ActivityArray::free_many(&array, &[Name::with_epoch(9, 0)]);
+    }
+
+    #[test]
+    fn batched_churn_across_threads_preserves_uniqueness() {
+        use std::sync::Mutex;
+
+        let threads = 4;
+        let rounds = 12;
+        let k = 9;
+        let array = Arc::new(ElasticLevelArray::new(
+            4,
+            GrowthPolicy::Doubling { max_epochs: 8 },
+        ));
+        let held = Mutex::new(HashSet::new());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let array = Arc::clone(&array);
+                let held = &held;
+                scope.spawn(move || {
+                    let mut rng = default_rng(0xBA7C + t as u64);
+                    for _ in 0..rounds {
+                        let mut out = Vec::new();
+                        array.get_many(&mut rng, k, &mut out);
+                        {
+                            let mut all = held.lock().unwrap();
+                            for got in &out {
+                                assert!(
+                                    all.insert(got.name()),
+                                    "{} double-claimed in a batch",
+                                    got.name()
+                                );
+                            }
+                        }
+                        let names: Vec<Name> = out.iter().map(|a| a.name()).collect();
+                        {
+                            let mut all = held.lock().unwrap();
+                            for name in &names {
+                                all.remove(name);
+                            }
+                        }
+                        ActivityArray::free_many(array.as_ref(), &names);
+                    }
+                });
+            }
+        });
+        array.try_retire();
+        assert!(array.collect().is_empty());
     }
 
     #[test]

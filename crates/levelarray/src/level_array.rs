@@ -159,6 +159,34 @@ impl LevelArray {
         self.core.try_get(rng)
     }
 
+    /// The batched `Get`, monomorphized over the caller's random source (see
+    /// [`ActivityArray::get_many`] for the contract).  With the
+    /// [`LevelArrayConfig::free_hint`] knob enabled the hint cache is
+    /// consulted once for the whole batch — a hit supplies the first name in
+    /// one test-and-set — and the remainder takes the batched probing kernel
+    /// ([`ProbeCore::try_get_many`]).
+    pub fn get_many<R: RandomSource + ?Sized>(
+        &self,
+        rng: &mut R,
+        k: usize,
+        out: &mut Vec<Acquired>,
+    ) -> usize {
+        if k == 0 {
+            return 0;
+        }
+        let mut acquired = 0usize;
+        if self.free_hint {
+            if let Some(name) = crate::hint::take(self.array_id) {
+                if let Some(got) = self.core.hint_acquire(name) {
+                    out.push(got);
+                    acquired = 1;
+                }
+            }
+        }
+        let mut probes = 0u32;
+        acquired + self.core.try_get_many(rng, k - acquired, &mut probes, out)
+    }
+
     /// Registers through the monomorphized hot path, panicking if the
     /// structure is exhausted (same contract as [`ActivityArray::get`]).
     ///
@@ -225,10 +253,26 @@ impl ActivityArray for LevelArray {
         LevelArray::try_get(self, rng)
     }
 
+    fn get_many(&self, rng: &mut dyn RandomSource, k: usize, out: &mut Vec<Acquired>) -> usize {
+        LevelArray::get_many(self, rng, k, out)
+    }
+
     fn free(&self, name: Name) {
         self.core.free(name);
         if self.free_hint {
             crate::hint::record(self.array_id, name);
+        }
+    }
+
+    fn free_many(&self, names: &[Name]) {
+        self.core.free_many(names);
+        // Refill the Free→Get hint with the last name of the batch — the
+        // bulk path must feed the cache exactly as a singleton loop's final
+        // free would, not bypass it.
+        if self.free_hint {
+            if let Some(&last) = names.last() {
+                crate::hint::record(self.array_id, last);
+            }
         }
     }
 

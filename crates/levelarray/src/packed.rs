@@ -173,6 +173,158 @@ impl PackedSlots {
         self.words[word].fetch_and(!bit, Ordering::AcqRel) & bit != 0
     }
 
+    /// Selects the lowest `k` set bits of `mask` (all of them when fewer are
+    /// set).  `mask & mask.wrapping_neg()` isolates the lowest set bit, so
+    /// the loop runs at most `k` times and never scans free positions.
+    #[inline]
+    fn lowest_k_bits(mut mask: u64, k: usize) -> u64 {
+        if mask.count_ones() as usize <= k {
+            return mask;
+        }
+        let mut selected = 0u64;
+        for _ in 0..k {
+            let low = mask & mask.wrapping_neg();
+            selected |= low;
+            mask ^= low;
+        }
+        selected
+    }
+
+    /// The batched multi-claim kernel: attempts to win up to `k` free slots
+    /// inside `range` — which must lie within a single word — with **one**
+    /// combined-mask RMW, reporting each win through `f` in rotation order
+    /// (indices `start..range.end` first, then wrapping to
+    /// `range.start..start`).  Returns the number of slots claimed.
+    ///
+    /// Under [`TasKind::CompareExchange`] the word is snapshotted, up to `k`
+    /// zero bits are selected, and a single `compare_exchange` installs the
+    /// combined mask; if a concurrent writer moved the word first, the call
+    /// falls back to one per-bit test-and-set per window slot in the same
+    /// rotation order — no retry loop, so the kernel stays wait-free.  Under
+    /// [`TasKind::Swap`] a single `fetch_or` installs the mask
+    /// unconditionally and the bits that were already held are simply not
+    /// reported as wins (the same semantics as `swap` observing `HELD`).
+    ///
+    /// Single-threaded, both kinds claim exactly the first `min(k, free)`
+    /// free slots of the window in rotation order — identical to a per-slot
+    /// [`Self::try_acquire`] loop, which is what keeps the bit-packed layout
+    /// in lockstep with the word-per-slot layout under the conformance suite.
+    pub(crate) fn claim_word_window(
+        &self,
+        range: Range<usize>,
+        start: usize,
+        k: usize,
+        kind: TasKind,
+        f: &mut impl FnMut(usize),
+    ) -> usize {
+        if k == 0 || range.start >= range.end {
+            return 0;
+        }
+        debug_assert!(range.end <= self.len, "range {range:?} out of {}", self.len);
+        debug_assert!(
+            range.start / BITS == (range.end - 1) / BITS,
+            "window {range:?} spans more than one word"
+        );
+        debug_assert!(range.contains(&start), "start {start} outside {range:?}");
+        let word = range.start / BITS;
+        let base = word * BITS;
+        let tail = range.end - base;
+        let window_mask = (u64::MAX << (range.start % BITS))
+            & if tail < BITS {
+                (1u64 << tail) - 1
+            } else {
+                u64::MAX
+            };
+        let snap = self.words[word].load(Ordering::Acquire);
+        let free = !snap & window_mask;
+        if free == 0 {
+            return 0;
+        }
+        // Rotation order: the probed index and everything above it first,
+        // then wrap around to the window start.
+        let pivot = u64::MAX << (start % BITS);
+        let upper_sel = Self::lowest_k_bits(free & pivot, k);
+        let lower_sel = Self::lowest_k_bits(free & !pivot, k - upper_sel.count_ones() as usize);
+        let claim = upper_sel | lower_sel;
+        let mut claimed = 0usize;
+        let mut report = |sel: u64| {
+            Self::walk_bits(base, sel, &mut |idx| {
+                claimed += 1;
+                f(idx);
+            });
+        };
+        match kind {
+            TasKind::CompareExchange => {
+                if self.words[word]
+                    .compare_exchange(snap, snap | claim, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    report(upper_sel);
+                    report(lower_sel);
+                } else {
+                    // The word moved under us: claim bit-by-bit in the same
+                    // rotation order, one wait-free RMW per slot.
+                    for idx in (start..range.end).chain(range.start..start) {
+                        if claimed == k {
+                            break;
+                        }
+                        if self.try_acquire(idx, kind) {
+                            claimed += 1;
+                            f(idx);
+                        }
+                    }
+                }
+            }
+            TasKind::Swap => {
+                let prev = self.words[word].fetch_or(claim, Ordering::AcqRel);
+                let wins = claim & !prev;
+                report(upper_sel & wins);
+                report(lower_sel & wins);
+            }
+        }
+        claimed
+    }
+
+    /// The bulk-release kernel: clears the sorted slot indices in `indices`
+    /// (each `base`-offset — packed-local index is `indices[i] - base`) with
+    /// **one** `fetch_and` per touched word, merging every index of a word
+    /// into a single clear mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index appears twice or names a slot that was not held
+    /// (both are double frees), reporting the caller-namespace value.
+    pub(crate) fn release_sorted(&self, indices: &[usize], base: usize) {
+        let mut i = 0;
+        while i < indices.len() {
+            let word = (indices[i] - base) / BITS;
+            let mut mask = 0u64;
+            while i < indices.len() && (indices[i] - base) / BITS == word {
+                let raw = indices[i];
+                let local = raw - base;
+                debug_assert!(
+                    local < self.len,
+                    "slot index {local} out of range {}",
+                    self.len
+                );
+                let bit = 1u64 << (local % BITS);
+                assert!(
+                    mask & bit == 0,
+                    "double free: name {raw} appears twice in free_many()"
+                );
+                mask |= bit;
+                i += 1;
+            }
+            let prev = self.words[word].fetch_and(!mask, Ordering::AcqRel);
+            let missed = mask & !prev;
+            assert!(
+                missed == 0,
+                "double free: name {} was not held when free_many() was called",
+                base + word * BITS + missed.trailing_zeros() as usize
+            );
+        }
+    }
+
     /// Reads whether slot `idx` is currently held (an acquire load, not a
     /// snapshot — the same validity contract as [`crate::slot::Slot::is_held`]).
     #[inline]
@@ -273,6 +425,7 @@ impl PackedSlots {
     /// The number of held slots in `range`: one load plus a `count_ones` per
     /// word, accumulated `LANES` words at a time (vectorised under the
     /// `simd` feature).
+    #[inline]
     pub fn count_held(&self, range: Range<usize>) -> usize {
         let span = self.span(range);
         self.count_span(span)
@@ -304,6 +457,7 @@ impl PackedSlots {
     /// Calls `f` with the index of every held slot in `range`, in increasing
     /// order.  Words are snapshotted `LANES` at a time; all-free chunks are
     /// skipped with one OR-reduction before any bit is walked.
+    #[inline]
     pub fn for_each_held(&self, range: Range<usize>, mut f: impl FnMut(usize)) {
         let span = self.span(range);
         if span.is_empty() {
@@ -351,6 +505,7 @@ impl PackedSlots {
     /// exact output size with a popcount pre-pass and writes names straight
     /// into the vector's spare capacity, so the per-name cost is one store
     /// instead of a length/capacity bookkeeping round-trip per `push`.
+    #[inline]
     pub fn collect_into(&self, range: Range<usize>, name_base: usize, out: &mut Vec<Name>) {
         let held = self.count_held(range.clone());
         if held == 0 {
@@ -397,6 +552,7 @@ impl PackedSlots {
     /// Whether any slot in the slab is held — the drained check of the
     /// elastic retirement protocol, at one load per word, reduced `LANES`
     /// words at a time.
+    #[inline]
     pub fn any_held(&self) -> bool {
         let mut chunks = self.words.chunks_exact(LANES);
         for chunk in chunks.by_ref() {
@@ -570,6 +726,165 @@ mod tests {
                         "any_held len {len}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_k_bits_selects_from_the_bottom() {
+        assert_eq!(PackedSlots::lowest_k_bits(0, 5), 0);
+        assert_eq!(PackedSlots::lowest_k_bits(0b1011, 0), 0);
+        assert_eq!(PackedSlots::lowest_k_bits(0b1011, 2), 0b0011);
+        assert_eq!(PackedSlots::lowest_k_bits(0b1011, 3), 0b1011);
+        assert_eq!(PackedSlots::lowest_k_bits(0b1011, 9), 0b1011);
+        assert_eq!(PackedSlots::lowest_k_bits(u64::MAX, 1), 1);
+        assert_eq!(PackedSlots::lowest_k_bits(1u64 << 63, 1), 1u64 << 63);
+    }
+
+    #[test]
+    fn claim_word_window_claims_in_rotation_order() {
+        for kind in [TasKind::CompareExchange, TasKind::Swap] {
+            let s = PackedSlots::new(128);
+            // Window 64..128, probe lands at 100: expect 100.. then wrap.
+            assert!(s.try_acquire(101, kind));
+            let mut won = Vec::new();
+            let got = s.claim_word_window(64..128, 100, 4, kind, &mut |i| won.push(i));
+            assert_eq!(got, 4, "{kind:?}");
+            assert_eq!(won, vec![100, 102, 103, 104], "{kind:?}");
+            // Fewer free than k: wraps below the pivot and stops at the count.
+            let s = PackedSlots::new(128);
+            for idx in 66..126 {
+                assert!(s.try_acquire(idx, kind));
+            }
+            let mut won = Vec::new();
+            let got = s.claim_word_window(64..128, 100, 10, kind, &mut |i| won.push(i));
+            assert_eq!(got, 4, "{kind:?}");
+            assert_eq!(won, vec![126, 127, 64, 65], "{kind:?}");
+            // Full window yields nothing.
+            let mut won = Vec::new();
+            assert_eq!(
+                s.claim_word_window(64..128, 70, 3, kind, &mut |i| won.push(i)),
+                0
+            );
+            assert!(won.is_empty());
+            // k == 0 is a no-op.
+            assert_eq!(s.claim_word_window(0..64, 5, 0, kind, &mut |_| panic!()), 0);
+        }
+    }
+
+    #[test]
+    fn claim_word_window_respects_partial_windows() {
+        for kind in [TasKind::CompareExchange, TasKind::Swap] {
+            // A window clipped at both ends (range 67..70 within word 1).
+            let s = PackedSlots::new(128);
+            let mut won = Vec::new();
+            let got = s.claim_word_window(67..70, 68, 8, kind, &mut |i| won.push(i));
+            assert_eq!(got, 3, "{kind:?}");
+            assert_eq!(won, vec![68, 69, 67], "{kind:?}");
+            assert!(!s.is_held(66));
+            assert!(!s.is_held(70), "bits outside the window stay free");
+            // A tail window shorter than a word at the end of the slab.
+            let s = PackedSlots::new(70);
+            let mut won = Vec::new();
+            let got = s.claim_word_window(64..70, 64, 16, kind, &mut |i| won.push(i));
+            assert_eq!(got, 6, "{kind:?}");
+            assert_eq!(won, vec![64, 65, 66, 67, 68, 69], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn claim_word_window_matches_singleton_loop_single_threaded() {
+        use larng::RandomSource;
+        let mut rng = larng::default_rng(0xC1A1);
+        for kind in [TasKind::CompareExchange, TasKind::Swap] {
+            for _ in 0..if cfg!(miri) { 8 } else { 64 } {
+                let batched = PackedSlots::new(64);
+                let single = PackedSlots::new(64);
+                for idx in 0..64 {
+                    if rng.gen_bool(0.5) {
+                        assert!(batched.try_acquire(idx, kind));
+                        assert!(single.try_acquire(idx, kind));
+                    }
+                }
+                let start = rng.gen_index(64);
+                let k = rng.gen_index(10);
+                let mut batch_won = Vec::new();
+                batched.claim_word_window(0..64, start, k, kind, &mut |i| batch_won.push(i));
+                let mut single_won = Vec::new();
+                for idx in (start..64).chain(0..start) {
+                    if single_won.len() == k {
+                        break;
+                    }
+                    if single.try_acquire(idx, kind) {
+                        single_won.push(idx);
+                    }
+                }
+                assert_eq!(batch_won, single_won, "{kind:?} start {start} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn release_sorted_clears_groups_with_one_rmw_per_word() {
+        let s = PackedSlots::new(200);
+        let held = [0usize, 5, 63, 64, 100, 150, 199];
+        for &idx in &held {
+            assert!(s.try_acquire(idx, TasKind::CompareExchange));
+        }
+        // Release a subset through the bulk kernel, with a name-space base.
+        let names: Vec<usize> = [5usize, 63, 64, 150].iter().map(|i| i + 1000).collect();
+        s.release_sorted(&names, 1000);
+        assert_eq!(s.count_held(0..200), 3);
+        for idx in [0usize, 100, 199] {
+            assert!(s.is_held(idx));
+        }
+        s.release_sorted(&[0, 100, 199], 0);
+        assert!(!s.any_held());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn release_sorted_panics_on_unheld_slot() {
+        let s = PackedSlots::new(64);
+        assert!(s.try_acquire(3, TasKind::CompareExchange));
+        s.release_sorted(&[3, 4], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn release_sorted_panics_on_duplicate_index() {
+        let s = PackedSlots::new(64);
+        assert!(s.try_acquire(3, TasKind::CompareExchange));
+        s.release_sorted(&[3, 3], 0);
+    }
+
+    /// Concurrent multi-claims over the same word never hand out the same
+    /// slot twice, for both primitives (CAS fallback path included).
+    #[test]
+    fn concurrent_claim_word_window_is_exclusive() {
+        let rounds = if cfg!(miri) { 4 } else { 50 };
+        for kind in [TasKind::CompareExchange, TasKind::Swap] {
+            for round in 0..rounds {
+                let slab = Arc::new(PackedSlots::new(64));
+                let total = Arc::new(AtomicUsize::new(0));
+                std::thread::scope(|scope| {
+                    for t in 0..4 {
+                        let slab = Arc::clone(&slab);
+                        let total = Arc::clone(&total);
+                        scope.spawn(move || {
+                            let mut won = Vec::new();
+                            let start = (round * 7 + t * 13) % 64;
+                            slab.claim_word_window(0..64, start, 20, kind, &mut |i| won.push(i));
+                            total.fetch_add(won.len(), Ordering::Relaxed);
+                        });
+                    }
+                });
+                let claimed = total.load(Ordering::Relaxed);
+                assert_eq!(
+                    slab.count_held(0..64),
+                    claimed,
+                    "{kind:?}: every reported win must map to a distinct held bit"
+                );
             }
         }
     }

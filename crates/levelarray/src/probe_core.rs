@@ -31,6 +31,14 @@ use crate::occupancy::{Region, RegionOccupancy};
 use crate::packed::{PackedSlots, WordSpan};
 use crate::slot::{Slot, SlotLayout, TasKind};
 
+/// Slot span of one batched claim attempt: a probed index is widened to the
+/// 64-aligned window around it (clipped to the batch), so that under the
+/// bit-packed layout the whole window is exactly one `AtomicU64` and a
+/// multi-claim resolves in a single RMW.  The window is defined in *slab*
+/// index space — not packed-local space — so every layout claims the same
+/// slots for the same RNG stream and the layouts stay in lockstep.
+pub(crate) const CLAIM_WINDOW: usize = 64;
+
 /// One slab of test-and-set registers in any of the three representations.
 ///
 /// The variants expose identical semantics (see [`SlotLayout`]); the enum
@@ -144,6 +152,72 @@ impl SlotSlab {
         }
     }
 
+    /// Claims up to `k` free slots inside the single-word window `range`
+    /// (slab indices), visiting them in rotation order from `start`, and
+    /// returns the number claimed.
+    ///
+    /// The pure bit-packed slab takes the one-RMW multi-claim kernel
+    /// ([`PackedSlots::claim_word_window`]) — slab indices and packed indices
+    /// coincide, so the slab window is exactly one word.  The word-per-slot
+    /// and hybrid slabs claim with one test-and-set per slot in the same
+    /// rotation order (under `Hybrid` the packed side's bit alignment is
+    /// shifted by `word.len()`, so a slab-aligned window may straddle two
+    /// packed words — the loop is the layout-agnostic equivalent).  All three
+    /// claim identical slots single-threaded.
+    fn claim_window(
+        &self,
+        range: Range<usize>,
+        start: usize,
+        k: usize,
+        kind: TasKind,
+        f: &mut impl FnMut(usize),
+    ) -> usize {
+        if let SlotSlab::Packed(slab) = self {
+            return slab.claim_word_window(range, start, k, kind, f);
+        }
+        let mut claimed = 0usize;
+        for idx in (start..range.end).chain(range.start..start) {
+            if claimed == k {
+                break;
+            }
+            if self.try_acquire(idx, kind) {
+                claimed += 1;
+                f(idx);
+            }
+        }
+        claimed
+    }
+
+    /// Releases the sorted slab indices in `indices` (each offset by `base`:
+    /// slab-local index is `indices[i] - base`).  Bit-packed regions are
+    /// cleared with one `fetch_and` per touched word
+    /// ([`PackedSlots::release_sorted`]); word-per-slot regions with one RMW
+    /// per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate or unheld index (a double free), reporting the
+    /// caller-namespace value.
+    fn release_sorted(&self, indices: &[usize], base: usize) {
+        let word_side = |slots: &[Slot], indices: &[usize]| {
+            for &raw in indices {
+                assert!(
+                    slots[raw - base].release(),
+                    "double free: name {raw} was not held when free_many() was called"
+                );
+            }
+        };
+        match self {
+            SlotSlab::WordPerSlot(slots) => word_side(slots, indices),
+            SlotSlab::Packed(slab) => slab.release_sorted(indices, base),
+            SlotSlab::Hybrid { word, packed } => {
+                let split = indices.partition_point(|&raw| raw - base < word.len());
+                word_side(word, &indices[..split]);
+                packed.release_sorted(&indices[split..], base + word.len());
+            }
+        }
+    }
+
     /// Splits `range` at the hybrid boundary `split` into the word-side part
     /// (slab-local indices) and the packed-side part (packed-local indices).
     fn split_range(range: &Range<usize>, split: usize) -> (Range<usize>, Range<usize>) {
@@ -204,6 +278,7 @@ impl SlotSlab {
         }
     }
 
+    #[inline]
     fn for_each_held(&self, range: Range<usize>, mut f: impl FnMut(usize)) {
         match self {
             SlotSlab::WordPerSlot(slots) => {
@@ -230,6 +305,7 @@ impl SlotSlab {
     /// Appends a [`Name`] (offset by `name_base`) for every held slot, in
     /// increasing order, taking the allocation-free packed fast path
     /// ([`PackedSlots::collect_into`]) wherever the slab stores bits.
+    #[inline]
     fn collect_all_into(&self, name_base: usize, out: &mut Vec<Name>) {
         match self {
             SlotSlab::WordPerSlot(slots) => {
@@ -419,6 +495,80 @@ impl ProbeCore {
         None
     }
 
+    /// The batched `Get`: acquires up to `k` slots in one pass over the
+    /// probing sequence, appending an [`Acquired`] (with a *local* name) per
+    /// win to `out`, and returns the number acquired.
+    ///
+    /// The batch walks the same sequence as `k` consecutive singleton
+    /// [`ProbeCore::try_get`]s — `c_i` random probes per batch in increasing
+    /// batch order, then the sequential backup — so the §5.2 self-healing
+    /// occupancy dynamics are unchanged: each batch still receives `c_i`
+    /// probe *opportunities per requested name* (the per-batch trial budget
+    /// is `c_i × remaining`), and lower batches still fill first.  What the
+    /// batch amortizes is the per-name claim cost: every random probe widens
+    /// to the 64-aligned `CLAIM_WINDOW` around the probed index and claims
+    /// as many still-needed slots as the window holds — one RMW for the whole
+    /// window under the bit-packed layout — and the backup phase scans
+    /// window-at-a-time instead of slot-at-a-time.
+    ///
+    /// `probes` is an in/out accumulator: it enters holding the probes
+    /// already charged by exhausted cores the caller walked (0 for a flat
+    /// facade) and exits holding the running total; every `Acquired` of one
+    /// trial reports the total at claim time.  The backup phase charges one
+    /// probe per window visited.
+    pub fn try_get_many<R: RandomSource + ?Sized>(
+        &self,
+        rng: &mut R,
+        k: usize,
+        probes: &mut u32,
+        out: &mut Vec<Acquired>,
+    ) -> usize {
+        let mut remaining = k;
+        if remaining == 0 {
+            return 0;
+        }
+        // Randomized phase: per batch, `c_i` trials per still-missing name;
+        // each trial claims up to `remaining` slots from one probed window.
+        for batch in 0..self.geometry.num_batches() {
+            let range = self.geometry.batch_range(batch);
+            let len = range.end - range.start;
+            let trials = self.probe_policy.probes_in_batch(batch) as usize * remaining;
+            for _ in 0..trials {
+                *probes += 1;
+                let idx = range.start + rng.gen_index(len);
+                let aligned = (idx / CLAIM_WINDOW) * CLAIM_WINDOW;
+                let window = aligned.max(range.start)..(aligned + CLAIM_WINDOW).min(range.end);
+                let p = *probes;
+                let won =
+                    self.main
+                        .claim_window(window, idx, remaining, self.tas_kind, &mut |slot| {
+                            out.push(Acquired::new(Name::new(slot), p, Some(batch), false));
+                        });
+                remaining -= won;
+                if remaining == 0 {
+                    return k;
+                }
+            }
+        }
+        // Deterministic backup phase: 64-aligned windows in increasing order,
+        // one probe per window visited.
+        let base = self.main.len();
+        let mut w = 0;
+        while w < self.backup.len() && remaining > 0 {
+            *probes += 1;
+            let window = w..(w + CLAIM_WINDOW).min(self.backup.len());
+            let p = *probes;
+            let won = self
+                .backup
+                .claim_window(window, w, remaining, self.tas_kind, &mut |slot| {
+                    out.push(Acquired::new(Name::new(base + slot), p, None, true));
+                });
+            remaining -= won;
+            w += CLAIM_WINDOW;
+        }
+        k - remaining
+    }
+
     /// Releases a (local) name previously acquired from this core.
     ///
     /// # Panics
@@ -431,6 +581,40 @@ impl ProbeCore {
             released,
             "double free: name {name} was not held when free() was called"
         );
+    }
+
+    /// The batched `Free`: releases a set of (local) names, sorting them once
+    /// and clearing bit-packed regions with one `fetch_and` per touched word
+    /// instead of one RMW per name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is out of range, epoch-tagged, duplicated within
+    /// the batch, or not currently held (a double free).
+    pub fn free_many(&self, names: &[Name]) {
+        if names.is_empty() {
+            return;
+        }
+        let mut indices = Vec::with_capacity(names.len());
+        for &name in names {
+            assert_eq!(
+                name.epoch(),
+                0,
+                "a probing core handles only local (epoch-0) names, got {name}"
+            );
+            let idx = name.index();
+            assert!(
+                idx < self.capacity(),
+                "name {idx} out of range for an array with capacity {}",
+                self.capacity()
+            );
+            indices.push(idx);
+        }
+        indices.sort_unstable();
+        let split = indices.partition_point(|&idx| idx < self.main.len());
+        self.main.release_sorted(&indices[..split], 0);
+        self.backup
+            .release_sorted(&indices[split..], self.main.len());
     }
 
     /// Directly occupies a specific (local) slot, bypassing the probing
@@ -504,6 +688,7 @@ impl ProbeCore {
     /// `Collect` performs, reusable by facades that map local names into a
     /// larger namespace.  Packed slabs take the reserved spare-capacity fast
     /// path of [`PackedSlots::collect_into`] instead of a push per name.
+    #[inline]
     pub fn collect_into(&self, base: usize, out: &mut Vec<Name>) {
         self.main.collect_all_into(base, out);
         self.backup.collect_all_into(base + self.main.len(), out);
@@ -805,6 +990,140 @@ mod tests {
                 "backup under {layout:?}"
             );
         }
+    }
+
+    #[test]
+    fn get_many_fills_to_capacity_with_unique_names() {
+        use std::collections::HashSet;
+        for layout in layouts() {
+            let c = core_with_layout(16, layout);
+            let mut rng = default_rng(21);
+            let mut out = Vec::new();
+            let mut probes = 0u32;
+            let mut total = 0usize;
+            while total < c.capacity() {
+                let got = c.try_get_many(&mut rng, 7, &mut probes, &mut out);
+                assert!(got > 0, "free slots remain, a batch must win ({layout:?})");
+                total += got;
+            }
+            assert_eq!(total, c.capacity(), "{layout:?}");
+            let unique: HashSet<_> = out.iter().map(|a| a.name()).collect();
+            assert_eq!(unique.len(), out.len(), "{layout:?}");
+            // Exhausted: further batches yield nothing but charge probes.
+            let before = probes;
+            assert_eq!(c.try_get_many(&mut rng, 3, &mut probes, &mut out), 0);
+            assert!(probes > before);
+            // Metadata matches the slot each name refers to.
+            for got in &out {
+                assert_eq!(got.used_backup(), c.is_backup_name(got.name()));
+                if !got.used_backup() {
+                    assert_eq!(got.batch(), Some(c.geometry().batch_of(got.name().index())));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn get_many_layouts_stay_in_lockstep() {
+        // Batched probing decisions, like singleton ones, depend only on the
+        // RNG stream and held/free state — the claim window is defined in
+        // slab index space precisely so all layouts claim identical slots.
+        let word = core_with_layout(16, SlotLayout::WordPerSlot);
+        let packed = core_with_layout(16, SlotLayout::Packed);
+        let hybrid = core_with_layout(16, SlotLayout::Hybrid { packed_from: 24 });
+        let mut rng_w = default_rng(33);
+        let mut rng_p = default_rng(33);
+        let mut rng_h = default_rng(33);
+        for step in 0..200 {
+            let k = 1 + step % 9;
+            let (mut ow, mut op, mut oh) = (Vec::new(), Vec::new(), Vec::new());
+            let (mut pw, mut pp, mut ph) = (0u32, 0u32, 0u32);
+            let a = word.try_get_many(&mut rng_w, k, &mut pw, &mut ow);
+            let b = packed.try_get_many(&mut rng_p, k, &mut pp, &mut op);
+            let c = hybrid.try_get_many(&mut rng_h, k, &mut ph, &mut oh);
+            assert_eq!((a, &ow, pw), (b, &op, pp), "packed diverged at step {step}");
+            assert_eq!((a, &ow, pw), (c, &oh, ph), "hybrid diverged at step {step}");
+            // Free a deterministic half so the state keeps churning.
+            let victims: Vec<Name> = ow
+                .iter()
+                .map(|g| g.name())
+                .enumerate()
+                .filter(|(i, _)| i % 2 == 0)
+                .map(|(_, n)| n)
+                .collect();
+            word.free_many(&victims);
+            packed.free_many(&victims);
+            hybrid.free_many(&victims);
+            let keep: Vec<Name> = ow
+                .iter()
+                .map(|g| g.name())
+                .enumerate()
+                .filter(|(i, _)| i % 2 == 1)
+                .map(|(_, n)| n)
+                .collect();
+            word.free_many(&keep);
+            packed.free_many(&keep);
+            hybrid.free_many(&keep);
+        }
+    }
+
+    #[test]
+    fn get_many_probe_totals_thread_through_the_accumulator() {
+        let c = core(8);
+        let mut rng = default_rng(4);
+        let mut out = Vec::new();
+        let mut probes = 100u32; // pretend an earlier exhausted core charged 100
+        assert!(c.try_get_many(&mut rng, 2, &mut probes, &mut out) > 0);
+        assert!(probes > 100);
+        for got in &out {
+            assert!(got.probes() > 100, "claims report the accumulated total");
+            assert!(got.probes() <= probes);
+        }
+    }
+
+    #[test]
+    fn free_many_releases_main_and_backup_in_one_call() {
+        for layout in layouts() {
+            let c = core_with_layout(8, layout);
+            let mut rng = default_rng(5);
+            let mut out = Vec::new();
+            let mut probes = 0u32;
+            let got = c.try_get_many(&mut rng, c.capacity(), &mut probes, &mut out);
+            assert_eq!(got, c.capacity());
+            assert!(out.iter().any(|a| a.used_backup()), "drain reaches backup");
+            // Free in an arbitrary (unsorted) order.
+            let mut names: Vec<Name> = out.iter().map(|a| a.name()).collect();
+            names.reverse();
+            c.free_many(&names);
+            assert!(!c.any_held(), "{layout:?}");
+            c.free_many(&[]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn free_many_panics_on_duplicate_name() {
+        let c = core(4);
+        assert!(c.force_occupy(Name::new(2)));
+        c.free_many(&[Name::new(2), Name::new(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn free_many_panics_on_unheld_name() {
+        core(4).free_many(&[Name::new(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn free_many_panics_on_out_of_range_name() {
+        core(4).free_many(&[Name::new(10_000)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch-0")]
+    fn free_many_panics_on_epoch_tagged_name() {
+        core(4).free_many(&[Name::with_epoch(1, 0)]);
     }
 
     #[test]

@@ -99,6 +99,32 @@ impl<A: ActivityArray> ThreadRegistry<A> {
         self.array.free(name);
     }
 
+    /// Registers `k` slots in one batched call (see
+    /// [`ActivityArray::get_many`]) and leaks them all, returning the bare
+    /// names.  The caller is responsible for the eventual
+    /// [`ThreadRegistry::release_many`].  The returned vector may be shorter
+    /// than `k` if the array saturated mid-batch.
+    #[must_use = "dropping the returned names leaks the slots forever"]
+    pub fn register_many_leaked(&self, k: usize) -> Vec<Name> {
+        let mut out = Vec::with_capacity(k);
+        self.with_thread_rng(|rng| {
+            self.array.get_many(rng, k, &mut out);
+        });
+        out.iter().map(|got| got.name()).collect()
+    }
+
+    /// Releases a batch of names obtained from
+    /// [`ThreadRegistry::register_many_leaked`] through the array's bulk
+    /// kernel (see [`ActivityArray::free_many`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is not currently held — duplicates within the
+    /// batch included.
+    pub fn release_many(&self, names: &[Name]) {
+        self.array.free_many(names);
+    }
+
     /// Scans the registered set (see [`ActivityArray::collect`]).
     pub fn collect(&self) -> Vec<Name> {
         self.array.collect()
@@ -175,6 +201,18 @@ mod tests {
         let name = registry.register_leaked();
         registry.release(name);
         registry.release(name);
+    }
+
+    #[test]
+    fn batched_registration_round_trips_through_the_bulk_kernels() {
+        let registry = ThreadRegistry::with_contention(16, 6);
+        let names = registry.register_many_leaked(10);
+        assert_eq!(names.len(), 10);
+        let unique: HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        assert_eq!(registry.collect().len(), 10);
+        registry.release_many(&names);
+        assert!(registry.collect().is_empty());
     }
 
     #[test]

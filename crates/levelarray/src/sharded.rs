@@ -291,6 +291,55 @@ impl ShardedLevelArray {
         None
     }
 
+    /// The batched sharded `Get`, monomorphized over the caller's random
+    /// source (see [`ActivityArray::get_many`]): the hint cache is consulted
+    /// once, the whole batch is routed through the sticky home shard's
+    /// batched kernel ([`ProbeCore::try_get_many`]), and only the unfilled
+    /// remainder spills into the ring-order steal walk — one home lookup and
+    /// one probe accumulator for the entire batch.
+    pub fn get_many<R: RandomSource + ?Sized>(
+        &self,
+        rng: &mut R,
+        k: usize,
+        out: &mut Vec<Acquired>,
+    ) -> usize {
+        if k == 0 {
+            return 0;
+        }
+        let mut acquired = 0usize;
+        if self.free_hint {
+            if let Some(hinted) = crate::hint::take(self.array_id) {
+                if let Some(got) = self.hint_acquire(hinted) {
+                    out.push(got);
+                    acquired = 1;
+                }
+            }
+        }
+        let num_shards = self.shards.len();
+        let home = self.home_shard();
+        let mut probes = 0u32;
+        for hop in 0..num_shards {
+            if acquired == k {
+                break;
+            }
+            let shard = (home + hop) % num_shards;
+            let before = out.len();
+            let won = self.shards[shard]
+                .0
+                .try_get_many(rng, k - acquired, &mut probes, out);
+            for got in &mut out[before..] {
+                *got = Acquired::new(
+                    self.global_name(shard, got.name()),
+                    got.probes(),
+                    got.batch(),
+                    got.used_backup(),
+                );
+            }
+            acquired += won;
+        }
+        acquired
+    }
+
     /// Registers through the monomorphized hot path, panicking if every
     /// shard is exhausted (same contract as [`ActivityArray::get`]).
     ///
@@ -456,11 +505,44 @@ impl ActivityArray for ShardedLevelArray {
         ShardedLevelArray::try_get(self, rng)
     }
 
+    fn get_many(&self, rng: &mut dyn RandomSource, k: usize, out: &mut Vec<Acquired>) -> usize {
+        ShardedLevelArray::get_many(self, rng, k, out)
+    }
+
     fn free(&self, name: Name) {
         let (shard, local) = self.split(name);
         self.shards[shard].0.free(local);
         if self.free_hint {
             crate::hint::record(self.array_id, name);
+        }
+    }
+
+    fn free_many(&self, names: &[Name]) {
+        if names.is_empty() {
+            return;
+        }
+        // Sort once, split into contiguous per-shard runs, and release each
+        // run through the owning core's bulk kernel.
+        let mut sorted = names.to_vec();
+        sorted.sort_unstable();
+        let mut start = 0;
+        while start < sorted.len() {
+            let shard = self.shard_of(sorted[start]);
+            let base = shard * self.shard_capacity;
+            let limit = base + self.shard_capacity;
+            let end = sorted.partition_point(|n| n.epoch() == 0 && n.index() < limit);
+            for name in &mut sorted[start..end] {
+                *name = Name::new(name.index() - base);
+            }
+            self.shards[shard].0.free_many(&sorted[start..end]);
+            start = end;
+        }
+        // Refill the Free→Get hint with the last name of the batch, exactly
+        // as the final free of a singleton loop would.
+        if self.free_hint {
+            if let Some(&last) = names.last() {
+                crate::hint::record(self.array_id, last);
+            }
         }
     }
 

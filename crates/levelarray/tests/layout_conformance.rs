@@ -99,6 +99,86 @@ fn assert_lockstep(
     assert!(packed.collect().is_empty());
 }
 
+/// The batched twin of [`assert_lockstep`]: drives both sides with the same
+/// seeded schedule of `get_many`/`free_many` batches and asserts identical
+/// acquisitions (names, probe counts, batches, backup flags), censuses and
+/// collect sets after every step.  The batch sizes vary per step, so the
+/// word-window multi-claim kernel (packed), the per-index loop equivalent
+/// (word-per-slot) and the mixed hybrid path must all select the same slots
+/// — the §5.2 batch-order probing contract the batched kernels preserve.
+fn assert_lockstep_batched(
+    word: &dyn ActivityArray,
+    packed: &dyn ActivityArray,
+    seed: u64,
+    participants: usize,
+    quota: usize,
+    kmax: usize,
+) {
+    assert_eq!(word.capacity(), packed.capacity());
+    assert_eq!(word.max_participants(), packed.max_participants());
+
+    let mut rng_w = default_rng(seed);
+    let mut rng_p = default_rng(seed);
+    let mut script = default_rng(seed ^ 0xBA7C);
+
+    let mut held: Vec<Name> = Vec::new();
+    let mut out_w = Vec::new();
+    let mut out_p = Vec::new();
+    // Batches do ~kmax times the per-step work of the singleton drive.
+    for step in 0..(ops() / kmax.max(1)).max(8) {
+        let participant = script.gen_index(participants.max(1));
+        word.route_hint(participant);
+        packed.route_hint(participant);
+
+        let register = held.is_empty() || (script.gen_bool(0.6) && held.len() < quota);
+        if register {
+            let k = (1 + script.gen_index(kmax)).min(quota - held.len()).max(1);
+            out_w.clear();
+            out_p.clear();
+            let won_w = word.get_many(&mut rng_w, k, &mut out_w);
+            let won_p = packed.get_many(&mut rng_p, k, &mut out_p);
+            assert_eq!(won_w, won_p, "step {step}: batch fill counts diverged");
+            assert_eq!(out_w, out_p, "step {step}: batched acquisitions diverged");
+            for got in &out_w {
+                assert!(
+                    !held.contains(&got.name()),
+                    "step {step}: duplicate live name {}",
+                    got.name()
+                );
+                held.push(got.name());
+            }
+        } else {
+            let m = 1 + script.gen_index(held.len().min(kmax));
+            let victims: Vec<Name> = (0..m)
+                .map(|_| held.swap_remove(script.gen_index(held.len())))
+                .collect();
+            word.free_many(&victims);
+            packed.free_many(&victims);
+        }
+
+        let mut cw = word.collect();
+        let mut cp = packed.collect();
+        cw.sort();
+        cp.sort();
+        assert_eq!(cw, cp, "step {step}: collect sets diverged");
+        let mut expected: Vec<Name> = held.clone();
+        expected.sort();
+        assert_eq!(cw, expected, "step {step}: collect drifted from the model");
+
+        assert_eq!(
+            word.occupancy().regions(),
+            packed.occupancy().regions(),
+            "step {step}: occupancy censuses diverged"
+        );
+    }
+
+    // Drain both sides with ONE bulk release each and confirm they empty.
+    word.free_many(&held);
+    packed.free_many(&held);
+    assert!(word.collect().is_empty());
+    assert!(packed.collect().is_empty());
+}
+
 fn pair(config: &LevelArrayConfig) -> (LevelArrayConfig, LevelArrayConfig) {
     (
         config.clone().slot_layout(SlotLayout::WordPerSlot),
@@ -273,6 +353,109 @@ fn hint_enabled_facades_stay_in_lockstep() {
     let w = base.clone().slot_layout(SlotLayout::WordPerSlot);
     let h = base.clone().hybrid_layout();
     assert_lockstep(&w.build().unwrap(), &h.build().unwrap(), 54, 1, 24);
+}
+
+#[test]
+fn flat_layouts_conform_under_batched_ops() {
+    for (n, seed, kmax) in [(5usize, 71u64, 3usize), (33, 72, 8), (170, 73, 24)] {
+        let (w, p) = pair(&LevelArrayConfig::new(n));
+        assert_lockstep_batched(&w.build().unwrap(), &p.build().unwrap(), seed, 1, n, kmax);
+    }
+    // The hybrid layout against the word-per-slot reference: the packed tail
+    // goes through the generic per-index loop (its packed-local word
+    // alignment differs from the slab alignment), and must still pick the
+    // same slots.
+    let w = LevelArrayConfig::new(48).slot_layout(SlotLayout::WordPerSlot);
+    let h = LevelArrayConfig::new(48).hybrid_layout();
+    assert_lockstep_batched(&w.build().unwrap(), &h.build().unwrap(), 74, 1, 48, 12);
+}
+
+#[test]
+fn sharded_layouts_conform_under_batched_ops() {
+    for (n, shards, seed) in [(16usize, 2usize, 81u64), (40, 4, 82)] {
+        let (w, p) = pair(&LevelArrayConfig::new(n));
+        assert_lockstep_batched(
+            &w.build_sharded(shards).unwrap(),
+            &p.build_sharded(shards).unwrap(),
+            seed,
+            shards * 2,
+            n,
+            8,
+        );
+    }
+    // Hybrid split divided across shards, batched.
+    let w = LevelArrayConfig::new(40).slot_layout(SlotLayout::WordPerSlot);
+    let h = LevelArrayConfig::new(40).hybrid_layout();
+    assert_lockstep_batched(
+        &w.build_sharded(4).unwrap(),
+        &h.build_sharded(4).unwrap(),
+        83,
+        8,
+        40,
+        8,
+    );
+}
+
+#[test]
+fn elastic_layouts_conform_under_batched_ops_across_growth_and_shrink() {
+    for (n, max_epochs, seed) in [(2usize, 4usize, 91u64), (4, 3, 92)] {
+        let (w, p) = pair(&LevelArrayConfig::new(n).growth(GrowthPolicy::Doubling { max_epochs }));
+        let word = w.build_elastic().unwrap();
+        let packed = p.build_elastic().unwrap();
+        // Oversubscribe hard so whole batches straddle growth events.
+        assert_lockstep_batched(&word, &packed, seed, 1, n * 10, 6);
+        assert_eq!(word.num_epochs(), packed.num_epochs());
+        assert_eq!(word.epoch_ids(), packed.epoch_ids());
+        // The drive left both drained: retirement converges in step...
+        let _ = word.try_retire();
+        let _ = packed.try_retire();
+        assert_eq!(word.epoch_ids(), packed.epoch_ids());
+        // ...and an explicit shrink opens the same smaller epoch on both
+        // sides (the surviving epoch is oversized after the growth burst).
+        assert_eq!(word.try_shrink(), packed.try_shrink());
+        let _ = word.try_retire();
+        let _ = packed.try_retire();
+        assert_eq!(word.epoch_ids(), packed.epoch_ids());
+        assert_eq!(word.num_epochs(), packed.num_epochs());
+    }
+}
+
+#[test]
+fn hierarchical_layouts_conform_under_batched_ops() {
+    // Elastic-of-sharded: batch routing crosses the home shard, the ring
+    // steal AND the epoch chain; word-per-slot and packed must stay in
+    // lockstep through a growth event mid-batch.
+    let base = LevelArrayConfig::new(8)
+        .shard_group(4)
+        .growth(GrowthPolicy::Doubling { max_epochs: 3 });
+    let (w, p) = pair(&base);
+    let word = w.build_elastic().unwrap();
+    let packed = p.build_elastic().unwrap();
+    assert_lockstep_batched(&word, &packed, 93, 8, 40, 6);
+    assert_eq!(word.epoch_ids(), packed.epoch_ids());
+    assert_eq!(word.newest_epoch_shards(), packed.newest_epoch_shards());
+}
+
+#[test]
+fn hint_enabled_facades_conform_under_batched_ops() {
+    // free_many re-arms the per-instance hint with the batch's last name, so
+    // hint wins land on the same steps on both sides.
+    let (w, p) = pair(&LevelArrayConfig::new(24).free_hint(true));
+    assert_lockstep_batched(&w.build().unwrap(), &p.build().unwrap(), 94, 1, 24, 6);
+
+    let (w, p) = pair(
+        &LevelArrayConfig::new(4)
+            .free_hint(true)
+            .growth(GrowthPolicy::Doubling { max_epochs: 3 }),
+    );
+    assert_lockstep_batched(
+        &w.build_elastic().unwrap(),
+        &p.build_elastic().unwrap(),
+        95,
+        1,
+        30,
+        5,
+    );
 }
 
 /// The packed layout alone also satisfies the core renaming contract under a

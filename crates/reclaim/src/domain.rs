@@ -151,6 +151,30 @@ impl ReclaimDomain {
         }
     }
 
+    /// Registers `k` operations in ONE batched `Get`
+    /// ([`ActivityArray::get_many`]) and returns a guard that deregisters
+    /// them all through the bulk `Free` ([`ActivityArray::free_many`]) on
+    /// drop.  The batched seam matters here: a reclamation-heavy workload
+    /// pins in bursts (one pin per hazard-era operation), and the bulk
+    /// kernels collapse those bursts into a handful of word-level RMWs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activity array saturates before all `k` registrations
+    /// are served — same contract as [`ReclaimDomain::pin`].
+    pub fn pin_many(&self, rng: &mut dyn RandomSource, k: usize) -> BatchGuard<'_> {
+        let mut out = Vec::with_capacity(k);
+        let won = self.registry.get_many(rng, k, &mut out);
+        assert_eq!(
+            won, k,
+            "the registry saturated: only {won} of {k} operations could pin"
+        );
+        BatchGuard {
+            domain: self,
+            names: out.into_iter().map(|got| got.name()).collect(),
+        }
+    }
+
     /// Hands an unlinked allocation to the domain for deferred destruction.
     ///
     /// The caller must guarantee the node is unreachable for *new* operations
@@ -266,6 +290,38 @@ impl Drop for OperationGuard<'_> {
     }
 }
 
+/// An RAII *batch* of pinned operations (see [`ReclaimDomain::pin_many`]):
+/// holds `k` registrations in the domain's activity array and releases them
+/// all through the bulk `Free` kernel on drop.
+#[derive(Debug)]
+pub struct BatchGuard<'a> {
+    domain: &'a ReclaimDomain,
+    names: Vec<Name>,
+}
+
+impl BatchGuard<'_> {
+    /// The names (slots) this batch occupies in the registry.
+    pub fn names(&self) -> &[Name] {
+        &self.names
+    }
+
+    /// How many operations the batch pinned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the batch is empty (`pin_many` with `k == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        self.domain.registry.free_many(&self.names);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +391,31 @@ mod tests {
         assert_eq!(d.stats().in_limbo, 1);
 
         drop(guard);
+        assert_eq!(d.try_reclaim(), 1);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn batch_pinned_operations_defer_reclamation_until_the_batch_drops() {
+        let d = domain(16);
+        let mut rng = default_rng(7);
+        let drops = Arc::new(AtomicUsize::new(0));
+
+        let batch = d.pin_many(&mut rng, 10);
+        assert_eq!(batch.len(), 10);
+        assert!(!batch.is_empty());
+        assert_eq!(d.stats().pinned_now, 10);
+        let unique: HashSet<Name> = batch.names().iter().copied().collect();
+        assert_eq!(unique.len(), 10, "batched pins must occupy distinct slots");
+
+        // A bag closed under the batch waits for the WHOLE batch.
+        d.retire(Box::new(DropCounter(Arc::clone(&drops))));
+        assert_eq!(d.try_reclaim(), 0);
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+
+        // One drop releases every name through the bulk kernel.
+        drop(batch);
+        assert_eq!(d.stats().pinned_now, 0);
         assert_eq!(d.try_reclaim(), 1);
         assert_eq!(drops.load(Ordering::SeqCst), 1);
     }

@@ -50,5 +50,5 @@
 pub mod domain;
 pub mod stack;
 
-pub use domain::{DomainStats, OperationGuard, ReclaimDomain};
+pub use domain::{BatchGuard, DomainStats, OperationGuard, ReclaimDomain};
 pub use stack::TreiberStack;

@@ -17,6 +17,6 @@ pub use levelarray as core;
 // own examples/tests) can `use levelarray_suite::{LevelArray, ...}` without
 // spelling out the crate path.
 pub use levelarray::{
-    ActivityArray, ElasticLevelArray, EpochChain, GrowthPolicy, LevelArray, LevelArrayConfig, Name,
-    ProbeCore, Registration, ShardedLevelArray, ThreadRegistry,
+    Acquired, ActivityArray, ElasticLevelArray, EpochChain, GrowthPolicy, LevelArray,
+    LevelArrayConfig, Name, ProbeCore, Registration, ShardedLevelArray, ThreadRegistry,
 };
