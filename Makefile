@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt clippy build test doc bench-check bench-smoke bench-json bench-diff bench-layout bench-topology bench-batch examples miri
+.PHONY: ci fmt clippy build test doc bench-check bench-smoke bench-json bench-diff bench-layout bench-topology bench-batch examples miri loom loom-mutant
 
 ci: fmt clippy build test doc bench-check
 
@@ -110,9 +110,33 @@ bench-diff:
 #   rustup toolchain install nightly --component miri
 miri:
 	$(CARGO) +nightly miri test -p levelarray --lib -- slot:: packed:: probe_core:: hint:: shrink
+	$(CARGO) +nightly miri test -p levelarray --lib -- epoch_chain::
 	$(CARGO) +nightly miri test -p levelarray --test layout_conformance
 	$(CARGO) +nightly miri test -p levelarray --test free_hint
+	$(CARGO) +nightly miri test -p la_reclaim --lib -- stack::
 	$(CARGO) +nightly miri test -p la_flatcombine --lib -- engine::
+
+# The loom-style model checker over the elastic epoch chain (see
+# docs/TESTING.md).  `--cfg la_loom` reroutes every atomic in the lock-free
+# core through the vendored `vendor/loom` runtime, which exhaustively
+# explores thread interleavings — and the stale-read branches the C11 model
+# allows for non-SeqCst loads — within a preemption bound.  A dedicated
+# target dir keeps the RUSTFLAGS-keyed build cache away from the normal one.
+# Knobs: LOOM_MAX_PREEMPTIONS (default 2), LOOM_MAX_DURATION_SECS (per-model
+# time budget, default 60), LOOM_MAX_EXECUTIONS, LOOM_MAX_STEPS.
+loom:
+	RUSTFLAGS="--cfg la_loom" CARGO_TARGET_DIR=target/loom \
+		$(CARGO) test -p levelarray --test loom_chain -- --test-threads=1 --nocapture
+	RUSTFLAGS="--cfg la_loom" CARGO_TARGET_DIR=target/loom \
+		$(CARGO) build -p la_reclaim -p la_flatcombine
+	CARGO_TARGET_DIR=target/loom $(CARGO) test -p loom --test litmus -q
+
+# Mutation soundness check: rebuild with the seeded ordering bug
+# (`la_loom_weak_seal` relaxes the retirement seal CAS) and require the
+# model suite to FAIL — a green mutant means the models lost their teeth.
+loom-mutant:
+	! RUSTFLAGS="--cfg la_loom --cfg la_loom_weak_seal" CARGO_TARGET_DIR=target/loom_mutant \
+		$(CARGO) test -p levelarray --test loom_chain seal -- --test-threads=1
 
 examples:
 	$(CARGO) run -q --release --example quickstart

@@ -17,7 +17,8 @@
 //!
 //! # Memory-ordering argument
 //!
-//! A record's `op` and `result` cells are plain `UnsafeCell`s synchronized by
+//! A record's `op` and `result` cells are plain `UnsafeCell`s (audited
+//! `CausalCell`s under the `la_loom` model checker) synchronized by
 //! the record's `state` atomic: the owner writes `op` *before* the release
 //! store of `PENDING`; the combiner's acquire load of `PENDING` therefore sees
 //! the operation, and its release store of `DONE` publishes the result it
@@ -25,9 +26,10 @@
 //! runs at a time (mutex), and the owner never touches the record between
 //! `PENDING` and `DONE`.
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
+
+use la_sync::atomic::{AtomicU32, Ordering};
+use la_sync::cell::CausalCell;
 
 use larng::RandomSource;
 use levelarray::{ActivityArray, Name};
@@ -38,22 +40,23 @@ const DONE: u32 = 2;
 
 struct Record<Op, R> {
     state: AtomicU32,
-    op: UnsafeCell<Option<Op>>,
-    result: UnsafeCell<Option<R>>,
+    op: CausalCell<Option<Op>>,
+    result: CausalCell<Option<R>>,
 }
 
 impl<Op, R> Record<Op, R> {
     fn new() -> Self {
         Record {
             state: AtomicU32::new(EMPTY),
-            op: UnsafeCell::new(None),
-            result: UnsafeCell::new(None),
+            op: CausalCell::new(None),
+            result: CausalCell::new(None),
         }
     }
 }
 
-// SAFETY: access to the UnsafeCells is serialized by the `state` protocol
-// described in the module docs; Op and R cross threads, hence the Send bounds.
+// SAFETY: access to the interior-mutable cells is serialized by the `state`
+// protocol described in the module docs (and audited under `la_loom`); Op and
+// R cross threads, hence the Send bounds.
 unsafe impl<Op: Send, R: Send> Sync for Record<Op, R> {}
 
 impl<Op, R> std::fmt::Debug for Record<Op, R> {
@@ -160,7 +163,7 @@ where
         // SAFETY: this thread owns `slot`, and the record is EMPTY or DONE
         // (never PENDING) between its own operations, so no combiner is
         // reading the cell right now.
-        unsafe { *record.op.get() = Some(op) };
+        record.op.with_mut(|p| unsafe { *p = Some(op) });
         record.state.store(PENDING, Ordering::Release);
 
         loop {
@@ -178,14 +181,17 @@ where
             // Someone else is combining; give them the CPU.  Yielding (rather
             // than pure spinning) keeps the engine live on oversubscribed
             // machines, where the combiner may have been preempted.
-            std::thread::yield_now();
+            la_sync::thread::yield_now();
         }
 
         record.state.store(EMPTY, Ordering::Relaxed);
         // SAFETY: the DONE acquire load above synchronizes with the combiner's
         // release store, making its write to `result` visible; no combiner can
         // touch the record again until we re-publish.
-        unsafe { (*record.result.get()).take() }.expect("combiner must deposit a result")
+        record
+            .result
+            .with_mut(|p| unsafe { (*p).take() })
+            .expect("combiner must deposit a result")
     }
 
     fn combine(&self, seq: &mut S) {
@@ -196,12 +202,15 @@ where
                 // SAFETY: the PENDING acquire load synchronizes with the
                 // owner's release store, so the operation is visible; the
                 // owner will not touch the cells until we store DONE.
-                let op = unsafe { (*record.op.get()).take() }.expect("pending record has an op");
+                let op = record
+                    .op
+                    .with_mut(|p| unsafe { (*p).take() })
+                    .expect("pending record has an op");
                 let result = (self.apply)(seq, op);
                 // SAFETY: same protocol as the read above — the owner spins
                 // without touching the cells until the DONE release store
                 // below, and only one combiner runs at a time (mutex).
-                unsafe { *record.result.get() = Some(result) };
+                record.result.with_mut(|p| unsafe { *p = Some(result) });
                 record.state.store(DONE, Ordering::Release);
             }
         }

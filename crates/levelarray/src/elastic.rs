@@ -101,7 +101,7 @@
 //! `Free` and `Collect` never block on a shrink any more than on a grow —
 //! both are one CAS on the chain head.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use la_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use larng::RandomSource;
@@ -157,9 +157,21 @@ impl EpochCell {
 
     /// Claims the retirement seal; `false` means another retirement attempt
     /// already owns it.
+    ///
+    /// The seal CAS must be sequentially consistent: a getter that falls
+    /// back past a sealed epoch decides with an SC load of `sealed`, and
+    /// only the SC total order guarantees it cannot miss a seal that the
+    /// retirer published before starting its grace-period observation.
+    /// Weakening it to `Relaxed` lets a getter revive a sealed epoch after
+    /// the retirer's census — the seeded ordering mutant the `la_loom`
+    /// model-checking suite must catch (see `make loom-mutant`).
     fn try_seal(&self) -> bool {
+        #[cfg(not(all(la_loom, la_loom_weak_seal)))]
+        const SEAL_ORDERING: (Ordering, Ordering) = (Ordering::SeqCst, Ordering::SeqCst);
+        #[cfg(all(la_loom, la_loom_weak_seal))]
+        const SEAL_ORDERING: (Ordering, Ordering) = (Ordering::Relaxed, Ordering::Relaxed);
         self.sealed
-            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(false, true, SEAL_ORDERING.0, SEAL_ORDERING.1)
             .is_ok()
     }
 
@@ -758,6 +770,17 @@ impl ElasticLevelArray {
     /// on an unsealed cell is always visible to the retirement census.  The
     /// hint attempt is not counted as a probe, matching
     /// [`ProbeCore::hint_acquire`].
+    ///
+    /// **Hint-staleness invariant**: the per-thread hint cache
+    /// ([`crate::hint`]) is *never* invalidated by `try_retire` /
+    /// `try_shrink` — it cannot be, since it lives in other threads'
+    /// thread-locals.  Correctness therefore rests entirely on this
+    /// function's re-validation under a fresh pin: a hint naming an epoch
+    /// that has since been retired finds no matching live cell (the `find`
+    /// returns `None`), and one naming a sealed epoch is rejected by the
+    /// `is_sealed` check, so a stale hint degrades to a clean miss and the
+    /// probe path takes over.  The `stale_hints_*` regression tests in
+    /// `tests/free_hint.rs` pin this behavior down.
     fn hint_acquire(pin: &ChainPin<'_, Arc<EpochCell>>, hinted: Name) -> Option<Acquired> {
         let cell = pin
             .iter()

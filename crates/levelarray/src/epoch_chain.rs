@@ -72,10 +72,10 @@
 //! assert_eq!(chain.pending_garbage(), 0);
 //! ```
 
+use la_sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::cell::Cell;
 use std::fmt;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Default number of pin stripes (see [`EpochChain::with_stripes`]).
@@ -433,24 +433,36 @@ impl<'c, T> ChainPin<'c, T> {
     #[must_use = "a false return means the value was discarded; the caller must re-read the head"]
     pub fn try_push(&self, expected: &ChainNode<T>, value: T) -> bool {
         let expected_ptr = (expected as *const ChainNode<T>).cast_mut();
-        // SAFETY: `expected` is a live node (its reference proves it), so
-        // bumping its strong count materializes a legitimate clone of the
-        // Arc the chain handed out; `from_raw` pairs with that bump.
+        // Re-load the head rather than using the reference-derived pointer
+        // for the `Arc` bookkeeping below: the atomic holds a pointer minted
+        // by `Arc::into_raw`, whose provenance spans the whole Arc
+        // allocation (refcount header included), while `expected_ptr` only
+        // covers the node payload.  If the head already moved, the CAS would
+        // fail anyway — report the race without building a candidate.
+        let current = self.chain.head.load(Ordering::SeqCst);
+        if current != expected_ptr {
+            return false;
+        }
+        // SAFETY: `current` was just observed as the head, so the chain holds
+        // a strong reference on it (a node is only released after it has been
+        // unlinked *and* a grace period has passed, which our live pin
+        // forbids); bumping its strong count materializes a legitimate clone
+        // of the Arc the chain handed out, and `from_raw` pairs with that
+        // bump.
         let next = unsafe {
-            Arc::increment_strong_count(expected_ptr);
-            Arc::from_raw(expected_ptr.cast_const())
+            Arc::increment_strong_count(current.cast_const());
+            Arc::from_raw(current.cast_const())
         };
         let node = Arc::new(ChainNode {
             value,
             next: Some(next),
         });
         let new_ptr = Arc::into_raw(node).cast_mut();
-        match self.chain.head.compare_exchange(
-            expected_ptr,
-            new_ptr,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        ) {
+        match self
+            .chain
+            .head
+            .compare_exchange(current, new_ptr, Ordering::SeqCst, Ordering::SeqCst)
+        {
             Ok(displaced) => {
                 // SAFETY: the CAS transferred the head's strong reference on
                 // `displaced` to us.  The new head's `next` link holds its
@@ -679,7 +691,9 @@ mod tests {
     #[test]
     fn concurrent_pushers_have_one_winner_per_round() {
         let chain = Arc::new(EpochChain::new(0usize));
-        let threads = 8;
+        // Miri executes ~3 orders of magnitude slower; shrink the contention
+        // storm while keeping at least one genuine CAS race per run.
+        let threads = if cfg!(miri) { 3 } else { 8 };
         std::thread::scope(|scope| {
             for t in 1..=threads {
                 let chain = Arc::clone(&chain);
@@ -728,7 +742,8 @@ mod tests {
                 let chain = Arc::clone(&chain);
                 let stop = Arc::clone(&stop);
                 scope.spawn(move || {
-                    for round in 1..=200usize {
+                    let rounds = if cfg!(miri) { 20usize } else { 200usize };
+                    for round in 1..=rounds {
                         loop {
                             let pin = chain.pin();
                             let head = pin.head();
@@ -759,7 +774,7 @@ mod tests {
         }
         let pin = chain.pin();
         assert_eq!(pin.num_nodes(), 2);
-        assert_eq!(*pin.head().value(), 200);
+        assert_eq!(*pin.head().value(), if cfg!(miri) { 20 } else { 200 });
     }
 
     #[test]

@@ -30,8 +30,8 @@
 //! kept as `*_scalar` oracles that the differential tests (and the
 //! `collect-scalar` bench reference cell) run against.
 
+use la_sync::atomic::{AtomicU64, Ordering};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::name::Name;
 use crate::slot::TasKind;

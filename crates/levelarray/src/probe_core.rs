@@ -18,6 +18,11 @@
 //! the `dyn`-based [`crate::ActivityArray`] trait methods remain available as
 //! a thin object-safe wrapper for callers that need dynamic dispatch (the
 //! simulator, the bench harness's algorithm registry).
+//!
+//! This module holds no atomics of its own: every shared-memory access goes
+//! through [`Slot`] and [`PackedSlots`], whose atomics come from the
+//! [`la_sync`] shim — so the whole probing core runs unmodified under the
+//! `la_loom` model checker (see `docs/TESTING.md`).
 
 use std::ops::Range;
 

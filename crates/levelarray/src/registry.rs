@@ -8,7 +8,7 @@
 //! (seeded from a per-registry [`larng::SeedSequence`]-style derivation and a
 //! thread counter), and exposes a zero-argument [`ThreadRegistry::register`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use la_sync::atomic::{AtomicU64, Ordering};
 
 use larng::{DefaultRng, SplitMix64};
 

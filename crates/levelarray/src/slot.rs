@@ -13,7 +13,7 @@
 //! atomic word so that `Collect` and the occupancy censuses scan 32× less
 //! memory (at the price of denser false sharing between concurrent `Get`s).
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use la_sync::atomic::{AtomicU32, Ordering};
 
 /// How the one-bit held/free state of the slots is laid out in memory.
 ///

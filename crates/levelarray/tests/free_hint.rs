@@ -142,6 +142,57 @@ fn a_hint_into_a_retired_epoch_is_rejected_without_panicking() {
     assert_eq!(got.name().epoch(), array.newest_epoch());
 }
 
+/// Stale hints across the elastic resize cycle: a hint armed by a free into
+/// an oversized epoch stays in the per-thread cache while `try_shrink`
+/// publishes a smaller head and `try_retire` unlinks the drained giant.
+/// The cache is never invalidated by either (it lives in other threads'
+/// thread-locals, so it *cannot* be); correctness rests on `hint_acquire`
+/// re-validating under a fresh pin — the stale hint must degrade to a clean
+/// probe-path miss, never a panic or a duplicate name.
+#[test]
+fn stale_hints_into_shrunk_and_retired_epochs_miss_cleanly() {
+    let array = LevelArrayConfig::new(2)
+        .free_hint(true)
+        .growth(GrowthPolicy::Doubling { max_epochs: 3 })
+        .auto_retire(false)
+        .build_elastic()
+        .unwrap();
+    let mut rng = default_rng(21);
+    // Saturate upward until an oversized epoch (bound 8) is serving.
+    let mut held: Vec<Name> = Vec::new();
+    while array.newest_epoch() < 2 {
+        held.push(array.get(&mut rng).name());
+    }
+    let big = array.newest_epoch();
+    let victim = *held.iter().rev().find(|n| n.epoch() == big).unwrap();
+    // Drain the giant; the LAST free arms the hint with a big-epoch name.
+    for name in held {
+        if name != victim {
+            array.free(name);
+        }
+    }
+    array.free(victim);
+    // Clear the drained smaller epochs so the chain has headroom, then
+    // shrink: a smaller epoch takes over the head, leaving the giant
+    // non-newest, drained, and retirement-eligible.  The hint still names it.
+    assert!(array.try_retire() >= 1, "the drained early epochs retire");
+    assert!(array.try_shrink(), "room to shrink below the giant");
+    assert!(array.try_retire() >= 1, "the drained giant retires");
+    assert!(
+        !array.epoch_ids().contains(&big),
+        "the hinted epoch is gone: {:?}",
+        array.epoch_ids()
+    );
+    // The stale hint must miss cleanly and the probe path must serve from a
+    // live epoch, with no duplicate of any later hand-out.
+    let a = array.get(&mut rng);
+    let b = array.get(&mut rng);
+    assert!(array.epoch_ids().contains(&a.name().epoch()));
+    assert_ne!(a.name(), b.name());
+    array.free(a.name());
+    array.free(b.name());
+}
+
 /// Concurrent free/get churn with hints hot on every thread: the per-slot
 /// ownership bit proves no slot is ever handed to two threads at once.
 #[test]

@@ -48,4 +48,47 @@ proptest! {
         let right = Name::with_epoch(b.0, b.1);
         prop_assert_eq!(left.cmp(&right), a.cmp(&b));
     }
+
+    /// Every raw word decodes to a pair that re-encodes to the same word:
+    /// `from_raw` is a bijection over the full `usize` space, so no raw
+    /// value — however adversarial — aliases a different `(epoch, index)`.
+    #[test]
+    fn raw_words_round_trip_through_decode_and_reencode(raw in any::<usize>()) {
+        let name = Name::from_raw(raw);
+        prop_assert_eq!(name.raw(), raw);
+        prop_assert!(name.epoch() <= Name::MAX_EPOCH);
+        prop_assert!(name.index() <= Name::MAX_INDEX);
+        prop_assert_eq!(Name::with_epoch(name.epoch(), name.index()), name);
+    }
+
+    /// Epoch boundaries never bleed: the largest index of epoch `e` packs
+    /// strictly below the smallest index of epoch `e + 1`, so the whole
+    /// raw space is partitioned into disjoint, contiguous epoch ranges.
+    #[test]
+    fn epoch_ranges_are_disjoint_and_contiguous(epoch in 0usize..Name::MAX_EPOCH) {
+        let top = Name::with_epoch(epoch, Name::MAX_INDEX);
+        let next = Name::with_epoch(epoch + 1, 0);
+        prop_assert!(top < next);
+        prop_assert_eq!(top.raw() + 1, next.raw());
+    }
+}
+
+/// The exact corners of the packed domain, pinned without generators: the
+/// all-ones name, the epoch-only and index-only extremes, and the zero name.
+#[test]
+fn encoding_corners_round_trip_exactly() {
+    for (epoch, index) in [
+        (0, 0),
+        (0, Name::MAX_INDEX),
+        (Name::MAX_EPOCH, 0),
+        (Name::MAX_EPOCH, Name::MAX_INDEX),
+    ] {
+        let name = Name::with_epoch(epoch, index);
+        assert_eq!((name.epoch(), name.index()), (epoch, index));
+        assert_eq!(Name::from_raw(name.raw()), name);
+    }
+    assert_eq!(
+        Name::with_epoch(Name::MAX_EPOCH, Name::MAX_INDEX).raw(),
+        usize::MAX
+    );
 }

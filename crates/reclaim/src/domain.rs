@@ -28,8 +28,9 @@
 //! [`levelarray::ElasticLevelArray`] itself uses to retire drained epochs.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use la_sync::atomic::{AtomicU64, Ordering};
 
 use larng::RandomSource;
 use levelarray::{ActivityArray, Name};

@@ -8,9 +8,9 @@
 //! traffic whose cost the LevelArray minimizes.
 
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
+use la_sync::atomic::{AtomicPtr, Ordering};
 use larng::RandomSource;
 
 use crate::domain::ReclaimDomain;
@@ -135,7 +135,10 @@ impl<T: Send + 'static> TreiberStack<T> {
 impl<T> Drop for TreiberStack<T> {
     fn drop(&mut self) {
         // Exclusive access: walk the remaining nodes and free them directly.
-        let mut current = *self.head.get_mut();
+        // (A plain load rather than `get_mut`: the model-checked atomic has
+        // no exclusive-access view, and `&mut self` already proves there is
+        // no concurrency to order against.)
+        let mut current = self.head.load(Ordering::Relaxed);
         while !current.is_null() {
             // SAFETY: exclusive access during drop; each node is freed once.
             let boxed = unsafe { Box::from_raw(current) };
@@ -234,7 +237,7 @@ mod tests {
             .map(|p| p.get())
             .unwrap_or(2)
             .clamp(2, 4);
-        let per_thread = 5_000usize;
+        let per_thread = if cfg!(miri) { 64usize } else { 5_000usize };
         let stack = Arc::new(stack_for(threads * 2));
         let popped: Arc<std::sync::Mutex<Vec<usize>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
 

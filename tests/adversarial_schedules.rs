@@ -1,0 +1,163 @@
+//! Adversarial get/free schedules over the activity-array facades.
+//!
+//! [`la_sim::Schedule`] models the paper's oblivious adversary: a fixed
+//! string of process identifiers decides who steps when, independent of the
+//! processes' random choices.  Here each scheduled step is one `Get` or
+//! `Free` against a shared array, with the op chosen by a per-process
+//! deterministic script — so a schedule family (round-robin, bursty,
+//! weighted toward one aggressor, pure starvation) becomes a reproducible
+//! single-threaded interleaving of the renaming contract.  The properties
+//! checked on every step of every schedule:
+//!
+//! * **uniqueness** — a `Get` never returns a name some process still holds;
+//! * **liveness of names** — every returned name belongs to a live epoch of
+//!   the elastic facade at the moment it is returned;
+//! * **census agreement** — at every quiescent point, `collect()` is exactly
+//!   the multiset of held names.
+//!
+//! Proptest drives the schedule shape itself (arbitrary step strings), so
+//! the adversary is not limited to the built-in generators.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use la_sim::{ProcessId, Schedule};
+use larng::{default_rng, RandomSource};
+use levelarray::{ActivityArray, GrowthPolicy, LevelArrayConfig, Name};
+use proptest::prelude::*;
+
+/// Replays `schedule` against `array`: each process alternates Get-heavy /
+/// Free-heavy phases from its own seeded script.  Returns the total number
+/// of operations applied.  Panics (failing the test) on any contract
+/// violation.
+fn replay(array: &dyn ActivityArray, schedule: &Schedule, seed: u64) -> usize {
+    let n = schedule.num_processes();
+    let mut rngs: Vec<_> = (0..n).map(|p| default_rng(seed + p as u64)).collect();
+    let mut scripts: Vec<_> = (0..n)
+        .map(|p| default_rng(seed ^ (p as u64) << 8))
+        .collect();
+    let mut held: Vec<Vec<Name>> = vec![Vec::new(); n];
+    let mut all_held: HashSet<Name> = HashSet::new();
+    let mut ops = 0usize;
+
+    for step in schedule.steps() {
+        let p = step.index();
+        // Get when holding nothing, free when holding a lot, otherwise let
+        // the script decide with a Get bias (keeps occupancy churning).
+        let get = held[p].is_empty() || (held[p].len() < 6 && scripts[p].gen_bool(0.6));
+        if get {
+            let Some(got) = array.try_get(&mut rngs[p]) else {
+                continue; // saturated under this schedule: legal, try later
+            };
+            let name = got.name();
+            assert!(
+                all_held.insert(name),
+                "step {ops}: process {p} was handed the live name {name}"
+            );
+            held[p].push(name);
+        } else {
+            let idx = scripts[p].gen_index(held[p].len());
+            let name = held[p].swap_remove(idx);
+            all_held.remove(&name);
+            array.free(name);
+        }
+        ops += 1;
+    }
+    // Census agreement at quiescence.
+    let mut collected = array.collect();
+    collected.sort();
+    let mut expected: Vec<Name> = all_held.iter().copied().collect();
+    expected.sort();
+    assert_eq!(collected, expected, "census drifted from the replay model");
+    for name in expected {
+        array.free(name);
+    }
+    ops
+}
+
+fn facades(processes: usize) -> Vec<Arc<dyn ActivityArray>> {
+    let base = LevelArrayConfig::new(processes * 6).free_hint(true);
+    vec![
+        Arc::new(base.clone().build().unwrap()),
+        Arc::new(base.clone().build_sharded(2).unwrap()),
+        Arc::new(
+            LevelArrayConfig::new(processes)
+                .free_hint(true)
+                .growth(GrowthPolicy::Doubling { max_epochs: 4 })
+                .build_elastic()
+                .unwrap(),
+        ),
+    ]
+}
+
+fn steps_budget() -> usize {
+    if cfg!(miri) {
+        200
+    } else {
+        4_000
+    }
+}
+
+/// The built-in adversary families, replayed on every facade.
+#[test]
+fn builtin_adversary_families_preserve_the_renaming_contract() {
+    let n = 6;
+    let mut rng = default_rng(0xADA);
+    let schedules = [
+        Schedule::round_robin(n, steps_budget()),
+        Schedule::uniform_random(n, steps_budget(), &mut rng),
+        Schedule::weighted_random(&[8.0, 1.0, 1.0, 1.0, 1.0, 1.0], steps_budget(), &mut rng),
+        Schedule::bursty(n, 64, steps_budget()),
+    ];
+    for (s, schedule) in schedules.iter().enumerate() {
+        for array in facades(n) {
+            let ops = replay(array.as_ref(), schedule, 0xC0FFEE + s as u64);
+            assert!(ops > 0, "schedule {s} applied no operations");
+        }
+    }
+}
+
+/// A starvation adversary: one process is scheduled for a long solo run
+/// while the others sit on held names, then the victims each take a burst.
+/// The solo run churns the hint cache and (on the elastic facade) drives
+/// growth; the victims' bursts must still see a consistent structure.
+#[test]
+fn starvation_schedules_cannot_break_uniqueness() {
+    let n = 4;
+    let mut steps = Vec::new();
+    // Everyone claims once, then process 0 churns alone, then the rest run.
+    for p in 0..n {
+        steps.push(ProcessId::from(p));
+    }
+    for _ in 0..steps_budget() {
+        steps.push(ProcessId::from(0));
+    }
+    for p in 1..n {
+        for _ in 0..64 {
+            steps.push(ProcessId::from(p));
+        }
+    }
+    let schedule = Schedule::from_steps(n, steps);
+    for array in facades(n) {
+        replay(array.as_ref(), &schedule, 0x5742);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 4 } else { 48 }))]
+
+    /// Arbitrary adversaries: proptest picks the whole step string.  The
+    /// contract must hold for *every* schedule, not just the fair families.
+    #[test]
+    fn arbitrary_schedules_preserve_the_renaming_contract(
+        raw in proptest::collection::vec(0usize..5, 1..400),
+        seed in 0u64..1_000,
+    ) {
+        let n = 5;
+        let steps: Vec<ProcessId> = raw.iter().map(|&p| ProcessId::from(p)).collect();
+        let schedule = Schedule::from_steps(n, steps);
+        for array in facades(n) {
+            replay(array.as_ref(), &schedule, seed);
+        }
+    }
+}

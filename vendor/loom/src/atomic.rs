@@ -1,0 +1,289 @@
+//! Model-checked atomic types, mirroring the `std::sync::atomic` API
+//! surface the workspace uses.
+//!
+//! Each atomic stores its initial value inline plus a lazy [`rt::LocSlot`]
+//! registration; the value history itself lives in the runtime so loads can
+//! branch over every C11-readable store.  The types are `Sync` even though
+//! they contain a `Cell`: the slot is only ever touched under the runtime's
+//! execution mutex, which serializes every model thread.
+
+use std::fmt;
+
+use crate::rt::{self, Ordering};
+
+macro_rules! int_atomic {
+    ($name:ident, $ty:ty) => {
+        pub struct $name {
+            slot: rt::LocSlot,
+            init: $ty,
+        }
+
+        // SAFETY: all slot accesses happen under the runtime's execution
+        // mutex (see module docs).
+        unsafe impl Send for $name {}
+        unsafe impl Sync for $name {}
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
+
+        impl $name {
+            pub const fn new(value: $ty) -> Self {
+                $name {
+                    slot: rt::LocSlot::new(),
+                    init: value,
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $ty {
+                rt::atomic_load(&self.slot, self.init as u64, order) as $ty
+            }
+
+            pub fn store(&self, value: $ty, order: Ordering) {
+                rt::atomic_store(&self.slot, self.init as u64, value as u64, order)
+            }
+
+            pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                rt::atomic_rmw(&self.slot, self.init as u64, order, order, &mut |_| {
+                    Some(value as u64)
+                })
+                .unwrap_or_else(|v| v) as $ty
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                rt::atomic_rmw(&self.slot, self.init as u64, success, failure, &mut |v| {
+                    (v == current as u64).then_some(new as u64)
+                })
+                .map(|v| v as $ty)
+                .map_err(|v| v as $ty)
+            }
+
+            /// Never fails spuriously — a legal (deterministic) subset of
+            /// the weak CAS contract.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                rt::atomic_rmw(&self.slot, self.init as u64, order, order, &mut |v| {
+                    Some((v as $ty).wrapping_add(value) as u64)
+                })
+                .unwrap_or_else(|v| v) as $ty
+            }
+
+            pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                rt::atomic_rmw(&self.slot, self.init as u64, order, order, &mut |v| {
+                    Some((v as $ty).wrapping_sub(value) as u64)
+                })
+                .unwrap_or_else(|v| v) as $ty
+            }
+
+            pub fn fetch_or(&self, value: $ty, order: Ordering) -> $ty {
+                rt::atomic_rmw(&self.slot, self.init as u64, order, order, &mut |v| {
+                    Some(((v as $ty) | value) as u64)
+                })
+                .unwrap_or_else(|v| v) as $ty
+            }
+
+            pub fn fetch_and(&self, value: $ty, order: Ordering) -> $ty {
+                rt::atomic_rmw(&self.slot, self.init as u64, order, order, &mut |v| {
+                    Some(((v as $ty) & value) as u64)
+                })
+                .unwrap_or_else(|v| v) as $ty
+            }
+
+            pub fn fetch_xor(&self, value: $ty, order: Ordering) -> $ty {
+                rt::atomic_rmw(&self.slot, self.init as u64, order, order, &mut |v| {
+                    Some(((v as $ty) ^ value) as u64)
+                })
+                .unwrap_or_else(|v| v) as $ty
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                // Reading the modeled value would be a switch point; stay
+                // opaque so Debug formatting never perturbs the schedule.
+                f.write_str(concat!(stringify!($name), " {{ .. }}"))
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU32, u32);
+int_atomic!(AtomicU64, u64);
+int_atomic!(AtomicUsize, usize);
+
+pub struct AtomicBool {
+    slot: rt::LocSlot,
+    init: bool,
+}
+
+// SAFETY: see module docs.
+unsafe impl Send for AtomicBool {}
+unsafe impl Sync for AtomicBool {}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl AtomicBool {
+    pub const fn new(value: bool) -> Self {
+        AtomicBool {
+            slot: rt::LocSlot::new(),
+            init: value,
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        rt::atomic_load(&self.slot, self.init as u64, order) != 0
+    }
+
+    pub fn store(&self, value: bool, order: Ordering) {
+        rt::atomic_store(&self.slot, self.init as u64, value as u64, order)
+    }
+
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        rt::atomic_rmw(&self.slot, self.init as u64, order, order, &mut |_| {
+            Some(value as u64)
+        })
+        .unwrap_or_else(|v| v)
+            != 0
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        rt::atomic_rmw(&self.slot, self.init as u64, success, failure, &mut |v| {
+            (v == current as u64).then_some(new as u64)
+        })
+        .map(|v| v != 0)
+        .map_err(|v| v != 0)
+    }
+
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+        rt::atomic_rmw(&self.slot, self.init as u64, order, order, &mut |v| {
+            Some(((v != 0) | value) as u64)
+        })
+        .unwrap_or_else(|v| v)
+            != 0
+    }
+
+    pub fn fetch_and(&self, value: bool, order: Ordering) -> bool {
+        rt::atomic_rmw(&self.slot, self.init as u64, order, order, &mut |v| {
+            Some(((v != 0) & value) as u64)
+        })
+        .unwrap_or_else(|v| v)
+            != 0
+    }
+}
+
+impl fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("AtomicBool { .. }")
+    }
+}
+
+pub struct AtomicPtr<T> {
+    slot: rt::LocSlot,
+    init: *mut T,
+}
+
+// SAFETY: matches std — AtomicPtr is Send/Sync regardless of T, and the
+// interior Cell is only touched under the execution mutex.
+unsafe impl<T> Send for AtomicPtr<T> {}
+unsafe impl<T> Sync for AtomicPtr<T> {}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        Self::new(std::ptr::null_mut())
+    }
+}
+
+impl<T> AtomicPtr<T> {
+    pub const fn new(ptr: *mut T) -> Self {
+        AtomicPtr {
+            slot: rt::LocSlot::new(),
+            init: ptr,
+        }
+    }
+
+    fn init_bits(&self) -> u64 {
+        self.init as usize as u64
+    }
+
+    pub fn load(&self, order: Ordering) -> *mut T {
+        rt::atomic_load(&self.slot, self.init_bits(), order) as usize as *mut T
+    }
+
+    pub fn store(&self, ptr: *mut T, order: Ordering) {
+        rt::atomic_store(&self.slot, self.init_bits(), ptr as usize as u64, order)
+    }
+
+    pub fn swap(&self, ptr: *mut T, order: Ordering) -> *mut T {
+        rt::atomic_rmw(&self.slot, self.init_bits(), order, order, &mut |_| {
+            Some(ptr as usize as u64)
+        })
+        .unwrap_or_else(|v| v) as usize as *mut T
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        rt::atomic_rmw(&self.slot, self.init_bits(), success, failure, &mut |v| {
+            (v == current as usize as u64).then_some(new as usize as u64)
+        })
+        .map(|v| v as usize as *mut T)
+        .map_err(|v| v as usize as *mut T)
+    }
+
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl<T> fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("AtomicPtr { .. }")
+    }
+}

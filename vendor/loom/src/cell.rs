@@ -1,0 +1,45 @@
+//! [`CausalCell`]: an `UnsafeCell` whose accesses are audited by the model.
+//!
+//! Every `with` (shared access) and `with_mut` (exclusive access) is a
+//! switch point that checks, with vector clocks, that the access is
+//! happens-before-ordered against every conflicting prior access: a read
+//! must be ordered after all writes, a write after all reads *and* writes.
+//! A violation is a genuine data race under the C11 model and fails the
+//! model run with a `causality violation` panic.
+
+use std::cell::UnsafeCell;
+
+use crate::rt;
+
+#[derive(Debug)]
+pub struct CausalCell<T> {
+    data: UnsafeCell<T>,
+    slot: rt::LocSlot,
+}
+
+// SAFETY: T crosses threads through the cell; the happens-before audit in
+// `with`/`with_mut` fails any execution in which two threads access the
+// cell without ordering, so surviving schedules never alias mutably.
+unsafe impl<T: Send> Send for CausalCell<T> {}
+unsafe impl<T: Send> Sync for CausalCell<T> {}
+
+impl<T> CausalCell<T> {
+    pub const fn new(value: T) -> Self {
+        CausalCell {
+            data: UnsafeCell::new(value),
+            slot: rt::LocSlot::new(),
+        }
+    }
+
+    /// Shared access: audited as a read.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        rt::cell_read(&self.slot);
+        f(self.data.get())
+    }
+
+    /// Exclusive access: audited as a write.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        rt::cell_write(&self.slot);
+        f(self.data.get())
+    }
+}

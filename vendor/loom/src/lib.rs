@@ -1,0 +1,52 @@
+//! Vendored, dependency-free minimal stand-in for the
+//! [loom](https://crates.io/crates/loom) model checker.
+//!
+//! This workspace builds offline, so — exactly like `vendor/proptest` and
+//! `vendor/criterion` — the concurrency-model-checking harness is provided
+//! as a local crate with the same API surface the tests use:
+//!
+//! * [`model`] / [`Builder::check`] run a closure under **exhaustive DFS
+//!   over thread interleavings** with a CHESS-style bound on preemptive
+//!   context switches (`LOOM_MAX_PREEMPTIONS`, default 2);
+//! * [`sync::atomic`] atomics track **per-location store histories** with
+//!   vector-clock happens-before, so non-SeqCst loads branch over every
+//!   C11-readable (possibly stale) value — weakened orderings become
+//!   observable schedules instead of silent latent bugs;
+//! * [`cell::CausalCell`] audits `UnsafeCell`-style accesses and fails the
+//!   run on any pair of accesses not ordered by happens-before;
+//! * [`thread::spawn`]/[`thread::JoinHandle::join`] provide model threads
+//!   with the std happens-before edges.
+//!
+//! Code under test opts in through the `la_sync` facade crate, which
+//! re-exports `std::sync::atomic` normally and these types under
+//! `--cfg la_loom`; see `docs/TESTING.md` for the tier this implements.
+
+mod atomic;
+pub mod cell;
+mod rt;
+pub mod thread;
+
+pub use rt::{model, Builder, MAX_THREADS};
+
+pub mod sync {
+    pub mod atomic {
+        pub use crate::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize};
+        pub use std::sync::atomic::Ordering;
+
+        pub fn fence(order: Ordering) {
+            crate::rt::fence(order)
+        }
+
+        /// Compiler fences constrain only the compiler; the model explores
+        /// reorderings at the semantic level, so this is a no-op.
+        pub fn compiler_fence(_order: Ordering) {}
+    }
+}
+
+pub mod hint {
+    /// Spin-loop hint: modeled as a yield so a spinning thread cannot
+    /// starve the schedule it is waiting on.
+    pub fn spin_loop() {
+        crate::thread::yield_now()
+    }
+}

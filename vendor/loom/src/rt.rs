@@ -1,0 +1,887 @@
+//! The model-checking runtime.
+//!
+//! Three cooperating pieces:
+//!
+//! * a **cooperative scheduler** that runs each model thread on a real OS
+//!   thread but lets exactly one proceed at a time, handing control over at
+//!   every *switch point* (each atomic operation, cell access, spawn, join,
+//!   and yield);
+//! * a **DFS explorer** that records every nondeterministic decision of one
+//!   execution (which thread runs next, which store a load observes) as a
+//!   `Choice` path, then backtracks the deepest unexhausted choice and
+//!   replays, enumerating the whole tree up to a CHESS-style bound on the
+//!   number of *preemptive* context switches;
+//! * a **C11-style memory model**: every atomic location keeps its full
+//!   store history; a load may observe any store not yet superseded for the
+//!   loading thread (coherence floor, happens-before floor tracked with
+//!   vector clocks, and a SeqCst floor at the latest SeqCst store), so
+//!   relaxed-ordering bugs manifest as branches that read stale values.
+//!
+//! The model is *sound for bug-finding* within its bounds: every behavior it
+//! explores is allowed by the C11 memory model (release sequences through
+//! RMWs included), and SeqCst operations are totally ordered by execution
+//! order, so code that is only correct under SeqCst passes while a weakened
+//! ordering opens stale-read branches the assertions then catch.
+//!
+//! Known approximations, each conservative for the code under test here:
+//! fences synchronize through a single global fence clock (a strengthening;
+//! the modeled crates use no fences), `compare_exchange_weak` never fails
+//! spuriously, and failed CAS/RMW loads observe the latest store only (a
+//! legal subset of C11's allowed reads).
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+pub use std::sync::atomic::Ordering;
+
+/// Upper bound on simultaneously-registered model threads per execution.
+pub const MAX_THREADS: usize = 8;
+
+/// Marker payload unwound through parked threads when an execution aborts
+/// (another thread panicked, or the step budget tripped).  Swallowed by the
+/// per-thread wrapper; never observed by user code.
+struct AbortExecution;
+
+/// A vector clock over model threads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(other.0[i]);
+        }
+    }
+
+    /// `self` dominates `other`: every event in `other` happens-before us.
+    fn dominates(&self, other: &VClock) -> bool {
+        (0..MAX_THREADS).all(|i| other.0[i] <= self.0[i])
+    }
+}
+
+/// One store in a location's modification order.
+struct StoreEvent {
+    value: u64,
+    writer: usize,
+    /// The writer's own clock component at the store: the store is
+    /// happens-before-visible to a thread iff that thread's clock has
+    /// reached this stamp in the writer's component.
+    hb_stamp: u32,
+    /// The release clock an acquire load of this store synchronizes with
+    /// (includes the prior store's sync when this store is an RMW, modeling
+    /// C11 release-sequence continuation).
+    sync: VClock,
+}
+
+struct Location {
+    stores: Vec<StoreEvent>,
+    /// Index of the latest SeqCst store (0 when none — index 0 is the
+    /// initialization store, which is not SeqCst).
+    last_sc: usize,
+}
+
+/// Read/write audit clocks for one `CausalCell`.
+struct CellState {
+    reads: VClock,
+    writes: VClock,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Run {
+    Ready,
+    Blocked(usize),
+    Finished,
+}
+
+struct ThreadState {
+    run: Run,
+    clock: VClock,
+    /// Per-location coherence floor: the index of the latest store this
+    /// thread has observed or performed at each location.
+    floors: Vec<usize>,
+}
+
+/// One recorded nondeterministic decision (arity > 1 only).
+#[derive(Clone, Debug)]
+struct Choice {
+    taken: usize,
+    options: usize,
+}
+
+struct ExecState {
+    /// Process-unique id of this execution, used to invalidate the lazy
+    /// location registrations cached inside atomics from prior executions.
+    id: u64,
+    locations: Vec<Location>,
+    cells: Vec<CellState>,
+    threads: Vec<ThreadState>,
+    active: usize,
+    preemptions: usize,
+    preemption_bound: usize,
+    steps: u64,
+    max_steps: u64,
+    fence_clock: VClock,
+    path: Vec<Choice>,
+    cursor: usize,
+    aborted: bool,
+    panic: Option<Box<dyn Any + Send>>,
+    live: usize,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ExecState {
+    fn new(id: u64, path: Vec<Choice>, preemption_bound: usize, max_steps: u64) -> Self {
+        let mut clock = VClock::default();
+        clock.0[0] = 1;
+        ExecState {
+            id,
+            locations: Vec::new(),
+            cells: Vec::new(),
+            threads: vec![ThreadState {
+                run: Run::Ready,
+                clock,
+                floors: Vec::new(),
+            }],
+            active: 0,
+            preemptions: 0,
+            preemption_bound,
+            steps: 0,
+            max_steps,
+            fence_clock: VClock::default(),
+            path,
+            cursor: 0,
+            aborted: false,
+            panic: None,
+            live: 1,
+            os_handles: Vec::new(),
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Shared>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Serializes concurrent `model()` calls (the test harness runs tests in
+/// parallel, and lazily-registered *statics* in the code under test would
+/// otherwise be touched by two executions at once).
+static MODEL_LOCK: Mutex<()> = Mutex::new(());
+
+static NEXT_EXEC_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Lazy per-execution registration slot embedded in every model atomic:
+/// `(execution id, location index + 1)`.  Only touched under the execution
+/// mutex, which is what justifies the `Sync` impls on the atomics.
+#[derive(Debug)]
+pub(crate) struct LocSlot(Cell<(u64, usize)>);
+
+impl LocSlot {
+    pub(crate) const fn new() -> Self {
+        LocSlot(Cell::new((0, 0)))
+    }
+}
+
+/// Poison-tolerant lock: a model-thread panic (an assertion failure inside
+/// an audited operation) may poison the execution mutex mid-unwind; every
+/// other thread still needs the state to shut the execution down cleanly.
+fn lock_state(shared: &Shared) -> MutexGuard<'_, ExecState> {
+    shared
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn wait_state<'a>(shared: &'a Shared, g: MutexGuard<'a, ExecState>) -> MutexGuard<'a, ExecState> {
+    shared
+        .cv
+        .wait(g)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn current() -> (Arc<Shared>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom sync primitives may only be used inside loom::model")
+    })
+}
+
+fn choose(g: &mut ExecState, options: usize) -> usize {
+    debug_assert!(options >= 1);
+    if options == 1 {
+        return 0;
+    }
+    if g.cursor < g.path.len() {
+        let c = g.path[g.cursor].clone();
+        assert_eq!(
+            c.options, options,
+            "loom: nondeterministic model: choice arity changed on replay \
+             (the model closure must be deterministic apart from scheduling)"
+        );
+        g.cursor += 1;
+        c.taken
+    } else {
+        g.path.push(Choice { taken: 0, options });
+        g.cursor += 1;
+        0
+    }
+}
+
+fn ready_threads(g: &ExecState) -> Vec<usize> {
+    (0..g.threads.len())
+        .filter(|&t| g.threads[t].run == Run::Ready)
+        .collect()
+}
+
+/// Hands the next operation to some ready thread; called by the active
+/// thread at every switch point.  Returns with `active == me`.
+fn schedule<'a>(
+    shared: &'a Shared,
+    mut g: MutexGuard<'a, ExecState>,
+    me: usize,
+) -> MutexGuard<'a, ExecState> {
+    debug_assert_eq!(g.active, me);
+    g.steps += 1;
+    if g.steps > g.max_steps {
+        drop(g);
+        panic!(
+            "loom: execution exceeded the step budget (LOOM_MAX_STEPS) — \
+             unbounded spin loop in the model?"
+        );
+    }
+    let enabled = ready_threads(&g);
+    debug_assert!(enabled.contains(&me));
+    let chosen = if enabled.len() == 1 || g.preemptions >= g.preemption_bound {
+        me
+    } else {
+        // Option 0 continues the current thread, so the first execution of
+        // every subtree is the natural sequential one.
+        let mut options = vec![me];
+        options.extend(enabled.into_iter().filter(|&t| t != me));
+        let pick = choose(&mut g, options.len());
+        options[pick]
+    };
+    if chosen != me {
+        g.preemptions += 1;
+        g.active = chosen;
+        shared.cv.notify_all();
+        loop {
+            g = wait_state(shared, g);
+            if g.aborted {
+                drop(g);
+                panic::panic_any(AbortExecution);
+            }
+            if g.active == me {
+                break;
+            }
+        }
+    }
+    g
+}
+
+/// Picks a successor when the active thread blocks or finishes (not a
+/// preemption).  With no ready thread left this is either normal completion
+/// or a deadlock.
+fn pick_next(shared: &Shared, g: &mut ExecState) {
+    let enabled = ready_threads(g);
+    if enabled.is_empty() {
+        let all_done = g.threads.iter().all(|t| t.run == Run::Finished);
+        if !all_done {
+            g.aborted = true;
+            if g.panic.is_none() {
+                g.panic = Some(Box::new(
+                    "loom: deadlock: every unfinished thread is blocked".to_string(),
+                ));
+            }
+        }
+    } else {
+        let pick = choose(g, enabled.len());
+        g.active = enabled[pick];
+    }
+    shared.cv.notify_all();
+}
+
+enum Outcome {
+    Normal,
+    Aborted,
+    Panicked(Box<dyn Any + Send>),
+}
+
+fn finish_thread(shared: &Shared, id: usize, outcome: Outcome) {
+    let mut g = lock_state(shared);
+    g.threads[id].run = Run::Finished;
+    for t in 0..g.threads.len() {
+        if g.threads[t].run == Run::Blocked(id) {
+            g.threads[t].run = Run::Ready;
+        }
+    }
+    match outcome {
+        Outcome::Normal => {
+            if !g.aborted {
+                pick_next(shared, &mut g);
+            }
+        }
+        Outcome::Aborted => {}
+        Outcome::Panicked(p) => {
+            if g.panic.is_none() {
+                g.panic = Some(p);
+            }
+            g.aborted = true;
+        }
+    }
+    g.live -= 1;
+    shared.cv.notify_all();
+}
+
+fn thread_main(shared: Arc<Shared>, id: usize, body: Box<dyn FnOnce() + Send>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((shared.clone(), id)));
+    let scheduled = {
+        let mut g = lock_state(&shared);
+        loop {
+            if g.aborted {
+                break false;
+            }
+            if g.active == id {
+                break true;
+            }
+            g = wait_state(&shared, g);
+        }
+    };
+    let outcome = if scheduled {
+        match panic::catch_unwind(AssertUnwindSafe(body)) {
+            Ok(()) => Outcome::Normal,
+            Err(p) if p.downcast_ref::<AbortExecution>().is_some() => Outcome::Aborted,
+            Err(p) => Outcome::Panicked(p),
+        }
+    } else {
+        Outcome::Aborted
+    };
+    finish_thread(&shared, id, outcome);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Registers `id` in the current execution as the child of the calling
+/// thread and starts its OS thread.  Used by `loom::thread::spawn`.
+pub(crate) fn spawn_thread(body: Box<dyn FnOnce() + Send>) -> usize {
+    let (shared, me) = current();
+    let mut g = lock_state(&shared);
+    if !std::thread::panicking() {
+        if g.aborted {
+            drop(g);
+            panic::panic_any(AbortExecution);
+        }
+        g = schedule(&shared, g, me);
+        g.threads[me].clock.0[me] += 1;
+    }
+    let id = g.threads.len();
+    assert!(
+        id < MAX_THREADS,
+        "loom model exceeded {MAX_THREADS} threads"
+    );
+    // The spawn itself is a happens-before edge from parent to child.
+    let mut clock = g.threads[me].clock.clone();
+    clock.0[id] += 1;
+    g.threads.push(ThreadState {
+        run: Run::Ready,
+        clock,
+        floors: Vec::new(),
+    });
+    g.live += 1;
+    drop(g);
+    let sh = Arc::clone(&shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-{id}"))
+        .spawn(move || thread_main(sh, id, body))
+        .expect("failed to spawn a loom model thread");
+    lock_state(&shared).os_handles.push(handle);
+    id
+}
+
+/// Blocks the calling model thread until `target` finishes, then joins the
+/// target's final clock (the happens-before edge of `JoinHandle::join`).
+pub(crate) fn join_thread(target: usize) {
+    let (shared, me) = current();
+    if std::thread::panicking() {
+        return;
+    }
+    let mut g = lock_state(&shared);
+    if g.aborted {
+        drop(g);
+        panic::panic_any(AbortExecution);
+    }
+    g = schedule(&shared, g, me);
+    g.threads[me].clock.0[me] += 1;
+    if g.threads[target].run != Run::Finished {
+        g.threads[me].run = Run::Blocked(target);
+        pick_next(&shared, &mut g);
+        loop {
+            g = wait_state(&shared, g);
+            if g.aborted {
+                drop(g);
+                panic::panic_any(AbortExecution);
+            }
+            if g.active == me && g.threads[me].run == Run::Ready {
+                break;
+            }
+        }
+    }
+    let target_clock = g.threads[target].clock.clone();
+    g.threads[me].clock.join(&target_clock);
+}
+
+/// A pure switch point with no memory effect (`thread::yield_now`).
+pub(crate) fn yield_point() {
+    op(|_, _, _| ());
+}
+
+/// Runs one model operation: schedules, bumps the thread's clock component,
+/// and hands the closure the locked execution state.  In *degenerate* mode
+/// (the thread is unwinding, or the execution aborted) the closure still
+/// runs under the lock but no scheduling or clock work happens — drop glue
+/// executing during an abort must not panic again.
+fn op<R>(f: impl FnOnce(&mut ExecState, usize, bool) -> R) -> R {
+    let (shared, me) = current();
+    let degenerate = std::thread::panicking();
+    let mut g = lock_state(&shared);
+    if !degenerate {
+        if g.aborted {
+            drop(g);
+            panic::panic_any(AbortExecution);
+        }
+        g = schedule(&shared, g, me);
+        g.threads[me].clock.0[me] += 1;
+    }
+    let degenerate = degenerate || g.aborted;
+    f(&mut g, me, degenerate)
+}
+
+fn resolve_loc(g: &mut ExecState, slot: &LocSlot, init: u64) -> usize {
+    let (gen, idx) = slot.0.get();
+    if gen == g.id {
+        return idx - 1;
+    }
+    let idx = g.locations.len();
+    g.locations.push(Location {
+        stores: vec![StoreEvent {
+            value: init,
+            writer: 0,
+            // The initialization store is visible to everyone: creation of
+            // the atomic happens-before any access through it.
+            hb_stamp: 0,
+            sync: VClock::default(),
+        }],
+        last_sc: 0,
+    });
+    slot.0.set((g.id, idx + 1));
+    idx
+}
+
+fn resolve_cell(g: &mut ExecState, slot: &LocSlot) -> usize {
+    let (gen, idx) = slot.0.get();
+    if gen == g.id {
+        return idx - 1;
+    }
+    let idx = g.cells.len();
+    g.cells.push(CellState {
+        reads: VClock::default(),
+        writes: VClock::default(),
+    });
+    slot.0.set((g.id, idx + 1));
+    idx
+}
+
+fn ensure_floor(t: &mut ThreadState, loc: usize, idx: usize) {
+    if t.floors.len() <= loc {
+        t.floors.resize(loc + 1, 0);
+    }
+    t.floors[loc] = t.floors[loc].max(idx);
+}
+
+fn is_acquire(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+pub(crate) fn atomic_load(slot: &LocSlot, init: u64, order: Ordering) -> u64 {
+    assert!(
+        !matches!(order, Ordering::Release | Ordering::AcqRel),
+        "there is no such thing as a release load"
+    );
+    op(|g, me, degenerate| {
+        let l = resolve_loc(g, slot, init);
+        if degenerate {
+            return g.locations[l].stores.last().unwrap().value;
+        }
+        let n = g.locations[l].stores.len();
+        // Coherence floor: never read older than what we already observed.
+        let mut floor = g.threads[me].floors.get(l).copied().unwrap_or(0);
+        // Happens-before floor: never read older than the latest store that
+        // happened-before this load.
+        for i in (floor..n).rev() {
+            let s = &g.locations[l].stores[i];
+            if s.hb_stamp <= g.threads[me].clock.0[s.writer] {
+                floor = floor.max(i);
+                break;
+            }
+        }
+        // SeqCst floor: a SeqCst load is ordered after every earlier SeqCst
+        // store (SC operations are totally ordered by execution order here).
+        if order == Ordering::SeqCst {
+            floor = floor.max(g.locations[l].last_sc);
+        }
+        let hi = n - 1;
+        let pick = if floor == hi {
+            hi
+        } else {
+            // Branch over every readable store, newest first.
+            hi - choose(g, hi - floor + 1)
+        };
+        let s = &g.locations[l].stores[pick];
+        let (value, sync) = (s.value, s.sync.clone());
+        if is_acquire(order) {
+            g.threads[me].clock.join(&sync);
+        }
+        ensure_floor(&mut g.threads[me], l, pick);
+        value
+    })
+}
+
+pub(crate) fn atomic_store(slot: &LocSlot, init: u64, value: u64, order: Ordering) {
+    assert!(
+        !matches!(order, Ordering::Acquire | Ordering::AcqRel),
+        "there is no such thing as an acquire store"
+    );
+    op(|g, me, degenerate| {
+        let l = resolve_loc(g, slot, init);
+        if degenerate {
+            let loc = &mut g.locations[l];
+            loc.stores.push(StoreEvent {
+                value,
+                writer: me,
+                hb_stamp: 0,
+                sync: VClock::default(),
+            });
+            return;
+        }
+        let clock = g.threads[me].clock.clone();
+        let sync = if is_release(order) {
+            clock.clone()
+        } else {
+            VClock::default()
+        };
+        let loc = &mut g.locations[l];
+        loc.stores.push(StoreEvent {
+            value,
+            writer: me,
+            hb_stamp: clock.0[me],
+            sync,
+        });
+        let idx = loc.stores.len() - 1;
+        if order == Ordering::SeqCst {
+            loc.last_sc = idx;
+        }
+        ensure_floor(&mut g.threads[me], l, idx);
+    })
+}
+
+/// One atomic read-modify-write.  `f` maps the current value to `Some(new)`
+/// (perform the write, e.g. `fetch_add` or a successful CAS) or `None`
+/// (failed CAS: a pure load under `failure`).  Per C11, the RMW always reads
+/// the latest store in modification order; an RMW store continues the
+/// release sequence of the store it replaces.
+pub(crate) fn atomic_rmw(
+    slot: &LocSlot,
+    init: u64,
+    success: Ordering,
+    failure: Ordering,
+    f: &mut dyn FnMut(u64) -> Option<u64>,
+) -> Result<u64, u64> {
+    op(|g, me, degenerate| {
+        let l = resolve_loc(g, slot, init);
+        let current = g.locations[l].stores.last().unwrap().value;
+        let latest = g.locations[l].stores.len() - 1;
+        match f(current) {
+            Some(new) => {
+                if degenerate {
+                    g.locations[l].stores.push(StoreEvent {
+                        value: new,
+                        writer: me,
+                        hb_stamp: 0,
+                        sync: VClock::default(),
+                    });
+                    return Ok(current);
+                }
+                let prev_sync = g.locations[l].stores[latest].sync.clone();
+                if is_acquire(success) {
+                    g.threads[me].clock.join(&prev_sync);
+                }
+                let clock = g.threads[me].clock.clone();
+                let mut sync = if is_release(success) {
+                    clock.clone()
+                } else {
+                    VClock::default()
+                };
+                sync.join(&prev_sync);
+                let loc = &mut g.locations[l];
+                loc.stores.push(StoreEvent {
+                    value: new,
+                    writer: me,
+                    hb_stamp: clock.0[me],
+                    sync,
+                });
+                let idx = loc.stores.len() - 1;
+                if success == Ordering::SeqCst {
+                    loc.last_sc = idx;
+                }
+                ensure_floor(&mut g.threads[me], l, idx);
+                Ok(current)
+            }
+            None => {
+                if !degenerate {
+                    if is_acquire(failure) {
+                        let prev_sync = g.locations[l].stores[latest].sync.clone();
+                        g.threads[me].clock.join(&prev_sync);
+                    }
+                    ensure_floor(&mut g.threads[me], l, latest);
+                }
+                Err(current)
+            }
+        }
+    })
+}
+
+/// Memory fence, approximated through one global fence clock: a release(-or
+/// stronger) fence publishes the thread's clock into it, an acquire(-or
+/// stronger) fence joins from it.  This *strengthens* real fence semantics
+/// (any release fence pairs with any later acquire fence, no atomic needed
+/// in between), which is conservative: it can mask a missing-fence bug but
+/// never reports a false race.  The crates modeled here use no fences.
+pub(crate) fn fence(order: Ordering) {
+    assert!(
+        order != Ordering::Relaxed,
+        "there is no such thing as a relaxed fence"
+    );
+    op(|g, me, degenerate| {
+        if degenerate {
+            return;
+        }
+        if is_acquire(order) {
+            let fc = g.fence_clock.clone();
+            g.threads[me].clock.join(&fc);
+        }
+        if is_release(order) {
+            let clock = g.threads[me].clock.clone();
+            g.fence_clock.join(&clock);
+        }
+    })
+}
+
+pub(crate) fn cell_read(slot: &LocSlot) {
+    op(|g, me, degenerate| {
+        let c = resolve_cell(g, slot);
+        if degenerate {
+            return;
+        }
+        let clock = g.threads[me].clock.clone();
+        let cell = &mut g.cells[c];
+        assert!(
+            clock.dominates(&cell.writes),
+            "loom: causality violation: CausalCell read races a concurrent write"
+        );
+        cell.reads.0[me] = cell.reads.0[me].max(clock.0[me]);
+    })
+}
+
+pub(crate) fn cell_write(slot: &LocSlot) {
+    op(|g, me, degenerate| {
+        let c = resolve_cell(g, slot);
+        if degenerate {
+            return;
+        }
+        let clock = g.threads[me].clock.clone();
+        let cell = &mut g.cells[c];
+        assert!(
+            clock.dominates(&cell.writes),
+            "loom: causality violation: CausalCell write races a concurrent write"
+        );
+        assert!(
+            clock.dominates(&cell.reads),
+            "loom: causality violation: CausalCell write races a concurrent read"
+        );
+        cell.writes.0[me] = clock.0[me];
+    })
+}
+
+/// Increments the deepest unexhausted choice and truncates everything after
+/// it; `false` means the whole tree is explored.
+fn backtrack(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.taken + 1 < last.options {
+            last.taken += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Exploration bounds.  Defaults come from the environment:
+/// `LOOM_MAX_PREEMPTIONS` (2), `LOOM_MAX_DURATION_SECS` (60),
+/// `LOOM_MAX_EXECUTIONS` (1,000,000), `LOOM_MAX_STEPS` (100,000 per
+/// execution).
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// CHESS-style bound on preemptive context switches per execution.
+    pub preemption_bound: usize,
+    /// Wall-clock budget for the whole exploration.
+    pub max_duration: Duration,
+    /// Upper bound on executions explored.
+    pub max_executions: u64,
+    /// Per-execution step budget (guards against unbounded spin loops).
+    pub max_steps: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: env_u64("LOOM_MAX_PREEMPTIONS", 2) as usize,
+            max_duration: Duration::from_secs(env_u64("LOOM_MAX_DURATION_SECS", 60)),
+            max_executions: env_u64("LOOM_MAX_EXECUTIONS", 1_000_000),
+            max_steps: env_u64("LOOM_MAX_STEPS", 100_000),
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explores every interleaving of `f` within the configured bounds,
+    /// panicking with the first failure found (deterministically — the
+    /// failing schedule is fully described by the recorded choice path).
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let serial = MODEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let f = Arc::new(f);
+        let mut path: Vec<Choice> = Vec::new();
+        let start = Instant::now();
+        let mut execs: u64 = 0;
+        let mut complete = true;
+        loop {
+            execs += 1;
+            let exec_id = NEXT_EXEC_ID.fetch_add(1, StdOrdering::Relaxed);
+            let shared = Arc::new(Shared {
+                state: Mutex::new(ExecState::new(
+                    exec_id,
+                    std::mem::take(&mut path),
+                    self.preemption_bound,
+                    self.max_steps,
+                )),
+                cv: Condvar::new(),
+            });
+            let body: Box<dyn FnOnce() + Send> = {
+                let f = Arc::clone(&f);
+                Box::new(move || f())
+            };
+            let sh = Arc::clone(&shared);
+            let root = std::thread::Builder::new()
+                .name("loom-0".into())
+                .spawn(move || thread_main(sh, 0, body))
+                .expect("failed to spawn the loom root thread");
+            {
+                let mut g = lock_state(&shared);
+                while g.live > 0 {
+                    g = wait_state(&shared, g);
+                }
+            }
+            let _ = root.join();
+            loop {
+                let handles = std::mem::take(&mut lock_state(&shared).os_handles);
+                if handles.is_empty() {
+                    break;
+                }
+                for h in handles {
+                    let _ = h.join();
+                }
+            }
+            let mut g = lock_state(&shared);
+            if let Some(p) = g.panic.take() {
+                let trail: Vec<String> = g
+                    .path
+                    .iter()
+                    .map(|c| format!("{}/{}", c.taken, c.options))
+                    .collect();
+                eprintln!(
+                    "loom: failing schedule found on interleaving #{execs}; \
+                     choice path [{}]",
+                    trail.join(" ")
+                );
+                drop(g);
+                drop(serial);
+                panic::resume_unwind(p);
+            }
+            path = std::mem::take(&mut g.path);
+            drop(g);
+            if !backtrack(&mut path) {
+                break;
+            }
+            if start.elapsed() >= self.max_duration {
+                complete = false;
+                break;
+            }
+            if execs >= self.max_executions {
+                complete = false;
+                break;
+            }
+        }
+        eprintln!(
+            "loom: explored {execs} interleavings in {:?} ({})",
+            start.elapsed(),
+            if complete {
+                format!(
+                    "exhaustive within preemption bound {}",
+                    self.preemption_bound
+                )
+            } else {
+                "budget-bounded partial exploration".to_string()
+            }
+        );
+    }
+}
+
+/// Explores every interleaving of `f` under the environment-configured
+/// bounds (see [`Builder`]).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}

@@ -1,0 +1,50 @@
+//! Model-thread spawn/join with `std::thread`-shaped signatures.
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+pub struct JoinHandle<T> {
+    id: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawns a model thread.  The closure runs on a real OS thread but only
+/// ever proceeds when the model scheduler hands it the next switch point;
+/// the spawn itself is a happens-before edge into the child.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let id = rt::spawn_thread(Box::new(move || {
+        let value = f();
+        *slot.lock().unwrap() = Some(value);
+    }));
+    JoinHandle { id, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in model time) until the thread finishes, joining its final
+    /// vector clock — the same happens-before edge as `std`'s join.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::join_thread(self.id);
+        match self.result.lock().unwrap().take() {
+            Some(value) => Ok(value),
+            None => Err(Box::new("loom model thread finished without a result")),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").field("id", &self.id).finish()
+    }
+}
+
+/// A pure switch point: lets the scheduler run any other ready thread.
+pub fn yield_now() {
+    rt::yield_point();
+}

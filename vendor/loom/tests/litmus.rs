@@ -1,0 +1,237 @@
+//! Litmus self-tests for the vendored model checker.
+//!
+//! These run in the plain tier-1 `cargo test` (no `la_loom` cfg needed —
+//! they drive `loom::model` directly) and pin down the properties the
+//! `loom_chain` models rely on:
+//!
+//! * classic weak-memory litmus shapes (message passing, store buffering)
+//!   expose their relaxed outcomes and lose them under release/acquire or
+//!   SeqCst — i.e. the checker *has teeth* and is not over-strict;
+//! * `CausalCell` catches unsynchronized access pairs and accepts
+//!   properly-published ones;
+//! * scheduling is exhaustive enough to find bugs that need a preemption
+//!   mid-critical-section.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use loom::cell::CausalCell;
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::thread;
+
+/// Runs `f` under the model and reports whether the checker found a
+/// failing schedule.
+fn model_fails(f: impl Fn() + Send + Sync + 'static) -> bool {
+    catch_unwind(AssertUnwindSafe(|| loom::model(f))).is_err()
+}
+
+#[test]
+fn message_passing_with_relaxed_flag_is_caught() {
+    // data = 1; flag.store(Relaxed) ∥ if flag.load(Relaxed) { read data }:
+    // the reader may see the flag but stale data.  The model must find the
+    // interleaving + stale-read branch where the assertion fails.
+    assert!(model_fails(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let t = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            thread::spawn(move || {
+                data.store(1, Ordering::Relaxed);
+                flag.store(true, Ordering::Relaxed);
+            })
+        };
+        if flag.load(Ordering::Relaxed) {
+            assert_eq!(data.load(Ordering::Relaxed), 1, "stale read");
+        }
+        t.join().unwrap();
+    }));
+}
+
+#[test]
+fn message_passing_with_release_acquire_passes() {
+    loom::model(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let t = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            thread::spawn(move || {
+                data.store(1, Ordering::Relaxed);
+                flag.store(true, Ordering::Release);
+            })
+        };
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(data.load(Ordering::Relaxed), 1);
+        }
+        t.join().unwrap();
+    });
+}
+
+/// Store buffering: x.store(1); r1 = y ∥ y.store(1); r2 = x.
+/// Under Relaxed (or even Release/Acquire) the outcome r1 == r2 == 0 is
+/// allowed; under SeqCst it must never appear.
+fn store_buffering_outcomes(order: Ordering) -> Vec<(usize, usize)> {
+    let outcomes: Arc<Mutex<Vec<(usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&outcomes);
+    loom::model(move || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let (x, y) = (Arc::clone(&x), Arc::clone(&y));
+            thread::spawn(move || {
+                x.store(1, order);
+                y.load(order)
+            })
+        };
+        y.store(1, order);
+        let r2 = x.load(order);
+        let r1 = t.join().unwrap();
+        sink.lock().unwrap().push((r1, r2));
+    });
+    let result = outcomes.lock().unwrap().clone();
+    result
+}
+
+#[test]
+fn store_buffering_relaxed_observes_both_zero() {
+    let outcomes = store_buffering_outcomes(Ordering::Relaxed);
+    assert!(
+        outcomes.contains(&(0, 0)),
+        "the relaxed store-buffering outcome (0,0) must be explored; saw {outcomes:?}"
+    );
+}
+
+#[test]
+fn store_buffering_seq_cst_never_observes_both_zero() {
+    let outcomes = store_buffering_outcomes(Ordering::SeqCst);
+    assert!(
+        !outcomes.contains(&(0, 0)),
+        "SeqCst forbids the (0,0) store-buffering outcome; saw {outcomes:?}"
+    );
+    // Sanity: the other interleaving outcomes are still explored.
+    assert!(
+        outcomes.len() > 1,
+        "expected multiple outcomes: {outcomes:?}"
+    );
+}
+
+#[test]
+fn causal_cell_race_is_caught() {
+    assert!(model_fails(|| {
+        let cell = Arc::new(CausalCell::new(0u64));
+        let t = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || cell.with_mut(|p| unsafe { *p = 1 }))
+        };
+        // Unsynchronized with the child's write: a genuine data race.
+        cell.with(|p| unsafe { *p });
+        t.join().unwrap();
+    }));
+}
+
+#[test]
+fn causal_cell_published_by_release_acquire_passes() {
+    loom::model(|| {
+        let cell = Arc::new(CausalCell::new(0u64));
+        let ready = Arc::new(AtomicBool::new(false));
+        let t = {
+            let (cell, ready) = (Arc::clone(&cell), Arc::clone(&ready));
+            thread::spawn(move || {
+                cell.with_mut(|p| unsafe { *p = 7 });
+                ready.store(true, Ordering::Release);
+            })
+        };
+        if ready.load(Ordering::Acquire) {
+            assert_eq!(cell.with(|p| unsafe { *p }), 7);
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn join_synchronizes_with_the_childs_writes() {
+    loom::model(|| {
+        let cell = Arc::new(CausalCell::new(0u64));
+        let t = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || cell.with_mut(|p| unsafe { *p = 3 }))
+        };
+        t.join().unwrap();
+        // Ordered after the child via join: not a race, and the value is
+        // visible.
+        assert_eq!(cell.with(|p| unsafe { *p }), 3);
+    });
+}
+
+#[test]
+fn rmw_increments_never_lose_updates() {
+    loom::model(|| {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    });
+}
+
+#[test]
+fn naive_load_then_store_increment_is_caught() {
+    // The canonical lost-update bug needs a preemption between the load and
+    // the store — proves the scheduler explores mid-sequence switches.
+    assert!(model_fails(|| {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || {
+                let v = counter.load(Ordering::SeqCst);
+                counter.store(v + 1, Ordering::SeqCst);
+            })
+        };
+        let v = counter.load(Ordering::SeqCst);
+        counter.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    }));
+}
+
+#[test]
+fn seq_cst_store_is_visible_to_later_seq_cst_loads() {
+    // The SC-floor rule: once a SeqCst store executed, no later SeqCst load
+    // may observe an older value — this is exactly the property the elastic
+    // seal relies on, and exactly what a Relaxed mutant loses.
+    loom::model(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let t = {
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || {
+                flag.store(true, Ordering::SeqCst);
+            })
+        };
+        t.join().unwrap();
+        assert!(flag.load(Ordering::SeqCst));
+    });
+}
+
+#[test]
+fn runaway_spin_loops_are_reported_not_hung() {
+    // Spin forever on a value nobody stores: the per-execution step budget
+    // must abort the execution with a diagnostic rather than hang the
+    // suite.
+    let builder = loom::Builder {
+        max_steps: 500,
+        ..loom::Builder::default()
+    };
+    let result = catch_unwind(AssertUnwindSafe(move || {
+        builder.check(|| {
+            let a = AtomicUsize::new(0);
+            while a.load(Ordering::SeqCst) == 0 {
+                thread::yield_now();
+            }
+        })
+    }));
+    assert!(result.is_err(), "the step budget must trip");
+}
