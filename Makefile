@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt clippy build test doc bench-check bench-smoke bench-json bench-diff bench-layout bench-topology bench-batch examples miri loom loom-mutant
+.PHONY: ci fmt clippy build test doc bench-check bench-smoke bench-json bench-diff bench-layout bench-topology bench-batch examples miri loom loom-mutant fault fault-storm
 
 ci: fmt clippy build test doc bench-check
 
@@ -128,8 +128,35 @@ loom:
 	RUSTFLAGS="--cfg la_loom" CARGO_TARGET_DIR=target/loom \
 		$(CARGO) test -p levelarray --test loom_chain -- --test-threads=1 --nocapture
 	RUSTFLAGS="--cfg la_loom" CARGO_TARGET_DIR=target/loom \
+		$(CARGO) test -p la_reclaim --test loom_domain -- --test-threads=1
+	RUSTFLAGS="--cfg la_loom" CARGO_TARGET_DIR=target/loom \
 		$(CARGO) build -p la_reclaim -p la_flatcombine
 	CARGO_TARGET_DIR=target/loom $(CARGO) test -p loom --test litmus -q
+
+# Crash-robustness gate (see docs/ROBUSTNESS.md).  `--cfg la_fault` turns
+# the `la_fault::fail_point!` sites threaded through probe_core, packed,
+# the epoch chain, the registry, reclamation and the combiner hand-off
+# live; the full workspace suite then runs with the sites compiled in but
+# *inert* (no plan armed — proving the instrumentation itself changes no
+# behavior), followed by the panic_safety storms, which arm seeded plans
+# per test.  The storm binary is serialized (`--test-threads=1`): la_fault's
+# plan is process-global.  A dedicated target dir keeps the RUSTFLAGS-keyed
+# cache away from the normal build.
+fault:
+	RUSTFLAGS="--cfg la_fault" CARGO_TARGET_DIR=target/fault \
+		$(CARGO) test -q
+	RUSTFLAGS="--cfg la_loom --cfg la_fault" CARGO_TARGET_DIR=target/loom_fault \
+		$(CARGO) build -p levelarray -p la_reclaim -p la_flatcombine
+
+# The seeded crash storm in isolation, plus the armed bench cell
+# (sweeps/fault/storm=armed).  Re-seed with LA_FAULT_SEED=<u64>; the
+# committed guards-only baseline cell comes from the *normal* build
+# (`SWEEP_ONLY=fault make bench-json`-style run without the cfg).
+fault-storm:
+	RUSTFLAGS="--cfg la_fault" CARGO_TARGET_DIR=target/fault \
+		$(CARGO) test --test panic_safety -- --test-threads=1 --nocapture
+	RUSTFLAGS="--cfg la_fault" CARGO_TARGET_DIR=target/fault SWEEP_ONLY=fault \
+		$(CARGO) bench --bench sweeps
 
 # Mutation soundness check: rebuild with the seeded ordering bug
 # (`la_loom_weak_seal` relaxes the retirement seal CAS) and require the

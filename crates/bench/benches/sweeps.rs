@@ -47,6 +47,11 @@
 //!     with one `fetch_and` per word, so the packed layout is where the
 //!     word-level batching pays; the word-per-slot rows price the
 //!     loop-based equivalent.
+//! 13. **Crash-storm churn** (`make fault-storm`) — contended get/free churn
+//!     with every operation under `catch_unwind` and inline orphan recovery.
+//!     Normal builds price the guards alone (`storm=guards`, the committed
+//!     baseline cell); `--cfg la_fault` builds arm the seeded fault plan and
+//!     price survival (`storm=armed`).
 //!
 //! Environment variables: `SWEEP_THREADS` (default: min(4, host)),
 //! `SWEEP_OPS` (default 50 000 measured ops/thread), `SWEEP_EMULATED`
@@ -58,8 +63,11 @@
 //! and measured ops; `MICRO_QUICK=1` shrinks both to smoke size),
 //! `SWEEP_BATCH_K` / `SWEEP_BATCH_N` / `SWEEP_BATCH_ROUNDS` (batched-ops
 //! batch size, contention bound and measured rounds, defaults 16 / 256 /
-//! 20 000), `SWEEP_ONLY` to run a single section group (`core` = sections
-//! 1–10, `topology` = section 11, `batch` = section 12), `BENCH_JSON` to
+//! 20 000), `SWEEP_FAULT_THREADS` / `SWEEP_FAULT_OPS` / `LA_FAULT_SEED`
+//! (crash-storm worker count, per-worker ops and plan seed, defaults
+//! 4 / 100 000 / `0xF417`), `SWEEP_ONLY` to run a single section group
+//! (`core` = sections 1–10, `topology` = section 11, `batch` = section 12,
+//! `fault` = section 13), `BENCH_JSON` to
 //! append one machine-readable record per cell (see `la_bench::json`), and
 //! `BENCH_REPEAT` to keep the median-throughput run of that many
 //! repetitions per cell.
@@ -142,6 +150,9 @@ fn main() {
     }
     if enabled("batch") {
         batch_sweeps(repeat, &mut sink);
+    }
+    if enabled("fault") {
+        fault_sweeps(repeat, &mut sink);
     }
 }
 
@@ -834,5 +845,173 @@ fn batch_sweeps(repeat: usize, sink: &mut Option<JsonSink>) {
     println!(
         "## Batched get_many/free_many vs k-singleton loops (n = {n}, k = {k})\n\n{}",
         batch_table.to_markdown()
+    );
+}
+
+/// Section 13: the crash-storm cell behind `make fault-storm`.
+///
+/// A contended get/free churn in which every operation runs under
+/// `catch_unwind` and recovery — the retry/orphan/sweep protocol a
+/// crash-robust client needs — is part of the measured path.  In a normal
+/// build the failpoints are compiled out, so the cell prices the *guards
+/// alone* (key `sweeps/fault/storm=guards`): that is the baseline recorded
+/// in `bench/baselines/`, and drift on it is the cost of the robustness
+/// layer itself.  Under `RUSTFLAGS="--cfg la_fault"` the cell arms
+/// [`la_fault::FaultPlan::storm`] (seed `LA_FAULT_SEED`, default `0xF417`)
+/// and prices survival instead (key `sweeps/fault/storm=armed`) — the two
+/// keys are distinct on purpose, so an armed run never diffs against the
+/// guards-only baseline.
+fn fault_sweeps(repeat: usize, sink: &mut Option<JsonSink>) {
+    let quick = std::env::var("MICRO_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let threads: usize = env_or("SWEEP_FAULT_THREADS", 4).max(1);
+    let ops: u64 = env_or("SWEEP_FAULT_OPS", if quick { 5_000 } else { 100_000 });
+    let seed: u64 = env_or("LA_FAULT_SEED", 0xF417);
+    let armed = cfg!(la_fault);
+    let mode = if armed { "armed" } else { "guards" };
+    if armed {
+        la_fault::reset();
+        la_fault::install_quiet_hook();
+        la_fault::configure(la_fault::FaultPlan::storm(seed));
+    }
+
+    let array = levelarray::ShardedLevelArray::new(threads * 16, threads.min(4));
+    let mut deaths_total = 0u64;
+    let mut rollbacks_total = 0u64;
+    let mut runs: Vec<f64> = Vec::with_capacity(repeat.max(1));
+    for rep in 0..repeat.max(1) {
+        let started = Instant::now();
+        let (deaths, rollbacks) = std::thread::scope(|scope| {
+            let array = &array;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut rng = default_rng(seed ^ (0xFA17 * (t as u64 + 1) + rep as u64));
+                        let mut deaths = 0u64;
+                        let mut rollbacks = 0u64;
+                        let mut orphans: Vec<Name> = Vec::new();
+                        let catching = |f: &mut dyn FnMut()| {
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+                        };
+                        for _ in 0..ops {
+                            let mut held: Option<Name> = None;
+                            match catching(&mut || {
+                                held = array.try_get(&mut rng).map(|got| got.name());
+                            }) {
+                                Ok(()) => {}
+                                Err(payload) => {
+                                    // A simulated death mid-acquisition held
+                                    // nothing; any other injected unwind
+                                    // rolled back.  Both cost one lost op.
+                                    if payload.downcast_ref::<la_fault::ThreadDeath>().is_some() {
+                                        deaths += 1;
+                                    } else {
+                                        rollbacks += 1;
+                                    }
+                                    continue;
+                                }
+                            }
+                            let Some(name) = held else { continue };
+                            loop {
+                                match catching(&mut || array.free(name)) {
+                                    Ok(()) => break,
+                                    Err(payload) => {
+                                        if payload.downcast_ref::<la_fault::ThreadDeath>().is_some()
+                                        {
+                                            // The client died holding a name:
+                                            // its successor inherits it as an
+                                            // orphan to sweep.
+                                            deaths += 1;
+                                            orphans.push(name);
+                                            break;
+                                        }
+                                        // `free` is all-or-nothing: retry.
+                                        rollbacks += 1;
+                                    }
+                                }
+                            }
+                            // The recovery sweep is part of the measured
+                            // path: a crash-robust client pays it inline.
+                            if orphans.len() >= 8 {
+                                while let Some(orphan) = orphans.last().copied() {
+                                    match catching(&mut || array.free(orphan)) {
+                                        Ok(()) => {
+                                            orphans.pop();
+                                        }
+                                        Err(payload) => {
+                                            if payload
+                                                .downcast_ref::<la_fault::ThreadDeath>()
+                                                .is_some()
+                                            {
+                                                deaths += 1;
+                                                break;
+                                            }
+                                            rollbacks += 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        // Final drain so the array ends each run empty.
+                        for orphan in orphans {
+                            loop {
+                                if catching(&mut || array.free(orphan)).is_ok() {
+                                    break;
+                                }
+                            }
+                        }
+                        (deaths, rollbacks)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fault-storm worker panicked"))
+                .fold((0u64, 0u64), |(d, r), (dd, rr)| (d + dd, r + rr))
+        });
+        runs.push(started.elapsed().as_secs_f64());
+        deaths_total += deaths;
+        rollbacks_total += rollbacks;
+        assert!(
+            array.collect().is_empty(),
+            "fault-storm cell leaked names between runs"
+        );
+    }
+    if armed {
+        la_fault::reset();
+    }
+    runs.sort_by(f64::total_cmp);
+    let elapsed_s = runs[runs.len() / 2];
+    let total_ops = ops * threads as u64;
+    let ops_per_s = if elapsed_s == 0.0 {
+        0.0
+    } else {
+        total_ops as f64 / elapsed_s
+    };
+
+    if let Some(sink) = sink.as_mut() {
+        sink.write(
+            &JsonRecord::new()
+                .field("key", format!("sweeps/fault/storm={mode}"))
+                .field("bench", "sweeps")
+                .field("algorithm", format!("FaultStorm({mode})"))
+                .field("threads", threads as u64)
+                .field("total_ops", total_ops)
+                .field("elapsed_s", elapsed_s)
+                .field("throughput", ops_per_s)
+                .field("deaths", deaths_total)
+                .field("rollbacks", rollbacks_total),
+        );
+    }
+    let mut fault_table = Table::new(&["mode", "threads", "ops/s", "deaths", "rollbacks"]);
+    fault_table.push_row(vec![
+        mode.into(),
+        threads.into(),
+        Cell::FloatPrec(ops_per_s, 0),
+        deaths_total.into(),
+        rollbacks_total.into(),
+    ]);
+    println!(
+        "## Crash-storm churn under panic guards (mode = {mode})\n\n{}",
+        fault_table.to_markdown()
     );
 }

@@ -117,8 +117,19 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(3.0);
 
+    // A missing baseline is the first run on a fresh machine, not an error:
+    // report, succeed, and let the caller's freshly recorded file *become*
+    // the baseline.  (A baseline that exists but cannot be parsed is still
+    // an error — silence there would mask corruption forever.)
     let baseline = match read_records(baseline_path) {
         Ok(records) => index_by_key(records),
+        Err(_) if !std::path::Path::new(baseline_path).exists() => {
+            println!(
+                "bench_diff: no baseline at {baseline_path} — recording only \
+                 (commit {current_path} there to start diffing)"
+            );
+            return ExitCode::SUCCESS;
+        }
         Err(e) => {
             eprintln!("bench_diff: {e}");
             return ExitCode::from(2);

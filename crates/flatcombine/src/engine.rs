@@ -20,14 +20,40 @@
 //! A record's `op` and `result` cells are plain `UnsafeCell`s (audited
 //! `CausalCell`s under the `la_loom` model checker) synchronized by
 //! the record's `state` atomic: the owner writes `op` *before* the release
-//! store of `PENDING`; the combiner's acquire load of `PENDING` therefore sees
-//! the operation, and its release store of `DONE` publishes the result it
+//! store of `PENDING`; the combiner *claims* the record with a
+//! `PENDING → CLAIMED` compare-exchange (acquire) and therefore sees the
+//! operation, and its release store of `DONE` publishes the result it
 //! wrote, which the owner picks up with an acquire load.  Only one combiner
 //! runs at a time (mutex), and the owner never touches the record between
 //! `PENDING` and `DONE`.
+//!
+//! # Crash robustness
+//!
+//! The `CLAIMED` intermediate state plus three rules make the engine safe
+//! under panics (including the injected kind — see `la_fault` and
+//! `docs/ROBUSTNESS.md`):
+//!
+//! * **A claimed record is always finished.**  The combiner catches a
+//!   panicking `apply`, deposits the payload *as the result*, and marks the
+//!   record `DONE`; the panic then re-raises in the owner's `execute` —
+//!   the operation's panic belongs to the operation's thread, and no owner
+//!   ever spins on a `CLAIMED` record whose combiner unwound.  (`apply`
+//!   should be panic-atomic on `S` if operations can panic; the engine
+//!   keeps the *protocol* consistent, not your structure's invariants.)
+//! * **A dead combiner hands off, it does not orphan the lock.**  A
+//!   combiner that unwinds *between* records poisons the mutex on release;
+//!   waiting sessions treat a poisoned lock as acquirable and the next
+//!   winner finishes the pass.
+//! * **A dead owner's record is quiesced before its slot is reused.**
+//!   [`Session`]'s drop cancels a still-`PENDING` record with a
+//!   `PENDING → EMPTY` compare-exchange (which cannot race a combiner —
+//!   claiming is also a CAS), waits out a transient `CLAIMED`, and discards
+//!   an uncollected `DONE` result, so the next thread to win the slot finds
+//!   a clean mailbox.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError, TryLockError};
 
+use la_fault::fail_point;
 use la_sync::atomic::{AtomicU32, Ordering};
 use la_sync::cell::CausalCell;
 
@@ -37,11 +63,15 @@ use levelarray::{ActivityArray, Name};
 const EMPTY: u32 = 0;
 const PENDING: u32 = 1;
 const DONE: u32 = 2;
+/// A combiner is between the claiming CAS and the `DONE` store.  Always
+/// transient: no panic can escape that window (see the module docs).
+const CLAIMED: u32 = 3;
 
 struct Record<Op, R> {
     state: AtomicU32,
     op: CausalCell<Option<Op>>,
-    result: CausalCell<Option<R>>,
+    /// `Err` carries a panic payload out of `apply` back to the owner.
+    result: CausalCell<Option<std::thread::Result<R>>>,
 }
 
 impl<Op, R> Record<Op, R> {
@@ -148,7 +178,13 @@ where
     /// operation.  Useful for reading aggregate state (e.g. a counter's value)
     /// outside any session.
     pub fn with_sequential<T>(&self, f: impl FnOnce(&S) -> T) -> T {
-        let guard = self.sequential.lock().expect("combiner lock poisoned");
+        // Poison-tolerant: a combiner that panicked between records left the
+        // sequential structure protocol-consistent (every claimed operation
+        // was finished), so the poison flag carries no information here.
+        let guard = self
+            .sequential
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         f(&guard)
     }
 
@@ -158,6 +194,9 @@ where
     }
 
     fn execute(&self, slot: Name, op: Op) -> R {
+        // Pre-publication site: a panic here leaves the record EMPTY, and
+        // the session's drop releases the slot — nothing to undo.
+        fail_point!("flatcombine::publish");
         let record = &self.records[slot.index()];
         // Publish the operation.
         // SAFETY: this thread owns `slot`, and the record is EMPTY or DONE
@@ -171,8 +210,21 @@ where
             if record.state.load(Ordering::Acquire) == DONE {
                 break;
             }
-            // Otherwise try to become the combiner.
-            if let Ok(mut seq) = self.sequential.try_lock() {
+            // Mid-wait site: a panic here abandons the published record —
+            // the session's drop cancels or drains it (see
+            // [`FlatCombining::quiesce`]).
+            fail_point!("flatcombine::await");
+            // Otherwise try to become the combiner.  A poisoned lock means
+            // the previous combiner died between records; the sequential
+            // structure is still protocol-consistent (a claimed record is
+            // always finished), so adopt the pass rather than wedging every
+            // participant forever.
+            let seq = match self.sequential.try_lock() {
+                Ok(guard) => Some(guard),
+                Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+                Err(TryLockError::WouldBlock) => None,
+            };
+            if let Some(mut seq) = seq {
                 self.combine(&mut seq);
                 // Our own record was registered, so it is DONE now.
                 debug_assert_eq!(record.state.load(Ordering::Acquire), DONE);
@@ -188,30 +240,97 @@ where
         // SAFETY: the DONE acquire load above synchronizes with the combiner's
         // release store, making its write to `result` visible; no combiner can
         // touch the record again until we re-publish.
-        record
+        let outcome = record
             .result
             .with_mut(|p| unsafe { (*p).take() })
-            .expect("combiner must deposit a result")
+            .expect("combiner must deposit a result");
+        match outcome {
+            Ok(result) => result,
+            // The operation panicked inside the combiner, which captured the
+            // payload instead of unwinding mid-pass; the panic belongs to
+            // the operation's thread, so it resumes here.
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 
     fn combine(&self, seq: &mut S) {
         self.combines.fetch_add(1, Ordering::Relaxed);
         for name in self.registry.collect() {
+            // Between-records site: a combiner dying here has claimed
+            // nothing, so the unwind (poisoning the mutex on release) hands
+            // the rest of the pass to the next lock winner.
+            fail_point!("flatcombine::combine::slice");
             let record = &self.records[name.index()];
-            if record.state.load(Ordering::Acquire) == PENDING {
-                // SAFETY: the PENDING acquire load synchronizes with the
-                // owner's release store, so the operation is visible; the
-                // owner will not touch the cells until we store DONE.
-                let op = record
-                    .op
-                    .with_mut(|p| unsafe { (*p).take() })
-                    .expect("pending record has an op");
-                let result = (self.apply)(seq, op);
-                // SAFETY: same protocol as the read above — the owner spins
-                // without touching the cells until the DONE release store
-                // below, and only one combiner runs at a time (mutex).
-                record.result.with_mut(|p| unsafe { *p = Some(result) });
-                record.state.store(DONE, Ordering::Release);
+            if record
+                .state
+                .compare_exchange(PENDING, CLAIMED, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            // SAFETY: winning the PENDING → CLAIMED exchange (acquire)
+            // synchronizes with the owner's release store, so the operation
+            // is visible, and neither the owner nor its cancel path touches
+            // a CLAIMED record's cells.
+            let op = record
+                .op
+                .with_mut(|p| unsafe { (*p).take() })
+                .expect("claimed record has an op");
+            // From the claim to the DONE store the combiner must not unwind:
+            // the owner would spin on CLAIMED forever.  Capture a panicking
+            // operation and deposit the payload as its result.
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.apply)(seq, op)));
+            // SAFETY: same protocol as the claim above — the owner spins
+            // without touching the cells until the DONE release store
+            // below, and only one combiner runs at a time (mutex).
+            record.result.with_mut(|p| unsafe { *p = Some(result) });
+            record.state.store(DONE, Ordering::Release);
+        }
+    }
+}
+
+impl<S, Op, R> FlatCombining<S, Op, R> {
+    /// Brings `slot`'s record back to `EMPTY` before the slot is released.
+    ///
+    /// On the normal path the record is already `EMPTY` and this is a single
+    /// load.  A session dropped during unwind may instead leave the record
+    /// mid-protocol:
+    ///
+    /// * `PENDING` — the operation was never picked up: cancel it with a
+    ///   `PENDING → EMPTY` exchange (which cannot race a combiner, whose
+    ///   claim is also a CAS) and drop the never-run operation;
+    /// * `CLAIMED` — a combiner is applying the operation right now: wait
+    ///   for `DONE` (always transient — see the module docs);
+    /// * `DONE` — the operation ran but nobody collected the result:
+    ///   discard it.
+    fn quiesce(&self, slot: Name) {
+        let record = &self.records[slot.index()];
+        loop {
+            match record.state.load(Ordering::Acquire) {
+                EMPTY => return,
+                DONE => {
+                    // SAFETY: the DONE acquire load synchronizes with the
+                    // combiner's release store; the slot is still ours, so
+                    // nobody re-publishes concurrently.
+                    record.result.with_mut(|p| unsafe { (*p).take() });
+                    record.state.store(EMPTY, Ordering::Relaxed);
+                    return;
+                }
+                PENDING => {
+                    if record
+                        .state
+                        .compare_exchange(PENDING, EMPTY, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        // SAFETY: the cancel CAS won against any claiming
+                        // combiner, so the cells are exclusively ours.
+                        record.op.with_mut(|p| unsafe { (*p).take() });
+                        return;
+                    }
+                    // Lost to a claiming combiner: loop into CLAIMED.
+                }
+                _ => la_sync::thread::yield_now(),
             }
         }
     }
@@ -248,6 +367,12 @@ where
 
 impl<S, Op, R> Drop for Session<'_, S, Op, R> {
     fn drop(&mut self) {
+        // Quiesce before free: a drop during unwind may find the record
+        // mid-protocol, and the next owner of this slot must get a clean
+        // mailbox.  Fault injection is suppressed — this is the recovery
+        // path.
+        let _quiet = la_fault::suppress();
+        self.fc.quiesce(self.slot);
         self.fc.registry.free(self.slot);
     }
 }

@@ -157,7 +157,15 @@ pub struct LevelArrayConfig {
     free_hint: bool,
     shard_group: usize,
     shrink_watermark: Option<f64>,
+    lease_ms: Option<u64>,
+    stuck_pin_threshold_ms: u64,
 }
+
+/// Default stuck-pin watchdog threshold (see
+/// [`LevelArrayConfig::stuck_pin_threshold_ms`]): a pin stuck for a full
+/// second is pathological on any schedule a healthy client runs — normal
+/// pins live for one `Get`/`Free`/`Collect`, i.e. microseconds.
+pub const DEFAULT_STUCK_PIN_THRESHOLD_MS: u64 = 1000;
 
 /// The committed default shard-group size for
 /// [`LevelArrayConfig::hierarchical`]: the per-group contention bound at
@@ -196,6 +204,8 @@ impl LevelArrayConfig {
             free_hint: false,
             shard_group: 0,
             shrink_watermark: None,
+            lease_ms: None,
+            stuck_pin_threshold_ms: DEFAULT_STUCK_PIN_THRESHOLD_MS,
         }
     }
 
@@ -355,6 +365,43 @@ impl LevelArrayConfig {
     /// The shrink watermark, if elastic shrink is enabled.
     pub fn shrink_watermark_value(&self) -> Option<f64> {
         self.shrink_watermark
+    }
+
+    /// Enables the heartbeat/lease layer with the given lease duration: a
+    /// [`crate::lease::LeaseRegistry`] built from this configuration
+    /// quarantines names whose holder has not heartbeat within `lease_ms`
+    /// milliseconds, and reclaims them one sweep later (see
+    /// `docs/ROBUSTNESS.md`).  Off by default — the lease layer costs one
+    /// map entry and one timestamp store per heartbeat, and most
+    /// deployments have supervised clients that never crash-leak.  A value
+    /// of `0` is treated as disabled.
+    #[must_use = "builder methods return the updated configuration"]
+    pub fn lease_ms(mut self, lease_ms: u64) -> Self {
+        self.lease_ms = if lease_ms == 0 { None } else { Some(lease_ms) };
+        self
+    }
+
+    /// The lease duration, if the heartbeat/lease layer is enabled.
+    pub fn lease_ms_value(&self) -> Option<u64> {
+        self.lease_ms
+    }
+
+    /// Sets the stuck-pin watchdog threshold (default
+    /// [`DEFAULT_STUCK_PIN_THRESHOLD_MS`]): when an elastic array's
+    /// retirement grace observation fails *and* the oldest active chain pin
+    /// is at least this old, the array stops hammering retirement and
+    /// defers it (and shrink) under a capped exponential backoff instead of
+    /// livelocking against a wedged reader.  See
+    /// [`crate::ElasticLevelArray::robustness_report`].
+    #[must_use = "builder methods return the updated configuration"]
+    pub fn stuck_pin_threshold_ms(mut self, threshold_ms: u64) -> Self {
+        self.stuck_pin_threshold_ms = threshold_ms;
+        self
+    }
+
+    /// The stuck-pin watchdog threshold in milliseconds.
+    pub fn stuck_pin_threshold_ms_value(&self) -> u64 {
+        self.stuck_pin_threshold_ms
     }
 
     /// The hierarchical preset: elastic epochs sharded into groups of

@@ -101,18 +101,24 @@
 //! `Free` and `Collect` never block on a shrink any more than on a grow —
 //! both are one CAS on the chain head.
 
+use la_fault::fail_point;
 use la_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+// Watchdog bookkeeping (backoff deadlines, deferred-work counters) uses
+// plain std atomics: it is advisory diagnostics, never part of the
+// retirement safety argument, and must stay invisible to the loom model.
+use std::sync::atomic::{AtomicU32 as StdAtomicU32, AtomicU64 as StdAtomicU64};
 
 use larng::RandomSource;
 
 use crate::array::{Acquired, ActivityArray};
 use crate::backend::CellBackend;
 use crate::config::{ConfigError, GrowthPolicy, LevelArrayConfig};
-use crate::epoch_chain::{ChainNode, ChainPin, EpochChain};
+use crate::epoch_chain::{now_ms, ChainNode, ChainPin, EpochChain};
 use crate::geometry::BatchGeometry;
 use crate::name::Name;
 use crate::occupancy::{OccupancySnapshot, Region, RegionOccupancy};
+use crate::robust::RobustnessReport;
 use crate::topology::{HomePool, Topology};
 
 /// One generation of the elastic chain: a storage backend plus its identity.
@@ -276,7 +282,25 @@ pub struct ElasticLevelArray {
     /// patience window opens a smaller epoch (see
     /// [`ElasticLevelArray::try_shrink`]).
     low_streak: AtomicUsize,
+    /// Stuck-pin watchdog threshold
+    /// ([`LevelArrayConfig::stuck_pin_threshold_ms`]): a failed grace
+    /// observation whose oldest pin is at least this old arms the backoff.
+    watchdog_threshold_ms: u64,
+    /// [`now_ms`] deadline until which retirement and shrink defer (0 = no
+    /// backoff armed).  See [`ElasticLevelArray::robustness_report`].
+    backoff_until: StdAtomicU64,
+    /// Consecutive stuck-grace failures; exponent of the capped backoff.
+    backoff_exp: StdAtomicU32,
+    /// Shrink attempts skipped while the watchdog backoff was armed.
+    deferred_shrinks: StdAtomicU64,
+    /// Retirement passes skipped while the watchdog backoff was armed.
+    deferred_retirements: StdAtomicU64,
 }
+
+/// Cap on the watchdog's exponential backoff: retirement and shrink are
+/// never deferred more than ~1 second at a time, so a pin that finally
+/// drops is noticed promptly no matter how long it was stuck.
+const MAX_BACKOFF_MS: u64 = 1024;
 
 impl ElasticLevelArray {
     /// Creates an elastic array whose initial epoch uses the paper's default
@@ -341,6 +365,11 @@ impl ElasticLevelArray {
             home_pool: Arc::new(HomePool::new(topology)),
             shrink_watermark: config.shrink_watermark_value(),
             low_streak: AtomicUsize::new(0),
+            watchdog_threshold_ms: config.stuck_pin_threshold_ms_value(),
+            backoff_until: StdAtomicU64::new(0),
+            backoff_exp: StdAtomicU32::new(0),
+            deferred_shrinks: StdAtomicU64::new(0),
+            deferred_retirements: StdAtomicU64::new(0),
         })
     }
 
@@ -468,6 +497,10 @@ impl ElasticLevelArray {
     pub fn try_get<R: RandomSource + ?Sized>(&self, rng: &mut R) -> Option<Acquired> {
         let mut probes = 0u32;
         let pin = self.chain.pin();
+        // Post-pin, pre-win: an unwind here drops the pin (count stays
+        // exact) with nothing acquired; a *pause* here is the deterministic
+        // stuck pin the watchdog suites wedge retirement with.
+        fail_point!("elastic::pinned_get");
         if self.free_hint {
             if let Some(hinted) = crate::hint::take(self.array_id) {
                 if let Some(got) = Self::hint_acquire(&pin, hinted) {
@@ -484,7 +517,7 @@ impl ElasticLevelArray {
             let newest = observed.value();
             if !newest.is_sealed() {
                 match newest.backend.try_get(rng, self.home_for(newest)) {
-                    Some(local) => return Some(Self::tag(newest, local, probes)),
+                    Some(local) => return Some(Self::tag_guarded(newest, local, probes)),
                     None => probes += newest.backend.exhausted_probe_count(),
                 }
             }
@@ -505,7 +538,7 @@ impl ElasticLevelArray {
                     continue;
                 }
                 match cell.backend.try_get(rng, self.home_for(cell)) {
-                    Some(local) => return Some(Self::tag(cell, local, probes)),
+                    Some(local) => return Some(Self::tag_guarded(cell, local, probes)),
                     None => probes += cell.backend.exhausted_probe_count(),
                 }
             }
@@ -534,12 +567,41 @@ impl ElasticLevelArray {
         k: usize,
         out: &mut Vec<Acquired>,
     ) -> usize {
+        let before_all = out.len();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.get_many_inner(rng, k, out)
+        }));
+        match result {
+            Ok(won) => won,
+            Err(payload) => {
+                // A panic mid-batch leaves fully tagged wins from earlier
+                // cells in `out` (the per-cell handler in `serve_cell`
+                // already rolled back the cell that was mid-flight).  Free
+                // them through the full elastic path — held counters
+                // included — so the unwind leaks nothing.
+                let _quiet = la_fault::suppress();
+                let wins: Vec<Name> = out.drain(before_all..).map(|got| got.name()).collect();
+                for name in wins {
+                    ActivityArray::free(self, name);
+                }
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+
+    fn get_many_inner<R: RandomSource + ?Sized>(
+        &self,
+        rng: &mut R,
+        k: usize,
+        out: &mut Vec<Acquired>,
+    ) -> usize {
         if k == 0 {
             return 0;
         }
         let mut acquired = 0usize;
         let mut probes = 0u32;
         let pin = self.chain.pin();
+        fail_point!("elastic::pinned_get");
         if self.free_hint {
             if let Some(hinted) = crate::hint::take(self.array_id) {
                 if let Some(got) = Self::hint_acquire(&pin, hinted) {
@@ -555,20 +617,7 @@ impl ElasticLevelArray {
             let observed = pin.head();
             let newest = observed.value();
             if !newest.is_sealed() {
-                let before = out.len();
-                let won = newest.backend.try_get_many(
-                    rng,
-                    self.home_for(newest),
-                    k - acquired,
-                    &mut probes,
-                    out,
-                );
-                // The core already threads the shared accumulator through
-                // every win's probe count, so the tag adds no base probes.
-                for got in &mut out[before..] {
-                    *got = Self::tag(newest, *got, 0);
-                }
-                acquired += won;
+                acquired += self.serve_cell(newest, rng, k - acquired, &mut probes, out);
                 if acquired == k {
                     return k;
                 }
@@ -586,23 +635,66 @@ impl ElasticLevelArray {
                 if cell.is_sealed() {
                     continue;
                 }
-                let before = out.len();
-                let won = cell.backend.try_get_many(
-                    rng,
-                    self.home_for(cell),
-                    k - acquired,
-                    &mut probes,
-                    out,
-                );
-                for got in &mut out[before..] {
-                    *got = Self::tag(cell, *got, 0);
-                }
-                acquired += won;
+                acquired += self.serve_cell(cell, rng, k - acquired, &mut probes, out);
                 if acquired == k {
                     return k;
                 }
             }
             return acquired;
+        }
+    }
+
+    /// One cell's slice of a batched `Get`: run the cell's batched kernel,
+    /// then epoch-tag each win (the core already threads the shared probe
+    /// accumulator through every win's count, so the tag adds no base
+    /// probes).  Unwind-safe: a panic mid-slice — from the kernel (which
+    /// rolls back its own wins) or between tags — frees this cell's wins
+    /// and squares its held counter before resuming, so the caller's `out`
+    /// only ever holds this cell's *fully tagged* acquisitions plus intact
+    /// earlier cells' entries.
+    fn serve_cell<R: RandomSource + ?Sized>(
+        &self,
+        cell: &EpochCell,
+        rng: &mut R,
+        want: usize,
+        probes: &mut u32,
+        out: &mut Vec<Acquired>,
+    ) -> usize {
+        let before = out.len();
+        // Survives the unwind (unlike closure locals): how many wins were
+        // tagged — and held-counted — before the panic.
+        let tagged = std::cell::Cell::new(0usize);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let won = cell
+                .backend
+                .try_get_many(rng, self.home_for(cell), want, probes, out);
+            for got in &mut out[before..] {
+                fail_point!("elastic::tag_many");
+                *got = Self::tag(cell, *got, 0);
+                tagged.set(tagged.get() + 1);
+            }
+            won
+        }));
+        match result {
+            Ok(won) => won,
+            Err(payload) => {
+                let _quiet = la_fault::suppress();
+                let t = tagged.get();
+                // Tail first: wins the kernel claimed but the tag loop never
+                // reached — epoch-local names, no held accounting yet.
+                for got in out.drain(before + t..) {
+                    cell.backend.free(Name::new(got.name().index()));
+                }
+                // Then the tagged prefix: strip the epoch tag back off and
+                // undo the held increments in one step.
+                for got in out.drain(before..) {
+                    cell.backend.free(Name::new(got.name().index()));
+                }
+                if t > 0 {
+                    cell.held.fetch_sub(t, Ordering::SeqCst);
+                }
+                std::panic::resume_unwind(payload)
+            }
         }
     }
 
@@ -633,6 +725,17 @@ impl ElasticLevelArray {
     /// observation catches the structure between operations.  The newest
     /// epoch is never retired (the chain always keeps one serving cell).
     pub fn try_retire(&self) -> usize {
+        // Stuck-pin watchdog: while the backoff deadline is armed, skip the
+        // pass entirely — hammering grace observations against a pin that
+        // has not moved for `watchdog_threshold_ms` is a livelock, not
+        // progress.  Deferring is always safe (retirement is best-effort);
+        // the re-armed maintenance flag retries once the deadline passes.
+        if self.watchdog_deferring() {
+            self.deferred_retirements
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.maintenance_pending.store(true, Ordering::SeqCst);
+            return 0;
+        }
         // Phase 1 (pinned): seal-claim every apparently-drained old cell.
         // The Arc clones keep the cells reachable after the pin drops.
         // Candidates another retirement pass already owns count as
@@ -652,6 +755,24 @@ impl ElasticLevelArray {
                 }
             }
         }
+        // A retirer that dies holding seals would orphan its candidate
+        // epochs — sealed cells serve no Gets and nobody else can claim
+        // them.  The guard unseals everything still claimed if this pass
+        // unwinds; on the normal paths the explicit unseals/unlinks below
+        // run first and a (then-redundant) unseal of an unlinked cell is a
+        // harmless store into an unreachable node.
+        struct UnsealOnUnwind<'a>(&'a [Arc<EpochCell>]);
+        impl Drop for UnsealOnUnwind<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    for cell in self.0 {
+                        cell.unseal();
+                    }
+                }
+            }
+        }
+        let _unseal_guard = UnsealOnUnwind(&claimed);
+        fail_point!("elastic::retire::sealed");
         if claimed.is_empty() {
             return self.finish_maintenance(0, unclaimed, false);
         }
@@ -661,9 +782,11 @@ impl ElasticLevelArray {
             for cell in &claimed {
                 cell.unseal();
             }
+            self.note_grace_failure();
             // Our candidates are still drained; a later pass must retry.
             return self.finish_maintenance(0, unclaimed, true);
         }
+        self.note_grace_success();
         // Phase 3: the definitive census.  No new registration can reach a
         // sealed cell now, so a zero scan is a proof of quiescence.
         let mut confirmed: Vec<usize> = Vec::new();
@@ -725,6 +848,106 @@ impl ElasticLevelArray {
             self.maintenance_pending.store(true, Ordering::SeqCst);
         }
         retired
+    }
+
+    /// Whether the stuck-pin watchdog's backoff deadline is still in the
+    /// future — retirement passes and shrinks defer while it is.
+    fn watchdog_deferring(&self) -> bool {
+        now_ms()
+            < self
+                .backoff_until
+                .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// A grace observation failed.  If the oldest active pin has been stuck
+    /// for at least the watchdog threshold, arm (or extend) the capped
+    /// exponential backoff: 1ms, 2ms, … up to [`MAX_BACKOFF_MS`] per
+    /// consecutive stuck failure.  `fetch_max` so a racing pass never
+    /// *shortens* an armed deadline.  Failures against young pins — routine
+    /// contention — never back off.
+    ///
+    /// This is the watchdog's entire authority: it decides when *not* to
+    /// run retirement.  It never unseals, never unlinks, and never touches
+    /// the grace protocol itself, so a stuck (or merely slow) pinner can
+    /// delay reclamation but can never have a live epoch unlinked from
+    /// under it — `tests/panic_safety.rs` holds a paused pinner across
+    /// retirement attempts to pin that property down.
+    fn note_grace_failure(&self) {
+        let Some(age) = self.chain.oldest_pin_age_ms() else {
+            return;
+        };
+        if age < self.watchdog_threshold_ms {
+            return;
+        }
+        let exp = self
+            .backoff_exp
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            .min(10);
+        let delay = (1u64 << exp).min(MAX_BACKOFF_MS);
+        self.backoff_until
+            .fetch_max(now_ms() + delay, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The shared tail of `free`/`free_many`: the watermark-triggered
+    /// shrink, then the deferred-retirement claim.  Crash-isolated — by the
+    /// time this runs the caller's Free has fully completed, so an
+    /// *injected* fault inside the best-effort maintenance must not
+    /// propagate and make the Free look failed (the caller would retry and
+    /// double-free).  The maintenance flag is re-armed instead, so later
+    /// traffic finishes the pass.  Genuine panics (assertion failures, not
+    /// `la_fault` payloads) still propagate.
+    fn run_free_maintenance(&self, shrink_ready: bool, drained_old_epoch: bool) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if shrink_ready {
+                self.try_shrink();
+                self.low_streak.store(0, Ordering::Relaxed);
+            }
+            if self.auto_retire {
+                let claimed_maintenance = drained_old_epoch
+                    || self
+                        .maintenance_pending
+                        .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok();
+                if claimed_maintenance {
+                    self.try_retire();
+                }
+            }
+        }));
+        if let Err(payload) = result {
+            if !la_fault::is_injected(payload.as_ref()) {
+                std::panic::resume_unwind(payload);
+            }
+            self.maintenance_pending.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// A grace observation succeeded: pins are draining normally, so any
+    /// armed backoff is stale.  Disarm it and reset the exponent.
+    fn note_grace_success(&self) {
+        self.backoff_exp
+            .store(0, std::sync::atomic::Ordering::Relaxed);
+        self.backoff_until
+            .store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// A snapshot of the array's liveness-degradation state: the oldest
+    /// active pin's age, and how many retirement passes and shrinks the
+    /// stuck-pin watchdog has deferred.  The orphan/quarantine counters are
+    /// zero here — they belong to the lease layer
+    /// ([`crate::lease::LeaseRegistry::robustness_report`] merges both
+    /// views).
+    pub fn robustness_report(&self) -> RobustnessReport {
+        RobustnessReport {
+            orphaned_reclaimed: 0,
+            quarantined: 0,
+            oldest_pin_age_ms: self.chain.oldest_pin_age_ms(),
+            deferred_shrinks: self
+                .deferred_shrinks
+                .load(std::sync::atomic::Ordering::Relaxed),
+            deferred_retirements: self
+                .deferred_retirements
+                .load(std::sync::atomic::Ordering::Relaxed),
+        }
     }
 
     /// Whether any deferred maintenance exists right now: a drained
@@ -808,6 +1031,31 @@ impl ElasticLevelArray {
     /// Whether `free` arms the per-thread Free→Get hint cache.
     pub fn free_hint_enabled(&self) -> bool {
         self.free_hint
+    }
+
+    /// [`ElasticLevelArray::tag`] with the singleton `Get`'s crash window
+    /// instrumented: between the backend win and the tag the name exists
+    /// nowhere the caller can see, so an unwind there (the `elastic::tag`
+    /// failpoint) must release the backend slot again — the guard's drop
+    /// does exactly that.  `tag` itself cannot unwind (a `fetch_add` and
+    /// field copies), so once it runs the held accounting is always exact.
+    fn tag_guarded(cell: &EpochCell, local: Acquired, base_probes: u32) -> Acquired {
+        struct BackendWin<'a> {
+            cell: &'a EpochCell,
+            local: Name,
+        }
+        impl Drop for BackendWin<'_> {
+            fn drop(&mut self) {
+                self.cell.backend.free(self.local);
+            }
+        }
+        let guard = BackendWin {
+            cell,
+            local: local.name(),
+        };
+        fail_point!("elastic::tag");
+        std::mem::forget(guard);
+        Self::tag(cell, local, base_probes)
     }
 
     /// Tags a core-local acquisition with its epoch and the probes charged so
@@ -914,6 +1162,14 @@ impl ElasticLevelArray {
     /// initial bound.
     pub fn try_shrink(&self) -> bool {
         if !matches!(self.growth, GrowthPolicy::Doubling { .. }) {
+            return false;
+        }
+        // Watchdog backoff: a shrink publishes yet another epoch while a
+        // stuck pin is already wedging retirement — the chain would only
+        // grow.  Defer until the backoff deadline passes.
+        if self.watchdog_deferring() {
+            self.deferred_shrinks
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return false;
         }
         let initial = self.base.max_concurrency_value();
@@ -1050,6 +1306,13 @@ impl ActivityArray for ElasticLevelArray {
     }
 
     fn free(&self, name: Name) {
+        // Pre-effect: an unwind here means the Free never happened — the
+        // caller still holds the name and can safely retry.  Past this
+        // point the release either completes in full or (an injected fault
+        // inside the backend) unwinds before the slot bit clears; the held
+        // decrement and the release sit in the same pinned block with no
+        // fault site between them.
+        fail_point!("elastic::free");
         let (drained_old_epoch, shrink_ready) = {
             let pin = self.chain.pin();
             let cell = Self::cell_for(&pin, name);
@@ -1089,20 +1352,7 @@ impl ActivityArray for ElasticLevelArray {
         // oversized epoch — now non-newest — can retire in this same call.
         // The streak restarts either way; on a lost race the winner already
         // restarted the clock by publishing.
-        if shrink_ready {
-            self.try_shrink();
-            self.low_streak.store(0, Ordering::Relaxed);
-        }
-        if self.auto_retire {
-            let claimed_maintenance = drained_old_epoch
-                || self
-                    .maintenance_pending
-                    .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
-                    .is_ok();
-            if claimed_maintenance {
-                self.try_retire();
-            }
-        }
+        self.run_free_maintenance(shrink_ready, drained_old_epoch);
     }
 
     /// The batched `Free`: ONE chain pin and one epoch-tag decode (cell
@@ -1123,6 +1373,9 @@ impl ActivityArray for ElasticLevelArray {
         if names.is_empty() {
             return;
         }
+        // Pre-effect, like the singleton free: an unwind here released
+        // nothing and the caller retries the whole batch.
+        fail_point!("elastic::free_many");
         let (drained_old_epoch, shrink_ready) = {
             let pin = self.chain.pin();
             let mut sorted = names.to_vec();
@@ -1154,23 +1407,10 @@ impl ActivityArray for ElasticLevelArray {
                 crate::hint::record(self.array_id, last);
             }
         }
-        if shrink_ready {
-            self.try_shrink();
-            self.low_streak.store(0, Ordering::Relaxed);
-        }
         // ONE deferred retirement claim for the whole batch: a batch that
         // drained any old epoch (or claims the pending flag) runs a single
         // try_retire pass, not one per name.
-        if self.auto_retire {
-            let claimed_maintenance = drained_old_epoch
-                || self
-                    .maintenance_pending
-                    .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
-                    .is_ok();
-            if claimed_maintenance {
-                self.try_retire();
-            }
-        }
+        self.run_free_maintenance(shrink_ready, drained_old_epoch);
     }
 
     fn route_hint(&self, participant: usize) {

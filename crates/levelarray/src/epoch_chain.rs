@@ -72,11 +72,32 @@
 //! assert_eq!(chain.pending_garbage(), 0);
 //! ```
 
+use la_fault::fail_point;
 use la_sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::cell::Cell;
 use std::fmt;
 use std::ptr;
 use std::sync::Arc;
+
+/// Milliseconds since an arbitrary process-local anchor — the advisory
+/// clock behind stuck-pin ages and watchdog backoff deadlines.  Monotonic,
+/// cheap, and deliberately *not* routed through `la_sync`: the timestamps
+/// are diagnostics, not synchronization, so the loom model never sees them.
+#[cfg(not(miri))]
+pub(crate) fn now_ms() -> u64 {
+    use std::time::Instant;
+    static ANCHOR: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    let anchor = *ANCHOR.get_or_init(Instant::now);
+    u64::try_from(anchor.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// Miri's isolation mode forbids `Instant::now`; a ticking counter keeps
+/// the ages monotonic (every read advances time by 1ms) without it.
+#[cfg(miri)]
+pub(crate) fn now_ms() -> u64 {
+    static TICKS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    TICKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
 
 /// Default number of pin stripes (see [`EpochChain::with_stripes`]).
 pub const DEFAULT_PIN_STRIPES: usize = 16;
@@ -108,6 +129,11 @@ fn thread_token() -> usize {
 #[repr(align(128))]
 struct PinStripe {
     active: AtomicUsize,
+    /// [`now_ms`] stamp of the stripe's last idle→busy transition; only
+    /// meaningful while `active > 0`.  A plain std atomic on purpose — it
+    /// feeds the advisory stuck-pin watchdog, plays no part in the grace
+    /// protocol, and must stay invisible to the loom model.
+    busy_since: std::sync::atomic::AtomicU64,
 }
 
 /// One immutable link of the chain: a value plus the [`Arc`] link to the
@@ -251,6 +277,7 @@ impl<T> EpochChain<T> {
             stripes: (0..stripes)
                 .map(|_| PinStripe {
                     active: AtomicUsize::new(0),
+                    busy_since: std::sync::atomic::AtomicU64::new(0),
                 })
                 .collect(),
             garbage: AtomicPtr::new(ptr::null_mut()),
@@ -265,11 +292,38 @@ impl<T> EpochChain<T> {
     #[must_use = "the guard is the protection; dropping it immediately unpins"]
     pub fn pin(&self) -> ChainPin<'_, T> {
         let stripe = thread_token() % self.stripes.len();
-        self.stripes[stripe].active.fetch_add(1, Ordering::SeqCst);
-        ChainPin {
+        if self.stripes[stripe].active.fetch_add(1, Ordering::SeqCst) == 0 {
+            // Idle→busy: stamp the stripe so the watchdog can age it.  The
+            // store may race another pin on the same stripe; either stamp is
+            // a valid lower bound on how long the stripe has been busy.
+            self.stripes[stripe]
+                .busy_since
+                .store(now_ms(), std::sync::atomic::Ordering::Relaxed);
+        }
+        let guard = ChainPin {
             chain: self,
             stripe,
-        }
+        };
+        // After guard construction on purpose: if the fault unwinds, the
+        // guard's drop undoes the fetch_add and the pin count stays exact.
+        fail_point!("epoch_chain::pinned");
+        guard
+    }
+
+    /// Age in milliseconds of the oldest currently-active pin stripe, or
+    /// `None` when no pins are active.  Advisory: the answer is a snapshot
+    /// racing live pin/unpin traffic and over-approximates per stripe (a
+    /// stripe's age is measured from its idle→busy transition, which may
+    /// predate the oldest pin still held on it).  The stuck-pin watchdog
+    /// only uses it to decide *when to back off*, never to justify an
+    /// unlink — safety always comes from the grace-period observation.
+    pub fn oldest_pin_age_ms(&self) -> Option<u64> {
+        let now = now_ms();
+        self.stripes
+            .iter()
+            .filter(|s| s.active.load(Ordering::SeqCst) > 0)
+            .map(|s| now.saturating_sub(s.busy_since.load(std::sync::atomic::Ordering::Relaxed)))
+            .max()
     }
 
     /// Whether every pin stripe currently reads zero — the grace-period
@@ -299,6 +353,9 @@ impl<T> EpochChain<T> {
         // ping-pong that cache line across threads for zero freed
         // snapshots).  Neither load is part of the safety argument; the
         // post-pop observation below remains the gate.
+        // Pre-effect: an unwind here has popped nothing, so no snapshot is
+        // ever stranded half-collected.
+        fail_point!("epoch_chain::collect");
         if self.garbage.load(Ordering::SeqCst).is_null() || !self.no_active_pins() {
             return 0;
         }
@@ -432,6 +489,9 @@ impl<'c, T> ChainPin<'c, T> {
     /// their cell and route into the winner's").
     #[must_use = "a false return means the value was discarded; the caller must re-read the head"]
     pub fn try_push(&self, expected: &ChainNode<T>, value: T) -> bool {
+        // Pre-CAS: an unwind here drops `value` before anything is
+        // published, which is exactly the losing-CAS cleanup path.
+        fail_point!("epoch_chain::push");
         let expected_ptr = (expected as *const ChainNode<T>).cast_mut();
         // Re-load the head rather than using the reference-derived pointer
         // for the `Arc` bookkeeping below: the atomic holds a pointer minted

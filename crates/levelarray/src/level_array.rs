@@ -184,7 +184,24 @@ impl LevelArray {
             }
         }
         let mut probes = 0u32;
-        acquired + self.core.try_get_many(rng, k - acquired, &mut probes, out)
+        if acquired == 0 {
+            return self.core.try_get_many(rng, k, &mut probes, out);
+        }
+        // A hint win is already in `out`; if the batched kernel panics it
+        // rolls back its own wins (see [`ProbeCore::try_get_many`]), but the
+        // hint win would leak.  Free it too so the batch stays
+        // all-or-nothing.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.core.try_get_many(rng, k - 1, &mut probes, out)
+        })) {
+            Ok(won) => 1 + won,
+            Err(payload) => {
+                let _quiet = la_fault::suppress();
+                let hinted = out.pop().expect("the hint win was just pushed");
+                ActivityArray::free(self, hinted.name());
+                std::panic::resume_unwind(payload)
+            }
+        }
     }
 
     /// Registers through the monomorphized hot path, panicking if the

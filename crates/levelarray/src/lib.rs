@@ -87,11 +87,13 @@ pub mod config;
 pub mod elastic;
 pub mod epoch_chain;
 pub mod geometry;
+pub mod lease;
 pub mod name;
 pub mod occupancy;
 pub mod packed;
 pub mod probe_core;
 pub mod registry;
+pub mod robust;
 pub mod sharded;
 pub mod slot;
 pub mod stats;
@@ -105,12 +107,14 @@ pub use array::{Acquired, ActivityArray, Registration};
 pub use config::{ConfigError, GrowthPolicy, LevelArrayConfig, ProbePolicy};
 pub use elastic::ElasticLevelArray;
 pub use epoch_chain::{ChainNode, ChainPin, ChainRace, EpochChain};
+pub use lease::{Lease, LeaseRegistry};
 pub use level_array::LevelArray;
 pub use name::Name;
 pub use occupancy::{OccupancySnapshot, Region, RegionOccupancy};
 pub use packed::PackedSlots;
 pub use probe_core::ProbeCore;
 pub use registry::ThreadRegistry;
+pub use robust::RobustnessReport;
 pub use sharded::ShardedLevelArray;
 pub use slot::{SlotLayout, TasKind};
 pub use stats::{GetStats, StatsSummary};

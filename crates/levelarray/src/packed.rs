@@ -30,6 +30,7 @@
 //! kept as `*_scalar` oracles that the differential tests (and the
 //! `collect-scalar` bench reference cell) run against.
 
+use la_fault::fail_point;
 use la_sync::atomic::{AtomicU64, Ordering};
 use std::ops::Range;
 
@@ -156,6 +157,9 @@ impl PackedSlots {
     #[inline]
     pub fn try_acquire(&self, idx: usize, kind: TasKind) -> bool {
         debug_assert!(idx < self.len, "slot index {idx} out of range {}", self.len);
+        // Pre-RMW on purpose: a fault here unwinds before the bit is set, so
+        // there is never a claimed-but-unreported slot at this layer.
+        fail_point!("packed::try_acquire");
         let (word, bit) = Self::split(idx);
         if kind == TasKind::CompareExchange && self.words[word].load(Ordering::Acquire) & bit != 0 {
             return false;
@@ -220,6 +224,9 @@ impl PackedSlots {
         if k == 0 || range.start >= range.end {
             return 0;
         }
+        // Pre-RMW, like `try_acquire`: every reported win happens strictly
+        // after this point, so an unwind here claims nothing.
+        fail_point!("packed::claim_word");
         debug_assert!(range.end <= self.len, "range {range:?} out of {}", self.len);
         debug_assert!(
             range.start / BITS == (range.end - 1) / BITS,

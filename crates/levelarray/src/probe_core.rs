@@ -26,6 +26,7 @@
 
 use std::ops::Range;
 
+use la_fault::fail_point;
 use larng::RandomSource;
 
 use crate::array::Acquired;
@@ -343,6 +344,30 @@ impl SlotSlab {
     }
 }
 
+/// Unwind protection for the window between winning a slot's test-and-set
+/// and handing the [`Acquired`] to the caller.  If anything in that window
+/// panics (in practice: an injected fault under `--cfg la_fault`), the
+/// guard's drop releases the slot again so the unwind leaks nothing; the
+/// happy path defuses it, which compiles to nothing.
+struct WinGuard<'a> {
+    slab: &'a SlotSlab,
+    idx: usize,
+}
+
+impl WinGuard<'_> {
+    #[inline]
+    fn defuse(self) {
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for WinGuard<'_> {
+    fn drop(&mut self) {
+        let released = self.slab.release(self.idx);
+        debug_assert!(released, "win guard rolled back a slot nobody held");
+    }
+}
+
 /// One slab of probeable slots: a batched main array plus an optional
 /// sequential backup array, with the probing strategy of the paper's `Get`.
 ///
@@ -485,6 +510,14 @@ impl ProbeCore {
                 probes += 1;
                 let idx = range.start + rng.gen_index(len);
                 if self.main.try_acquire(idx, self.tas_kind) {
+                    // Won-but-not-returned is the canonical crash window: a
+                    // panic here must roll the slot back or it leaks forever.
+                    let guard = WinGuard {
+                        slab: &self.main,
+                        idx,
+                    };
+                    fail_point!("probe_core::win");
+                    guard.defuse();
                     return Some(Acquired::new(Name::new(idx), probes, Some(batch), false));
                 }
             }
@@ -493,6 +526,12 @@ impl ProbeCore {
         for offset in 0..self.backup.len() {
             probes += 1;
             if self.backup.try_acquire(offset, self.tas_kind) {
+                let guard = WinGuard {
+                    slab: &self.backup,
+                    idx: offset,
+                };
+                fail_point!("probe_core::backup_win");
+                guard.defuse();
                 let name = Name::new(self.main.len() + offset);
                 return Some(Acquired::new(name, probes, None, true));
             }
@@ -528,6 +567,32 @@ impl ProbeCore {
         probes: &mut u32,
         out: &mut Vec<Acquired>,
     ) -> usize {
+        let before = out.len();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.try_get_many_inner(rng, k, probes, out)
+        }));
+        match result {
+            Ok(won) => won,
+            Err(payload) => {
+                // A panic mid-batch (an injected fault, or a real one from
+                // the caller's RandomSource) leaves earlier trials' wins in
+                // `out`; roll them back so the unwind leaks nothing.
+                let _quiet = la_fault::suppress();
+                for got in out.drain(before..) {
+                    self.free(got.name());
+                }
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+
+    fn try_get_many_inner<R: RandomSource + ?Sized>(
+        &self,
+        rng: &mut R,
+        k: usize,
+        probes: &mut u32,
+        out: &mut Vec<Acquired>,
+    ) -> usize {
         let mut remaining = k;
         if remaining == 0 {
             return 0;
@@ -540,6 +605,9 @@ impl ProbeCore {
             let trials = self.probe_policy.probes_in_batch(batch) as usize * remaining;
             for _ in 0..trials {
                 *probes += 1;
+                // Pre-claim: a fault here unwinds with earlier trials' wins
+                // already in `out`; `try_get_many`'s handler frees them.
+                fail_point!("probe_core::claim");
                 let idx = range.start + rng.gen_index(len);
                 let aligned = (idx / CLAIM_WINDOW) * CLAIM_WINDOW;
                 let window = aligned.max(range.start)..(aligned + CLAIM_WINDOW).min(range.end);
@@ -561,6 +629,7 @@ impl ProbeCore {
         let mut w = 0;
         while w < self.backup.len() && remaining > 0 {
             *probes += 1;
+            fail_point!("probe_core::backup_claim");
             let window = w..(w + CLAIM_WINDOW).min(self.backup.len());
             let p = *probes;
             let won = self
@@ -580,6 +649,10 @@ impl ProbeCore {
     ///
     /// Panics if `name` is out of range or was not held (a double free).
     pub fn free(&self, name: Name) {
+        // Pre-effect by design: a fault here means the Free never happened,
+        // so the caller still holds the name and can retry — there is no
+        // window where the release is half-applied.
+        fail_point!("probe_core::free");
         let (slab, idx) = self.locate(name);
         let released = slab.release(idx);
         assert!(
@@ -600,6 +673,10 @@ impl ProbeCore {
         if names.is_empty() {
             return;
         }
+        // Pre-effect, like `free`: the whole batch either releases (the
+        // release_sorted kernels only assert, never unwind mid-word) or
+        // never starts.
+        fail_point!("probe_core::free_many");
         let mut indices = Vec::with_capacity(names.len());
         for &name in names {
             assert_eq!(

@@ -8,6 +8,7 @@
 //! (seeded from a per-registry [`larng::SeedSequence`]-style derivation and a
 //! thread counter), and exposes a zero-argument [`ThreadRegistry::register`].
 
+use la_fault::fail_point;
 use la_sync::atomic::{AtomicU64, Ordering};
 
 use larng::{DefaultRng, SplitMix64};
@@ -80,7 +81,12 @@ impl<A: ActivityArray> ThreadRegistry<A> {
     /// Panics if the underlying array is exhausted (more simultaneous holders
     /// than its contention bound) — see [`ActivityArray::get`].
     pub fn register(&self) -> Registration<'_, A> {
-        self.with_thread_rng(|rng| Registration::acquire(&self.array, rng))
+        let registration = self.with_thread_rng(|rng| Registration::acquire(&self.array, rng));
+        // Post-acquire site: an injected panic here unwinds through the
+        // RAII guard, which frees the slot — registration is panic-safe by
+        // construction.
+        fail_point!("registry::register");
+        registration
     }
 
     /// Registers and immediately leaks the guard, returning the bare name.

@@ -303,6 +303,33 @@ impl ShardedLevelArray {
         k: usize,
         out: &mut Vec<Acquired>,
     ) -> usize {
+        // Panic-safety wrapper: a panic mid-walk (fault injection included)
+        // may leave wins from *earlier* hops already translated into the
+        // global namespace and appended to `out`.  The panicking shard's own
+        // in-flight wins were rolled back by [`ProbeCore::try_get_many`], so
+        // everything past `before_all` is a fully-owned global name — free
+        // them all and re-raise, leaving the batch all-or-nothing.
+        let before_all = out.len();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.get_many_inner(rng, k, out)
+        })) {
+            Ok(acquired) => acquired,
+            Err(payload) => {
+                let _quiet = la_fault::suppress();
+                for got in out.drain(before_all..) {
+                    ActivityArray::free(self, got.name());
+                }
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+
+    fn get_many_inner<R: RandomSource + ?Sized>(
+        &self,
+        rng: &mut R,
+        k: usize,
+        out: &mut Vec<Acquired>,
+    ) -> usize {
         if k == 0 {
             return 0;
         }

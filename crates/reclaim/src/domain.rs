@@ -28,8 +28,9 @@
 //! [`levelarray::ElasticLevelArray`] itself uses to retire drained epochs.
 
 use std::collections::HashSet;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
+use la_fault::fail_point;
 use la_sync::atomic::{AtomicU64, Ordering};
 
 use larng::RandomSource;
@@ -183,9 +184,15 @@ impl ReclaimDomain {
     /// already pinned may still read it, which is exactly what the grace
     /// period protects.
     pub fn retire<T: Send + 'static>(&self, boxed: Box<T>) {
+        // Type-erase *before* the fault site: `Retired` has no Drop impl, so
+        // a panic past this point leaks the allocation (safe — readers may
+        // still hold references) instead of unwinding through `Box`'s drop
+        // and freeing it under their feet.
+        let node = Retired::new(boxed);
+        fail_point!("reclaim::retire");
         self.retired.fetch_add(1, Ordering::Relaxed);
-        let mut limbo = self.limbo.lock().expect("limbo lock poisoned");
-        limbo.open.push(Retired::new(boxed));
+        let mut limbo = self.lock_limbo();
+        limbo.open.push(node);
     }
 
     /// Runs one reclamation pass and returns the number of nodes freed.
@@ -194,7 +201,10 @@ impl ReclaimDomain {
     /// (2) prunes every closed bag's waiting set by removing names absent from
     /// the snapshot, and (3) frees the bags whose waiting sets have emptied.
     pub fn try_reclaim(&self) -> u64 {
-        let mut limbo = self.limbo.lock().expect("limbo lock poisoned");
+        // Early-return variant: a "died before the pass" fault simply skips
+        // this pass — reclamation is optional progress, never correctness.
+        fail_point!("reclaim::reclaim", 0);
+        let mut limbo = self.lock_limbo();
         limbo.scan.clear();
         self.registry.collect_into(&mut limbo.scan);
         let snapshot: HashSet<Name> = limbo.scan.iter().copied().collect();
@@ -229,9 +239,17 @@ impl ReclaimDomain {
         freed
     }
 
+    /// The limbo lock, tolerant of poisoning: the state it guards is plain
+    /// data that every mutation leaves consistent, so a panic while holding
+    /// it (fault injection included) carries no information — later passes
+    /// proceed instead of cascading the panic through every caller.
+    fn lock_limbo(&self) -> MutexGuard<'_, LimboState> {
+        self.limbo.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Current counters.
     pub fn stats(&self) -> DomainStats {
-        let limbo = self.limbo.lock().expect("limbo lock poisoned");
+        let limbo = self.lock_limbo();
         let in_limbo = limbo.open.len() as u64
             + limbo
                 .closed
@@ -252,7 +270,7 @@ impl Drop for ReclaimDomain {
     fn drop(&mut self) {
         // The domain owns every allocation still in limbo; free them now.
         // (No operation can still be pinned: guards borrow the domain.)
-        let limbo = self.limbo.get_mut().expect("limbo lock poisoned");
+        let limbo = self.limbo.get_mut().unwrap_or_else(PoisonError::into_inner);
         for node in limbo.open.drain(..) {
             node.reclaim();
         }
